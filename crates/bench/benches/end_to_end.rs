@@ -1,0 +1,43 @@
+//! Criterion benchmark of the full pipeline (walks + word2vec) for DeepWalk
+//! and node2vec — a scaled-down version of the Tt column of Table VI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use uninet_core::{ModelSpec, UniNet, UniNetConfig};
+use uninet_graph::generators::{rmat, RmatConfig};
+
+fn pipeline_config() -> UniNetConfig {
+    let mut cfg = UniNetConfig::default();
+    cfg.walk.num_walks = 2;
+    cfg.walk.walk_length = 30;
+    cfg.walk.num_threads = 8;
+    cfg.embedding.dim = 32;
+    cfg.embedding.epochs = 1;
+    cfg.embedding.num_threads = 8;
+    cfg.embedding.window = 5;
+    cfg
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig {
+        num_nodes: 1_000,
+        num_edges: 8_000,
+        weighted: true,
+        seed: 4,
+        ..Default::default()
+    });
+    let uninet = UniNet::new(pipeline_config());
+    let mut group = c.benchmark_group("end_to_end_pipeline");
+    group.bench_function("deepwalk", |b| b.iter(|| uninet.run(&graph, &ModelSpec::DeepWalk)));
+    group.bench_function("node2vec", |b| {
+        b.iter(|| uninet.run(&graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 }))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the individual edge samplers: per-draw cost
+//! of alias, direct, rejection and M-H sampling over neighborhoods of varying
+//! degree — the raw numbers behind the complexity claims of Section III-A.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use uninet_sampler::{
+    direct_sample, AliasTable, InitStrategy, MhChain, RejectionSampler,
+};
+
+fn weights(degree: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..degree).map(|_| rng.gen_range(0.5f32..4.0)).collect()
+}
+
+fn bench_single_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_draw");
+    for degree in [16usize, 256, 4096] {
+        let w = weights(degree, degree as u64);
+
+        group.bench_with_input(BenchmarkId::new("alias", degree), &w, |b, w| {
+            let table = AliasTable::new(w);
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| table.sample(&mut rng))
+        });
+
+        group.bench_with_input(BenchmarkId::new("direct", degree), &w, |b, w| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| direct_sample(w, &mut rng))
+        });
+
+        group.bench_with_input(BenchmarkId::new("rejection", degree), &w, |b, w| {
+            let sampler = RejectionSampler::new(w, 4.0);
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| sampler.sample(|k| w[k], &mut rng))
+        });
+
+        group.bench_with_input(BenchmarkId::new("metropolis_hastings", degree), &w, |b, w| {
+            let mut chain = MhChain::new();
+            let mut rng = SmallRng::seed_from_u64(4);
+            let wf = |k: usize| w[k];
+            b.iter(|| chain.step(w.len(), &wf, InitStrategy::high_weight_exact(), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_construction");
+    for degree in [256usize, 4096] {
+        let w = weights(degree, degree as u64 + 7);
+        group.bench_with_input(BenchmarkId::new("alias_table_build", degree), &w, |b, w| {
+            b.iter(|| AliasTable::new(w))
+        });
+        group.bench_with_input(BenchmarkId::new("mh_chain_init", degree), &w, |b, w| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut chain = MhChain::new();
+                let wf = |k: usize| w[k];
+                chain.initialize(w.len(), &wf, InitStrategy::high_weight_exact(), &mut rng);
+                chain
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_single_draw, bench_construction
+}
+criterion_main!(benches);

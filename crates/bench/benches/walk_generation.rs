@@ -1,0 +1,83 @@
+//! Criterion benchmarks of whole-corpus random-walk generation for the five
+//! NRL models and the main sampler strategies (the Tw column of Table VI at
+//! micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use uninet_graph::generators::{heterogenize, rmat, RmatConfig};
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::models::{DeepWalk, FairWalk, MetaPath2Vec, Node2Vec};
+use uninet_walker::{RandomWalkModel, WalkEngine, WalkEngineConfig};
+
+fn bench_graph() -> uninet_graph::Graph {
+    heterogenize(
+        &rmat(&RmatConfig {
+            num_nodes: 2_000,
+            num_edges: 16_000,
+            weighted: true,
+            seed: 99,
+            ..Default::default()
+        }),
+        3,
+        2,
+        5,
+    )
+}
+
+fn engine(kind: EdgeSamplerKind) -> WalkEngine {
+    WalkEngine::new(
+        WalkEngineConfig::default()
+            .with_num_walks(2)
+            .with_walk_length(40)
+            .with_threads(8)
+            .with_sampler(kind),
+    )
+}
+
+fn bench_samplers_node2vec(c: &mut Criterion) {
+    let graph = bench_graph();
+    let model = Node2Vec::new(0.25, 4.0);
+    let mut group = c.benchmark_group("node2vec_walks_by_sampler");
+    for (name, kind) in [
+        ("mh_high_weight", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        ("mh_random", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        ("alias", EdgeSamplerKind::Alias),
+        ("direct", EdgeSamplerKind::Direct),
+        ("rejection", EdgeSamplerKind::Rejection),
+        ("knightking", EdgeSamplerKind::KnightKing),
+        ("memory_aware", EdgeSamplerKind::MemoryAware),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            let eng = engine(kind);
+            b.iter(|| eng.generate(&graph, &model))
+        });
+    }
+    group.finish();
+}
+
+fn bench_models_with_mh(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("models_with_mh_sampler");
+    let deepwalk = DeepWalk::new();
+    let node2vec = Node2Vec::new(0.25, 4.0);
+    let metapath = MetaPath2Vec::new(uninet_graph::Metapath::new(vec![0, 1, 2, 1, 0]));
+    let fairwalk = FairWalk::new(&graph, 1.0, 1.0);
+    let models: Vec<(&str, &dyn RandomWalkModel)> = vec![
+        ("deepwalk", &deepwalk),
+        ("node2vec", &node2vec),
+        ("metapath2vec", &metapath),
+        ("fairwalk", &fairwalk),
+    ];
+    let eng = engine(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()));
+    for (name, model) in models {
+        group.bench_function(name, |b| b.iter(|| eng.generate(&graph, model)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_samplers_node2vec, bench_models_with_mh
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 5: multi-label node classification accuracy (micro/macro F1) versus
+//! train label fraction, for DeepWalk, node2vec under the three M-H
+//! initialization strategies, and metapath2vec.
+//!
+//! Expected shape (paper): all UniNet variants match the reference accuracy;
+//! node2vec with high-weight init is slightly better than with random init.
+
+use uninet_bench::{emit, labeled_suite, HarnessConfig};
+use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, Table, UniNet, UniNetConfig};
+use uninet_eval::multilabel::classify_with_fraction;
+use uninet_graph::generators::heterogenize;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let fractions: Vec<f64> =
+        if cfg.quick { vec![0.1, 0.5, 0.9] } else { vec![0.1, 0.3, 0.5, 0.7, 0.9] };
+
+    let mut table = Table::new(
+        "Figure 5 — node classification accuracy vs train fraction",
+        &["dataset", "model", "init", "train fraction", "micro-F1", "macro-F1"],
+    );
+
+    for (name, lg) in labeled_suite(&cfg) {
+        // Variants: deepwalk (random init ≡ high-weight for uniform weights),
+        // node2vec with the three init strategies, metapath2vec on a
+        // heterogenized copy of the same graph.
+        let node2vec = ModelSpec::Node2Vec { p: 0.25, q: 4.0 };
+        let variants: Vec<(&str, &str, ModelSpec, InitStrategy, bool)> = vec![
+            ("deepwalk", "Rand", ModelSpec::DeepWalk, InitStrategy::Random, false),
+            ("node2vec", "Weight", node2vec.clone(), InitStrategy::high_weight_exact(), false),
+            ("node2vec", "Rand", node2vec.clone(), InitStrategy::Random, false),
+            ("node2vec", "BurnIn", node2vec, InitStrategy::BurnIn { iterations: 100 }, false),
+            (
+                "metapath2vec",
+                "Rand",
+                ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 0] },
+                InitStrategy::Random,
+                true,
+            ),
+        ];
+
+        for (model_name, init_name, spec, init, needs_hetero) in variants {
+            let graph = if needs_hetero {
+                heterogenize(&lg.graph, 3, 1, 5)
+            } else {
+                lg.graph.clone()
+            };
+            let mut config = UniNetConfig::default();
+            config.walk.num_walks = cfg.num_walks().min(6);
+            config.walk.walk_length = cfg.walk_length().min(40);
+            config.walk.num_threads = 16;
+            config.walk.sampler = EdgeSamplerKind::MetropolisHastings(init);
+            config.embedding.dim = if cfg.quick { 32 } else { 64 };
+            config.embedding.epochs = 2;
+            config.embedding.window = 5;
+            config.embedding.num_threads = 16;
+
+            let result = UniNet::new(config).run(&graph, &spec);
+            let features: Vec<Vec<f32>> = (0..graph.num_nodes() as u32)
+                .map(|v| result.embeddings.vector(v).to_vec())
+                .collect();
+
+            for &fraction in &fractions {
+                let report =
+                    classify_with_fraction(&features, &lg.labels, lg.num_labels, fraction, 97);
+                table.add_row(&[
+                    name.to_string(),
+                    model_name.to_string(),
+                    init_name.to_string(),
+                    format!("{fraction:.1}"),
+                    format!("{:.4}", report.f1.micro),
+                    format!("{:.4}", report.f1.macro_),
+                ]);
+            }
+        }
+    }
+    emit(&table, "fig5");
+}

@@ -1,0 +1,65 @@
+//! Figure 6: random-walk generation time of deepwalk, metapath2vec, edge2vec
+//! and fairwalk on the two largest graphs, decomposed into initialization cost
+//! and walking cost, for KnightKing, the memory-aware sampler, and UniNet with
+//! the three initialization strategies.
+//!
+//! Expected shape (paper): burn-in initialization spends 42-47% of the total
+//! cost in initialization; random/high-weight cut that to 24-40%; UniNet beats
+//! the memory-aware sampler and matches or beats KnightKing on the
+//! heterogeneous models whose outliers KnightKing cannot fold.
+
+use uninet_bench::{emit, large_suite, HarnessConfig};
+use uninet_core::{ModelSpec, Table};
+use uninet_graph::generators::heterogenize;
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::{WalkEngine, WalkEngineConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let samplers: Vec<(&str, EdgeSamplerKind)> = vec![
+        ("KnightKing", EdgeSamplerKind::KnightKing),
+        ("UniNet(Rand)", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        ("UniNet(Burnin)", EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 })),
+        ("UniNet(Weight)", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        ("Memory-Aware", EdgeSamplerKind::MemoryAware),
+    ];
+    let models = vec![
+        ModelSpec::DeepWalk,
+        ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] },
+        ModelSpec::Edge2Vec { p: 0.25, q: 0.25 },
+        ModelSpec::FairWalk { p: 1.0, q: 1.0 },
+    ];
+
+    let mut table = Table::new(
+        "Figure 6 — walk generation time decomposition (initialize + walk)",
+        &["dataset", "model", "sampler", "init (s)", "walk (s)", "total (s)", "init fraction"],
+    );
+
+    for ds in large_suite(&cfg) {
+        // The paper assigns random types to the large homogeneous graphs so
+        // the heterogeneous models can run on them; we do the same.
+        let graph = heterogenize(&ds.graph, 3, 4, 123);
+        for spec in &models {
+            let model = spec.instantiate(&graph);
+            for (label, kind) in &samplers {
+                let walk_cfg = WalkEngineConfig::default()
+                    .with_num_walks(cfg.num_walks().min(4))
+                    .with_walk_length(cfg.walk_length())
+                    .with_threads(16)
+                    .with_sampler(*kind);
+                let (_, timing) = WalkEngine::new(walk_cfg).generate(&graph, model.as_ref());
+                let total = (timing.init + timing.walk).as_secs_f64();
+                table.add_row(&[
+                    ds.name.to_string(),
+                    spec.name().to_string(),
+                    label.to_string(),
+                    format!("{:.2}", timing.init.as_secs_f64()),
+                    format!("{:.2}", timing.walk.as_secs_f64()),
+                    format!("{total:.2}"),
+                    format!("{:.0}%", 100.0 * timing.init.as_secs_f64() / total.max(1e-9)),
+                ]);
+            }
+        }
+    }
+    emit(&table, "fig6");
+}

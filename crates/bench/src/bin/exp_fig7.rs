@@ -1,0 +1,87 @@
+//! Figure 7: parameter sensitivity of the edge samplers — walk generation time
+//! as one node2vec hyper-parameter (p or q) sweeps over [0.25, 10] with the
+//! other fixed at 1, for node2vec, edge2vec and fairwalk.
+//!
+//! Expected shape (paper): alias and the M-H sampler are flat; rejection,
+//! KnightKing and the memory-aware sampler degrade as p or q shrinks (the
+//! acceptance ratio drops); KnightKing's outlier folding helps for p (a single
+//! outlier) far more than for q (many outliers).
+
+use uninet_bench::{emit, hetero_graph, social_graph, HarnessConfig};
+use uninet_core::{ModelSpec, Table};
+use uninet_graph::Graph;
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::{WalkEngine, WalkEngineConfig};
+
+fn samplers() -> Vec<(&'static str, EdgeSamplerKind)> {
+    vec![
+        ("Rejection", EdgeSamplerKind::Rejection),
+        ("Memory-Aware", EdgeSamplerKind::MemoryAware),
+        ("KnightKing", EdgeSamplerKind::KnightKing),
+        ("UniNet Random", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        ("UniNet High-Weight", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        ("Alias", EdgeSamplerKind::Alias),
+    ]
+}
+
+fn sweep(
+    table: &mut Table,
+    cfg: &HarnessConfig,
+    panel: &str,
+    graph: &Graph,
+    make_spec: &dyn Fn(f32, f32) -> ModelSpec,
+    vary_p: bool,
+) {
+    let values: Vec<f32> = if cfg.quick {
+        vec![0.25, 1.0, 4.0, 10.0]
+    } else {
+        vec![0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    };
+    for (label, kind) in samplers() {
+        for &value in &values {
+            let (p, q) = if vary_p { (value, 1.0) } else { (1.0, value) };
+            let spec = make_spec(p, q);
+            let model = spec.instantiate(graph);
+            let walk_cfg = WalkEngineConfig::default()
+                .with_num_walks(cfg.num_walks().min(3))
+                .with_walk_length(cfg.walk_length().min(40))
+                .with_threads(16)
+                .with_sampler(kind);
+            let (_, timing) = WalkEngine::new(walk_cfg).generate(graph, model.as_ref());
+            table.add_row(&[
+                panel.to_string(),
+                label.to_string(),
+                if vary_p { format!("p={value}") } else { format!("q={value}") },
+                format!("{:.3}", (timing.init + timing.walk).as_secs_f64()),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let livejournal = social_graph(cfg.nodes(20_000), 18.0, 31);
+    let youtube = social_graph(cfg.nodes(15_000), 8.0, 32);
+    let youtube_hetero = uninet_graph::generators::heterogenize(&youtube, 3, 2, 33);
+    let aminer = hetero_graph(cfg.nodes(12_000), 6.0, 34);
+
+    let mut table = Table::new(
+        "Figure 7 — parameter sensitivity of edge samplers (total walk time, seconds)",
+        &["panel", "sampler", "parameter", "time (s)"],
+    );
+
+    let node2vec = |p: f32, q: f32| ModelSpec::Node2Vec { p, q };
+    let edge2vec = |p: f32, q: f32| ModelSpec::Edge2Vec { p, q };
+    let fairwalk = |p: f32, q: f32| ModelSpec::FairWalk { p, q };
+
+    sweep(&mut table, &cfg, "(a) node2vec / LiveJournal-like, vary p", &livejournal, &node2vec, true);
+    sweep(&mut table, &cfg, "(b) node2vec / LiveJournal-like, vary q", &livejournal, &node2vec, false);
+    sweep(&mut table, &cfg, "(c) edge2vec / AMiner-like, vary p", &aminer, &edge2vec, true);
+    sweep(&mut table, &cfg, "(d) edge2vec / AMiner-like, vary q", &aminer, &edge2vec, false);
+    sweep(&mut table, &cfg, "(e) node2vec / YouTube-like, vary p", &youtube, &node2vec, true);
+    sweep(&mut table, &cfg, "(f) node2vec / YouTube-like, vary q", &youtube, &node2vec, false);
+    sweep(&mut table, &cfg, "(g) fairwalk / YouTube-like, vary p", &youtube_hetero, &fairwalk, true);
+    sweep(&mut table, &cfg, "(h) fairwalk / YouTube-like, vary q", &youtube_hetero, &fairwalk, false);
+
+    emit(&table, "fig7");
+}

@@ -1,0 +1,103 @@
+//! Table II: acceptance ratio and walk time of the rejection edge sampler for
+//! node2vec on a Flickr-like graph under different (p, q) settings, contrasted
+//! with the parameter-insensitive M-H sampler.
+//!
+//! Paper reference points (Flickr, absolute seconds not comparable):
+//! (1,0.25) θ=0.86 1.11X, (1,4) θ=0.36 2.28X, (1,1) θ=1.00 1.0X,
+//! (4,1) θ=0.99 1.02X, (0.25,1) θ=0.25 2.60X.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uninet_bench::{emit, social_graph, HarnessConfig};
+use uninet_core::Table;
+use uninet_sampler::rejection::AcceptanceStats;
+use uninet_sampler::{EdgeSamplerKind, InitStrategy, RejectionSampler};
+use uninet_walker::models::Node2Vec;
+use uninet_walker::{RandomWalkModel, WalkEngine, WalkEngineConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let graph = social_graph(cfg.nodes(8_000), 40.0, 2);
+    println!(
+        "Flickr-like graph: {} nodes, {} edges (mean degree {:.1})\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.mean_degree()
+    );
+
+    let configs: [(f32, f32); 5] = [(1.0, 0.25), (1.0, 4.0), (1.0, 1.0), (4.0, 1.0), (0.25, 1.0)];
+
+    let mut table = Table::new(
+        "Table II — rejection sampler sensitivity for node2vec (Flickr-like)",
+        &[
+            "(p,q)",
+            "rejection walk time (s)",
+            "acceptance ratio",
+            "time ratio vs (1,1)",
+            "UniNet(M-H) walk time (s)",
+        ],
+    );
+
+    // First measure per-(p,q) acceptance ratio with a standalone rejection
+    // sampler over a sample of states (exactly the paper's θ column).
+    let mut rejection_times = Vec::new();
+    let mut acceptance = Vec::new();
+    let mut mh_times = Vec::new();
+    for &(p, q) in &configs {
+        let model = Node2Vec::new(p, q);
+
+        // Acceptance ratio measurement.
+        let mut stats = AcceptanceStats::new();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let sample_nodes: Vec<u32> =
+            (0..graph.num_nodes() as u32).step_by(17.max(graph.num_nodes() / 500)).collect();
+        for &v in &sample_nodes {
+            let deg = graph.degree(v);
+            if deg < 2 {
+                continue;
+            }
+            let state = model.initial_state(&graph, v);
+            let sampler = RejectionSampler::new(graph.weights(v), model.rejection_bound(&graph, state));
+            for _ in 0..20 {
+                let outcome = sampler.sample(
+                    |k| model.calculate_weight(&graph, state, graph.edge_ref(v, k)),
+                    &mut rng,
+                );
+                stats.record(outcome);
+            }
+        }
+        acceptance.push(stats.acceptance_ratio());
+
+        // Walk time with the rejection sampler.
+        let walk_cfg = WalkEngineConfig::default()
+            .with_num_walks(cfg.num_walks().min(4))
+            .with_walk_length(cfg.walk_length())
+            .with_threads(16)
+            .with_sampler(EdgeSamplerKind::Rejection);
+        let t = Instant::now();
+        let (_, timing) = WalkEngine::new(walk_cfg).generate(&graph, &model);
+        rejection_times.push(timing.walk.as_secs_f64());
+        let _ = t;
+
+        // Walk time with the M-H sampler (same workload).
+        let mh_cfg = walk_cfg
+            .with_sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()));
+        let (_, mh_timing) = WalkEngine::new(mh_cfg).generate(&graph, &model);
+        mh_times.push(mh_timing.walk.as_secs_f64());
+    }
+
+    let baseline = rejection_times[2].max(1e-9); // the (1,1) column
+    for (i, &(p, q)) in configs.iter().enumerate() {
+        table.add_row(&[
+            format!("({p}, {q})"),
+            format!("{:.2}", rejection_times[i]),
+            format!("{:.2}", acceptance[i]),
+            format!("{:.2}X", rejection_times[i] / baseline),
+            format!("{:.2}", mh_times[i]),
+        ]);
+    }
+    emit(&table, "table2");
+}

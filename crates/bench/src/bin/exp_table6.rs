@@ -1,0 +1,77 @@
+//! Table VI: time cost (Ti / Tw / Tl / Tt) of the five NRL models under three
+//! system configurations — the open-source-style baseline (original sampler,
+//! single-threaded), UniNet (Orig) (original sampler inside the parallel
+//! framework) and UniNet (M-H).
+//!
+//! Expected shape (paper): UniNet (M-H) has the smallest total time; the gap
+//! vs UniNet (Orig) comes mostly from the initialization phase (alias
+//! materialization for node2vec) and the per-step sampling cost (direct
+//! sampling for the other models); the open-source-style column is slower
+//! still because it lacks parallel walk generation.
+
+use uninet_bench::{
+    emit, small_heterogeneous_suite, small_homogeneous_suite, BenchDataset, HarnessConfig,
+};
+use uninet_core::{
+    baselines, format_duration, format_speedup, BaselineKind, ModelSpec, Table, UniNet,
+    UniNetConfig,
+};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+
+    let mut base = UniNetConfig::default();
+    base.walk.num_walks = cfg.num_walks();
+    base.walk.walk_length = cfg.walk_length();
+    base.walk.num_threads = 16;
+    base.embedding.dim = if cfg.quick { 32 } else { 64 };
+    base.embedding.epochs = 1;
+    base.embedding.num_threads = 16;
+
+    let mut table = Table::new(
+        "Table VI — time cost of the five NRL models under three system configurations",
+        &[
+            "model", "dataset", "system", "Ti", "Tw", "Tl", "Tt", "speedup vs Open", "speedup vs Orig",
+        ],
+    );
+
+    let homogeneous = small_homogeneous_suite(&cfg);
+    let heterogeneous = small_heterogeneous_suite(&cfg);
+
+    let workloads: Vec<(ModelSpec, &[BenchDataset])> = vec![
+        (ModelSpec::DeepWalk, &homogeneous[..]),
+        (ModelSpec::Node2Vec { p: 0.25, q: 4.0 }, &homogeneous[..]),
+        (ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] }, &heterogeneous[..]),
+        (ModelSpec::Edge2Vec { p: 0.25, q: 0.25 }, &heterogeneous[..]),
+        (ModelSpec::FairWalk { p: 1.0, q: 1.0 }, &heterogeneous[..]),
+    ];
+
+    for (spec, datasets) in workloads {
+        let datasets: Vec<&BenchDataset> =
+            if cfg.quick { datasets.iter().take(2).collect() } else { datasets.iter().collect() };
+        for ds in datasets {
+            let mut totals = Vec::new();
+            let mut rows = Vec::new();
+            for kind in BaselineKind::ALL {
+                let run_cfg = baselines::configure(&base, &spec, kind);
+                let result = UniNet::new(run_cfg).run(&ds.graph, &spec);
+                totals.push(result.timing);
+                rows.push((kind, result.timing));
+            }
+            for (kind, timing) in rows {
+                table.add_row(&[
+                    spec.name().to_string(),
+                    ds.name.to_string(),
+                    kind.label().to_string(),
+                    format_duration(timing.init),
+                    format_duration(timing.walk),
+                    format_duration(timing.learn),
+                    format_duration(timing.total()),
+                    format_speedup(timing.speedup_over(&totals[0])),
+                    format_speedup(timing.speedup_over(&totals[1])),
+                ]);
+            }
+        }
+    }
+    emit(&table, "table6");
+}

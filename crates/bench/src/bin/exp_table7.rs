@@ -1,0 +1,69 @@
+//! Table VII: random-walk generation time of node2vec over the two largest
+//! graphs, for every edge sampler and five (p, q) settings.
+//!
+//! Expected shape (paper): the alias sampler runs out of memory; rejection /
+//! KnightKing are parameter-sensitive (slow when p or q is small); the
+//! memory-aware sampler is memory-safe but slower; UniNet's M-H sampler is
+//! fast and insensitive to (p, q). The "OOM" behaviour is reproduced here as a
+//! memory-estimate guard rather than by actually exhausting RAM.
+
+use uninet_bench::{emit, large_suite, HarnessConfig};
+use uninet_core::Table;
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::manager::alias_memory_estimate;
+use uninet_walker::models::Node2Vec;
+use uninet_walker::{WalkEngine, WalkEngineConfig};
+
+/// Guard used to emulate the paper's out-of-memory failures: samplers whose
+/// materialized tables would exceed this budget are reported as "*".
+const MEMORY_GUARD_BYTES: usize = 2 << 30; // 2 GiB
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let pq: [(f32, f32); 5] = [(1.0, 0.25), (0.25, 1.0), (1.0, 1.0), (1.0, 4.0), (4.0, 1.0)];
+    let samplers: Vec<(&str, EdgeSamplerKind)> = vec![
+        ("Alias", EdgeSamplerKind::Alias),
+        ("Rejection", EdgeSamplerKind::Rejection),
+        ("KnightKing", EdgeSamplerKind::KnightKing),
+        ("Memory-Aware", EdgeSamplerKind::MemoryAware),
+        ("UniNet(Rand)", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        ("UniNet(Burn)", EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 })),
+        ("UniNet(Weight)", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+    ];
+
+    let mut table = Table::new(
+        "Table VII — node2vec walk generation time (seconds; '*' = exceeds memory guard)",
+        &["dataset", "sampler", "(1,0.25)", "(0.25,1)", "(1,1)", "(1,4)", "(4,1)"],
+    );
+
+    for ds in large_suite(&cfg) {
+        println!(
+            "{}: {} nodes, {} edges",
+            ds.name,
+            ds.graph.num_nodes(),
+            ds.graph.num_edges()
+        );
+        for (label, kind) in &samplers {
+            let mut cells = vec![ds.name.to_string(), label.to_string()];
+            for &(p, q) in &pq {
+                let model = Node2Vec::new(p, q);
+                // Emulate the paper's OOM column for fully materialized alias tables.
+                if *kind == EdgeSamplerKind::Alias
+                    && alias_memory_estimate(&ds.graph, &model) > MEMORY_GUARD_BYTES
+                {
+                    cells.push("*".to_string());
+                    continue;
+                }
+                let walk_cfg = WalkEngineConfig::default()
+                    .with_num_walks(cfg.num_walks().min(4))
+                    .with_walk_length(cfg.walk_length())
+                    .with_threads(16)
+                    .with_sampler(*kind);
+                let (_, timing) = WalkEngine::new(walk_cfg).generate(&ds.graph, &model);
+                cells.push(format!("{:.2}", (timing.init + timing.walk).as_secs_f64()));
+            }
+            table.add_row(&cells);
+        }
+    }
+    emit(&table, "table7");
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment binary in sequence (in quick mode unless
+//! `UNINET_QUICK=0` is set explicitly), regenerating all tables and figures
+//! into `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "exp_table2",
+        "exp_fig1",
+        "exp_table5",
+        "exp_fig5",
+        "exp_table6",
+        "exp_table7",
+        "exp_fig6",
+        "exp_fig7",
+    ];
+    let quick = std::env::var("UNINET_QUICK").unwrap_or_else(|_| "1".to_string());
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("cannot locate binary directory");
+
+    for exp in experiments {
+        println!("\n=============================== {exp} ===============================");
+        let path = exe_dir.join(exp);
+        let status = Command::new(&path)
+            .env("UNINET_QUICK", &quick)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("warning: {exp} exited with {status}");
+        }
+    }
+    println!("\nAll experiments finished; see the results/ directory.");
+}

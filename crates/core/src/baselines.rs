@@ -1,0 +1,123 @@
+//! Baseline configurations emulating the systems UniNet is compared against
+//! in Table VI.
+//!
+//! The paper compares three columns per model:
+//!
+//! 1. **Open-sourced version** — the reference Python/C++ implementations
+//!    (DeepWalk, node2vec, …). We cannot run those here; the algorithmically
+//!    relevant property is *which sampler they use* (alias tables with full
+//!    precomputation for node2vec, per-step direct sampling for the others)
+//!    and their lack of parallel walk generation. [`BaselineKind::OpenSource`]
+//!    reproduces that behaviour inside our engine (original sampler, single
+//!    thread).
+//! 2. **UniNet (Orig)** — the original sampler of each model running inside
+//!    the UniNet framework (original sampler, full parallelism).
+//! 3. **UniNet (M-H)** — the paper's contribution (M-H sampler, full
+//!    parallelism, high-weight initialization by default).
+
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+
+use crate::config::{ModelSpec, UniNetConfig};
+
+/// Which system column of Table VI a configuration emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// The open-source reference implementation (original sampler, 1 thread).
+    OpenSource,
+    /// UniNet running the model's original sampler (parallel).
+    UniNetOriginal,
+    /// UniNet with the M-H edge sampler (parallel).
+    UniNetMh,
+}
+
+impl BaselineKind {
+    /// All three columns in Table VI order.
+    pub const ALL: [BaselineKind; 3] =
+        [BaselineKind::OpenSource, BaselineKind::UniNetOriginal, BaselineKind::UniNetMh];
+
+    /// Column label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::OpenSource => "Open-sourced",
+            BaselineKind::UniNetOriginal => "UniNet (Orig)",
+            BaselineKind::UniNetMh => "UniNet (M-H)",
+        }
+    }
+}
+
+/// The edge sampler used by the original implementation of each model: the
+/// node2vec reference precomputes alias tables per state, all the others draw
+/// with direct (inverse-CDF) sampling.
+pub fn baseline_sampler_for(spec: &ModelSpec) -> EdgeSamplerKind {
+    match spec {
+        ModelSpec::Node2Vec { .. } => EdgeSamplerKind::Alias,
+        _ => EdgeSamplerKind::Direct,
+    }
+}
+
+/// Produces the pipeline configuration for one Table VI column, starting from
+/// a base configuration that fixes K, L, dimensions, etc.
+pub fn configure(base: &UniNetConfig, spec: &ModelSpec, kind: BaselineKind) -> UniNetConfig {
+    let mut cfg = *base;
+    match kind {
+        BaselineKind::OpenSource => {
+            cfg.walk.sampler = baseline_sampler_for(spec);
+            cfg.walk.num_threads = 1;
+            cfg.embedding.num_threads = 1;
+        }
+        BaselineKind::UniNetOriginal => {
+            cfg.walk.sampler = baseline_sampler_for(spec);
+        }
+        BaselineKind::UniNetMh => {
+            cfg.walk.sampler =
+                EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact());
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node2vec_baseline_uses_alias() {
+        assert_eq!(
+            baseline_sampler_for(&ModelSpec::Node2Vec { p: 1.0, q: 1.0 }),
+            EdgeSamplerKind::Alias
+        );
+        assert_eq!(baseline_sampler_for(&ModelSpec::DeepWalk), EdgeSamplerKind::Direct);
+        assert_eq!(
+            baseline_sampler_for(&ModelSpec::FairWalk { p: 1.0, q: 1.0 }),
+            EdgeSamplerKind::Direct
+        );
+    }
+
+    #[test]
+    fn open_source_column_is_single_threaded() {
+        let base = UniNetConfig::default();
+        let spec = ModelSpec::DeepWalk;
+        let cfg = configure(&base, &spec, BaselineKind::OpenSource);
+        assert_eq!(cfg.walk.num_threads, 1);
+        assert_eq!(cfg.embedding.num_threads, 1);
+        assert_eq!(cfg.walk.sampler, EdgeSamplerKind::Direct);
+    }
+
+    #[test]
+    fn uninet_columns_keep_parallelism() {
+        let base = UniNetConfig::default();
+        let spec = ModelSpec::Node2Vec { p: 0.25, q: 4.0 };
+        let orig = configure(&base, &spec, BaselineKind::UniNetOriginal);
+        assert_eq!(orig.walk.num_threads, base.walk.num_threads);
+        assert_eq!(orig.walk.sampler, EdgeSamplerKind::Alias);
+        let mh = configure(&base, &spec, BaselineKind::UniNetMh);
+        assert!(matches!(mh.walk.sampler, EdgeSamplerKind::MetropolisHastings(_)));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = BaselineKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&"UniNet (M-H)"));
+    }
+}

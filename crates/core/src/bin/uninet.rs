@@ -1,0 +1,194 @@
+//! `uninet` — command-line front end of the pipeline: read an edge list (or
+//! generate a synthetic graph), run one of the five NRL models, and write the
+//! embeddings in word2vec text format.
+//!
+//! ```text
+//! uninet --model node2vec --p 0.25 --q 4.0 --input graph.edges --output emb.txt
+//! uninet --model deepwalk --synthetic rmat --nodes 10000 --output emb.txt
+//! ```
+//!
+//! Run `uninet --help` for the full flag list. The flag parser is hand-rolled
+//! (no external CLI dependency is allowed in this workspace).
+
+use std::process::ExitCode;
+
+use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, UniNet, UniNetConfig};
+use uninet_embedding::io::save_embeddings;
+use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
+use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
+use uninet_graph::Graph;
+
+const HELP: &str = "\
+uninet — unified random-walk network representation learning
+
+USAGE:
+  uninet [OPTIONS] --output <FILE>
+
+INPUT (choose one):
+  --input <FILE>          edge list: `src dst [weight] [edge_type]` per line
+  --synthetic <rmat|ba>   generate a synthetic graph instead (default rmat)
+  --nodes <N>             synthetic graph size                 [default: 10000]
+  --mean-degree <D>       synthetic mean degree                [default: 10]
+
+MODEL:
+  --model <NAME>          deepwalk | node2vec | metapath2vec | edge2vec | fairwalk
+                                                               [default: deepwalk]
+  --p <F>  --q <F>        node2vec/edge2vec/fairwalk parameters [default: 1.0]
+  --metapath <T,T,..>     metapath node types for metapath2vec  [default: 0,1,0]
+
+WALKS & TRAINING:
+  --num-walks <K>         walks per node                        [default: 10]
+  --walk-length <L>       nodes per walk                        [default: 80]
+  --dim <D>               embedding dimensionality              [default: 128]
+  --epochs <E>            word2vec epochs                       [default: 1]
+  --threads <T>           worker threads                        [default: 16]
+  --sampler <NAME>        mh-weight | mh-random | mh-burnin | alias | direct |
+                          rejection | knightking | memory-aware [default: mh-weight]
+  --seed <S>              RNG seed                              [default: 42]
+
+OUTPUT:
+  --output <FILE>         embeddings in word2vec text format (required)
+  --help                  print this help
+";
+
+struct Args {
+    map: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut map = std::collections::HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                map.insert("help".to_string(), "1".to_string());
+                continue;
+            }
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            let value =
+                iter.next().ok_or_else(|| format!("flag --{key} expects a value"))?;
+            map.insert(key.to_string(), value);
+        }
+        Ok(Args { map })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+}
+
+fn build_graph(args: &Args) -> Result<Graph, String> {
+    if let Some(path) = args.get("input") {
+        return read_edge_list_file(path, EdgeListOptions::default())
+            .map_err(|e| format!("cannot read {path}: {e}"));
+    }
+    let nodes: usize = args.parse_or("nodes", 10_000)?;
+    let mean_degree: f64 = args.parse_or("mean-degree", 10.0)?;
+    let seed: u64 = args.parse_or("seed", 42u64)?;
+    match args.get("synthetic").unwrap_or("rmat") {
+        "ba" => Ok(barabasi_albert(nodes, (mean_degree / 2.0).max(1.0) as usize, true, seed)),
+        "rmat" => Ok(rmat(&RmatConfig {
+            num_nodes: nodes,
+            num_edges: ((nodes as f64 * mean_degree) / 2.0) as usize,
+            weighted: true,
+            seed,
+            ..Default::default()
+        })),
+        other => Err(format!("unknown synthetic generator: {other}")),
+    }
+}
+
+fn build_spec(args: &Args) -> Result<ModelSpec, String> {
+    let p: f32 = args.parse_or("p", 1.0f32)?;
+    let q: f32 = args.parse_or("q", 1.0f32)?;
+    match args.get("model").unwrap_or("deepwalk") {
+        "deepwalk" => Ok(ModelSpec::DeepWalk),
+        "node2vec" => Ok(ModelSpec::Node2Vec { p, q }),
+        "edge2vec" => Ok(ModelSpec::Edge2Vec { p, q }),
+        "fairwalk" => Ok(ModelSpec::FairWalk { p, q }),
+        "metapath2vec" => {
+            let metapath: Vec<u16> = args
+                .get("metapath")
+                .unwrap_or("0,1,0")
+                .split(',')
+                .map(|t| t.trim().parse().map_err(|_| format!("bad metapath entry: {t}")))
+                .collect::<Result<_, _>>()?;
+            Ok(ModelSpec::MetaPath2Vec { metapath })
+        }
+        other => Err(format!("unknown model: {other}")),
+    }
+}
+
+fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, String> {
+    Ok(match args.get("sampler").unwrap_or("mh-weight") {
+        "mh-weight" => EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+        "mh-random" => EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        "mh-burnin" => EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 }),
+        "alias" => EdgeSamplerKind::Alias,
+        "direct" => EdgeSamplerKind::Direct,
+        "rejection" => EdgeSamplerKind::Rejection,
+        "knightking" => EdgeSamplerKind::KnightKing,
+        "memory-aware" => EdgeSamplerKind::MemoryAware,
+        other => return Err(format!("unknown sampler: {other}")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    if args.get("help").is_some() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let output = args.get("output").ok_or("--output is required (see --help)")?.to_string();
+
+    let graph = build_graph(&args)?;
+    let spec = build_spec(&args)?;
+    eprintln!(
+        "graph: {} nodes, {} edges, {} node types; model: {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_node_types(),
+        spec.name()
+    );
+
+    let mut config = UniNetConfig::default();
+    config.walk.num_walks = args.parse_or("num-walks", 10usize)?;
+    config.walk.walk_length = args.parse_or("walk-length", 80usize)?;
+    config.walk.num_threads = args.parse_or("threads", 16usize)?;
+    config.walk.seed = args.parse_or("seed", 42u64)?;
+    config.walk.sampler = build_sampler(&args)?;
+    config.embedding.dim = args.parse_or("dim", 128usize)?;
+    config.embedding.epochs = args.parse_or("epochs", 1usize)?;
+    config.embedding.num_threads = config.walk.num_threads;
+    config.embedding.seed = config.walk.seed;
+
+    let result = UniNet::new(config).run(&graph, &spec);
+    eprintln!(
+        "walks: {} sequences, {} tokens; timing: {}",
+        result.corpus.num_walks(),
+        result.corpus.total_tokens(),
+        result.timing
+    );
+    save_embeddings(&result.embeddings, &output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!("embeddings written to {output}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # uninet-core
+//!
+//! UniNet: a unified, scalable framework for random-walk based network
+//! representation learning (reproduction of the ICDE 2021 paper).
+//!
+//! The crate glues the substrates together into the two-step pipeline the
+//! paper describes:
+//!
+//! ```text
+//! Walks      = RandomWalkGeneration(G, N, L)   // uninet-walker + uninet-sampler
+//! Embeddings = Word2Vec(Walks)                 // uninet-embedding
+//! ```
+//!
+//! * [`ModelSpec`] — declarative description of which NRL model to run
+//!   (DeepWalk, node2vec, metapath2vec, edge2vec, fairwalk) with its
+//!   hyper-parameters.
+//! * [`UniNetConfig`] / [`UniNet`] — the end-to-end pipeline with the timing
+//!   breakdown (`Ti`, `Tw`, `Tl`, `Tt`) reported in Table VI.
+//! * [`baselines`] — sampler/parallelism configurations that emulate the
+//!   original open-source implementations and "UniNet (Orig)".
+//! * [`report`] — plain-text table rendering used by the benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uninet_core::{ModelSpec, UniNet, UniNetConfig};
+//! use uninet_graph::generators::{rmat, RmatConfig};
+//!
+//! let graph = rmat(&RmatConfig { num_nodes: 300, num_edges: 2000, ..Default::default() });
+//! let mut config = UniNetConfig::default();
+//! config.walk.num_walks = 2;
+//! config.walk.walk_length = 20;
+//! config.embedding.dim = 32;
+//! config.embedding.num_threads = 2;
+//! config.walk.num_threads = 2;
+//! let result = UniNet::new(config).run(&graph, &ModelSpec::DeepWalk);
+//! assert_eq!(result.embeddings.num_nodes(), graph.num_nodes());
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod timing;
+
+pub use baselines::{baseline_sampler_for, BaselineKind};
+pub use config::{ModelSpec, UniNetConfig};
+pub use pipeline::{PipelineResult, UniNet};
+pub use report::{format_duration, format_speedup, Table};
+pub use timing::PhaseTiming;
+
+pub use uninet_embedding::Embeddings;
+pub use uninet_graph::Graph;
+pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+pub use uninet_walker::{WalkCorpus, WalkEngineConfig};

@@ -1,0 +1,169 @@
+//! The end-to-end UniNet pipeline: random-walk generation followed by
+//! word2vec training, with the per-phase timing of Table VI.
+
+use std::time::Instant;
+
+use uninet_embedding::{Embeddings, TrainStats, Word2VecTrainer};
+use uninet_graph::Graph;
+use uninet_walker::{WalkCorpus, WalkEngine};
+
+use crate::config::{ModelSpec, UniNetConfig};
+use crate::timing::PhaseTiming;
+
+/// Everything produced by one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The learned node embeddings.
+    pub embeddings: Embeddings,
+    /// The generated walk corpus (kept for inspection / reuse).
+    pub corpus: WalkCorpus,
+    /// Wall-clock breakdown (`Ti`, `Tw`, `Tl`).
+    pub timing: PhaseTiming,
+    /// Word2vec training statistics.
+    pub train_stats: TrainStats,
+}
+
+/// The UniNet framework facade.
+#[derive(Debug, Clone, Copy)]
+pub struct UniNet {
+    config: UniNetConfig,
+}
+
+impl UniNet {
+    /// Creates a framework instance with the given configuration.
+    pub fn new(config: UniNetConfig) -> Self {
+        UniNet { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &UniNetConfig {
+        &self.config
+    }
+
+    /// Runs walk generation only and returns the corpus plus (`Ti`, `Tw`).
+    pub fn generate_walks(&self, graph: &Graph, spec: &ModelSpec) -> (WalkCorpus, PhaseTiming) {
+        let model = spec.instantiate(graph);
+        let engine = WalkEngine::new(self.config.walk);
+        let (corpus, timing) = engine.generate(graph, model.as_ref());
+        (
+            corpus,
+            PhaseTiming { init: timing.init, walk: timing.walk, ..Default::default() },
+        )
+    }
+
+    /// Runs the full pipeline (walks + embedding learning).
+    pub fn run(&self, graph: &Graph, spec: &ModelSpec) -> PipelineResult {
+        let (corpus, mut timing) = self.generate_walks(graph, spec);
+        let t = Instant::now();
+        let trainer = Word2VecTrainer::new(self.config.embedding);
+        let (embeddings, train_stats) = trainer.train(corpus.walks(), graph.num_nodes());
+        timing.learn = t.elapsed();
+        PipelineResult { embeddings, corpus, timing, train_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UniNetConfig;
+    use uninet_graph::generators::{heterogenize, planted_partition, PlantedPartitionConfig};
+    use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+
+    fn labeled_graph() -> uninet_graph::generators::LabeledGraph {
+        planted_partition(&PlantedPartitionConfig {
+            num_nodes: 300,
+            num_communities: 3,
+            intra_degree: 14.0,
+            inter_degree: 1.0,
+            multi_label_prob: 0.0,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn deepwalk_pipeline_produces_embeddings() {
+        let lg = labeled_graph();
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 4;
+        cfg.walk.walk_length = 30;
+        cfg.embedding.epochs = 2;
+        let result = UniNet::new(cfg).run(&lg.graph, &ModelSpec::DeepWalk);
+        assert_eq!(result.embeddings.num_nodes(), lg.graph.num_nodes());
+        assert!(result.corpus.num_walks() > 0);
+        assert!(result.timing.total().as_nanos() > 0);
+        assert!(result.train_stats.pairs_processed > 0);
+    }
+
+    #[test]
+    fn embeddings_capture_community_structure() {
+        // Nodes in the same planted community should be more similar than
+        // nodes in different communities — the property Figure 5 relies on.
+        let lg = labeled_graph();
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 6;
+        cfg.walk.walk_length = 40;
+        cfg.embedding.dim = 48;
+        cfg.embedding.epochs = 3;
+        cfg.embedding.window = 5;
+        let result = UniNet::new(cfg).run(&lg.graph, &ModelSpec::Node2Vec { p: 1.0, q: 1.0 });
+        let emb = &result.embeddings;
+        let mut intra = 0.0f64;
+        let mut inter = 0.0f64;
+        let mut intra_n = 0u32;
+        let mut inter_n = 0u32;
+        for a in (0..300u32).step_by(7) {
+            for b in (1..300u32).step_by(11) {
+                if a == b {
+                    continue;
+                }
+                let s = emb.cosine_similarity(a, b) as f64;
+                if lg.primary_label(a) == lg.primary_label(b) {
+                    intra += s;
+                    intra_n += 1;
+                } else {
+                    inter += s;
+                    inter_n += 1;
+                }
+            }
+        }
+        let intra = intra / intra_n as f64;
+        let inter = inter / inter_n as f64;
+        assert!(intra > inter + 0.05, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn all_models_run_end_to_end() {
+        let lg = labeled_graph();
+        let g = heterogenize(&lg.graph, 3, 2, 5);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 1;
+        cfg.walk.walk_length = 10;
+        cfg.embedding.epochs = 1;
+        cfg.embedding.dim = 16;
+        let uninet = UniNet::new(cfg);
+        for spec in ModelSpec::paper_benchmark_suite() {
+            let result = uninet.run(&g, &spec);
+            assert_eq!(result.embeddings.num_nodes(), g.num_nodes(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn sampler_kind_is_honoured() {
+        let lg = labeled_graph();
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 1;
+        cfg.walk.walk_length = 10;
+        cfg.walk.sampler = EdgeSamplerKind::Alias;
+        cfg.embedding.epochs = 1;
+        let uninet = UniNet::new(cfg);
+        assert_eq!(uninet.config().walk.sampler, EdgeSamplerKind::Alias);
+        let (corpus, timing) = uninet.generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
+        assert!(corpus.num_walks() > 0);
+        // Alias materialization has a non-trivial init phase.
+        assert!(timing.init.as_nanos() > 0);
+
+        cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
+        let (corpus2, _) = UniNet::new(cfg).generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
+        assert_eq!(corpus2.num_walks(), corpus.num_walks());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over the whole stack: for arbitrary small graphs and
+//! model hyper-parameters, walks are always valid paths, state indices stay in
+//! bounds, and the pipeline never panics.
+
+use proptest::prelude::*;
+
+use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, UniNet, UniNetConfig};
+use uninet_graph::generators::{erdos_renyi, heterogenize};
+
+fn arbitrary_spec() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::DeepWalk),
+        (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::Node2Vec { p, q }),
+        (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::FairWalk { p, q }),
+        (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::Edge2Vec { p, q }),
+        Just(ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 0] }),
+    ]
+}
+
+fn arbitrary_sampler() -> impl Strategy<Value = EdgeSamplerKind> {
+    prop_oneof![
+        Just(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        Just(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        Just(EdgeSamplerKind::Direct),
+        Just(EdgeSamplerKind::Alias),
+        Just(EdgeSamplerKind::Rejection),
+        Just(EdgeSamplerKind::KnightKing),
+        Just(EdgeSamplerKind::MemoryAware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn walks_are_always_valid_paths(
+        nodes in 20usize..80,
+        edge_factor in 2usize..6,
+        seed in 0u64..1000,
+        spec in arbitrary_spec(),
+        sampler in arbitrary_sampler(),
+    ) {
+        let homogeneous = erdos_renyi(nodes, nodes * edge_factor, true, seed);
+        let graph = heterogenize(&homogeneous, 3, 2, seed ^ 7);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 1;
+        cfg.walk.walk_length = 8;
+        cfg.walk.num_threads = 2;
+        cfg.walk.sampler = sampler;
+        cfg.walk.seed = seed;
+        let (corpus, _) = UniNet::new(cfg).generate_walks(&graph, &spec);
+        prop_assert!(corpus.num_walks() > 0);
+        for walk in corpus.iter() {
+            prop_assert!(!walk.is_empty());
+            prop_assert!(walk.len() <= 8);
+            for pair in walk.windows(2) {
+                prop_assert!(graph.has_edge(pair[0], pair[1]),
+                    "{:?} generated non-edge {}->{}", spec, pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn visit_counts_cover_only_existing_nodes(
+        nodes in 20usize..60,
+        seed in 0u64..500,
+    ) {
+        let graph = erdos_renyi(nodes, nodes * 3, false, seed);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 2;
+        cfg.walk.walk_length = 10;
+        cfg.walk.num_threads = 2;
+        let (corpus, _) = UniNet::new(cfg).generate_walks(&graph, &ModelSpec::DeepWalk);
+        let counts = corpus.visit_counts(graph.num_nodes());
+        prop_assert_eq!(counts.len(), graph.num_nodes());
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total as usize, corpus.total_tokens());
+    }
+}

@@ -1,0 +1,167 @@
+//! Saving and loading embeddings in the word2vec text format
+//! (`<num_nodes> <dim>` header followed by one `node v1 v2 …` line per node),
+//! the format produced by the reference DeepWalk/node2vec implementations and
+//! consumed by their evaluation scripts.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::Embeddings;
+
+/// Errors produced when reading an embedding file.
+#[derive(Debug)]
+pub enum EmbeddingIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not valid word2vec text format.
+    Parse(String),
+}
+
+impl std::fmt::Display for EmbeddingIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingIoError::Io(e) => write!(f, "i/o error: {e}"),
+            EmbeddingIoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingIoError {}
+
+impl From<std::io::Error> for EmbeddingIoError {
+    fn from(e: std::io::Error) -> Self {
+        EmbeddingIoError::Io(e)
+    }
+}
+
+/// Writes embeddings in word2vec text format.
+pub fn write_word2vec_text<W: Write>(emb: &Embeddings, writer: W) -> Result<(), EmbeddingIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {}", emb.num_nodes(), emb.dim())?;
+    for v in 0..emb.num_nodes() as u32 {
+        write!(w, "{v}")?;
+        for x in emb.vector(v) {
+            write!(w, " {x}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads embeddings from word2vec text format. Node ids must be integers in
+/// `0..num_nodes`; missing nodes keep zero vectors.
+pub fn read_word2vec_text<R: Read>(reader: R) -> Result<Embeddings, EmbeddingIoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| EmbeddingIoError::Parse("empty file".into()))??;
+    let mut parts = header.split_whitespace();
+    let num_nodes: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EmbeddingIoError::Parse("bad node count in header".into()))?;
+    let dim: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EmbeddingIoError::Parse("bad dimension in header".into()))?;
+    if dim == 0 {
+        return Err(EmbeddingIoError::Parse("dimension must be positive".into()));
+    }
+    let mut flat = vec![0.0f32; num_nodes * dim];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let node: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| EmbeddingIoError::Parse(format!("bad node id at line {}", lineno + 2)))?;
+        if node >= num_nodes {
+            return Err(EmbeddingIoError::Parse(format!(
+                "node id {node} out of range (header says {num_nodes})"
+            )));
+        }
+        for j in 0..dim {
+            let val: f32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| {
+                    EmbeddingIoError::Parse(format!("missing component {j} at line {}", lineno + 2))
+                })?;
+            flat[node * dim + j] = val;
+        }
+    }
+    Ok(Embeddings::from_flat(dim, flat))
+}
+
+/// Writes embeddings to a file in word2vec text format.
+pub fn save_embeddings<P: AsRef<Path>>(emb: &Embeddings, path: P) -> Result<(), EmbeddingIoError> {
+    let file = std::fs::File::create(path)?;
+    write_word2vec_text(emb, file)
+}
+
+/// Reads embeddings from a file in word2vec text format.
+pub fn load_embeddings<P: AsRef<Path>>(path: P) -> Result<Embeddings, EmbeddingIoError> {
+    let file = std::fs::File::open(path)?;
+    read_word2vec_text(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embeddings {
+        Embeddings::from_flat(3, vec![1.0, 2.0, 3.0, -0.5, 0.25, 0.0, 9.0, 8.0, 7.0])
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_vectors() {
+        let emb = sample();
+        let mut buf = Vec::new();
+        write_word2vec_text(&emb, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("3 3\n"));
+        let back = read_word2vec_text(buf.as_slice()).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.dim(), 3);
+        for v in 0..3u32 {
+            for (a, b) in emb.vector(v).iter().zip(back.vector(v)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let emb = sample();
+        let dir = std::env::temp_dir().join("uninet_embedding_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emb.txt");
+        save_embeddings(&emb, &path).unwrap();
+        let back = load_embeddings(&path).unwrap();
+        assert_eq!(back.num_nodes(), emb.num_nodes());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_nodes_default_to_zero() {
+        let text = "4 2\n0 1.0 2.0\n3 5.0 6.0\n";
+        let emb = read_word2vec_text(text.as_bytes()).unwrap();
+        assert_eq!(emb.vector(0), &[1.0, 2.0]);
+        assert_eq!(emb.vector(1), &[0.0, 0.0]);
+        assert_eq!(emb.vector(3), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(read_word2vec_text("".as_bytes()).is_err());
+        assert!(read_word2vec_text("abc def\n".as_bytes()).is_err());
+        assert!(read_word2vec_text("2 0\n".as_bytes()).is_err());
+        assert!(read_word2vec_text("2 2\n5 1.0 2.0\n".as_bytes()).is_err());
+        assert!(read_word2vec_text("2 2\n0 1.0\n".as_bytes()).is_err());
+        assert!(read_word2vec_text("2 2\n0 1.0 x\n".as_bytes()).is_err());
+    }
+}

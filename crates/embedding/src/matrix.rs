@@ -1,0 +1,187 @@
+//! Shared embedding matrices for Hogwild-style parallel SGD.
+//!
+//! The original word2vec (and UniNet's trainer) lets all threads update the
+//! same parameter matrix without locks; conflicting updates are rare and
+//! benign. Rust forbids plain data races, so the matrix stores `f32` bits in
+//! relaxed `AtomicU32` cells: updates remain lock-free and wait-free while the
+//! program stays free of undefined behaviour.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A `rows x dim` matrix of `f32` parameters with lock-free concurrent access.
+pub struct EmbeddingMatrix {
+    rows: usize,
+    dim: usize,
+    data: Vec<AtomicU32>,
+}
+
+impl EmbeddingMatrix {
+    /// Creates a zero-initialized matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let data = (0..rows * dim).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+        EmbeddingMatrix { rows, dim, data }
+    }
+
+    /// Creates a matrix initialized uniformly in `(-0.5/dim, 0.5/dim)`, the
+    /// word2vec input-matrix initialization.
+    pub fn uniform(rows: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scale = 0.5 / dim as f32;
+        let data = (0..rows * dim)
+            .map(|_| AtomicU32::new(rng.gen_range(-scale..scale).to_bits()))
+            .collect();
+        EmbeddingMatrix { rows, dim, data }
+    }
+
+    /// Number of rows (nodes).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dimensionality of each row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reads one cell.
+    #[inline]
+    pub fn get(&self, row: usize, j: usize) -> f32 {
+        debug_assert!(row < self.rows && j < self.dim);
+        f32::from_bits(self.data[row * self.dim + j].load(Ordering::Relaxed))
+    }
+
+    /// Writes one cell.
+    #[inline]
+    pub fn set(&self, row: usize, j: usize, value: f32) {
+        debug_assert!(row < self.rows && j < self.dim);
+        self.data[row * self.dim + j].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to one cell (read-modify-write, last writer wins —
+    /// the Hogwild contract).
+    #[inline]
+    pub fn add(&self, row: usize, j: usize, delta: f32) {
+        let idx = row * self.dim + j;
+        let cell = &self.data[idx];
+        let current = f32::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((current + delta).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copies row `row` into `buf` (length `dim`).
+    #[inline]
+    pub fn read_row(&self, row: usize, buf: &mut [f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = row * self.dim;
+        for (j, b) in buf.iter_mut().enumerate() {
+            *b = f32::from_bits(self.data[base + j].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Adds the vector `delta` (length `dim`) onto row `row`.
+    #[inline]
+    pub fn add_row(&self, row: usize, delta: &[f32]) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let base = row * self.dim;
+        for (j, &d) in delta.iter().enumerate() {
+            let cell = &self.data[base + j];
+            let current = f32::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((current + d).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Dot product between row `row` and `other` (length `dim`).
+    #[inline]
+    pub fn dot_row(&self, row: usize, other: &[f32]) -> f32 {
+        debug_assert_eq!(other.len(), self.dim);
+        let base = row * self.dim;
+        let mut acc = 0.0f32;
+        for (j, &o) in other.iter().enumerate() {
+            acc += f32::from_bits(self.data[base + j].load(Ordering::Relaxed)) * o;
+        }
+        acc
+    }
+
+    /// Extracts the whole matrix as a flat row-major `Vec<f32>`.
+    pub fn to_flat(&self) -> Vec<f32> {
+        self.data.iter().map(|c| f32::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let m = EmbeddingMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+        m.set(1, 2, 1.5);
+        assert_eq!(m.get(1, 2), 1.5);
+        m.add(1, 2, 0.5);
+        assert_eq!(m.get(1, 2), 2.0);
+    }
+
+    #[test]
+    fn uniform_init_is_bounded_and_nonzero() {
+        let m = EmbeddingMatrix::uniform(10, 16, 7);
+        let flat = m.to_flat();
+        let bound = 0.5 / 16.0;
+        assert!(flat.iter().all(|&x| x.abs() <= bound));
+        assert!(flat.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn row_operations() {
+        let m = EmbeddingMatrix::zeros(2, 3);
+        m.add_row(1, &[1.0, 2.0, 3.0]);
+        let mut buf = vec![0.0; 3];
+        m.read_row(1, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.dot_row(1, &[1.0, 1.0, 1.0]), 6.0);
+        // row 0 untouched
+        m.read_row(0, &mut buf);
+        assert_eq!(buf, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_accumulate_roughly() {
+        let m = EmbeddingMatrix::zeros(1, 8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add_row(0, &[1.0; 8]);
+                    }
+                });
+            }
+        });
+        // Hogwild loses some updates under contention but most must land.
+        let mut buf = vec![0.0; 8];
+        m.read_row(0, &mut buf);
+        for &x in &buf {
+            assert!(x > 1000.0, "too many lost updates: {x}");
+            assert!(x <= 4000.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_uniform_seed() {
+        let a = EmbeddingMatrix::uniform(4, 4, 3).to_flat();
+        let b = EmbeddingMatrix::uniform(4, 4, 3).to_flat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        let _ = EmbeddingMatrix::zeros(2, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Unigram table for negative sampling.
+//!
+//! Negative examples are drawn from the unigram distribution raised to the
+//! 3/4 power, exactly as in the original word2vec and in the DeepWalk /
+//! node2vec reference trainers.
+
+use rand::Rng;
+
+use crate::vocab::Vocabulary;
+
+/// Default number of slots in the table (the original uses 1e8; scaled down
+/// here because our vocabularies are node sets, not natural-language corpora).
+pub const DEFAULT_TABLE_SIZE: usize = 1 << 20;
+
+/// A sampling table over node ids following `count(v)^0.75`.
+#[derive(Debug, Clone)]
+pub struct UnigramTable {
+    table: Vec<u32>,
+}
+
+impl UnigramTable {
+    /// Builds the table from a vocabulary with the default size and 0.75 power.
+    pub fn new(vocab: &Vocabulary) -> Self {
+        Self::with_params(vocab, DEFAULT_TABLE_SIZE, 0.75)
+    }
+
+    /// Builds the table with explicit size and distortion power.
+    pub fn with_params(vocab: &Vocabulary, table_size: usize, power: f64) -> Self {
+        assert!(table_size > 0, "table size must be positive");
+        let n = vocab.len();
+        assert!(n > 0, "vocabulary must not be empty");
+        let mut weights: Vec<f64> = (0..n as u32).map(|v| (vocab.count(v) as f64).powf(power)).collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Degenerate corpus: fall back to the uniform distribution.
+            weights = vec![1.0; n];
+        }
+        let total: f64 = weights.iter().sum();
+        let mut table = Vec::with_capacity(table_size);
+        // Only outcomes with positive weight may receive slots: start at the
+        // first positive weight and never advance past the last one.
+        let first_positive = weights.iter().position(|&w| w > 0.0).unwrap_or(0);
+        let last_positive = weights.iter().rposition(|&w| w > 0.0).unwrap_or(n - 1);
+        let mut v = first_positive;
+        let mut threshold = weights[v] / total;
+        for i in 0..table_size {
+            table.push(v as u32);
+            let cumulative = (i + 1) as f64 / table_size as f64;
+            while cumulative > threshold && v < last_positive {
+                v += 1;
+                threshold += weights[v] / total;
+            }
+        }
+        UnigramTable { table }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the table has no slots (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws one negative sample.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        self.table[rng.gen_range(0..self.table.len())]
+    }
+
+    /// Draws a negative sample different from `positive` (retries a few times,
+    /// then returns whatever came up — matching word2vec.c's behaviour).
+    #[inline]
+    pub fn sample_excluding<R: Rng>(&self, positive: u32, rng: &mut R) -> u32 {
+        for _ in 0..8 {
+            let s = self.sample(rng);
+            if s != positive {
+                return s;
+            }
+        }
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequent_nodes_are_sampled_more() {
+        let vocab = Vocabulary::from_counts(vec![100, 10, 1, 0]);
+        let table = UnigramTable::with_params(&vocab, 100_000, 0.75);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert_eq!(counts[3], 0);
+        // power < 1 compresses the ratio: count0/count1 should be < 10.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!(ratio < 10.0 && ratio > 2.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn all_zero_counts_fall_back_to_uniform() {
+        let vocab = Vocabulary::from_counts(vec![0, 0, 0]);
+        let table = UnigramTable::with_params(&vocab, 30_000, 0.75);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn sample_excluding_avoids_positive() {
+        let vocab = Vocabulary::from_counts(vec![5, 5]);
+        let table = UnigramTable::with_params(&vocab, 1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_ne!(table.sample_excluding(0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn default_table_size() {
+        let vocab = Vocabulary::from_counts(vec![1, 2, 3]);
+        let table = UnigramTable::new(&vocab);
+        assert_eq!(table.len(), DEFAULT_TABLE_SIZE);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_vocab_panics() {
+        let vocab = Vocabulary::from_counts(vec![]);
+        let _ = UnigramTable::new(&vocab);
+    }
+}

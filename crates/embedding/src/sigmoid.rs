@@ -1,0 +1,91 @@
+//! Precomputed sigmoid table, following the original word2vec implementation:
+//! the logistic function is looked up from a table over `[-MAX_EXP, MAX_EXP]`
+//! and clamped to 0 / 1 outside that range.
+
+/// Default table resolution.
+pub const DEFAULT_TABLE_SIZE: usize = 1000;
+/// Default clamp range.
+pub const DEFAULT_MAX_EXP: f32 = 6.0;
+
+/// A lookup table for `σ(x) = 1 / (1 + e^(-x))`.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    table: Vec<f32>,
+    max_exp: f32,
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new(DEFAULT_TABLE_SIZE, DEFAULT_MAX_EXP)
+    }
+}
+
+impl SigmoidTable {
+    /// Builds a table with `size` entries covering `[-max_exp, max_exp]`.
+    pub fn new(size: usize, max_exp: f32) -> Self {
+        assert!(size >= 2 && max_exp > 0.0);
+        let table = (0..size)
+            .map(|i| {
+                let x = (i as f32 / size as f32 * 2.0 - 1.0) * max_exp;
+                let e = x.exp();
+                e / (e + 1.0)
+            })
+            .collect();
+        SigmoidTable { table, max_exp }
+    }
+
+    /// Looks up `σ(x)`, clamping to 0/1 outside the table range.
+    #[inline]
+    pub fn sigmoid(&self, x: f32) -> f32 {
+        if x >= self.max_exp {
+            1.0
+        } else if x <= -self.max_exp {
+            0.0
+        } else {
+            let idx = ((x + self.max_exp) / (2.0 * self.max_exp) * self.table.len() as f32) as usize;
+            self.table[idx.min(self.table.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_sigmoid() {
+        let t = SigmoidTable::default();
+        for &x in &[-5.5f32, -2.0, -0.5, 0.0, 0.5, 2.0, 5.5] {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((t.sigmoid(x) - exact).abs() < 0.01, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = SigmoidTable::default();
+        assert_eq!(t.sigmoid(100.0), 1.0);
+        assert_eq!(t.sigmoid(-100.0), 0.0);
+        assert_eq!(t.sigmoid(6.0), 1.0);
+        assert_eq!(t.sigmoid(-6.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_non_decreasing() {
+        let t = SigmoidTable::new(500, 4.0);
+        let mut prev = -1.0f32;
+        let mut x = -5.0f32;
+        while x < 5.0 {
+            let s = t.sigmoid(x);
+            assert!(s >= prev - 1e-6);
+            prev = s;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_size_panics() {
+        let _ = SigmoidTable::new(1, 6.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Skip-gram with negative sampling (SGNS): the objective used by DeepWalk,
+//! node2vec, metapath2vec, edge2vec and fairwalk.
+
+use rand::Rng;
+
+use crate::matrix::EmbeddingMatrix;
+use crate::negative::UnigramTable;
+use crate::sigmoid::SigmoidTable;
+
+/// One SGNS update for a (center, context) pair.
+///
+/// `input` is the embedding matrix (syn0), `output` the context matrix (syn1neg).
+/// Returns the (approximate) negative log-likelihood contribution, useful for
+/// monitoring convergence in tests.
+#[allow(clippy::too_many_arguments)]
+pub fn train_pair<R: Rng>(
+    input: &EmbeddingMatrix,
+    output: &EmbeddingMatrix,
+    center: u32,
+    context: u32,
+    negative: usize,
+    alpha: f32,
+    sigmoid: &SigmoidTable,
+    table: &UnigramTable,
+    rng: &mut R,
+) -> f32 {
+    let dim = input.dim();
+    let mut center_vec = vec![0.0f32; dim];
+    input.read_row(center as usize, &mut center_vec);
+    let mut grad_center = vec![0.0f32; dim];
+    let mut loss = 0.0f32;
+
+    // Positive example plus `negative` negative examples.
+    for i in 0..=negative {
+        let (target, label) = if i == 0 {
+            (context, 1.0f32)
+        } else {
+            (table.sample_excluding(context, rng), 0.0f32)
+        };
+        let score = output.dot_row(target as usize, &center_vec);
+        let pred = sigmoid.sigmoid(score);
+        let g = (label - pred) * alpha;
+        loss += if label > 0.5 { -ln_safe(pred) } else { -ln_safe(1.0 - pred) };
+
+        // Accumulate gradient wrt the center vector, update the output row.
+        let mut out_row = vec![0.0f32; dim];
+        output.read_row(target as usize, &mut out_row);
+        for j in 0..dim {
+            grad_center[j] += g * out_row[j];
+            out_row[j] = g * center_vec[j];
+        }
+        output.add_row(target as usize, &out_row);
+    }
+    input.add_row(center as usize, &grad_center);
+    loss
+}
+
+/// Trains skip-gram over one walk (sentence): every node is a center whose
+/// context is a random-sized window around it, as in word2vec.c.
+#[allow(clippy::too_many_arguments)]
+pub fn train_walk<R: Rng>(
+    input: &EmbeddingMatrix,
+    output: &EmbeddingMatrix,
+    walk: &[u32],
+    window: usize,
+    negative: usize,
+    alpha: f32,
+    sigmoid: &SigmoidTable,
+    table: &UnigramTable,
+    rng: &mut R,
+) -> f32 {
+    let mut loss = 0.0f32;
+    for (pos, &center) in walk.iter().enumerate() {
+        // Dynamic window shrinkage: uniform in [1, window].
+        let b = rng.gen_range(0..window.max(1));
+        let lo = pos.saturating_sub(window - b);
+        let hi = (pos + window - b + 1).min(walk.len());
+        for ctx_pos in lo..hi {
+            if ctx_pos == pos {
+                continue;
+            }
+            loss += train_pair(
+                input,
+                output,
+                center,
+                walk[ctx_pos],
+                negative,
+                alpha,
+                sigmoid,
+                table,
+                rng,
+            );
+        }
+    }
+    loss
+}
+
+#[inline]
+fn ln_safe(x: f32) -> f32 {
+    x.max(1e-7).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup(num_nodes: usize, dim: usize) -> (EmbeddingMatrix, EmbeddingMatrix, SigmoidTable, UnigramTable) {
+        let input = EmbeddingMatrix::uniform(num_nodes, dim, 1);
+        let output = EmbeddingMatrix::zeros(num_nodes, dim);
+        let sigmoid = SigmoidTable::default();
+        let vocab = Vocabulary::from_counts(vec![10; num_nodes]);
+        let table = UnigramTable::with_params(&vocab, 10_000, 0.75);
+        (input, output, sigmoid, table)
+    }
+
+    #[test]
+    fn train_pair_moves_embeddings_closer() {
+        let (input, output, sigmoid, table) = setup(10, 8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let score_before = {
+            let mut c = vec![0.0; 8];
+            input.read_row(0, &mut c);
+            output.dot_row(1, &c)
+        };
+        for _ in 0..200 {
+            train_pair(&input, &output, 0, 1, 3, 0.05, &sigmoid, &table, &mut rng);
+        }
+        let score_after = {
+            let mut c = vec![0.0; 8];
+            input.read_row(0, &mut c);
+            output.dot_row(1, &c)
+        };
+        assert!(score_after > score_before, "{score_after} <= {score_before}");
+        assert!(score_after > 1.0, "positive pair score should grow, got {score_after}");
+    }
+
+    #[test]
+    fn loss_decreases_over_repeated_training() {
+        let (input, output, sigmoid, table) = setup(20, 16);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let walk: Vec<u32> = vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..30 {
+            let loss =
+                train_walk(&input, &output, &walk, 3, 5, 0.05, &sigmoid, &table, &mut rng);
+            if epoch == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn train_walk_handles_short_walks() {
+        let (input, output, sigmoid, table) = setup(5, 4);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Length-1 walk has no context pairs: loss 0, no panic.
+        let loss = train_walk(&input, &output, &[2], 5, 2, 0.05, &sigmoid, &table, &mut rng);
+        assert_eq!(loss, 0.0);
+        let loss2 = train_walk(&input, &output, &[2, 3], 5, 2, 0.05, &sigmoid, &table, &mut rng);
+        assert!(loss2 > 0.0);
+    }
+}

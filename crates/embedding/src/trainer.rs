@@ -1,0 +1,304 @@
+//! The multi-threaded word2vec training driver.
+//!
+//! Walks are sharded across threads; every thread runs skip-gram or CBOW
+//! updates against the shared [`EmbeddingMatrix`] (Hogwild). The learning rate
+//! decays linearly with training progress, as in word2vec.c.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::EmbeddingMatrix;
+use crate::negative::UnigramTable;
+use crate::sigmoid::SigmoidTable;
+use crate::vocab::Vocabulary;
+use crate::{cbow, skipgram, Embeddings};
+
+/// Which word2vec objective to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingMode {
+    /// Skip-gram with negative sampling (the default for all five NRL models).
+    SkipGram,
+    /// Continuous bag-of-words with negative sampling.
+    Cbow,
+}
+
+/// Word2vec hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality (paper experiments use 128).
+    pub dim: usize,
+    /// Context window size (default 10, as in DeepWalk/node2vec).
+    pub window: usize,
+    /// Number of negative samples per positive pair.
+    pub negative: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub initial_alpha: f32,
+    /// Sub-sampling threshold for frequent nodes (0 disables sub-sampling).
+    pub subsample: f64,
+    /// Number of training threads.
+    pub num_threads: usize,
+    /// Training objective.
+    pub mode: TrainingMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dim: 128,
+            window: 10,
+            negative: 5,
+            epochs: 1,
+            initial_alpha: 0.025,
+            subsample: 0.0,
+            num_threads: 16,
+            mode: TrainingMode::SkipGram,
+            seed: 42,
+        }
+    }
+}
+
+/// Summary statistics of a training run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainStats {
+    /// Total (center, context) pairs processed.
+    pub pairs_processed: u64,
+    /// Mean negative log-likelihood per pair in the final epoch.
+    pub final_loss: f64,
+}
+
+/// The training driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Word2VecTrainer {
+    config: Word2VecConfig,
+}
+
+impl Word2VecTrainer {
+    /// Creates a trainer.
+    pub fn new(config: Word2VecConfig) -> Self {
+        assert!(config.dim > 0 && config.window > 0 && config.epochs > 0);
+        Word2VecTrainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Word2VecConfig {
+        &self.config
+    }
+
+    /// Trains embeddings for `num_nodes` nodes from the walk corpus.
+    ///
+    /// `walks` is any slice of node sequences (the output of the walk engine).
+    pub fn train(&self, walks: &[Vec<u32>], num_nodes: usize) -> (Embeddings, TrainStats) {
+        let cfg = &self.config;
+        let vocab = Vocabulary::from_walks(num_nodes, walks.iter().map(|w| w.as_slice()));
+        let table = UnigramTable::with_params(&vocab, (num_nodes * 64).clamp(1 << 12, 1 << 22), 0.75);
+        let sigmoid = SigmoidTable::default();
+        let input = EmbeddingMatrix::uniform(num_nodes, cfg.dim, cfg.seed);
+        let output = EmbeddingMatrix::zeros(num_nodes, cfg.dim);
+
+        let total_tokens = (vocab.total_tokens().max(1)) * cfg.epochs as u64;
+        let progress = AtomicU64::new(0);
+        let pairs = AtomicU64::new(0);
+        let loss_bits = AtomicU64::new(0f64.to_bits());
+
+        let num_threads = cfg.num_threads.max(1).min(walks.len().max(1));
+        let chunk = walks.len().div_ceil(num_threads.max(1)).max(1);
+
+        crossbeam::thread::scope(|scope| {
+            for (tid, shard) in walks.chunks(chunk).enumerate() {
+                let vocab = &vocab;
+                let table = &table;
+                let sigmoid = &sigmoid;
+                let input = &input;
+                let output = &output;
+                let progress = &progress;
+                let pairs = &pairs;
+                let loss_bits = &loss_bits;
+                scope.spawn(move |_| {
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    let mut sentence: Vec<u32> = Vec::new();
+                    let mut local_loss = 0.0f64;
+                    let mut local_pairs = 0u64;
+                    for epoch in 0..cfg.epochs {
+                        for walk in shard {
+                            // Sub-sample frequent nodes.
+                            sentence.clear();
+                            for &v in walk {
+                                if cfg.subsample > 0.0 {
+                                    let keep = vocab.keep_probability(v, cfg.subsample);
+                                    if rng.gen::<f64>() > keep {
+                                        continue;
+                                    }
+                                }
+                                sentence.push(v);
+                            }
+                            if sentence.len() < 2 {
+                                progress.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                                continue;
+                            }
+                            // Linearly decaying learning rate based on global progress.
+                            let done = progress.load(Ordering::Relaxed) as f64;
+                            let frac = (done / total_tokens as f64).min(1.0);
+                            let alpha =
+                                (cfg.initial_alpha as f64 * (1.0 - frac)).max(cfg.initial_alpha as f64 * 1e-4)
+                                    as f32;
+                            let loss = match cfg.mode {
+                                TrainingMode::SkipGram => skipgram::train_walk(
+                                    input, output, &sentence, cfg.window, cfg.negative, alpha,
+                                    sigmoid, table, &mut rng,
+                                ),
+                                TrainingMode::Cbow => cbow::train_walk(
+                                    input, output, &sentence, cfg.window, cfg.negative, alpha,
+                                    sigmoid, table, &mut rng,
+                                ),
+                            };
+                            if epoch + 1 == cfg.epochs {
+                                local_loss += loss as f64;
+                                local_pairs += sentence.len() as u64;
+                            }
+                            progress.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                        }
+                    }
+                    pairs.fetch_add(local_pairs, Ordering::Relaxed);
+                    // Accumulate the loss with a CAS loop over f64 bits.
+                    let mut current = loss_bits.load(Ordering::Relaxed);
+                    loop {
+                        let new = (f64::from_bits(current) + local_loss).to_bits();
+                        match loss_bits.compare_exchange(
+                            current,
+                            new,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(actual) => current = actual,
+                        }
+                    }
+                });
+            }
+        })
+        .expect("training thread panicked");
+
+        let total_pairs = pairs.load(Ordering::Relaxed);
+        let stats = TrainStats {
+            pairs_processed: total_pairs,
+            final_loss: if total_pairs == 0 {
+                0.0
+            } else {
+                f64::from_bits(loss_bits.load(Ordering::Relaxed)) / total_pairs as f64
+            },
+        };
+        (Embeddings::from_flat(cfg.dim, input.to_flat()), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walks over two disjoint cliques: {0..4} and {5..9}.
+    fn two_cluster_walks() -> Vec<Vec<u32>> {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut walks = Vec::new();
+        for _ in 0..120 {
+            for cluster in 0..2u32 {
+                let base = cluster * 5;
+                let walk: Vec<u32> = (0..20).map(|_| base + rng.gen_range(0..5)).collect();
+                walks.push(walk);
+            }
+        }
+        walks
+    }
+
+    fn intra_vs_inter(emb: &Embeddings) -> (f32, f32) {
+        let mut intra = 0.0;
+        let mut intra_n = 0;
+        let mut inter = 0.0;
+        let mut inter_n = 0;
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let s = emb.cosine_similarity(a, b);
+                if (a < 5) == (b < 5) {
+                    intra += s;
+                    intra_n += 1;
+                } else {
+                    inter += s;
+                    inter_n += 1;
+                }
+            }
+        }
+        (intra / intra_n as f32, inter / inter_n as f32)
+    }
+
+    #[test]
+    fn skipgram_separates_clusters() {
+        let cfg = Word2VecConfig {
+            dim: 16,
+            window: 4,
+            negative: 4,
+            epochs: 3,
+            num_threads: 2,
+            ..Default::default()
+        };
+        let (emb, stats) = Word2VecTrainer::new(cfg).train(&two_cluster_walks(), 10);
+        assert_eq!(emb.num_nodes(), 10);
+        assert_eq!(emb.dim(), 16);
+        assert!(stats.pairs_processed > 0);
+        let (intra, inter) = intra_vs_inter(&emb);
+        assert!(intra > inter + 0.2, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn cbow_separates_clusters() {
+        let cfg = Word2VecConfig {
+            dim: 16,
+            window: 4,
+            negative: 4,
+            epochs: 3,
+            num_threads: 2,
+            mode: TrainingMode::Cbow,
+            ..Default::default()
+        };
+        let (emb, _) = Word2VecTrainer::new(cfg).train(&two_cluster_walks(), 10);
+        let (intra, inter) = intra_vs_inter(&emb);
+        assert!(intra > inter + 0.15, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn subsampling_and_single_thread_work() {
+        let cfg = Word2VecConfig {
+            dim: 8,
+            window: 2,
+            negative: 2,
+            epochs: 1,
+            num_threads: 1,
+            subsample: 1e-2,
+            ..Default::default()
+        };
+        let (emb, stats) = Word2VecTrainer::new(cfg).train(&two_cluster_walks(), 10);
+        assert_eq!(emb.num_nodes(), 10);
+        assert!(stats.final_loss >= 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_yields_initial_embeddings() {
+        let cfg = Word2VecConfig { dim: 4, num_threads: 2, ..Default::default() };
+        let (emb, stats) = Word2VecTrainer::new(cfg).train(&[], 5);
+        assert_eq!(emb.num_nodes(), 5);
+        assert_eq!(stats.pairs_processed, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let cfg = Word2VecConfig { dim: 0, ..Default::default() };
+        let _ = Word2VecTrainer::new(cfg);
+    }
+}

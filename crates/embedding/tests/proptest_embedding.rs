@@ -1,0 +1,92 @@
+//! Property-based tests of the embedding layer: matrix algebra invariants,
+//! vocabulary bookkeeping, and sigmoid-table accuracy over arbitrary inputs.
+
+use proptest::prelude::*;
+
+use uninet_embedding::{EmbeddingMatrix, Embeddings, SigmoidTable, UnigramTable, Vocabulary};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vocabulary_totals_match_corpus(walks in prop::collection::vec(
+        prop::collection::vec(0u32..30, 1..40), 1..30)) {
+        let refs: Vec<&[u32]> = walks.iter().map(|w| w.as_slice()).collect();
+        let vocab = Vocabulary::from_walks(30, refs.iter().copied());
+        let expected_total: u64 = walks.iter().map(|w| w.len() as u64).sum();
+        prop_assert_eq!(vocab.total_tokens(), expected_total);
+        let count_sum: u64 = (0..30u32).map(|v| vocab.count(v)).sum();
+        prop_assert_eq!(count_sum, expected_total);
+        for v in 0..30u32 {
+            let f = vocab.frequency(v);
+            prop_assert!((0.0..=1.0).contains(&f));
+            let keep = vocab.keep_probability(v, 1e-3);
+            prop_assert!(keep > 0.0 && keep <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unigram_table_only_emits_positive_count_nodes(counts in prop::collection::vec(0u64..50, 2..20), seed in 0u64..100) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let vocab = Vocabulary::from_counts(counts.clone());
+        let table = UnigramTable::with_params(&vocab, 10_000, 0.75);
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..2000 {
+            let s = table.sample(&mut rng) as usize;
+            prop_assert!(s < counts.len());
+            prop_assert!(counts[s] > 0, "sampled node {s} with zero count");
+        }
+    }
+
+    #[test]
+    fn sigmoid_table_is_accurate_and_bounded(x in -20.0f32..20.0) {
+        let table = SigmoidTable::default();
+        let s = table.sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let exact = 1.0 / (1.0 + (-x).exp());
+        prop_assert!((s - exact).abs() < 0.02, "x={x}: {s} vs {exact}");
+    }
+
+    #[test]
+    fn matrix_row_ops_are_consistent(
+        rows in 1usize..10,
+        dim in 1usize..32,
+        row_values in prop::collection::vec(-2.0f32..2.0, 1..32),
+        seed in 0u64..100,
+    ) {
+        let dim = dim.min(row_values.len());
+        let values = &row_values[..dim];
+        let m = EmbeddingMatrix::uniform(rows, dim, seed);
+        let target = rows - 1;
+        let mut before = vec![0.0f32; dim];
+        m.read_row(target, &mut before);
+        m.add_row(target, values);
+        let mut after = vec![0.0f32; dim];
+        m.read_row(target, &mut after);
+        for j in 0..dim {
+            prop_assert!((after[j] - before[j] - values[j]).abs() < 1e-5);
+        }
+        // dot_row equals the manual dot product.
+        let manual: f32 = after.iter().zip(values).map(|(a, b)| a * b).sum();
+        prop_assert!((m.dot_row(target, values) - manual).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_similarity_is_symmetric_and_bounded(
+        vectors in prop::collection::vec(-3.0f32..3.0, 8..64),
+    ) {
+        let dim = 4;
+        let n = vectors.len() / dim;
+        prop_assume!(n >= 2);
+        let emb = Embeddings::from_flat(dim, vectors[..n * dim].to_vec());
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let s_ab = emb.cosine_similarity(a, b);
+                let s_ba = emb.cosine_similarity(b, a);
+                prop_assert!((s_ab - s_ba).abs() < 1e-5);
+                prop_assert!(s_ab >= -1.0 - 1e-5 && s_ab <= 1.0 + 1e-5);
+            }
+        }
+    }
+}

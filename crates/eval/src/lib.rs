@@ -1,0 +1,25 @@
+//! # uninet-eval
+//!
+//! Downstream evaluation of node embeddings, reproducing the accuracy
+//! experiments of the UniNet paper (Figure 5):
+//!
+//! * [`logistic::LogisticRegression`] — binary logistic regression trained
+//!   with mini-batch gradient descent,
+//! * [`multilabel::OneVsRestClassifier`] — the standard one-vs-rest
+//!   multi-label node classification protocol used by DeepWalk/node2vec
+//!   evaluations,
+//! * [`metrics`] — micro/macro F1 scores,
+//! * [`split`] — train-fraction splits over labeled nodes,
+//! * [`linkpred`] — link prediction via embedding similarity (extension).
+
+pub mod linkpred;
+pub mod logistic;
+pub mod metrics;
+pub mod multilabel;
+pub mod split;
+
+pub use linkpred::{link_prediction_auc, LinkPredictionConfig};
+pub use logistic::LogisticRegression;
+pub use metrics::{confusion_counts, f1_scores, F1Score};
+pub use multilabel::{ClassificationReport, OneVsRestClassifier};
+pub use split::train_test_split;

@@ -1,0 +1,135 @@
+//! Link prediction via embedding similarity (AUC), an extension evaluation
+//! beyond the paper's node classification study: positive test pairs are
+//! existing edges, negatives are random non-edges, and the score of a pair is
+//! the cosine similarity (or dot product) of the endpoint embeddings.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the link-prediction evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkPredictionConfig {
+    /// Number of positive (and negative) pairs to sample.
+    pub num_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinkPredictionConfig {
+    fn default() -> Self {
+        LinkPredictionConfig { num_pairs: 1000, seed: 42 }
+    }
+}
+
+/// Computes the AUC of distinguishing existing edges from random non-edges by
+/// embedding dot-product score.
+///
+/// * `num_nodes` — number of nodes,
+/// * `has_edge(u, v)` — adjacency oracle,
+/// * `edges` — a list of (u, v) positive pairs to sample from,
+/// * `score(u, v)` — similarity score (higher = more likely an edge).
+pub fn link_prediction_auc<F, S>(
+    num_nodes: usize,
+    edges: &[(u32, u32)],
+    has_edge: F,
+    score: S,
+    cfg: &LinkPredictionConfig,
+) -> f64
+where
+    F: Fn(u32, u32) -> bool,
+    S: Fn(u32, u32) -> f64,
+{
+    assert!(num_nodes >= 2, "need at least two nodes");
+    assert!(!edges.is_empty(), "need at least one positive edge");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.num_pairs.max(1);
+
+    let mut positive_scores = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (u, v) = edges[rng.gen_range(0..edges.len())];
+        positive_scores.push(score(u, v));
+    }
+    let mut negative_scores = Vec::with_capacity(n);
+    let mut guard = 0;
+    while negative_scores.len() < n && guard < 100 * n {
+        guard += 1;
+        let u = rng.gen_range(0..num_nodes as u32);
+        let v = rng.gen_range(0..num_nodes as u32);
+        if u != v && !has_edge(u, v) {
+            negative_scores.push(score(u, v));
+        }
+    }
+    if negative_scores.is_empty() {
+        return 0.5;
+    }
+
+    // AUC = P(score(pos) > score(neg)) with ties counting 1/2.
+    let mut wins = 0.0f64;
+    for &p in &positive_scores {
+        for &q in &negative_scores {
+            if p > q {
+                wins += 1.0;
+            } else if (p - q).abs() < 1e-12 {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positive_scores.len() as f64 * negative_scores.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques {0..4} and {5..9}; embeddings = one-hot cluster indicator.
+    fn clique_setup() -> (Vec<(u32, u32)>, impl Fn(u32, u32) -> bool, impl Fn(u32, u32) -> f64) {
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        let has_edge = |u: u32, v: u32| (u < 5) == (v < 5) && u != v;
+        let score = |u: u32, v: u32| if (u < 5) == (v < 5) { 1.0 } else { 0.0 };
+        (edges, has_edge, score)
+    }
+
+    #[test]
+    fn perfect_scores_give_auc_one() {
+        let (edges, has_edge, score) = clique_setup();
+        let auc = link_prediction_auc(10, &edges, has_edge, score, &LinkPredictionConfig::default());
+        assert!(auc > 0.99, "auc = {auc}");
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        let (edges, has_edge, _) = clique_setup();
+        // Score is a deterministic pseudo-random hash of (u, v): uninformative.
+        let score = |u: u32, v: u32| ((u.wrapping_mul(2654435761).wrapping_add(v * 40503)) % 1000) as f64;
+        let cfg = LinkPredictionConfig { num_pairs: 2000, seed: 9 };
+        let auc = link_prediction_auc(10, &edges, has_edge, score, &cfg);
+        assert!((auc - 0.5).abs() < 0.1, "auc = {auc}");
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let (edges, has_edge, _) = clique_setup();
+        let score = |u: u32, v: u32| if (u < 5) == (v < 5) { 0.0 } else { 1.0 };
+        let auc = link_prediction_auc(10, &edges, has_edge, score, &LinkPredictionConfig::default());
+        assert!(auc < 0.01, "auc = {auc}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_edges_panic() {
+        let _ = link_prediction_auc(
+            10,
+            &[],
+            |_, _| false,
+            |_, _| 0.0,
+            &LinkPredictionConfig::default(),
+        );
+    }
+}

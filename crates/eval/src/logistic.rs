@@ -1,0 +1,155 @@
+//! Binary logistic regression with L2 regularization, trained by full-batch
+//! gradient descent. Used as the per-label base learner of the one-vs-rest
+//! multi-label classifier.
+
+/// A binary logistic regression model over dense feature vectors.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+    learning_rate: f32,
+    l2: f32,
+    epochs: usize,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `dim`-dimensional inputs.
+    pub fn new(dim: usize, learning_rate: f32, l2: f32, epochs: usize) -> Self {
+        assert!(dim > 0 && epochs > 0 && learning_rate > 0.0);
+        LogisticRegression { weights: vec![0.0; dim], bias: 0.0, learning_rate, l2, epochs }
+    }
+
+    /// Creates a model with the defaults used in the Figure-5 reproduction.
+    pub fn with_defaults(dim: usize) -> Self {
+        Self::new(dim, 0.1, 1e-4, 200)
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The predicted probability of the positive class for `x`.
+    pub fn predict_proba(&self, x: &[f32]) -> f32 {
+        let z = self.decision(x);
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// The raw decision value `w·x + b`.
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        let mut z = self.bias;
+        for (w, xi) in self.weights.iter().zip(x) {
+            z += w * xi;
+        }
+        z
+    }
+
+    /// Hard prediction at a 0.5 threshold.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// Trains the model on `(features, labels)` pairs; `labels[i]` is `true`
+    /// for the positive class. Returns the final mean log-loss.
+    pub fn fit(&mut self, features: &[&[f32]], labels: &[bool]) -> f32 {
+        assert_eq!(features.len(), labels.len());
+        if features.is_empty() {
+            return 0.0;
+        }
+        let n = features.len() as f32;
+        let dim = self.weights.len();
+        let mut final_loss = 0.0;
+        for _ in 0..self.epochs {
+            let mut grad_w = vec![0.0f32; dim];
+            let mut grad_b = 0.0f32;
+            let mut loss = 0.0f32;
+            for (x, &y) in features.iter().zip(labels) {
+                let p = self.predict_proba(x);
+                let y_f = if y { 1.0 } else { 0.0 };
+                let err = p - y_f;
+                for (g, xi) in grad_w.iter_mut().zip(*x) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+                loss += -(y_f * p.max(1e-7).ln() + (1.0 - y_f) * (1.0 - p).max(1e-7).ln());
+            }
+            for (w, g) in self.weights.iter_mut().zip(&grad_w) {
+                *w -= self.learning_rate * (g / n + self.l2 * *w);
+            }
+            self.bias -= self.learning_rate * grad_b / n;
+            final_loss = loss / n;
+        }
+        final_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data: positive iff x0 > x1.
+    fn toy_data() -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let a = (i % 10) as f32 / 10.0;
+            let b = (i / 10) as f32 / 4.0;
+            xs.push(vec![a, b]);
+            ys.push(a > b);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = toy_data();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut model = LogisticRegression::new(2, 0.5, 0.0, 500);
+        let loss = model.fit(&refs, &ys);
+        assert!(loss < 0.4, "loss = {loss}");
+        let correct = refs.iter().zip(&ys).filter(|(x, &y)| model.predict(x) == y).count();
+        assert!(correct as f64 / ys.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn proba_is_bounded_and_monotone_in_decision() {
+        let (xs, ys) = toy_data();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut model = LogisticRegression::with_defaults(2);
+        model.fit(&refs, &ys);
+        for x in &refs {
+            let p = model.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+            assert_eq!(model.predict(x), p >= 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_training_set_is_noop() {
+        let mut model = LogisticRegression::with_defaults(3);
+        let loss = model.fit(&[], &[]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(model.weights(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (xs, ys) = toy_data();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut free = LogisticRegression::new(2, 0.5, 0.0, 300);
+        let mut reg = LogisticRegression::new(2, 0.5, 0.5, 300);
+        free.fit(&refs, &ys);
+        reg.fit(&refs, &ys);
+        let norm = |w: &[f32]| w.iter().map(|x| x * x).sum::<f32>();
+        assert!(norm(reg.weights()) < norm(free.weights()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut model = LogisticRegression::with_defaults(2);
+        let x = vec![1.0f32, 2.0];
+        let _ = model.fit(&[x.as_slice()], &[true, false]);
+    }
+}

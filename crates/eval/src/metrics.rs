@@ -1,0 +1,128 @@
+//! Micro- and macro-averaged F1 scores for multi-label classification,
+//! the metrics reported in Figure 5 of the paper.
+
+/// Micro and macro F1 of a multi-label prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Score {
+    /// Micro-averaged F1 (global counts).
+    pub micro: f64,
+    /// Macro-averaged F1 (mean of per-label F1).
+    pub macro_: f64,
+}
+
+/// Per-label confusion counts: (true positives, false positives, false negatives).
+pub fn confusion_counts(
+    truth: &[Vec<u32>],
+    predicted: &[Vec<u32>],
+    num_labels: usize,
+) -> Vec<(u64, u64, u64)> {
+    assert_eq!(truth.len(), predicted.len(), "prediction count mismatch");
+    let mut counts = vec![(0u64, 0u64, 0u64); num_labels];
+    for (t, p) in truth.iter().zip(predicted) {
+        for &label in p {
+            if t.contains(&label) {
+                counts[label as usize].0 += 1;
+            } else {
+                counts[label as usize].1 += 1;
+            }
+        }
+        for &label in t {
+            if !p.contains(&label) {
+                counts[label as usize].2 += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Computes micro and macro F1 from ground-truth and predicted label sets.
+pub fn f1_scores(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usize) -> F1Score {
+    let counts = confusion_counts(truth, predicted, num_labels);
+    let (mut tp, mut fp, mut fne) = (0u64, 0u64, 0u64);
+    let mut macro_sum = 0.0;
+    let mut macro_n = 0usize;
+    for &(t, f, n) in &counts {
+        tp += t;
+        fp += f;
+        fne += n;
+        if t + f + n > 0 {
+            macro_sum += f1(t, f, n);
+            macro_n += 1;
+        }
+    }
+    F1Score {
+        micro: f1(tp, fp, fne),
+        macro_: if macro_n == 0 { 0.0 } else { macro_sum / macro_n as f64 },
+    }
+}
+
+fn f1(tp: u64, fp: u64, fne: u64) -> f64 {
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fne) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = vec![vec![0], vec![1], vec![0, 1]];
+        let s = f1_scores(&truth, &truth, 2);
+        assert!((s.micro - 1.0).abs() < 1e-12);
+        assert!((s.macro_ - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completely_wrong_prediction_scores_zero() {
+        let truth = vec![vec![0], vec![0]];
+        let pred = vec![vec![1], vec![1]];
+        let s = f1_scores(&truth, &pred, 2);
+        assert_eq!(s.micro, 0.0);
+        assert_eq!(s.macro_, 0.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // Label 0: tp=1 (sample0), fn=1 (sample1), fp=0 → F1 = 2/3
+        // Label 1: tp=1 (sample1), fp=1 (sample0), fn=0 → F1 = 2/3
+        let truth = vec![vec![0], vec![0, 1]];
+        let pred = vec![vec![0, 1], vec![1]];
+        let counts = confusion_counts(&truth, &pred, 2);
+        assert_eq!(counts[0], (1, 0, 1));
+        assert_eq!(counts[1], (1, 1, 0));
+        let s = f1_scores(&truth, &pred, 2);
+        assert!((s.macro_ - 2.0 / 3.0).abs() < 1e-9);
+        // micro: tp=2, fp=1, fn=1 → precision 2/3, recall 2/3.
+        assert!((s.micro - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_weights_frequent_labels_more() {
+        // Label 0 has many correct predictions, label 1 is always wrong.
+        let truth = vec![vec![0]; 9].into_iter().chain([vec![1]]).collect::<Vec<_>>();
+        let mut pred = vec![vec![0]; 9];
+        pred.push(vec![0]);
+        let s = f1_scores(&truth, &pred, 2);
+        assert!(s.micro > s.macro_);
+    }
+
+    #[test]
+    fn unused_labels_are_ignored_in_macro() {
+        let truth = vec![vec![0], vec![0]];
+        let pred = vec![vec![0], vec![0]];
+        // num_labels = 5, labels 1..4 never appear → macro over label 0 only.
+        let s = f1_scores(&truth, &pred, 5);
+        assert!((s.macro_ - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = f1_scores(&[vec![0]], &[], 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! One-vs-rest multi-label node classification — the protocol of the paper's
+//! Figure-5 accuracy evaluation (and of the original DeepWalk/node2vec papers).
+//!
+//! One logistic regression is trained per label on the training nodes'
+//! embeddings; at prediction time, each test node is assigned its top-k labels
+//! by predicted probability, where k is the number of ground-truth labels of
+//! that node (the standard evaluation trick that sidesteps threshold tuning).
+
+use crate::logistic::LogisticRegression;
+use crate::metrics::{f1_scores, F1Score};
+
+/// Result of one classification run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassificationReport {
+    /// Micro / macro F1 on the test nodes.
+    pub f1: F1Score,
+    /// Number of training nodes used.
+    pub num_train: usize,
+    /// Number of test nodes evaluated.
+    pub num_test: usize,
+}
+
+/// A one-vs-rest multi-label classifier over dense node features.
+#[derive(Debug, Clone)]
+pub struct OneVsRestClassifier {
+    models: Vec<LogisticRegression>,
+    num_labels: usize,
+}
+
+impl OneVsRestClassifier {
+    /// Trains one binary classifier per label.
+    ///
+    /// * `features[i]` — the feature (embedding) vector of training node `i`,
+    /// * `labels[i]` — its ground-truth label set,
+    /// * `num_labels` — total number of labels.
+    pub fn fit(features: &[&[f32]], labels: &[&[u32]], num_labels: usize) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(num_labels > 0);
+        let dim = features.first().map(|f| f.len()).unwrap_or(1);
+        let mut models = Vec::with_capacity(num_labels);
+        for label in 0..num_labels as u32 {
+            let mut model = LogisticRegression::with_defaults(dim);
+            let targets: Vec<bool> = labels.iter().map(|ls| ls.contains(&label)).collect();
+            model.fit(features, &targets);
+            models.push(model);
+        }
+        OneVsRestClassifier { models, num_labels }
+    }
+
+    /// Number of labels the classifier was trained for.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Predicted probability of `label` for a feature vector.
+    pub fn predict_proba(&self, features: &[f32], label: u32) -> f32 {
+        self.models[label as usize].predict_proba(features)
+    }
+
+    /// Predicts the top-`k` labels for one node.
+    pub fn predict_top_k(&self, features: &[f32], k: usize) -> Vec<u32> {
+        let mut scored: Vec<(u32, f32)> = (0..self.num_labels as u32)
+            .map(|l| (l, self.models[l as usize].predict_proba(features)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k.max(1));
+        scored.into_iter().map(|(l, _)| l).collect()
+    }
+
+    /// Evaluates the classifier on test nodes using the "predict as many
+    /// labels as the ground truth has" protocol and returns micro/macro F1.
+    pub fn evaluate(&self, features: &[&[f32]], labels: &[&[u32]]) -> F1Score {
+        assert_eq!(features.len(), labels.len());
+        let truth: Vec<Vec<u32>> = labels.iter().map(|l| l.to_vec()).collect();
+        let predicted: Vec<Vec<u32>> = features
+            .iter()
+            .zip(labels)
+            .map(|(f, l)| self.predict_top_k(f, l.len()))
+            .collect();
+        f1_scores(&truth, &predicted, self.num_labels)
+    }
+}
+
+/// End-to-end helper: split the labeled nodes, train on the train fraction and
+/// report F1 on the rest. `features[v]` and `labels[v]` are indexed by node id.
+pub fn classify_with_fraction(
+    features: &[Vec<f32>],
+    labels: &[Vec<u32>],
+    num_labels: usize,
+    train_fraction: f64,
+    seed: u64,
+) -> ClassificationReport {
+    assert_eq!(features.len(), labels.len());
+    let (train_idx, test_idx) = crate::split::train_test_split(features.len(), train_fraction, seed);
+    let train_x: Vec<&[f32]> = train_idx.iter().map(|&i| features[i as usize].as_slice()).collect();
+    let train_y: Vec<&[u32]> = train_idx.iter().map(|&i| labels[i as usize].as_slice()).collect();
+    let test_x: Vec<&[f32]> = test_idx.iter().map(|&i| features[i as usize].as_slice()).collect();
+    let test_y: Vec<&[u32]> = test_idx.iter().map(|&i| labels[i as usize].as_slice()).collect();
+    let clf = OneVsRestClassifier::fit(&train_x, &train_y, num_labels);
+    ClassificationReport {
+        f1: clf.evaluate(&test_x, &test_y),
+        num_train: train_idx.len(),
+        num_test: test_idx.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic separable data: label = quadrant of a 2-D point, plus a
+    /// second label shared by the upper half-plane.
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<u32>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            let quadrant = match (a >= 0.0, b >= 0.0) {
+                (true, true) => 0u32,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            let mut labels = vec![quadrant];
+            if b >= 0.0 {
+                labels.push(4);
+            }
+            xs.push(vec![a, b, a * b]);
+            ys.push(labels);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_multilabel_data() {
+        let (xs, ys) = synthetic(400, 1);
+        let report = classify_with_fraction(&xs, &ys, 5, 0.5, 3);
+        assert!(report.f1.micro > 0.8, "micro = {}", report.f1.micro);
+        assert!(report.f1.macro_ > 0.7, "macro = {}", report.f1.macro_);
+        assert_eq!(report.num_train + report.num_test, 400);
+    }
+
+    #[test]
+    fn more_training_data_does_not_hurt() {
+        let (xs, ys) = synthetic(500, 2);
+        let low = classify_with_fraction(&xs, &ys, 5, 0.1, 7);
+        let high = classify_with_fraction(&xs, &ys, 5, 0.9, 7);
+        assert!(high.f1.micro >= low.f1.micro - 0.05);
+    }
+
+    #[test]
+    fn top_k_prediction_size() {
+        let (xs, ys) = synthetic(200, 3);
+        let refs_x: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let refs_y: Vec<&[u32]> = ys.iter().map(|v| v.as_slice()).collect();
+        let clf = OneVsRestClassifier::fit(&refs_x, &refs_y, 5);
+        assert_eq!(clf.num_labels(), 5);
+        assert_eq!(clf.predict_top_k(&xs[0], 2).len(), 2);
+        assert_eq!(clf.predict_top_k(&xs[0], 0).len(), 1);
+        let p = clf.predict_proba(&xs[0], 0);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn random_features_give_poor_f1() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let xs: Vec<Vec<f32>> =
+            (0..300).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let ys: Vec<Vec<u32>> = (0..300).map(|_| vec![rng.gen_range(0..5u32)]).collect();
+        let report = classify_with_fraction(&xs, &ys, 5, 0.5, 5);
+        assert!(report.f1.micro < 0.45, "micro = {}", report.f1.micro);
+    }
+}

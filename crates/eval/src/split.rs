@@ -1,0 +1,72 @@
+//! Train/test splits over labeled nodes at a given train fraction — the
+//! x-axis of Figure 5 ("Train Label Fraction").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits node indices `0..num_nodes` into (train, test) sets where the train
+/// set contains `train_fraction` of the nodes (at least one in each set when
+/// possible). The split is deterministic for a given seed.
+pub fn train_test_split(num_nodes: usize, train_fraction: f64, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction must be in [0, 1], got {train_fraction}"
+    );
+    let mut indices: Vec<u32> = (0..num_nodes as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    let mut n_train = (num_nodes as f64 * train_fraction).round() as usize;
+    if num_nodes >= 2 {
+        n_train = n_train.clamp(1, num_nodes - 1);
+    } else {
+        n_train = n_train.min(num_nodes);
+    }
+    let test = indices.split_off(n_train);
+    (indices, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_respected() {
+        let (train, test) = train_test_split(100, 0.3, 1);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 70);
+    }
+
+    #[test]
+    fn no_overlap_and_full_coverage() {
+        let (train, test) = train_test_split(50, 0.5, 2);
+        let mut all: Vec<u32> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..50).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn extreme_fractions_keep_both_sides_nonempty() {
+        let (train, test) = train_test_split(10, 0.0, 3);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 9);
+        let (train, test) = train_test_split(10, 1.0, 3);
+        assert_eq!(train.len(), 9);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(train_test_split(30, 0.4, 7), train_test_split(30, 0.4, 7));
+        assert_ne!(train_test_split(30, 0.4, 7).0, train_test_split(30, 0.4, 8).0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fraction_panics() {
+        let _ = train_test_split(10, 1.5, 0);
+    }
+}

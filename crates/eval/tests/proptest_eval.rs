@@ -1,0 +1,67 @@
+//! Property-based tests of the evaluation layer: F1 bounds, split invariants,
+//! and logistic-regression sanity over arbitrary inputs.
+
+use proptest::prelude::*;
+
+use uninet_eval::metrics::f1_scores;
+use uninet_eval::split::train_test_split;
+use uninet_eval::LogisticRegression;
+
+fn label_sets(num_samples: usize, num_labels: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..num_labels, 1..(num_labels as usize).min(4)),
+        num_samples..=num_samples,
+    )
+    .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn f1_is_bounded_and_perfect_on_identical_labels(truth in label_sets(20, 6)) {
+        let s = f1_scores(&truth, &truth, 6);
+        prop_assert!((s.micro - 1.0).abs() < 1e-9);
+        prop_assert!((s.macro_ - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_of_arbitrary_predictions_is_in_unit_interval(
+        truth in label_sets(15, 5),
+        pred in label_sets(15, 5),
+    ) {
+        let s = f1_scores(&truth, &pred, 5);
+        prop_assert!((0.0..=1.0).contains(&s.micro));
+        prop_assert!((0.0..=1.0).contains(&s.macro_));
+    }
+
+    #[test]
+    fn split_partitions_the_node_set(n in 2usize..500, frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        let mut all: Vec<u32> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn logistic_regression_probabilities_are_valid(
+        points in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 10..60),
+        seed_bias in -1.0f32..1.0,
+    ) {
+        let xs: Vec<Vec<f32>> = points.iter().map(|&(a, b)| vec![a, b]).collect();
+        let ys: Vec<bool> = points.iter().map(|&(a, b)| a + b + seed_bias > 0.0).collect();
+        prop_assume!(ys.iter().any(|&y| y) && ys.iter().any(|&y| !y));
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut model = LogisticRegression::new(2, 0.3, 1e-4, 100);
+        let loss = model.fit(&refs, &ys);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        for x in &refs {
+            let p = model.predict_proba(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Basic graph algorithms used by the evaluation harness and by tests:
+//! breadth-first search and connected components. Random-walk corpora only
+//! cover the component their start nodes live in, so component information is
+//! needed both to validate generated datasets and to interpret accuracy
+//! numbers on them.
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// BFS distances (in hops) from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components of an undirected graph (directions are ignored only if
+/// the graph was built symmetric; for directed CSR this computes forward
+/// reachability components).
+///
+/// Returns `(component_id_per_node, number_of_components)`.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.num_nodes();
+    let mut component = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if component[start as usize] != u32::MAX {
+            continue;
+        }
+        component[start as usize] = next_id;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in graph.neighbors(v) {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = next_id;
+                    stack.push(u);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    (component, next_id as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(graph: &Graph) -> usize {
+    let (component, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for c in component {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two triangles plus an isolated node.
+    fn two_components() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.set_num_nodes(7);
+        b.symmetric(true).build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.symmetric(true).build();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = two_components();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], u32::MAX);
+        assert_eq!(d[6], u32::MAX);
+    }
+
+    #[test]
+    fn components_are_counted() {
+        let g = two_components();
+        let (component, count) = connected_components(&g);
+        assert_eq!(count, 3); // two triangles + isolated node 6
+        assert_eq!(component[0], component[1]);
+        assert_eq!(component[0], component[2]);
+        assert_eq!(component[3], component[4]);
+        assert_ne!(component[0], component[3]);
+        assert_ne!(component[6], component[0]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn generated_graphs_are_mostly_connected() {
+        let g = crate::generators::barabasi_albert(500, 3, false, 3);
+        assert_eq!(largest_component_size(&g), 500);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Edge value types used by the builder and by iteration over CSR graphs.
+
+use crate::NodeId;
+
+/// An owned edge used while building a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Static edge weight (`w_{uv}` in the paper).
+    pub weight: f32,
+    /// Optional edge type (heterogeneous networks); `u16::MAX` means untyped.
+    pub edge_type: u16,
+}
+
+impl Edge {
+    /// Creates an untyped weighted edge.
+    pub fn new(src: NodeId, dst: NodeId, weight: f32) -> Self {
+        Edge { src, dst, weight, edge_type: u16::MAX }
+    }
+
+    /// Creates a typed weighted edge.
+    pub fn typed(src: NodeId, dst: NodeId, weight: f32, edge_type: u16) -> Self {
+        Edge { src, dst, weight, edge_type }
+    }
+
+    /// Returns the edge with source and destination swapped (same weight/type).
+    pub fn reversed(&self) -> Self {
+        Edge { src: self.dst, dst: self.src, weight: self.weight, edge_type: self.edge_type }
+    }
+}
+
+/// A borrowed view of one out-edge of a node inside a CSR graph.
+///
+/// `EdgeRef` is what the random-walk layer sees when it asks for "the k-th
+/// neighbor edge of node v": it carries the destination, the static weight and
+/// the global edge index (used as the affixture part of second-order walker
+/// states).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Source node (the node whose adjacency list this edge belongs to).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Static edge weight.
+    pub weight: f32,
+    /// Position of this edge inside `src`'s adjacency list (0-based).
+    pub local_idx: u32,
+    /// Global index into the CSR edge arrays.
+    pub global_idx: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_new_is_untyped() {
+        let e = Edge::new(1, 2, 0.5);
+        assert_eq!(e.src, 1);
+        assert_eq!(e.dst, 2);
+        assert_eq!(e.weight, 0.5);
+        assert_eq!(e.edge_type, u16::MAX);
+    }
+
+    #[test]
+    fn edge_typed_keeps_type() {
+        let e = Edge::typed(3, 4, 2.0, 7);
+        assert_eq!(e.edge_type, 7);
+    }
+
+    #[test]
+    fn edge_reversed_swaps_endpoints() {
+        let e = Edge::typed(3, 4, 2.0, 7);
+        let r = e.reversed();
+        assert_eq!(r.src, 4);
+        assert_eq!(r.dst, 3);
+        assert_eq!(r.weight, 2.0);
+        assert_eq!(r.edge_type, 7);
+    }
+}

@@ -1,0 +1,102 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::{GraphBuilder, NodeId};
+
+/// Generates an undirected Barabási–Albert graph: nodes arrive one at a time
+/// and attach `m` edges to existing nodes with probability proportional to
+/// their current degree, producing a power-law degree distribution.
+///
+/// `m0 = m + 1` seed nodes form an initial clique.
+pub fn barabasi_albert(n: usize, m: usize, weighted: bool, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m + 1, "need more nodes than the initial clique");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * m);
+    b.set_num_nodes(n);
+
+    // Repeated-nodes trick: `targets` holds each node once per unit of degree,
+    // so uniform sampling from it is degree-proportional sampling.
+    let m0 = m + 1;
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+            b.add_edge(u as NodeId, v as NodeId, w);
+            targets.push(u as NodeId);
+            targets.push(v as NodeId);
+        }
+    }
+
+    for new_node in m0..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != new_node as NodeId && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+            b.add_edge(new_node as NodeId, t, w);
+            targets.push(new_node as NodeId);
+            targets.push(t);
+        }
+    }
+    b.symmetric(true).dedup(true).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeHistogram;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, false, 1);
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + m per arriving node, times 2 for symmetry, minus dedup losses
+        let expected_undirected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert!(g.num_edges() <= 2 * expected_undirected);
+        assert!(g.num_edges() as f64 >= 1.8 * expected_undirected as f64);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, false, 5);
+        let max_d = g.max_degree();
+        let mean_d = g.mean_degree();
+        // Power-law graphs have hubs far above the mean.
+        assert!(max_d as f64 > 8.0 * mean_d, "max {max_d} vs mean {mean_d}");
+        let h = DegreeHistogram::compute(&g);
+        assert!(h.buckets.len() >= 5);
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let g = barabasi_albert(300, 4, false, 9);
+        for v in 0..g.num_nodes() as NodeId {
+            assert!(g.degree(v) >= 4, "node {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = barabasi_albert(200, 2, true, 77);
+        let b = barabasi_albert(200, 2, true, 77);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_nodes_panics() {
+        let _ = barabasi_albert(3, 3, false, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Erdős–Rényi G(n, m) random graph generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::{GraphBuilder, NodeId};
+
+/// Generates an undirected Erdős–Rényi graph with `n` nodes and (approximately)
+/// `m` undirected edges; self-loops are skipped and duplicates merged.
+///
+/// Edge weights are 1.0 unless `weighted` is set, in which case weights are
+/// drawn uniformly from (0.5, 2.0).
+pub fn erdos_renyi(n: usize, m: usize, weighted: bool, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.set_num_nodes(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(20).max(1000);
+    while added < m && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v || !seen.insert((u.min(v), u.max(v))) {
+            continue;
+        }
+        let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+        b.add_edge(u, v, w);
+        added += 1;
+    }
+    b.symmetric(true).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_node_count() {
+        let g = erdos_renyi(100, 300, false, 42);
+        assert_eq!(g.num_nodes(), 100);
+        // dedup may drop a handful of duplicate edges
+        assert!(g.num_edges() <= 600);
+        assert!(g.num_edges() >= 500);
+        assert!(g.is_unweighted());
+    }
+
+    #[test]
+    fn weighted_variant_has_varied_weights() {
+        let g = erdos_renyi(50, 200, true, 7);
+        assert!(!g.is_unweighted());
+        for v in 0..g.num_nodes() as NodeId {
+            for &w in g.weights(v) {
+                assert!(w > 0.0 && w < 4.1, "weight {w} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(60, 400, false, 3);
+        for v in 0..g.num_nodes() as NodeId {
+            assert!(!g.has_edge(v, v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g1 = erdos_renyi(80, 200, true, 99);
+        let g2 = erdos_renyi(80, 200, true, 99);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for v in 0..80u32 {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_node_panics() {
+        let _ = erdos_renyi(1, 5, false, 0);
+    }
+}

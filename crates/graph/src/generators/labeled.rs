@@ -1,0 +1,200 @@
+//! Planted-partition generator with ground-truth (multi-)labels.
+//!
+//! The node classification experiments of the paper (Figure 5) need datasets
+//! where node labels correlate with structure (BlogCatalog, Flickr, Reddit,
+//! AMiner). This generator plants `k` communities, wires nodes within a
+//! community with probability `p_in` and across communities with `p_out`,
+//! and emits per-node label sets: the primary label is the community, and with
+//! probability `multi_label_prob` a node also carries a secondary label,
+//! mimicking the multi-label nature of BlogCatalog/Flickr.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::{GraphBuilder, NodeId};
+
+/// Configuration of the planted-partition generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedPartitionConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of planted communities (= number of labels).
+    pub num_communities: usize,
+    /// Expected intra-community degree per node.
+    pub intra_degree: f64,
+    /// Expected inter-community degree per node.
+    pub inter_degree: f64,
+    /// Probability that a node receives a second label.
+    pub multi_label_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedPartitionConfig {
+    fn default() -> Self {
+        PlantedPartitionConfig {
+            num_nodes: 1000,
+            num_communities: 10,
+            intra_degree: 12.0,
+            inter_degree: 3.0,
+            multi_label_prob: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated graph together with ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct LabeledGraph {
+    /// The graph itself.
+    pub graph: Graph,
+    /// `labels[v]` is the sorted list of labels of node `v`.
+    pub labels: Vec<Vec<u32>>,
+    /// Total number of distinct labels.
+    pub num_labels: usize,
+}
+
+impl LabeledGraph {
+    /// The community (primary label) of node `v`.
+    pub fn primary_label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize][0]
+    }
+}
+
+/// Generates a planted-partition labeled graph.
+pub fn planted_partition(cfg: &PlantedPartitionConfig) -> LabeledGraph {
+    assert!(cfg.num_communities >= 2, "need at least two communities");
+    assert!(cfg.num_nodes >= cfg.num_communities * 2, "need at least 2 nodes per community");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.num_nodes;
+    let k = cfg.num_communities;
+
+    // Assign communities round-robin with a shuffle so ids are not clustered.
+    let mut community: Vec<u32> = (0..n).map(|i| (i % k) as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        community.swap(i, j);
+    }
+
+    // Group members per community for intra-community edge sampling.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (v, &c) in community.iter().enumerate() {
+        members[c as usize].push(v as NodeId);
+    }
+
+    let mut b = GraphBuilder::with_capacity(n * (cfg.intra_degree + cfg.inter_degree) as usize);
+    b.set_num_nodes(n);
+
+    let intra_edges = (n as f64 * cfg.intra_degree / 2.0) as usize;
+    let inter_edges = (n as f64 * cfg.inter_degree / 2.0) as usize;
+
+    for _ in 0..intra_edges {
+        let c = rng.gen_range(0..k);
+        let group = &members[c];
+        if group.len() < 2 {
+            continue;
+        }
+        let u = group[rng.gen_range(0..group.len())];
+        let v = group[rng.gen_range(0..group.len())];
+        if u != v {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    for _ in 0..inter_edges {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && community[u as usize] != community[v as usize] {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+
+    let graph = b.symmetric(true).dedup(true).build();
+
+    let labels: Vec<Vec<u32>> = community
+        .iter()
+        .map(|&c| {
+            let mut ls = vec![c];
+            if rng.gen_bool(cfg.multi_label_prob) {
+                let extra = rng.gen_range(0..k as u32);
+                if extra != c {
+                    ls.push(extra);
+                }
+            }
+            ls.sort_unstable();
+            ls
+        })
+        .collect();
+
+    LabeledGraph { graph, labels, num_labels: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let cfg = PlantedPartitionConfig { num_nodes: 500, num_communities: 5, ..Default::default() };
+        let lg = planted_partition(&cfg);
+        assert_eq!(lg.graph.num_nodes(), 500);
+        assert_eq!(lg.labels.len(), 500);
+        assert_eq!(lg.num_labels, 5);
+        lg.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_within_range_and_sorted() {
+        let cfg = PlantedPartitionConfig { num_nodes: 300, num_communities: 6, multi_label_prob: 0.5, ..Default::default() };
+        let lg = planted_partition(&cfg);
+        let mut multi = 0;
+        for ls in &lg.labels {
+            assert!(!ls.is_empty() && ls.len() <= 2);
+            assert!(ls.windows(2).all(|w| w[0] < w[1]));
+            assert!(ls.iter().all(|&l| (l as usize) < lg.num_labels));
+            if ls.len() > 1 {
+                multi += 1;
+            }
+        }
+        assert!(multi > 30, "expected a good number of multi-label nodes, got {multi}");
+    }
+
+    #[test]
+    fn communities_are_assortative() {
+        // Most edges should connect nodes sharing the primary label.
+        let cfg = PlantedPartitionConfig {
+            num_nodes: 1000,
+            num_communities: 5,
+            intra_degree: 16.0,
+            inter_degree: 2.0,
+            ..Default::default()
+        };
+        let lg = planted_partition(&cfg);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (u, v, _) in lg.graph.all_edges() {
+            total += 1;
+            if lg.primary_label(u) == lg.primary_label(v) {
+                same += 1;
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.7, "intra-community edge fraction too low: {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = PlantedPartitionConfig { seed: 123, ..Default::default() };
+        let a = planted_partition(&cfg);
+        let b = planted_partition(&cfg);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_communities_panics() {
+        let cfg = PlantedPartitionConfig { num_communities: 1, ..Default::default() };
+        let _ = planted_partition(&cfg);
+    }
+}

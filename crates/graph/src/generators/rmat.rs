@@ -1,0 +1,154 @@
+//! R-MAT (recursive matrix) generator, the standard tool for producing
+//! synthetic graphs with heavy-tailed degree distributions at scale (the
+//! Graph500 generator). Used here as the stand-in for the paper's large
+//! social/web graphs (Flickr, LiveJournal, Twitter, Web-UK).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::{GraphBuilder, NodeId};
+
+/// Configuration for the R-MAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// Number of nodes; rounded up to the next power of two internally for the
+    /// recursive bisection, then ids are mapped back into `0..num_nodes`.
+    pub num_nodes: usize,
+    /// Number of undirected edges to generate (the CSR graph stores 2x).
+    pub num_edges: usize,
+    /// Probability of recursing into the top-left quadrant (default 0.57).
+    pub a: f64,
+    /// Probability for the top-right quadrant (default 0.19).
+    pub b: f64,
+    /// Probability for the bottom-left quadrant (default 0.19).
+    pub c: f64,
+    /// Draw edge weights uniformly from (0.5, 2.0) instead of 1.0.
+    pub weighted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            num_nodes: 1024,
+            num_edges: 8192,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            weighted: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates an R-MAT graph according to `cfg`.
+pub fn rmat(cfg: &RmatConfig) -> Graph {
+    assert!(cfg.num_nodes >= 2);
+    assert!(cfg.a + cfg.b + cfg.c < 1.0, "quadrant probabilities must sum below 1");
+    let levels = (usize::BITS - (cfg.num_nodes - 1).leading_zeros()) as usize;
+    let size = 1usize << levels;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_capacity(cfg.num_edges);
+    builder.set_num_nodes(cfg.num_nodes);
+
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    let mut generated = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cfg.num_edges * 10 + 1000;
+    while generated < cfg.num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut lo_r, mut hi_r) = (0usize, size);
+        let (mut lo_c, mut hi_c) = (0usize, size);
+        // Add a little noise per level to avoid exact self-similar artifacts.
+        for _ in 0..levels {
+            let noise = rng.gen_range(-0.02..0.02);
+            let a = (cfg.a + noise).clamp(0.05, 0.9);
+            let b = cfg.b;
+            let c = cfg.c;
+            let d = (d - noise).max(0.01);
+            let total = a + b + c + d;
+            let r: f64 = rng.gen_range(0.0..total);
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if r < a {
+                hi_r = mid_r;
+                hi_c = mid_c;
+            } else if r < a + b {
+                hi_r = mid_r;
+                lo_c = mid_c;
+            } else if r < a + b + c {
+                lo_r = mid_r;
+                hi_c = mid_c;
+            } else {
+                lo_r = mid_r;
+                lo_c = mid_c;
+            }
+        }
+        let u = lo_r % cfg.num_nodes;
+        let v = lo_c % cfg.num_nodes;
+        if u == v {
+            continue;
+        }
+        let w = if cfg.weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+        builder.add_edge(u as NodeId, v as NodeId, w);
+        generated += 1;
+    }
+    builder.symmetric(true).dedup(true).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeHistogram;
+
+    #[test]
+    fn default_config_generates() {
+        let g = rmat(&RmatConfig::default());
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 10_000);
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let cfg = RmatConfig { num_nodes: 4096, num_edges: 40_000, ..Default::default() };
+        let g = rmat(&cfg);
+        assert!(g.max_degree() as f64 > 5.0 * g.mean_degree());
+        let h = DegreeHistogram::compute(&g);
+        assert!(h.buckets.len() > 4);
+    }
+
+    #[test]
+    fn weighted_edges() {
+        let cfg = RmatConfig { num_nodes: 256, num_edges: 2000, weighted: true, ..Default::default() };
+        let g = rmat(&cfg);
+        assert!(!g.is_unweighted());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig { num_nodes: 512, num_edges: 4000, seed: 123, ..Default::default() };
+        let a = rmat(&cfg);
+        let b = rmat(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..512u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_node_count() {
+        let cfg = RmatConfig { num_nodes: 1000, num_edges: 5000, ..Default::default() };
+        let g = rmat(&cfg);
+        assert_eq!(g.num_nodes(), 1000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_panic() {
+        let cfg = RmatConfig { a: 0.5, b: 0.3, c: 0.3, ..Default::default() };
+        let _ = rmat(&cfg);
+    }
+}

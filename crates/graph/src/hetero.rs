@@ -1,0 +1,178 @@
+//! Support types for heterogeneous networks: type registries and metapaths.
+
+/// Maps numeric node/edge type ids to human-readable names.
+///
+/// A registry is optional — generators and the edge-list reader create one
+/// when type names are known, otherwise types stay purely numeric.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    node_type_names: Vec<String>,
+    edge_type_names: Vec<String>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a node type name, returning its numeric id.
+    pub fn node_type_id(&mut self, name: &str) -> u16 {
+        if let Some(pos) = self.node_type_names.iter().position(|n| n == name) {
+            return pos as u16;
+        }
+        self.node_type_names.push(name.to_string());
+        (self.node_type_names.len() - 1) as u16
+    }
+
+    /// Registers (or looks up) an edge type name, returning its numeric id.
+    pub fn edge_type_id(&mut self, name: &str) -> u16 {
+        if let Some(pos) = self.edge_type_names.iter().position(|n| n == name) {
+            return pos as u16;
+        }
+        self.edge_type_names.push(name.to_string());
+        (self.edge_type_names.len() - 1) as u16
+    }
+
+    /// The name of node type `id`, if registered.
+    pub fn node_type_name(&self, id: u16) -> Option<&str> {
+        self.node_type_names.get(id as usize).map(String::as_str)
+    }
+
+    /// The name of edge type `id`, if registered.
+    pub fn edge_type_name(&self, id: u16) -> Option<&str> {
+        self.edge_type_names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of registered node type names.
+    pub fn num_node_type_names(&self) -> usize {
+        self.node_type_names.len()
+    }
+
+    /// Number of registered edge type names.
+    pub fn num_edge_type_names(&self) -> usize {
+        self.edge_type_names.len()
+    }
+}
+
+/// A metapath: a cyclic sequence of node types that constrains a
+/// metapath2vec walk (e.g. Author–Paper–Author, i.e. `[0, 1, 0]`).
+///
+/// Following the metapath2vec convention the first and last types are the
+/// same; the walker advances through positions `0, 1, 2, …` and wraps around
+/// skipping the duplicated terminal type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metapath {
+    types: Vec<u16>,
+}
+
+impl Metapath {
+    /// Creates a metapath from a sequence of node type ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two types are given.
+    pub fn new(types: Vec<u16>) -> Self {
+        assert!(types.len() >= 2, "a metapath needs at least two node types");
+        Metapath { types }
+    }
+
+    /// The type sequence.
+    pub fn types(&self) -> &[u16] {
+        &self.types
+    }
+
+    /// Length of the metapath (number of positions, including both endpoints).
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Always false: constructor enforces at least two entries.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node type expected at walk position `pos` (0-based, wrapping).
+    ///
+    /// If the metapath is cyclic (first == last), the duplicated terminal type
+    /// is skipped when wrapping so the walk pattern repeats seamlessly, which
+    /// is how metapath2vec treats e.g. the "APA" scheme.
+    pub fn type_at(&self, pos: usize) -> u16 {
+        let n = self.types.len();
+        if self.types[0] == self.types[n - 1] {
+            self.types[pos % (n - 1)]
+        } else {
+            self.types[pos % n]
+        }
+    }
+
+    /// The node type expected *after* a node at position `pos`.
+    pub fn next_type(&self, pos: usize) -> u16 {
+        self.type_at(pos + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_stable_ids() {
+        let mut r = TypeRegistry::new();
+        let a = r.node_type_id("author");
+        let p = r.node_type_id("paper");
+        assert_eq!(a, 0);
+        assert_eq!(p, 1);
+        assert_eq!(r.node_type_id("author"), 0);
+        assert_eq!(r.node_type_name(1), Some("paper"));
+        assert_eq!(r.node_type_name(5), None);
+        assert_eq!(r.num_node_type_names(), 2);
+    }
+
+    #[test]
+    fn registry_edge_types_independent() {
+        let mut r = TypeRegistry::new();
+        r.node_type_id("a");
+        let e = r.edge_type_id("cites");
+        assert_eq!(e, 0);
+        assert_eq!(r.edge_type_name(0), Some("cites"));
+        assert_eq!(r.num_edge_type_names(), 1);
+    }
+
+    #[test]
+    fn metapath_apa_cycles() {
+        // Author(0) - Paper(1) - Author(0)
+        let mp = Metapath::new(vec![0, 1, 0]);
+        assert_eq!(mp.type_at(0), 0);
+        assert_eq!(mp.type_at(1), 1);
+        assert_eq!(mp.type_at(2), 0);
+        assert_eq!(mp.type_at(3), 1);
+        assert_eq!(mp.next_type(0), 1);
+        assert_eq!(mp.next_type(1), 0);
+        assert_eq!(mp.len(), 3);
+        assert!(!mp.is_empty());
+    }
+
+    #[test]
+    fn metapath_apvpa_cycles() {
+        // Author(0) - Paper(1) - Venue(2) - Paper(1) - Author(0)
+        let mp = Metapath::new(vec![0, 1, 2, 1, 0]);
+        let expected = [0, 1, 2, 1, 0, 1, 2, 1, 0];
+        for (pos, &t) in expected.iter().enumerate() {
+            assert_eq!(mp.type_at(pos), t, "position {pos}");
+        }
+    }
+
+    #[test]
+    fn non_cyclic_metapath_wraps_fully() {
+        let mp = Metapath::new(vec![0, 1, 2]);
+        assert_eq!(mp.type_at(3), 0);
+        assert_eq!(mp.type_at(4), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn metapath_too_short_panics() {
+        let _ = Metapath::new(vec![0]);
+    }
+}

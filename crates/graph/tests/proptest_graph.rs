@@ -1,0 +1,99 @@
+//! Property-based tests of the graph substrate: CSR invariants, builder
+//! behaviour, and binary snapshot round-trips for arbitrary edge lists.
+
+use proptest::prelude::*;
+
+use uninet_graph::{io, GraphBuilder, GraphStats};
+
+/// Strategy producing a random edge list over up to 40 nodes.
+fn edge_list() -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    prop::collection::vec((0u32..40, 0u32..40, 0.1f32..5.0), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn built_graphs_always_validate(edges in edge_list(), symmetric in any::<bool>(), dedup in any::<bool>()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        b.symmetric(symmetric).dedup(dedup);
+        let g = b.build();
+        prop_assert!(g.validate().is_ok());
+        // Edge count bookkeeping.
+        let expected_directed = if symmetric { 2 * edges.len() } else { edges.len() };
+        if dedup {
+            prop_assert!(g.num_edges() <= expected_directed);
+        } else {
+            prop_assert_eq!(g.num_edges(), expected_directed);
+        }
+        // Offsets/degree consistency.
+        let total_degree: usize = (0..g.num_nodes() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total_degree, g.num_edges());
+    }
+
+    #[test]
+    fn symmetric_graphs_have_symmetric_adjacency(edges in edge_list()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.symmetric(true).dedup(true).build();
+        for v in 0..g.num_nodes() as u32 {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(u, v), "edge {v}->{u} has no mirror");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips(edges in edge_list()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            b.add_typed_edge(u, v, w, (u + v) as u16 % 3);
+        }
+        let types: Vec<u16> = (0..40u16).map(|i| i % 4).collect();
+        b.set_node_types(types);
+        let g = b.symmetric(true).build();
+        let bytes = io::to_bytes(&g);
+        let g2 = io::from_bytes(&bytes).expect("roundtrip failed");
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+            prop_assert_eq!(g2.weights(v), g.weights(v));
+            prop_assert_eq!(g2.node_type(v), g.node_type(v));
+        }
+    }
+
+    #[test]
+    fn edge_list_text_roundtrips(edges in edge_list()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        let opts = io::EdgeListOptions { symmetric: false, dedup: false, default_weight: 1.0 };
+        let g2 = io::read_edge_list(text.as_slice(), opts).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn stats_are_consistent(edges in edge_list()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.symmetric(true).build();
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.num_nodes, g.num_nodes());
+        prop_assert_eq!(s.num_edges, g.num_edges());
+        prop_assert!(s.max_degree <= g.num_nodes());
+        prop_assert!(s.mean_degree <= s.max_degree as f64 + 1e-9);
+        prop_assert!(s.weight_skew >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Walker's alias method for O(1) sampling from a fixed discrete distribution.
+//!
+//! The alias table is the sampler used by the reference node2vec
+//! implementation: for every walker state it materializes an `O(deg)` table,
+//! which is why the paper reports `O(d · #state)` memory — the source of the
+//! out-of-memory failures on billion-edge graphs (Table VII).
+
+use rand::Rng;
+
+/// An alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own outcome (scaled to [0,1]).
+    prob: Vec<f32>,
+    /// The alias outcome used when the coin flip rejects the column's own outcome.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let mut prob = vec![0f32; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities (mean 1.0).
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / total).collect();
+
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s] as f32;
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large {
+            prob[i] = 1.0;
+            alias[i] = i as u32;
+        }
+        for i in small {
+            prob[i] = 1.0;
+            alias[i] = i as u32;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in O(1).
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.gen_range(0..n);
+        if rng.gen::<f32>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Memory footprint in bytes (the quantity that explodes for |E| states).
+    pub fn memory_bytes(&self) -> usize {
+        self.prob.len() * (std::mem::size_of::<f32>() + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, n: usize, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let weights = vec![1.0f32; 8];
+        let t = AliasTable::new(&weights);
+        assert_eq!(t.len(), 8);
+        let freqs = empirical(&t, 8, 80_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_probabilities() {
+        let weights = vec![1.0f32, 2.0, 4.0, 8.0, 1.0];
+        let total: f32 = weights.iter().sum();
+        let t = AliasTable::new(&weights);
+        let freqs = empirical(&t, 5, 200_000, 2);
+        for (i, f) in freqs.iter().enumerate() {
+            let expected = (weights[i] / total) as f64;
+            assert!((f - expected).abs() < 0.01, "outcome {i}: {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_sampled() {
+        let weights = vec![1.0f32, 0.0, 3.0];
+        let t = AliasTable::new(&weights);
+        let freqs = empirical(&t, 3, 50_000, 3);
+        assert_eq!(freqs[1], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_size() {
+        let small = AliasTable::new(&[1.0; 4]);
+        let big = AliasTable::new(&[1.0; 400]);
+        assert!(big.memory_bytes() > 50 * small.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

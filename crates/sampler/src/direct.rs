@@ -1,0 +1,139 @@
+//! Direct (inverse-CDF) edge sampling: `O(1)` memory, `O(deg)` time.
+//!
+//! This is the sampler used by the open-sourced implementations of DeepWalk,
+//! metapath2vec, edge2vec and fairwalk that the paper benchmarks against in
+//! Table VI: at every step the full (dynamic) weight vector is scanned to draw
+//! one sample.
+
+use rand::Rng;
+
+/// Samples an index from unnormalized weights by a linear cumulative scan.
+///
+/// Returns `None` if the weights are empty or sum to zero.
+pub fn direct_sample<R: Rng>(weights: &[f32], rng: &mut R) -> Option<usize> {
+    direct_sample_fn(weights.len(), |k| weights[k], rng)
+}
+
+/// Samples an index from an unnormalized weight *function* of `n` outcomes.
+///
+/// Two passes are made over the weights (one for the total, one for the scan),
+/// which matches how a direct sampler must handle dynamic (state-dependent)
+/// weights that cannot be pre-normalized — the cost the paper's Challenge 2
+/// highlights.
+pub fn direct_sample_fn<R: Rng, F: Fn(usize) -> f32>(
+    n: usize,
+    weight: F,
+    rng: &mut R,
+) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for k in 0..n {
+        let w = weight(k) as f64;
+        debug_assert!(w >= 0.0, "negative weight");
+        total += w;
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    let target = rng.gen_range(0.0..total);
+    let mut acc = 0.0f64;
+    for k in 0..n {
+        acc += weight(k) as f64;
+        if target < acc {
+            return Some(k);
+        }
+    }
+    Some(n - 1)
+}
+
+/// Samples an index given a precomputed cumulative-weight array using binary
+/// search (`O(log n)` per draw). The cumulative array must be non-decreasing
+/// with a positive final entry.
+pub fn cumulative_sample<R: Rng>(cumulative: &[f64], rng: &mut R) -> Option<usize> {
+    let total = *cumulative.last()?;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = rng.gen_range(0.0..total);
+    Some(match cumulative.partition_point(|&c| c <= target) {
+        i if i >= cumulative.len() => cumulative.len() - 1,
+        i => i,
+    })
+}
+
+/// Builds the cumulative array used by [`cumulative_sample`].
+pub fn build_cumulative(weights: &[f32]) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    weights
+        .iter()
+        .map(|&w| {
+            acc += w as f64;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn direct_matches_distribution() {
+        let weights = [2.0f32, 1.0, 1.0];
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[direct_sample(&weights, &mut rng).unwrap()] += 1;
+        }
+        let p0 = counts[0] as f64 / 60_000.0;
+        assert!((p0 - 0.5).abs() < 0.01, "p0 = {p0}");
+    }
+
+    #[test]
+    fn empty_and_zero_weights_return_none() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(direct_sample(&[], &mut rng), None);
+        assert_eq!(direct_sample(&[0.0, 0.0], &mut rng), None);
+        assert_eq!(direct_sample_fn(0, |_| 1.0, &mut rng), None);
+    }
+
+    #[test]
+    fn fn_variant_equals_slice_variant() {
+        let weights = [1.0f32, 3.0, 6.0];
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_eq!(
+                direct_sample(&weights, &mut a),
+                direct_sample_fn(3, |k| weights[k], &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn cumulative_sampling_matches() {
+        let weights = [1.0f32, 0.0, 2.0, 1.0];
+        let cum = build_cumulative(&weights);
+        assert_eq!(cum.len(), 4);
+        assert!((cum[3] - 4.0).abs() < 1e-9);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut counts = [0usize; 4];
+        for _ in 0..80_000 {
+            counts[cumulative_sample(&cum, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let p2 = counts[2] as f64 / 80_000.0;
+        assert!((p2 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn cumulative_empty_returns_none() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(cumulative_sample(&[], &mut rng), None);
+        assert_eq!(cumulative_sample(&[0.0, 0.0], &mut rng), None);
+    }
+}

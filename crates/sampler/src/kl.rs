@@ -1,0 +1,202 @@
+//! Kullback–Leibler divergence utilities and the Figure-1 simulation driver.
+//!
+//! Figure 1 of the paper compares the accuracy of the random and high-weight
+//! initialization strategies: for randomly generated target distributions with
+//! controlled shape (n, t, πmax/πmin), an M-H chain generates `5n` samples and
+//! the KL divergence between the empirical and target distribution is averaged
+//! over many repetitions; the plotted quantity is the ratio `KL_r / KL_h`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distribution::{empirical_distribution_unsmoothed, DiscreteDistribution};
+use crate::init::InitStrategy;
+use crate::metropolis_hastings::MhChain;
+
+/// KL(p ‖ q) in nats. Zero-probability entries in `p` contribute zero; `q`
+/// entries are floored at a tiny epsilon to keep the result finite.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same support");
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            kl += pi * (pi / qi.max(1e-300)).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
+/// Configuration of one cell of the Figure-1 simulation grid.
+#[derive(Debug, Clone, Copy)]
+pub struct InitSimulationConfig {
+    /// Sample-space size `n`.
+    pub n: usize,
+    /// Number of outcomes at the maximal probability `t`.
+    pub t: usize,
+    /// Ratio `πmax / πmin`.
+    pub max_min_ratio: f64,
+    /// Number of random target distributions to average over (paper: 1000).
+    pub num_distributions: usize,
+    /// Repetitions per distribution (paper: 20).
+    pub repeats: usize,
+    /// Samples drawn per run as a multiple of n (paper: 5).
+    pub samples_per_n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InitSimulationConfig {
+    fn default() -> Self {
+        InitSimulationConfig {
+            n: 10,
+            t: 1,
+            max_min_ratio: 10.0,
+            num_distributions: 100,
+            repeats: 5,
+            samples_per_n: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one simulation cell: the averaged KL divergences for both
+/// initialization strategies and their ratio (the y-axis of Figure 1).
+#[derive(Debug, Clone, Copy)]
+pub struct InitSimulationResult {
+    /// Mean KL divergence with random initialization.
+    pub kl_random: f64,
+    /// Mean KL divergence with high-weight initialization.
+    pub kl_high_weight: f64,
+}
+
+impl InitSimulationResult {
+    /// The ratio `KL_r / KL_h`; values above 1 favour high-weight init.
+    pub fn ratio(&self) -> f64 {
+        self.kl_random / self.kl_high_weight.max(1e-300)
+    }
+}
+
+/// Measures the KL divergence between the empirical distribution of
+/// `num_samples` M-H draws and the target, for a given initialization.
+pub fn measure_kl<R: Rng>(
+    target: &DiscreteDistribution,
+    init: InitStrategy,
+    num_samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let weights = target.weights_f32();
+    let wf = |k: usize| weights[k];
+    let mut chain = MhChain::new();
+    let mut samples = Vec::with_capacity(num_samples);
+    for _ in 0..num_samples {
+        samples.push(chain.step(target.len(), &wf, init, rng));
+    }
+    let empirical = empirical_distribution_unsmoothed(&samples, target.len());
+    kl_divergence(&empirical, &target.probs())
+}
+
+/// Runs one cell of the Figure-1 grid and returns the averaged divergences.
+pub fn run_init_simulation(cfg: &InitSimulationConfig) -> InitSimulationResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let num_samples = cfg.samples_per_n * cfg.n;
+    let mut kl_r_sum = 0.0;
+    let mut kl_h_sum = 0.0;
+    let mut count = 0usize;
+    for _ in 0..cfg.num_distributions {
+        let target =
+            DiscreteDistribution::random_with_shape(cfg.n, cfg.t, cfg.max_min_ratio, &mut rng);
+        for _ in 0..cfg.repeats {
+            kl_r_sum += measure_kl(&target, InitStrategy::Random, num_samples, &mut rng);
+            kl_h_sum +=
+                measure_kl(&target, InitStrategy::high_weight_exact(), num_samples, &mut rng);
+            count += 1;
+        }
+    }
+    InitSimulationResult {
+        kl_random: kl_r_sum / count as f64,
+        kl_high_weight: kl_h_sum / count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl > 0.3 && kl < 0.6, "kl = {kl}");
+    }
+
+    #[test]
+    fn kl_handles_zero_entries() {
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q);
+        assert!((kl - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kl_length_mismatch_panics() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn measure_kl_decreases_with_more_samples() {
+        let target = DiscreteDistribution::new(vec![4.0, 2.0, 1.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let few = measure_kl(&target, InitStrategy::Random, 50, &mut rng);
+        let many = measure_kl(&target, InitStrategy::Random, 50_000, &mut rng);
+        assert!(many < few, "few = {few}, many = {many}");
+    }
+
+    #[test]
+    fn skewed_targets_favour_high_weight_init() {
+        // Strongly skewed target (ratio >> n/t): Theorem 3 predicts the
+        // high-weight strategy is more accurate, i.e. ratio > 1.
+        let cfg = InitSimulationConfig {
+            n: 10,
+            t: 1,
+            max_min_ratio: 1000.0,
+            num_distributions: 60,
+            repeats: 5,
+            samples_per_n: 5,
+            seed: 7,
+        };
+        let result = run_init_simulation(&cfg);
+        assert!(
+            result.ratio() > 1.0,
+            "expected KL_r/KL_h > 1 for skewed targets, got {}",
+            result.ratio()
+        );
+    }
+
+    #[test]
+    fn near_uniform_targets_show_no_high_weight_advantage() {
+        // Mild skew (ratio < n/t): the advantage disappears (ratio ≈ 1 or below).
+        let cfg = InitSimulationConfig {
+            n: 100,
+            t: 50,
+            max_min_ratio: 1.1,
+            num_distributions: 40,
+            repeats: 5,
+            samples_per_n: 5,
+            seed: 8,
+        };
+        let result = run_init_simulation(&cfg);
+        assert!(
+            result.ratio() < 1.05,
+            "expected no high-weight advantage, got ratio {}",
+            result.ratio()
+        );
+    }
+}

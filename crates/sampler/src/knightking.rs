@@ -1,0 +1,229 @@
+//! KnightKing-style rejection sampling with pre-acceptance and outlier
+//! folding (Yang et al., SOSP'19), re-implemented single-node from the
+//! description in the UniNet paper.
+//!
+//! Plain rejection sampling must use an upper bound `B` covering the *largest*
+//! dynamic/static weight ratio; a single outlier (e.g. node2vec's `1/p` factor
+//! that applies to exactly one neighbor — the return edge) forces a loose
+//! bound and a poor acceptance ratio. Outlier folding splits the probability
+//! mass into a "regular" area, sampled by rejection with a tight bound, plus
+//! an explicit list of outliers sampled exactly; pre-acceptance skips the
+//! accept test entirely when the bound already equals the true maximum ratio.
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::rejection::RejectionOutcome;
+
+/// A rejection sampler with an explicit outlier area.
+#[derive(Debug, Clone)]
+pub struct OutlierFoldingSampler {
+    proposal: AliasTable,
+    static_weights: Vec<f32>,
+    /// Bound on dynamic/static ratio for *non-outlier* neighbors.
+    regular_bound: f32,
+    /// Neighbors treated as outliers (sampled exactly).
+    outliers: Vec<u32>,
+    max_attempts: usize,
+}
+
+impl OutlierFoldingSampler {
+    /// Creates a sampler.
+    ///
+    /// * `static_weights` — the proposal distribution (static edge weights).
+    /// * `regular_bound` — upper bound of `dynamic/static` over non-outliers.
+    /// * `outliers` — neighbor indices whose dynamic weight may exceed the
+    ///   regular bound (e.g. the return edge in node2vec when `p < 1`).
+    pub fn new(static_weights: &[f32], regular_bound: f32, outliers: Vec<u32>) -> Self {
+        assert!(regular_bound > 0.0, "bound must be positive");
+        assert!(
+            outliers.iter().all(|&o| (o as usize) < static_weights.len()),
+            "outlier index out of range"
+        );
+        OutlierFoldingSampler {
+            proposal: AliasTable::new(static_weights),
+            static_weights: static_weights.to_vec(),
+            regular_bound,
+            outliers,
+            max_attempts: 10_000,
+        }
+    }
+
+    /// Number of neighbors.
+    pub fn len(&self) -> usize {
+        self.static_weights.len()
+    }
+
+    /// True when there are no neighbors (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.static_weights.is_empty()
+    }
+
+    /// Number of folded outliers.
+    pub fn num_outliers(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Draws one neighbor from the dynamic-weight distribution.
+    ///
+    /// The algorithm follows the two-area formulation: total mass is split
+    /// into the regular area `regular_bound * Σ static` and the outlier area
+    /// `Σ_outlier max(0, dynamic - regular_bound * static)`; an area is chosen
+    /// proportionally, then the regular area is sampled by rejection and the
+    /// outlier area exactly.
+    pub fn sample<R: Rng, F: Fn(usize) -> f32>(
+        &self,
+        dynamic_weight: F,
+        rng: &mut R,
+    ) -> RejectionOutcome {
+        let regular_mass: f64 = self.regular_bound as f64
+            * self.static_weights.iter().map(|&w| w as f64).sum::<f64>();
+        let mut outlier_excess: Vec<f64> = Vec::with_capacity(self.outliers.len());
+        let mut outlier_mass = 0.0f64;
+        for &o in &self.outliers {
+            let excess = (dynamic_weight(o as usize) as f64
+                - self.regular_bound as f64 * self.static_weights[o as usize] as f64)
+                .max(0.0);
+            outlier_excess.push(excess);
+            outlier_mass += excess;
+        }
+
+        // On every attempt the *area* is re-drawn: a rejection in the regular
+        // area restarts the whole procedure, which is what makes the overall
+        // acceptance mass of outcome k equal min(w_k, cap_k) + excess_k = w_k.
+        let total = regular_mass + outlier_mass;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if outlier_mass > 0.0 && rng.gen_range(0.0..total) >= regular_mass {
+                // Outlier area: sample an outlier exactly, proportional to excess.
+                let mut target = rng.gen_range(0.0..outlier_mass);
+                for (i, &excess) in outlier_excess.iter().enumerate() {
+                    if target < excess {
+                        return RejectionOutcome { index: self.outliers[i] as usize, attempts };
+                    }
+                    target -= excess;
+                }
+                return RejectionOutcome {
+                    index: self.outliers[self.outliers.len() - 1] as usize,
+                    attempts,
+                };
+            }
+            // Regular area: one rejection trial against the capped weight.
+            let candidate = self.proposal.sample(rng);
+            let cap = self.regular_bound * self.static_weights[candidate];
+            let w = dynamic_weight(candidate).min(cap);
+            let ratio = w / cap;
+            if attempts >= self.max_attempts || rng.gen::<f32>() < ratio {
+                return RejectionOutcome { index: candidate, attempts };
+            }
+        }
+    }
+
+    /// Memory footprint (alias proposal + static weights + outlier list).
+    pub fn memory_bytes(&self) -> usize {
+        self.proposal.memory_bytes()
+            + self.static_weights.len() * std::mem::size_of::<f32>()
+            + self.outliers.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical<F: Fn(usize) -> f32>(
+        s: &OutlierFoldingSampler,
+        dynamic: F,
+        n: usize,
+        draws: usize,
+        seed: u64,
+    ) -> (Vec<f64>, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        let mut attempts = 0usize;
+        for _ in 0..draws {
+            let o = s.sample(&dynamic, &mut rng);
+            counts[o.index] += 1;
+            attempts += o.attempts;
+        }
+        (
+            counts.iter().map(|&c| c as f64 / draws as f64).collect(),
+            draws as f64 / attempts as f64,
+        )
+    }
+
+    #[test]
+    fn no_outliers_behaves_like_rejection() {
+        let stat = vec![1.0f32; 5];
+        let dynamic = [1.0f32, 2.0, 1.0, 1.0, 1.0];
+        let s = OutlierFoldingSampler::new(&stat, 2.0, vec![]);
+        let total: f32 = dynamic.iter().sum();
+        let (freqs, _) = empirical(&s, |k| dynamic[k], 5, 120_000, 1);
+        for (k, f) in freqs.iter().enumerate() {
+            let expected = (dynamic[k] / total) as f64;
+            assert!((f - expected).abs() < 0.01, "outcome {k}: {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn outlier_folding_matches_target_distribution() {
+        // One big outlier (index 0, like node2vec's 1/p return edge with p = 0.1).
+        let stat = vec![1.0f32; 6];
+        let mut dynamic = vec![1.0f32; 6];
+        dynamic[0] = 10.0;
+        let dyn_copy = dynamic.clone();
+        let s = OutlierFoldingSampler::new(&stat, 1.0, vec![0]);
+        let total: f32 = dynamic.iter().sum();
+        let (freqs, _) = empirical(&s, move |k| dyn_copy[k], 6, 200_000, 2);
+        for (k, f) in freqs.iter().enumerate() {
+            let expected = (dynamic[k] / total) as f64;
+            assert!((f - expected).abs() < 0.012, "outcome {k}: {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn folding_improves_acceptance_ratio() {
+        // Without folding the bound must be 10, acceptance ~ 0.15;
+        // with folding the regular bound is 1 and acceptance stays high.
+        let stat = vec![1.0f32; 8];
+        let mut dynamic = vec![1.0f32; 8];
+        dynamic[3] = 10.0;
+        let d1 = dynamic.clone();
+        let d2 = dynamic.clone();
+        let folded = OutlierFoldingSampler::new(&stat, 1.0, vec![3]);
+        let unfolded = OutlierFoldingSampler::new(&stat, 10.0, vec![]);
+        let (_, acc_folded) = empirical(&folded, move |k| d1[k], 8, 50_000, 3);
+        let (_, acc_unfolded) = empirical(&unfolded, move |k| d2[k], 8, 50_000, 4);
+        assert!(
+            acc_folded > 2.0 * acc_unfolded,
+            "folded {acc_folded} vs unfolded {acc_unfolded}"
+        );
+    }
+
+    #[test]
+    fn pre_acceptance_with_tight_bound() {
+        // Dynamic == static: bound 1.0 means every proposal is accepted.
+        let stat = vec![2.0f32, 1.0, 1.0];
+        let s = OutlierFoldingSampler::new(&stat, 1.0, vec![]);
+        let stat2 = stat.clone();
+        let (_, acc) = empirical(&s, move |k| stat2[k], 3, 30_000, 5);
+        assert!((acc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn num_outliers_and_memory() {
+        let s = OutlierFoldingSampler::new(&[1.0; 16], 1.0, vec![0, 5]);
+        assert_eq!(s.num_outliers(), 2);
+        assert_eq!(s.len(), 16);
+        assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_outlier_panics() {
+        let _ = OutlierFoldingSampler::new(&[1.0, 1.0], 1.0, vec![7]);
+    }
+}

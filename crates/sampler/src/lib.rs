@@ -1,0 +1,47 @@
+//! # uninet-sampler
+//!
+//! Edge samplers for random-walk generation, reproducing Section III of the
+//! UniNet paper (ICDE 2021) together with every baseline sampler the paper
+//! compares against:
+//!
+//! * [`alias::AliasTable`] — Walker's alias method: `O(deg)` memory per
+//!   distribution, `O(1)` sampling (the sampler used by the original node2vec
+//!   implementation and by KnightKing's proposal step).
+//! * [`direct`] — direct (inverse-CDF / linear scan) sampling: `O(1)` memory,
+//!   `O(deg)` time.
+//! * [`rejection::RejectionSampler`] — rejection sampling from a simple
+//!   proposal distribution with an acceptance ratio, as used by KnightKing.
+//! * [`knightking::OutlierFoldingSampler`] — rejection sampling with
+//!   pre-acceptance and outlier folding (the KnightKing optimization).
+//! * [`memory_aware::MemoryAwarePlan`] — the SIGMOD'20 memory-aware hybrid
+//!   that materializes alias tables for the hottest states within a budget.
+//! * [`metropolis_hastings::MhChain`] — **the paper's contribution**: a
+//!   Metropolis–Hastings edge sampler with a uniform conditional probability
+//!   mass function, `O(1)` time and `O(1)` memory per state, able to sample
+//!   from *unnormalized* dynamic-weight distributions (Algorithm 1).
+//! * [`init::InitStrategy`] — burn-in, random and high-weight initialization
+//!   strategies for the M-H chains (Section III-C, Theorem 3).
+//! * [`kl`] — Kullback–Leibler divergence utilities used to reproduce Fig. 1.
+//!
+//! All samplers are deterministic given a seeded [`rand::Rng`].
+
+pub mod alias;
+pub mod direct;
+pub mod distribution;
+pub mod init;
+pub mod kl;
+pub mod knightking;
+pub mod memory_aware;
+pub mod metropolis_hastings;
+pub mod rejection;
+pub mod traits;
+
+pub use alias::AliasTable;
+pub use direct::{direct_sample, direct_sample_fn, cumulative_sample};
+pub use distribution::DiscreteDistribution;
+pub use init::InitStrategy;
+pub use knightking::OutlierFoldingSampler;
+pub use memory_aware::{MemoryAwarePlan, StateSamplerKind};
+pub use metropolis_hastings::{AtomicMhChain, MhChain};
+pub use rejection::{RejectionOutcome, RejectionSampler};
+pub use traits::{DynamicWeight, EdgeSamplerKind};

@@ -1,0 +1,141 @@
+//! Shared trait and enum definitions for the sampler family.
+
+/// An unnormalized dynamic edge weight function over the `deg` out-edges of
+/// the current node: `weight(k)` returns `w'_{v,u_k}` for the `k`-th neighbor.
+///
+/// This is the quantity the paper calls the *dynamic edge weight* (Table IV);
+/// it is everything a sampler needs to know about the random-walk model.
+pub trait DynamicWeight {
+    /// The unnormalized weight of the `k`-th candidate edge.
+    fn weight(&self, k: usize) -> f32;
+    /// Number of candidate edges (the degree of the current node).
+    fn len(&self) -> usize;
+    /// True when there are no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Blanket implementation so closures `(Fn(usize) -> f32, deg)` can be used
+/// directly as dynamic-weight providers.
+pub struct FnWeight<F: Fn(usize) -> f32> {
+    f: F,
+    len: usize,
+}
+
+impl<F: Fn(usize) -> f32> FnWeight<F> {
+    /// Wraps a closure and a length into a [`DynamicWeight`].
+    pub fn new(f: F, len: usize) -> Self {
+        FnWeight { f, len }
+    }
+}
+
+impl<F: Fn(usize) -> f32> DynamicWeight for FnWeight<F> {
+    #[inline]
+    fn weight(&self, k: usize) -> f32 {
+        (self.f)(k)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl DynamicWeight for [f32] {
+    #[inline]
+    fn weight(&self, k: usize) -> f32 {
+        self[k]
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        <[f32]>::len(self)
+    }
+}
+
+impl DynamicWeight for Vec<f32> {
+    #[inline]
+    fn weight(&self, k: usize) -> f32 {
+        self[k]
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        <[f32]>::len(self)
+    }
+}
+
+/// Which edge-sampling strategy a walk engine should use.
+///
+/// The variants map one-to-one onto the columns of the paper's Table VII and
+/// the legend of Figures 6–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeSamplerKind {
+    /// Alias tables materialized per state (O(d·#state) memory, O(1) time).
+    Alias,
+    /// Direct inverse-CDF sampling, recomputing the distribution each step.
+    Direct,
+    /// Rejection sampling from the static-weight proposal distribution.
+    Rejection,
+    /// KnightKing-style rejection sampling with pre-acceptance and outlier folding.
+    KnightKing,
+    /// Memory-aware hybrid: alias tables for hot states within a budget, direct otherwise.
+    MemoryAware,
+    /// UniNet's Metropolis-Hastings edge sampler (this paper's contribution).
+    MetropolisHastings(crate::init::InitStrategy),
+}
+
+impl EdgeSamplerKind {
+    /// Short label used in benchmark reports.
+    pub fn label(&self) -> String {
+        match self {
+            EdgeSamplerKind::Alias => "Alias".to_string(),
+            EdgeSamplerKind::Direct => "Direct".to_string(),
+            EdgeSamplerKind::Rejection => "Rejection".to_string(),
+            EdgeSamplerKind::KnightKing => "KnightKing".to_string(),
+            EdgeSamplerKind::MemoryAware => "Memory-Aware".to_string(),
+            EdgeSamplerKind::MetropolisHastings(init) => format!("UniNet({})", init.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitStrategy;
+
+    #[test]
+    fn fn_weight_wraps_closure() {
+        let w = FnWeight::new(|k| (k + 1) as f32, 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.weight(2), 3.0);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn slices_and_vecs_are_dynamic_weights() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(DynamicWeight::len(&v), 3);
+        assert_eq!(DynamicWeight::weight(&v, 1), 2.0);
+        let s: &[f32] = &v;
+        assert_eq!(DynamicWeight::weight(s, 2), 3.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            EdgeSamplerKind::Alias,
+            EdgeSamplerKind::Direct,
+            EdgeSamplerKind::Rejection,
+            EdgeSamplerKind::KnightKing,
+            EdgeSamplerKind::MemoryAware,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::HighWeight { probe: 16 }),
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 }),
+        ];
+        let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the sampler family: every sampler must reproduce
+//! arbitrary target distributions, and the M-H chain must converge to the same
+//! marginal as exact sampling regardless of the initialization strategy.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uninet_sampler::distribution::empirical_distribution;
+use uninet_sampler::kl::kl_divergence;
+use uninet_sampler::{
+    direct_sample, AliasTable, DiscreteDistribution, InitStrategy, MhChain, OutlierFoldingSampler,
+    RejectionSampler,
+};
+
+/// Strategy producing a random unnormalized weight vector.
+fn weight_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.1f32..10.0, 2..24)
+}
+
+fn normalized(weights: &[f32]) -> Vec<f64> {
+    let total: f64 = weights.iter().map(|&w| w as f64).sum();
+    weights.iter().map(|&w| w as f64 / total).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn alias_matches_target(weights in weight_vec(), seed in 0u64..1000) {
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 60_000;
+        let samples: Vec<usize> = (0..draws).map(|_| table.sample(&mut rng)).collect();
+        let empirical = empirical_distribution(&samples, weights.len());
+        let kl = kl_divergence(&empirical, &normalized(&weights));
+        prop_assert!(kl < 0.01, "alias KL divergence too large: {kl}");
+    }
+
+    #[test]
+    fn direct_matches_target(weights in weight_vec(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 60_000;
+        let samples: Vec<usize> =
+            (0..draws).map(|_| direct_sample(&weights, &mut rng).unwrap()).collect();
+        let empirical = empirical_distribution(&samples, weights.len());
+        let kl = kl_divergence(&empirical, &normalized(&weights));
+        prop_assert!(kl < 0.01, "direct KL divergence too large: {kl}");
+    }
+
+    #[test]
+    fn rejection_matches_target(weights in weight_vec(), seed in 0u64..1000) {
+        // Static proposal = uniform, bound = max weight.
+        let bound = weights.iter().cloned().fold(0.0f32, f32::max);
+        let proposal = vec![1.0f32; weights.len()];
+        let sampler = RejectionSampler::new(&proposal, bound);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 60_000;
+        let samples: Vec<usize> =
+            (0..draws).map(|_| sampler.sample(|k| weights[k], &mut rng).index).collect();
+        let empirical = empirical_distribution(&samples, weights.len());
+        let kl = kl_divergence(&empirical, &normalized(&weights));
+        prop_assert!(kl < 0.01, "rejection KL divergence too large: {kl}");
+    }
+
+    #[test]
+    fn outlier_folding_matches_target(weights in weight_vec(), outlier in 0usize..24, seed in 0u64..1000) {
+        let outlier = outlier % weights.len();
+        let mut weights = weights;
+        weights[outlier] *= 10.0;
+        let proposal = vec![1.0f32; weights.len()];
+        // Regular bound covers all non-outlier weights.
+        let bound = weights.iter().enumerate()
+            .filter(|(i, _)| *i != outlier)
+            .map(|(_, &w)| w)
+            .fold(0.1f32, f32::max);
+        let sampler = OutlierFoldingSampler::new(&proposal, bound, vec![outlier as u32]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 60_000;
+        let w = weights.clone();
+        let samples: Vec<usize> =
+            (0..draws).map(|_| sampler.sample(|k| w[k], &mut rng).index).collect();
+        let empirical = empirical_distribution(&samples, weights.len());
+        let kl = kl_divergence(&empirical, &normalized(&weights));
+        prop_assert!(kl < 0.01, "folding KL divergence too large: {kl}");
+    }
+
+    #[test]
+    fn mh_chain_converges_for_all_inits(
+        weights in weight_vec(),
+        seed in 0u64..1000,
+        init_choice in 0usize..3,
+    ) {
+        let init = match init_choice {
+            0 => InitStrategy::Random,
+            1 => InitStrategy::high_weight_exact(),
+            _ => InitStrategy::BurnIn { iterations: 30 },
+        };
+        let mut chain = MhChain::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wf = |k: usize| weights[k];
+        let draws = 200_000;
+        let samples: Vec<usize> =
+            (0..draws).map(|_| chain.step(weights.len(), &wf, init, &mut rng)).collect();
+        let empirical = empirical_distribution(&samples, weights.len());
+        let kl = kl_divergence(&empirical, &normalized(&weights));
+        prop_assert!(kl < 0.02, "M-H KL divergence too large for {init:?}: {kl}");
+    }
+
+    #[test]
+    fn random_shape_distributions_expose_requested_shape(
+        n in 2usize..200,
+        t_frac in 0.01f64..1.0,
+        ratio in 1.0f64..500.0,
+        seed in 0u64..1000,
+    ) {
+        let t = ((n as f64 * t_frac) as usize).clamp(1, n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = DiscreteDistribution::random_with_shape(n, t, ratio, &mut rng);
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.max_prob() >= d.min_prob());
+        let probs = d.probs();
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,353 @@
+//! The parallel random-walk generation engine (Algorithm 2 of the paper).
+//!
+//! Walkers are independent, so the engine shards start nodes across threads
+//! and each thread runs the walk loop with its own RNG; the per-state M-H
+//! chains are shared through the lock-free [`SamplerManager`].
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uninet_graph::{Graph, NodeId};
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+
+use crate::manager::SamplerManager;
+use crate::model::RandomWalkModel;
+use crate::walk::WalkCorpus;
+
+/// Configuration of a walk-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkEngineConfig {
+    /// Number of walks started per node (`K`, paper default 10).
+    pub num_walks: usize,
+    /// Length of each walk in nodes (`L`, paper default 80).
+    pub walk_length: usize,
+    /// Number of worker threads (paper default 16).
+    pub num_threads: usize,
+    /// Seed for the per-thread RNGs.
+    pub seed: u64,
+    /// Which edge sampler to use.
+    pub sampler: EdgeSamplerKind,
+    /// Memory budget for the memory-aware sampler (0 = same as M-H footprint).
+    pub memory_budget_bytes: usize,
+}
+
+impl Default for WalkEngineConfig {
+    fn default() -> Self {
+        WalkEngineConfig {
+            num_walks: 10,
+            walk_length: 80,
+            num_threads: 16,
+            seed: 42,
+            sampler: EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+            memory_budget_bytes: 0,
+        }
+    }
+}
+
+impl WalkEngineConfig {
+    /// Builder-style setter for the number of walks per node.
+    pub fn with_num_walks(mut self, k: usize) -> Self {
+        self.num_walks = k;
+        self
+    }
+    /// Builder-style setter for the walk length.
+    pub fn with_walk_length(mut self, l: usize) -> Self {
+        self.walk_length = l;
+        self
+    }
+    /// Builder-style setter for the thread count.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.num_threads = t.max(1);
+        self
+    }
+    /// Builder-style setter for the sampler strategy.
+    pub fn with_sampler(mut self, s: EdgeSamplerKind) -> Self {
+        self.sampler = s;
+        self
+    }
+    /// Builder-style setter for the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Wall-clock breakdown of one walk-generation run, matching the `Ti` / `Tw`
+/// columns of Table VI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkTiming {
+    /// Sampler-manager construction time (initialization cost `Ti`).
+    pub init: Duration,
+    /// Walking time (`Tw`).
+    pub walk: Duration,
+}
+
+impl WalkTiming {
+    /// Total of initialization and walking time.
+    pub fn total(&self) -> Duration {
+        self.init + self.walk
+    }
+}
+
+/// The walk-generation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkEngine {
+    config: WalkEngineConfig,
+}
+
+impl WalkEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: WalkEngineConfig) -> Self {
+        WalkEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &WalkEngineConfig {
+        &self.config
+    }
+
+    /// Generates the full corpus: `num_walks` walks of `walk_length` nodes
+    /// from every non-isolated node, and reports the timing breakdown.
+    pub fn generate<M: RandomWalkModel + ?Sized>(
+        &self,
+        graph: &Graph,
+        model: &M,
+    ) -> (WalkCorpus, WalkTiming) {
+        let start_nodes: Vec<NodeId> = graph.non_isolated_nodes().collect();
+        self.generate_from(graph, model, &start_nodes)
+    }
+
+    /// Generates walks starting only from `start_nodes`.
+    pub fn generate_from<M: RandomWalkModel + ?Sized>(
+        &self,
+        graph: &Graph,
+        model: &M,
+        start_nodes: &[NodeId],
+    ) -> (WalkCorpus, WalkTiming) {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let manager =
+            SamplerManager::new(graph, model, cfg.sampler, cfg.memory_budget_bytes);
+        let init = t0.elapsed();
+
+        let t1 = Instant::now();
+        let num_threads = cfg.num_threads.max(1).min(start_nodes.len().max(1));
+        let chunk_size = start_nodes.len().div_ceil(num_threads.max(1)).max(1);
+
+        let mut corpus = WalkCorpus::new();
+        if start_nodes.is_empty() {
+            return (corpus, WalkTiming { init, walk: t1.elapsed() });
+        }
+
+        let chunks: Vec<&[NodeId]> = start_nodes.chunks(chunk_size).collect();
+        let manager_ref = &manager;
+        let results: Vec<WalkCorpus> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .enumerate()
+                .map(|(tid, chunk)| {
+                    scope.spawn(move |_| {
+                        let mut rng =
+                            SmallRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        let mut local = WalkCorpus::new();
+                        for &start in chunk.iter() {
+                            for _ in 0..cfg.num_walks {
+                                local.push(walk_once(
+                                    graph,
+                                    model,
+                                    manager_ref,
+                                    start,
+                                    cfg.walk_length,
+                                    &mut rng,
+                                ));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("walker thread panicked")).collect()
+        })
+        .expect("walker scope panicked");
+
+        for part in results {
+            corpus.extend(part);
+        }
+        let walk = t1.elapsed();
+        (corpus, WalkTiming { init, walk })
+    }
+}
+
+/// Runs one walk of at most `length` nodes from `start` (Algorithm 2, lines 5–14).
+fn walk_once<M: RandomWalkModel + ?Sized, R: rand::Rng>(
+    graph: &Graph,
+    model: &M,
+    manager: &SamplerManager,
+    start: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(length);
+    walk.push(start);
+    let mut state = model.initial_state(graph, start);
+    for _ in 1..length {
+        let Some(k) = manager.sample(graph, model, state, rng) else {
+            break;
+        };
+        let edge = graph.edge_ref(state.position, k);
+        state = model.update_state(graph, state, edge);
+        walk.push(edge.dst);
+    }
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{DeepWalk, Edge2Vec, FairWalk, MetaPath2Vec, Node2Vec};
+    use uninet_graph::generators::{heterogenize, rmat, RmatConfig};
+    use uninet_graph::{GraphBuilder, Metapath};
+
+    fn test_graph() -> Graph {
+        rmat(&RmatConfig { num_nodes: 200, num_edges: 1500, weighted: true, seed: 3, ..Default::default() })
+    }
+
+    fn check_walks_are_paths(graph: &Graph, corpus: &WalkCorpus) {
+        for walk in corpus.iter() {
+            assert!(!walk.is_empty());
+            for pair in walk.windows(2) {
+                assert!(
+                    graph.has_edge(pair[0], pair[1]),
+                    "walk contains non-edge {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deepwalk_generates_expected_number_of_walks() {
+        let g = test_graph();
+        let cfg = WalkEngineConfig::default()
+            .with_num_walks(3)
+            .with_walk_length(12)
+            .with_threads(4);
+        let engine = WalkEngine::new(cfg);
+        let (corpus, timing) = engine.generate(&g, &DeepWalk::new());
+        let starts = g.non_isolated_nodes().count();
+        assert_eq!(corpus.num_walks(), 3 * starts);
+        assert!(corpus.mean_length() > 10.0);
+        assert!(timing.total() >= timing.walk);
+        check_walks_are_paths(&g, &corpus);
+    }
+
+    #[test]
+    fn all_models_walk_with_mh_sampler() {
+        let g = heterogenize(&test_graph(), 3, 2, 9);
+        let cfg = WalkEngineConfig::default()
+            .with_num_walks(1)
+            .with_walk_length(10)
+            .with_threads(4);
+        let engine = WalkEngine::new(cfg);
+
+        let deepwalk = DeepWalk::new();
+        let node2vec = Node2Vec::new(0.25, 4.0);
+        let metapath = MetaPath2Vec::new(Metapath::new(vec![0, 1, 2, 1, 0]));
+        let edge2vec = Edge2Vec::uniform(0.25, 0.25, 2);
+        let fairwalk = FairWalk::new(&g, 1.0, 1.0);
+        let models: Vec<&dyn RandomWalkModel> =
+            vec![&deepwalk, &node2vec, &metapath, &edge2vec, &fairwalk];
+        for model in models {
+            let (corpus, _) = engine.generate(&g, model);
+            assert!(corpus.num_walks() > 0, "{} produced no walks", model.name());
+            check_walks_are_paths(&g, &corpus);
+        }
+    }
+
+    #[test]
+    fn walks_are_valid_for_every_sampler_kind() {
+        let g = test_graph();
+        let model = Node2Vec::new(0.5, 2.0);
+        for kind in [
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 10 }),
+            EdgeSamplerKind::Alias,
+            EdgeSamplerKind::Direct,
+            EdgeSamplerKind::Rejection,
+            EdgeSamplerKind::KnightKing,
+            EdgeSamplerKind::MemoryAware,
+        ] {
+            let cfg = WalkEngineConfig::default()
+                .with_num_walks(1)
+                .with_walk_length(8)
+                .with_threads(2)
+                .with_sampler(kind);
+            let (corpus, timing) = WalkEngine::new(cfg).generate(&g, &model);
+            check_walks_are_paths(&g, &corpus);
+            assert!(timing.init >= Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn metapath_walks_alternate_types() {
+        let g = heterogenize(&test_graph(), 2, 1, 5);
+        let model = MetaPath2Vec::new(Metapath::new(vec![0, 1, 0]));
+        let cfg = WalkEngineConfig::default().with_num_walks(2).with_walk_length(10).with_threads(2);
+        let (corpus, _) = WalkEngine::new(cfg).generate(&g, &model);
+        let mut checked = 0;
+        for walk in corpus.iter() {
+            // Only start nodes of type 0 follow the A-B-A-B pattern from position 0.
+            if g.node_type(walk[0]) != 0 {
+                continue;
+            }
+            for (i, &v) in walk.iter().enumerate() {
+                assert_eq!(g.node_type(v) as usize, i % 2, "walk {walk:?} breaks the metapath");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn walk_from_subset_of_nodes() {
+        let g = test_graph();
+        let engine = WalkEngine::new(
+            WalkEngineConfig::default().with_num_walks(2).with_walk_length(5).with_threads(2),
+        );
+        let starts = vec![0u32, 1, 2, 3];
+        let (corpus, _) = engine.generate_from(&g, &DeepWalk::new(), &starts);
+        assert_eq!(corpus.num_walks(), 8);
+        for walk in corpus.iter() {
+            assert!(starts.contains(&walk[0]));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_single_thread() {
+        let g = test_graph();
+        let cfg = WalkEngineConfig::default()
+            .with_num_walks(2)
+            .with_walk_length(10)
+            .with_threads(1)
+            .with_seed(123);
+        let (a, _) = WalkEngine::new(cfg).generate(&g, &DeepWalk::new());
+        let (b, _) = WalkEngine::new(cfg).generate(&g, &DeepWalk::new());
+        assert_eq!(a.walks(), b.walks());
+    }
+
+    #[test]
+    fn isolated_start_gives_single_node_walk() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.set_num_nodes(3);
+        let g = b.symmetric(true).build();
+        let engine = WalkEngine::new(WalkEngineConfig::default().with_num_walks(1).with_walk_length(5));
+        let (corpus, _) = engine.generate_from(&g, &DeepWalk::new(), &[2]);
+        assert_eq!(corpus.num_walks(), 1);
+        assert_eq!(corpus.walks()[0], vec![2]);
+    }
+}

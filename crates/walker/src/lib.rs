@@ -1,0 +1,33 @@
+//! # uninet-walker
+//!
+//! The unified random-walk model abstraction of UniNet (Section IV of the
+//! paper) and the machinery that executes walks at scale:
+//!
+//! * [`WalkerState`] — the 2D (position, affixture) decomposition of walker
+//!   states used by the sampler manager's constant-time index (Figure 4).
+//! * [`RandomWalkModel`] — the two-method programming interface
+//!   (`calculate_weight` / `update_state`) with which any random-walk based
+//!   NRL model is defined (Figure 3, Table IV).
+//! * [`models`] — the five built-in models: DeepWalk, node2vec,
+//!   metapath2vec, edge2vec and fairwalk.
+//! * [`SamplerManager`] — per-state edge samplers laid out in the 2D bucket
+//!   index; supports the M-H sampler as well as every baseline sampler
+//!   (alias, direct, rejection, KnightKing-style, memory-aware).
+//! * [`WalkEngine`] — multi-threaded random walk generation (Algorithm 2),
+//!   with separately reported initialization and walking time.
+
+pub mod engine;
+pub mod manager;
+pub mod model;
+pub mod models;
+pub mod state;
+pub mod walk;
+
+pub use engine::{WalkEngine, WalkEngineConfig, WalkTiming};
+pub use manager::SamplerManager;
+pub use model::RandomWalkModel;
+pub use models::{DeepWalk, Edge2Vec, FairWalk, MetaPath2Vec, Node2Vec};
+pub use state::WalkerState;
+pub use walk::WalkCorpus;
+
+pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};

@@ -1,0 +1,89 @@
+//! DeepWalk (Perozzi et al., KDD'14): first-order random walks whose
+//! transition probability is proportional to the static edge weight (Eq. 1).
+
+use uninet_graph::{EdgeRef, Graph, NodeId};
+
+use crate::model::RandomWalkModel;
+use crate::state::WalkerState;
+
+/// The DeepWalk random-walk model. The walker state is just the current node,
+/// so there are `|V|` states in total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepWalk;
+
+impl DeepWalk {
+    /// Creates the model.
+    pub fn new() -> Self {
+        DeepWalk
+    }
+}
+
+impl RandomWalkModel for DeepWalk {
+    fn name(&self) -> &'static str {
+        "deepwalk"
+    }
+
+    #[inline]
+    fn calculate_weight(&self, _graph: &Graph, _state: WalkerState, next: EdgeRef) -> f32 {
+        next.weight
+    }
+
+    #[inline]
+    fn update_state(&self, _graph: &Graph, _state: WalkerState, next: EdgeRef) -> WalkerState {
+        WalkerState::at(next.dst)
+    }
+
+    fn initial_state(&self, _graph: &Graph, start: NodeId) -> WalkerState {
+        WalkerState::at(start)
+    }
+
+    fn bucket_size(&self, _graph: &Graph, _v: NodeId) -> usize {
+        1
+    }
+
+    fn is_second_order(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    fn weighted_star() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(0, 3, 3.0);
+        b.symmetric(true).build()
+    }
+
+    #[test]
+    fn weight_equals_static_weight() {
+        let g = weighted_star();
+        let m = DeepWalk::new();
+        let state = WalkerState::at(0);
+        for (k, e) in g.edges_of(0).enumerate() {
+            assert_eq!(m.calculate_weight(&g, state, e), g.weight_at(0, k));
+        }
+    }
+
+    #[test]
+    fn state_is_just_the_destination() {
+        let g = weighted_star();
+        let m = DeepWalk::new();
+        let e = g.edge_ref(0, 1);
+        let s = m.update_state(&g, WalkerState::at(0), e);
+        assert_eq!(s, WalkerState::at(e.dst));
+    }
+
+    #[test]
+    fn num_states_is_v() {
+        let g = weighted_star();
+        let m = DeepWalk::new();
+        assert_eq!(m.num_states(&g), g.num_nodes());
+        assert!(!m.is_second_order());
+        assert_eq!(m.name(), "deepwalk");
+    }
+}

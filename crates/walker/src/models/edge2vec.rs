@@ -1,0 +1,184 @@
+//! edge2vec (Gao et al., BMC Bioinformatics'19): node2vec-style second-order
+//! walks over heterogeneous networks, additionally biased by an edge-type
+//! transition matrix `M` (Eq. 3).
+
+use uninet_graph::{EdgeRef, Graph, NodeId};
+
+use crate::model::RandomWalkModel;
+use crate::models::{node2vec_alpha, previous_node, second_order_initial, second_order_update};
+use crate::state::WalkerState;
+
+/// The edge2vec random-walk model.
+///
+/// The dynamic weight of a candidate edge `(v, u)` is
+/// `α_u · M[Φ(s,v)][Φ(v,u)] · w_{vu}` where `Φ(s,v)` is the type of the edge
+/// the walker just traversed. The state is the previous edge `(s, v)` (same
+/// 2D layout as node2vec: affixture = local index of `s` in `N(v)`).
+#[derive(Debug, Clone)]
+pub struct Edge2Vec {
+    /// Return parameter `p` (as in node2vec).
+    pub p: f32,
+    /// In-out parameter `q` (as in node2vec).
+    pub q: f32,
+    /// Row-major `num_edge_types x num_edge_types` transition matrix `M`.
+    matrix: Vec<f32>,
+    num_edge_types: usize,
+}
+
+impl Edge2Vec {
+    /// Creates an edge2vec model with a uniform (all-ones) transition matrix.
+    pub fn uniform(p: f32, q: f32, num_edge_types: usize) -> Self {
+        Self::new(p, q, vec![1.0; num_edge_types * num_edge_types], num_edge_types)
+    }
+
+    /// Creates an edge2vec model with an explicit edge-type transition matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `num_edge_types²` long, contains negative
+    /// entries, or `p`/`q` are not positive.
+    pub fn new(p: f32, q: f32, matrix: Vec<f32>, num_edge_types: usize) -> Self {
+        assert!(p > 0.0 && q > 0.0, "edge2vec parameters must be positive");
+        assert_eq!(matrix.len(), num_edge_types * num_edge_types, "matrix shape mismatch");
+        assert!(matrix.iter().all(|&m| m >= 0.0), "matrix entries must be non-negative");
+        Edge2Vec { p, q, matrix, num_edge_types }
+    }
+
+    /// The transition factor `M[from][to]`; untyped edges (`u16::MAX`) get 1.0.
+    #[inline]
+    pub fn transition(&self, from: u16, to: u16) -> f32 {
+        if from == u16::MAX || to == u16::MAX || self.num_edge_types == 0 {
+            return 1.0;
+        }
+        let (from, to) = (from as usize, to as usize);
+        if from >= self.num_edge_types || to >= self.num_edge_types {
+            return 1.0;
+        }
+        self.matrix[from * self.num_edge_types + to]
+    }
+
+    /// Largest entry of the transition matrix (used for rejection bounds).
+    fn max_transition(&self) -> f32 {
+        self.matrix.iter().cloned().fold(1.0f32, f32::max)
+    }
+}
+
+impl RandomWalkModel for Edge2Vec {
+    fn name(&self) -> &'static str {
+        "edge2vec"
+    }
+
+    #[inline]
+    fn calculate_weight(&self, graph: &Graph, state: WalkerState, next: EdgeRef) -> f32 {
+        let prev = previous_node(graph, state);
+        // Type of the edge the walker arrived through: (v, s) mirrors (s, v).
+        let prev_edge_type = graph.edge_type_at(state.position, state.affixture as usize);
+        let next_edge_type = graph.edge_type_at(next.src, next.local_idx as usize);
+        let alpha = node2vec_alpha(graph, prev, next.dst, self.p, self.q);
+        alpha * self.transition(prev_edge_type, next_edge_type) * next.weight
+    }
+
+    #[inline]
+    fn update_state(&self, graph: &Graph, _state: WalkerState, next: EdgeRef) -> WalkerState {
+        second_order_update(graph, next)
+    }
+
+    fn initial_state(&self, graph: &Graph, start: NodeId) -> WalkerState {
+        second_order_initial(graph, start)
+    }
+
+    fn bucket_size(&self, graph: &Graph, v: NodeId) -> usize {
+        graph.degree(v).max(1)
+    }
+
+    fn rejection_bound(&self, _graph: &Graph, _state: WalkerState) -> f32 {
+        (1.0f32).max(1.0 / self.p).max(1.0 / self.q) * self.max_transition()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    /// Triangle 0-1-2 plus pendant 3 on node 2, with two edge types.
+    fn typed_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_typed_edge(0, 1, 1.0, 0);
+        b.add_typed_edge(1, 2, 1.0, 1);
+        b.add_typed_edge(0, 2, 1.0, 0);
+        b.add_typed_edge(2, 3, 1.0, 1);
+        b.set_node_types(vec![0, 0, 1, 1]);
+        b.symmetric(true).build()
+    }
+
+    fn state_after(graph: &Graph, s: u32, v: u32) -> WalkerState {
+        WalkerState::new(v, graph.find_neighbor(v, s).unwrap() as u32)
+    }
+
+    #[test]
+    fn uniform_matrix_reduces_to_node2vec() {
+        let g = typed_graph();
+        let e2v = Edge2Vec::uniform(0.5, 2.0, 2);
+        let n2v = crate::models::Node2Vec::new(0.5, 2.0);
+        let state = state_after(&g, 1, 2);
+        for e in g.edges_of(2) {
+            assert!(
+                (e2v.calculate_weight(&g, state, e) - n2v.calculate_weight(&g, state, e)).abs()
+                    < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_biases_edge_type_transitions() {
+        let g = typed_graph();
+        // Strongly prefer staying on the same edge type.
+        let matrix = vec![
+            10.0, 0.1, // from type 0
+            0.1, 10.0, // from type 1
+        ];
+        let m = Edge2Vec::new(1.0, 1.0, matrix, 2);
+        // Walker arrived 1 -> 2 over a type-1 edge.
+        let state = state_after(&g, 1, 2);
+        let to_3 = g.edge_ref(2, g.find_neighbor(2, 3).unwrap()); // type 1
+        let to_0 = g.edge_ref(2, g.find_neighbor(2, 0).unwrap()); // type 0
+        let w_same = m.calculate_weight(&g, state, to_3);
+        let w_diff = m.calculate_weight(&g, state, to_0);
+        assert!(w_same > 50.0 * w_diff, "same {w_same} diff {w_diff}");
+    }
+
+    #[test]
+    fn transition_handles_untyped_and_out_of_range() {
+        let m = Edge2Vec::uniform(1.0, 1.0, 2);
+        assert_eq!(m.transition(u16::MAX, 0), 1.0);
+        assert_eq!(m.transition(0, u16::MAX), 1.0);
+        assert_eq!(m.transition(5, 0), 1.0);
+    }
+
+    #[test]
+    fn rejection_bound_covers_weights() {
+        let g = typed_graph();
+        let matrix = vec![2.0, 0.5, 0.5, 3.0];
+        let m = Edge2Vec::new(0.25, 2.0, matrix, 2);
+        let state = state_after(&g, 0, 2);
+        let bound = m.rejection_bound(&g, state);
+        for e in g.edges_of(2) {
+            assert!(m.calculate_weight(&g, state, e) <= bound * e.weight + 1e-6);
+        }
+    }
+
+    #[test]
+    fn num_states_is_e() {
+        let g = typed_graph();
+        let m = Edge2Vec::uniform(1.0, 1.0, 2);
+        assert_eq!(m.num_states(&g), g.num_edges());
+        assert_eq!(m.name(), "edge2vec");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_matrix_shape_panics() {
+        let _ = Edge2Vec::new(1.0, 1.0, vec![1.0; 3], 2);
+    }
+}

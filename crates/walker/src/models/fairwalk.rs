@@ -1,0 +1,188 @@
+//! fairwalk (Rahman et al., IJCAI'19): node2vec-style walks that first pick a
+//! neighbor *type group* uniformly and then sample inside the group, removing
+//! the bias caused by majority attributes (Eq. 5 / Table IV).
+
+use uninet_graph::{EdgeRef, Graph, NodeId};
+
+use crate::model::RandomWalkModel;
+use crate::models::{node2vec_alpha, previous_node, second_order_initial, second_order_update};
+use crate::state::WalkerState;
+
+/// The fairwalk random-walk model.
+///
+/// Following Table IV, the unnormalized dynamic weight of a candidate edge
+/// `(v, u)` is `α_u · w_{vu} / |K|` where `K = {k ∈ N(v) : Φ(k) = Φ(u)}` — the
+/// division by the group size equalizes the total mass given to each node-type
+/// group. Per-node group sizes are precomputed at model construction so the
+/// hot path stays `O(log deg)` like node2vec.
+#[derive(Debug, Clone)]
+pub struct FairWalk {
+    /// Return parameter `p`.
+    pub p: f32,
+    /// In-out parameter `q`.
+    pub q: f32,
+    /// `group_size[v * num_types + t]` = number of neighbors of `v` with type `t`.
+    group_size: Vec<u32>,
+    num_types: usize,
+}
+
+impl FairWalk {
+    /// Creates a fairwalk model, precomputing per-node neighbor type counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is not strictly positive.
+    pub fn new(graph: &Graph, p: f32, q: f32) -> Self {
+        assert!(p > 0.0 && q > 0.0, "fairwalk parameters must be positive");
+        let num_types = graph.num_node_types() as usize;
+        let n = graph.num_nodes();
+        let mut group_size = vec![0u32; n * num_types];
+        for v in 0..n as NodeId {
+            for &u in graph.neighbors(v) {
+                group_size[v as usize * num_types + graph.node_type(u) as usize] += 1;
+            }
+        }
+        FairWalk { p, q, group_size, num_types }
+    }
+
+    /// Number of neighbors of `v` sharing the node type `t`.
+    #[inline]
+    pub fn neighbors_of_type(&self, v: NodeId, t: u16) -> u32 {
+        self.group_size[v as usize * self.num_types + t as usize]
+    }
+}
+
+impl RandomWalkModel for FairWalk {
+    fn name(&self) -> &'static str {
+        "fairwalk"
+    }
+
+    #[inline]
+    fn calculate_weight(&self, graph: &Graph, state: WalkerState, next: EdgeRef) -> f32 {
+        let prev = previous_node(graph, state);
+        let alpha = node2vec_alpha(graph, prev, next.dst, self.p, self.q);
+        let group = self.neighbors_of_type(state.position, graph.node_type(next.dst)).max(1);
+        alpha * next.weight / group as f32
+    }
+
+    #[inline]
+    fn update_state(&self, graph: &Graph, _state: WalkerState, next: EdgeRef) -> WalkerState {
+        second_order_update(graph, next)
+    }
+
+    fn initial_state(&self, graph: &Graph, start: NodeId) -> WalkerState {
+        second_order_initial(graph, start)
+    }
+
+    fn bucket_size(&self, graph: &Graph, v: NodeId) -> usize {
+        graph.degree(v).max(1)
+    }
+
+    fn rejection_bound(&self, _graph: &Graph, _state: WalkerState) -> f32 {
+        // α ≤ max(1, 1/p, 1/q) and the group divisor is at least 1.
+        (1.0f32).max(1.0 / self.p).max(1.0 / self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    /// Node 0 is connected to three type-1 nodes (1,2,3) and one type-2 node (4),
+    /// plus node 5 (type 0) from which the walker arrived.
+    fn attributed_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for dst in 1u32..=5 {
+            b.add_edge(0, dst, 1.0);
+        }
+        // Ring among the leaves so distance-1 cases exist.
+        b.add_edge(1, 2, 1.0);
+        b.set_node_types(vec![0, 1, 1, 1, 2, 0]);
+        b.symmetric(true).build()
+    }
+
+    fn state_after(graph: &Graph, s: u32, v: u32) -> WalkerState {
+        WalkerState::new(v, graph.find_neighbor(v, s).unwrap() as u32)
+    }
+
+    #[test]
+    fn group_sizes_are_counted() {
+        let g = attributed_graph();
+        let m = FairWalk::new(&g, 1.0, 1.0);
+        assert_eq!(m.neighbors_of_type(0, 1), 3);
+        assert_eq!(m.neighbors_of_type(0, 2), 1);
+        assert_eq!(m.neighbors_of_type(0, 0), 1);
+    }
+
+    #[test]
+    fn minority_type_gets_equal_group_mass() {
+        let g = attributed_graph();
+        let m = FairWalk::new(&g, 1.0, 1.0);
+        let state = state_after(&g, 5, 0);
+        // Sum of dynamic weights per type group must be equal (each group's
+        // total is 1.0 with unit static weights and α = 1 away from prev).
+        let mut mass_type1 = 0.0;
+        let mut mass_type2 = 0.0;
+        for e in g.edges_of(0) {
+            if e.dst == 5 {
+                continue; // return edge has a different α
+            }
+            let w = m.calculate_weight(&g, state, e);
+            match g.node_type(e.dst) {
+                1 => mass_type1 += w,
+                2 => mass_type2 += w,
+                _ => {}
+            }
+        }
+        assert!((mass_type1 - mass_type2).abs() < 1e-6, "{mass_type1} vs {mass_type2}");
+    }
+
+    #[test]
+    fn alpha_still_applies() {
+        let g = attributed_graph();
+        let m = FairWalk::new(&g, 0.5, 1.0);
+        let state = state_after(&g, 5, 0);
+        let back = g.edge_ref(0, g.find_neighbor(0, 5).unwrap());
+        // Return edge: α = 1/p = 2, group of type-0 neighbors of node 0 is {5} → size 1.
+        assert!((m.calculate_weight(&g, state, back) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn homogeneous_graph_reduces_to_scaled_node2vec() {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let g = b.symmetric(true).build();
+        let fw = FairWalk::new(&g, 1.0, 1.0);
+        let n2v = crate::models::Node2Vec::new(1.0, 1.0);
+        let state = state_after(&g, 0, 2);
+        let deg = g.degree(2) as f32;
+        for e in g.edges_of(2) {
+            // single type group = whole neighborhood, so fairwalk = node2vec / deg
+            let expected = n2v.calculate_weight(&g, state, e) / deg;
+            assert!((fw.calculate_weight(&g, state, e) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bound_and_states() {
+        let g = attributed_graph();
+        let m = FairWalk::new(&g, 0.25, 2.0);
+        let state = state_after(&g, 5, 0);
+        let bound = m.rejection_bound(&g, state);
+        for e in g.edges_of(0) {
+            assert!(m.calculate_weight(&g, state, e) <= bound * e.weight + 1e-6);
+        }
+        assert_eq!(m.num_states(&g), g.num_edges());
+        assert_eq!(m.name(), "fairwalk");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_parameters_panic() {
+        let g = attributed_graph();
+        let _ = FairWalk::new(&g, 1.0, -1.0);
+    }
+}

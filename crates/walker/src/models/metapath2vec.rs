@@ -1,0 +1,189 @@
+//! metapath2vec (Dong et al., KDD'17): metapath-guided random walks over
+//! heterogeneous networks (Eq. 4).
+
+use uninet_graph::{EdgeRef, Graph, Metapath, NodeId};
+
+use crate::model::RandomWalkModel;
+use crate::state::WalkerState;
+
+/// The metapath2vec random-walk model.
+///
+/// The walker state is `(T, v)` where `T` is the node type the *next* node
+/// must match according to the metapath. In the 2D layout the affixture is the
+/// walker's current position inside the metapath cycle, from which `T`
+/// follows; the bucket size is therefore the metapath cycle length.
+#[derive(Debug, Clone)]
+pub struct MetaPath2Vec {
+    metapath: Metapath,
+}
+
+impl MetaPath2Vec {
+    /// Creates the model from a metapath (e.g. Author–Paper–Author = `[0,1,0]`).
+    pub fn new(metapath: Metapath) -> Self {
+        MetaPath2Vec { metapath }
+    }
+
+    /// The guiding metapath.
+    pub fn metapath(&self) -> &Metapath {
+        &self.metapath
+    }
+
+    /// Number of distinct metapath positions (the bucket size).
+    fn cycle_len(&self) -> usize {
+        let types = self.metapath.types();
+        if types[0] == types[types.len() - 1] {
+            types.len() - 1
+        } else {
+            types.len()
+        }
+    }
+
+    /// The node type required for the next step given the current metapath position.
+    #[inline]
+    fn required_type(&self, affixture: u32) -> u16 {
+        self.metapath.next_type(affixture as usize)
+    }
+
+    /// Finds the metapath position whose type matches `node_type`, preferring
+    /// position 0. Used to start walks on nodes of any type.
+    fn position_for_type(&self, node_type: u16) -> u32 {
+        for pos in 0..self.cycle_len() {
+            if self.metapath.type_at(pos) == node_type {
+                return pos as u32;
+            }
+        }
+        0
+    }
+}
+
+impl RandomWalkModel for MetaPath2Vec {
+    fn name(&self) -> &'static str {
+        "metapath2vec"
+    }
+
+    #[inline]
+    fn calculate_weight(&self, graph: &Graph, state: WalkerState, next: EdgeRef) -> f32 {
+        if graph.node_type(next.dst) == self.required_type(state.affixture) {
+            next.weight
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn update_state(&self, _graph: &Graph, state: WalkerState, next: EdgeRef) -> WalkerState {
+        WalkerState::new(next.dst, (state.affixture + 1) % self.cycle_len() as u32)
+    }
+
+    fn initial_state(&self, graph: &Graph, start: NodeId) -> WalkerState {
+        WalkerState::new(start, self.position_for_type(graph.node_type(start)))
+    }
+
+    fn bucket_size(&self, _graph: &Graph, _v: NodeId) -> usize {
+        self.cycle_len()
+    }
+
+    fn is_second_order(&self) -> bool {
+        // The distribution depends on the metapath position, not only on the
+        // current node, so per-node precomputation alone is insufficient.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    /// A tiny bipartite-ish academic graph:
+    /// authors {0,1} (type 0), papers {2,3} (type 1), venue {4} (type 2).
+    fn academic_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0u32, 2u32), (0, 3), (1, 2), (2, 4), (3, 4)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.set_node_types(vec![0, 0, 1, 1, 2]);
+        b.symmetric(true).build()
+    }
+
+    fn apa() -> MetaPath2Vec {
+        MetaPath2Vec::new(Metapath::new(vec![0, 1, 0]))
+    }
+
+    #[test]
+    fn weight_is_zero_for_wrong_type() {
+        let g = academic_graph();
+        let m = apa();
+        // Walker starts on author 0 (metapath position 0, next type must be paper=1).
+        let state = m.initial_state(&g, 0);
+        for e in g.edges_of(0) {
+            let w = m.calculate_weight(&g, state, e);
+            if g.node_type(e.dst) == 1 {
+                assert_eq!(w, e.weight);
+            } else {
+                assert_eq!(w, 0.0);
+            }
+        }
+        // From paper 2 at metapath position 1, the next node must be an author.
+        let state2 = WalkerState::new(2, 1);
+        let to_venue = g.edge_ref(2, g.find_neighbor(2, 4).unwrap());
+        let to_author = g.edge_ref(2, g.find_neighbor(2, 0).unwrap());
+        assert_eq!(m.calculate_weight(&g, state2, to_venue), 0.0);
+        assert_eq!(m.calculate_weight(&g, state2, to_author), 1.0);
+    }
+
+    #[test]
+    fn update_state_advances_metapath_position() {
+        let g = academic_graph();
+        let m = apa();
+        let s0 = m.initial_state(&g, 0);
+        assert_eq!(s0.affixture, 0);
+        let next = g.edge_ref(0, g.find_neighbor(0, 2).unwrap());
+        let s1 = m.update_state(&g, s0, next);
+        assert_eq!(s1.position, 2);
+        assert_eq!(s1.affixture, 1);
+        let back = g.edge_ref(2, g.find_neighbor(2, 1).unwrap());
+        let s2 = m.update_state(&g, s1, back);
+        assert_eq!(s2.position, 1);
+        assert_eq!(s2.affixture, 0, "APA cycle wraps back to position 0");
+    }
+
+    #[test]
+    fn initial_state_matches_node_type() {
+        let g = academic_graph();
+        let m = apa();
+        // A paper node starts at metapath position 1 (the paper slot).
+        let s = m.initial_state(&g, 3);
+        assert_eq!(s.affixture, 1);
+        // A venue node has no slot in APA; fall back to position 0.
+        let s_venue = m.initial_state(&g, 4);
+        assert_eq!(s_venue.affixture, 0);
+    }
+
+    #[test]
+    fn bucket_size_and_num_states() {
+        let g = academic_graph();
+        let m = apa();
+        assert_eq!(m.bucket_size(&g, 0), 2);
+        assert_eq!(m.num_states(&g), 2 * g.num_nodes());
+        assert_eq!(m.name(), "metapath2vec");
+        assert_eq!(m.metapath().types(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn longer_metapath_cycles() {
+        let g = academic_graph();
+        // Author - Paper - Venue - Paper - Author
+        let m = MetaPath2Vec::new(Metapath::new(vec![0, 1, 2, 1, 0]));
+        assert_eq!(m.bucket_size(&g, 0), 4);
+        let mut state = m.initial_state(&g, 0);
+        // follow 0 -> 2 -> 4 -> 3 -> 0 and check the type constraint holds at each hop
+        for &(cur, nxt) in &[(0u32, 2u32), (2, 4), (4, 3), (3, 0)] {
+            let e = g.edge_ref(cur, g.find_neighbor(cur, nxt).unwrap());
+            assert!(m.calculate_weight(&g, state, e) > 0.0, "step {cur}->{nxt} blocked");
+            state = m.update_state(&g, state, e);
+        }
+        assert_eq!(state.position, 0);
+        assert_eq!(state.affixture, 0);
+    }
+}

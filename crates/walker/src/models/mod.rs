@@ -1,0 +1,122 @@
+//! The five built-in random-walk based NRL models of Table I / Table IV.
+//!
+//! | Model | State `x` | Dynamic weight of edge `(v, u)` |
+//! |---|---|---|
+//! | DeepWalk | `v` | `w_{vu}` |
+//! | node2vec | `(s, v)` | `α · w_{vu}` |
+//! | edge2vec | `(s, v)` | `α · M_{Φ(s,v),Φ(v,u)} · w_{vu}` |
+//! | fairwalk | `(s, v)` | `α · w_{vu} / |K|`, `k ∈ K ⇔ Φ(k) = Φ(u)` |
+//! | metapath2vec | `(T, v)` | `w_{vu}` if `Φ(u) = T`, else 0 |
+//!
+//! Each model only implements [`crate::RandomWalkModel::calculate_weight`] and
+//! [`crate::RandomWalkModel::update_state`] (plus layout hints); everything
+//! else — sampling, parallelism, state management — is provided by the
+//! framework, exactly as advertised by the paper's unified abstraction.
+
+mod deepwalk;
+mod edge2vec;
+mod fairwalk;
+mod metapath2vec;
+mod node2vec;
+
+pub use deepwalk::DeepWalk;
+pub use edge2vec::Edge2Vec;
+pub use fairwalk::FairWalk;
+pub use metapath2vec::MetaPath2Vec;
+pub use node2vec::Node2Vec;
+
+use uninet_graph::{EdgeRef, Graph, NodeId};
+
+use crate::state::WalkerState;
+
+/// Computes the node2vec bias factor `α_u` for a candidate edge `(v, u)` given
+/// the previous node `s` (Eq. 2 of the paper):
+///
+/// * `1/p` if `u == s` (distance 0 — returning),
+/// * `1`   if `u` is a neighbor of `s` (distance 1),
+/// * `1/q` otherwise (distance 2 — exploring outward).
+///
+/// The `d(u,s) == 1` test is a binary search over `s`'s adjacency list, which
+/// is the `O(log deg)` term in the paper's complexity analysis.
+#[inline]
+pub(crate) fn node2vec_alpha(graph: &Graph, prev: NodeId, candidate: NodeId, p: f32, q: f32) -> f32 {
+    if candidate == prev {
+        1.0 / p
+    } else if graph.has_edge(prev, candidate) {
+        1.0
+    } else {
+        1.0 / q
+    }
+}
+
+/// Resolves the previous node `s` encoded in a second-order walker state:
+/// the affixture is the local index of `s` inside `N(position)`.
+#[inline]
+pub(crate) fn previous_node(graph: &Graph, state: WalkerState) -> NodeId {
+    graph.neighbor_at(state.position, state.affixture as usize)
+}
+
+/// Builds the follow-up state after traversing `next` for second-order models:
+/// the new position is `next.dst` and the new affixture is the local index of
+/// `next.src` inside `next.dst`'s adjacency list (falling back to 0 if the
+/// reverse edge is missing, which only happens on directed inputs).
+#[inline]
+pub(crate) fn second_order_update(graph: &Graph, next: EdgeRef) -> WalkerState {
+    let affixture = graph.find_neighbor(next.dst, next.src).unwrap_or(0) as u32;
+    WalkerState::new(next.dst, affixture)
+}
+
+/// Initial state for second-order models: the walker "pretends" it arrived
+/// from its own first neighbor (affixture 0), matching the reference
+/// implementations that draw the first step from the static distribution.
+#[inline]
+pub(crate) fn second_order_initial(graph: &Graph, start: NodeId) -> WalkerState {
+    let _ = graph;
+    WalkerState::new(start, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    fn square_with_diagonal() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.symmetric(true).build()
+    }
+
+    #[test]
+    fn alpha_cases() {
+        let g = square_with_diagonal();
+        let (p, q) = (0.25, 4.0);
+        // return to the previous node
+        assert_eq!(node2vec_alpha(&g, 1, 1, p, q), 4.0);
+        // candidate adjacent to previous node (distance 1): 0 and 1 are adjacent
+        assert_eq!(node2vec_alpha(&g, 1, 0, p, q), 1.0);
+        // candidate not adjacent to previous node (distance 2): 1 and 3 are not adjacent
+        assert_eq!(node2vec_alpha(&g, 1, 3, p, q), 0.25);
+    }
+
+    #[test]
+    fn second_order_update_finds_back_edge() {
+        let g = square_with_diagonal();
+        // Walker moves along edge (0 -> 2); new state position = 2, affixture = index of 0 in N(2).
+        let e = g.edge_ref(0, g.find_neighbor(0, 2).unwrap());
+        let s = second_order_update(&g, e);
+        assert_eq!(s.position, 2);
+        assert_eq!(g.neighbor_at(2, s.affixture as usize), 0);
+        assert_eq!(previous_node(&g, s), 0);
+    }
+
+    #[test]
+    fn second_order_initial_state() {
+        let g = square_with_diagonal();
+        let s = second_order_initial(&g, 3);
+        assert_eq!(s.position, 3);
+        assert_eq!(s.affixture, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! node2vec (Grover & Leskovec, KDD'16): second-order biased random walks
+//! controlled by the return parameter `p` and the in-out parameter `q` (Eq. 2).
+
+use uninet_graph::{EdgeRef, Graph, NodeId};
+
+use crate::model::RandomWalkModel;
+use crate::models::{node2vec_alpha, previous_node, second_order_initial, second_order_update};
+use crate::state::WalkerState;
+
+/// The node2vec random-walk model.
+///
+/// The walker state is the previously traversed edge `(s, v)`, giving `|E|`
+/// states; the dynamic weight of a candidate edge `(v, u)` is `α_u · w_{vu}`
+/// with `α` defined by the distance between `u` and `s`.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2Vec {
+    /// Return parameter `p`: small values keep the walk local.
+    pub p: f32,
+    /// In-out parameter `q`: small values push the walk outward.
+    pub q: f32,
+}
+
+impl Default for Node2Vec {
+    fn default() -> Self {
+        Node2Vec { p: 1.0, q: 1.0 }
+    }
+}
+
+impl Node2Vec {
+    /// Creates a node2vec model with the given hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is not strictly positive.
+    pub fn new(p: f32, q: f32) -> Self {
+        assert!(p > 0.0 && q > 0.0, "node2vec parameters must be positive");
+        Node2Vec { p, q }
+    }
+
+    /// The maximum possible value of the bias factor α.
+    fn max_alpha(&self) -> f32 {
+        (1.0f32).max(1.0 / self.p).max(1.0 / self.q)
+    }
+}
+
+impl RandomWalkModel for Node2Vec {
+    fn name(&self) -> &'static str {
+        "node2vec"
+    }
+
+    #[inline]
+    fn calculate_weight(&self, graph: &Graph, state: WalkerState, next: EdgeRef) -> f32 {
+        let prev = previous_node(graph, state);
+        node2vec_alpha(graph, prev, next.dst, self.p, self.q) * next.weight
+    }
+
+    #[inline]
+    fn update_state(&self, graph: &Graph, _state: WalkerState, next: EdgeRef) -> WalkerState {
+        second_order_update(graph, next)
+    }
+
+    fn initial_state(&self, graph: &Graph, start: NodeId) -> WalkerState {
+        second_order_initial(graph, start)
+    }
+
+    fn bucket_size(&self, graph: &Graph, v: NodeId) -> usize {
+        graph.degree(v).max(1)
+    }
+
+    fn rejection_bound(&self, _graph: &Graph, _state: WalkerState) -> f32 {
+        self.max_alpha()
+    }
+
+    fn outliers(&self, graph: &Graph, state: WalkerState) -> Vec<u32> {
+        // The only neighbor whose α can exceed max(1, 1/q) is the return edge
+        // (α = 1/p); fold it out when p gives it an outsized factor.
+        if 1.0 / self.p > (1.0f32).max(1.0 / self.q) {
+            let prev = previous_node(graph, state);
+            if let Some(k) = graph.find_neighbor(state.position, prev) {
+                return vec![k as u32];
+            }
+        }
+        Vec::new()
+    }
+
+    fn outlier_folding_bound(&self, _graph: &Graph, _state: WalkerState) -> f32 {
+        (1.0f32).max(1.0 / self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    /// Path 0-1-2 plus triangle edge 0-2 and a pendant 3 attached to 2.
+    fn test_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.symmetric(true).build()
+    }
+
+    /// Builds the state "walker moved s -> v".
+    fn state_after(graph: &Graph, s: u32, v: u32) -> WalkerState {
+        let k = graph.find_neighbor(v, s).unwrap() as u32;
+        WalkerState::new(v, k)
+    }
+
+    #[test]
+    fn weights_follow_eq2() {
+        let g = test_graph();
+        let m = Node2Vec::new(0.5, 2.0);
+        // Walker came from 1 and sits on 2. Candidates: 0 (dist 1), 1 (return), 3 (dist 2).
+        let state = state_after(&g, 1, 2);
+        let w_return = m.calculate_weight(&g, state, g.edge_ref(2, g.find_neighbor(2, 1).unwrap()));
+        let w_near = m.calculate_weight(&g, state, g.edge_ref(2, g.find_neighbor(2, 0).unwrap()));
+        let w_far = m.calculate_weight(&g, state, g.edge_ref(2, g.find_neighbor(2, 3).unwrap()));
+        assert!((w_return - 2.0).abs() < 1e-6); // 1/p = 2
+        assert!((w_near - 1.0).abs() < 1e-6);
+        assert!((w_far - 0.5).abs() < 1e-6); // 1/q = 0.5
+    }
+
+    #[test]
+    fn uniform_parameters_reduce_to_deepwalk() {
+        let g = test_graph();
+        let m = Node2Vec::new(1.0, 1.0);
+        let state = state_after(&g, 0, 2);
+        for e in g.edges_of(2) {
+            assert_eq!(m.calculate_weight(&g, state, e), e.weight);
+        }
+    }
+
+    #[test]
+    fn update_state_tracks_previous_edge() {
+        let g = test_graph();
+        let m = Node2Vec::default();
+        let state = state_after(&g, 0, 2);
+        let next = g.edge_ref(2, g.find_neighbor(2, 3).unwrap());
+        let new_state = m.update_state(&g, state, next);
+        assert_eq!(new_state.position, 3);
+        assert_eq!(g.neighbor_at(3, new_state.affixture as usize), 2);
+    }
+
+    #[test]
+    fn num_states_is_e() {
+        let g = test_graph();
+        let m = Node2Vec::default();
+        assert_eq!(m.num_states(&g), g.num_edges());
+        assert!(m.is_second_order());
+    }
+
+    #[test]
+    fn rejection_bound_covers_alpha() {
+        let g = test_graph();
+        let m = Node2Vec::new(0.25, 4.0);
+        let state = state_after(&g, 1, 2);
+        let bound = m.rejection_bound(&g, state);
+        for e in g.edges_of(2) {
+            assert!(m.calculate_weight(&g, state, e) <= bound * e.weight + 1e-6);
+        }
+    }
+
+    #[test]
+    fn outlier_is_return_edge_when_p_small() {
+        let g = test_graph();
+        let m = Node2Vec::new(0.1, 1.0);
+        let state = state_after(&g, 1, 2);
+        let outliers = m.outliers(&g, state);
+        assert_eq!(outliers.len(), 1);
+        assert_eq!(g.neighbor_at(2, outliers[0] as usize), 1);
+        assert!(m.outlier_folding_bound(&g, state) <= 1.0 + 1e-6);
+        // No outliers when p is large.
+        let m2 = Node2Vec::new(4.0, 1.0);
+        assert!(m2.outliers(&g, state).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_parameters_panic() {
+        let _ = Node2Vec::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Walker state and its 2D (position, affixture) decomposition.
+
+use uninet_graph::NodeId;
+
+/// The state of a walker, decomposed as in Figure 4 of the paper:
+///
+/// * `position` — the node the walker currently resides on, and
+/// * `affixture` — the extra information that disambiguates the transition
+///   probability distribution: for DeepWalk it is unused (0); for
+///   node2vec/edge2vec/fairwalk it is the local index of the previously
+///   visited node inside the current node's adjacency list; for metapath2vec
+///   it is the current position in the metapath.
+///
+/// Together the two components index an edge sampler in O(1): samplers of all
+/// states sharing a `position` live in one bucket, and `affixture` is the
+/// offset inside that bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkerState {
+    /// The current residing node of the walker.
+    pub position: NodeId,
+    /// Model-specific extra state (see type-level docs).
+    pub affixture: u32,
+}
+
+impl WalkerState {
+    /// Creates a state with an empty affixture (first-order models).
+    pub fn at(position: NodeId) -> Self {
+        WalkerState { position, affixture: 0 }
+    }
+
+    /// Creates a state with an explicit affixture.
+    pub fn new(position: NodeId, affixture: u32) -> Self {
+        WalkerState { position, affixture }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let a = WalkerState::at(7);
+        assert_eq!(a.position, 7);
+        assert_eq!(a.affixture, 0);
+        let b = WalkerState::new(3, 9);
+        assert_eq!(b.position, 3);
+        assert_eq!(b.affixture, 9);
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(WalkerState::new(1, 2));
+        set.insert(WalkerState::new(1, 2));
+        set.insert(WalkerState::new(2, 1));
+        assert_eq!(set.len(), 2);
+    }
+}

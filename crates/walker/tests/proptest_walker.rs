@@ -1,0 +1,95 @@
+//! Property-based tests of the walk layer: for arbitrary graphs, models and
+//! samplers, the per-step transition frequencies of the M-H sampler agree with
+//! the model's closed-form transition probabilities, and the 2D state index is
+//! a bijection onto `0..num_states`.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uninet_graph::generators::erdos_renyi;
+use uninet_graph::NodeId;
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::models::{DeepWalk, Node2Vec};
+use uninet_walker::{RandomWalkModel, SamplerManager, WalkerState};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn state_index_is_a_bijection(nodes in 10usize..50, factor in 2usize..5, seed in 0u64..500) {
+        let graph = erdos_renyi(nodes, nodes * factor, true, seed);
+        let model = Node2Vec::new(0.5, 2.0);
+        let manager = SamplerManager::new(&graph, &model, EdgeSamplerKind::Direct, 0);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..graph.num_nodes() as NodeId {
+            for a in 0..model.bucket_size(&graph, v) as u32 {
+                let idx = manager.state_index(WalkerState::new(v, a));
+                prop_assert!(idx < manager.num_states());
+                prop_assert!(seen.insert(idx), "state index {idx} not unique");
+            }
+        }
+        prop_assert_eq!(seen.len(), manager.num_states());
+    }
+
+    #[test]
+    fn mh_transition_frequencies_match_deepwalk_probabilities(
+        nodes in 8usize..30,
+        factor in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let graph = erdos_renyi(nodes, nodes * factor, true, seed);
+        let model = DeepWalk::new();
+        let manager = SamplerManager::new(
+            &graph,
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+            0,
+        );
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+        // Pick the highest-degree node for a tight statistical test.
+        let v = (0..graph.num_nodes() as NodeId).max_by_key(|&v| graph.degree(v)).unwrap();
+        prop_assume!(graph.degree(v) >= 2);
+        let state = model.initial_state(&graph, v);
+        let draws = 40_000;
+        let mut counts = vec![0usize; graph.degree(v)];
+        for _ in 0..draws {
+            let k = manager.sample(&graph, &model, state, &mut rng).unwrap();
+            counts[k] += 1;
+        }
+        let total_w: f64 = graph.weights(v).iter().map(|&w| w as f64).sum();
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = graph.weight_at(v, k) as f64 / total_w;
+            let freq = c as f64 / draws as f64;
+            prop_assert!(
+                (freq - expected).abs() < 0.05 + 0.1 * expected,
+                "neighbor {k}: frequency {freq} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn node2vec_weights_respect_alpha_bounds(
+        nodes in 10usize..40,
+        factor in 2usize..5,
+        p in 0.1f32..4.0,
+        q in 0.1f32..4.0,
+        seed in 0u64..500,
+    ) {
+        let graph = erdos_renyi(nodes, nodes * factor, true, seed);
+        let model = Node2Vec::new(p, q);
+        let max_alpha = (1.0f32).max(1.0 / p).max(1.0 / q);
+        let min_alpha = (1.0f32).min(1.0 / p).min(1.0 / q);
+        for v in 0..graph.num_nodes() as NodeId {
+            if graph.degree(v) == 0 {
+                continue;
+            }
+            let state = WalkerState::new(v, 0);
+            for e in graph.edges_of(v) {
+                let w = model.calculate_weight(&graph, state, e);
+                prop_assert!(w <= max_alpha * e.weight + 1e-5);
+                prop_assert!(w >= min_alpha * e.weight - 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: learn DeepWalk embeddings of a small synthetic social network
+//! with UniNet's Metropolis-Hastings edge sampler and inspect the result.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p uninet-core --example quickstart
+//! ```
+
+use uninet_core::{format_duration, ModelSpec, UniNet, UniNetConfig};
+use uninet_graph::generators::barabasi_albert;
+use uninet_graph::GraphStats;
+
+fn main() {
+    // 1. Build (or load) a graph. Here: a 2 000-node scale-free network.
+    let graph = barabasi_albert(2_000, 5, true, 7);
+    let stats = GraphStats::compute(&graph);
+    println!(
+        "graph: {} nodes, {} edges, mean degree {:.1}, max degree {}",
+        stats.num_nodes, stats.num_edges, stats.mean_degree, stats.max_degree
+    );
+
+    // 2. Configure the pipeline: 10 walks of length 80 per node (the paper's
+    //    defaults), 64-dimensional skip-gram embeddings.
+    let mut config = UniNetConfig::default();
+    config.walk.num_walks = 10;
+    config.walk.walk_length = 80;
+    config.walk.num_threads = 8;
+    config.embedding.dim = 64;
+    config.embedding.num_threads = 8;
+    config.embedding.epochs = 1;
+
+    // 3. Run DeepWalk end-to-end.
+    let result = UniNet::new(config).run(&graph, &ModelSpec::DeepWalk);
+    println!(
+        "walks: {} sequences, {} tokens (mean length {:.1})",
+        result.corpus.num_walks(),
+        result.corpus.total_tokens(),
+        result.corpus.mean_length()
+    );
+    println!(
+        "timing: Ti={} Tw={} Tl={} (total {})",
+        format_duration(result.timing.init),
+        format_duration(result.timing.walk),
+        format_duration(result.timing.learn),
+        format_duration(result.timing.total())
+    );
+
+    // 4. Inspect the embeddings: nearest neighbours of the highest-degree hub.
+    let hub = (0..graph.num_nodes() as u32)
+        .max_by_key(|&v| graph.degree(v))
+        .expect("non-empty graph");
+    println!("most similar nodes to hub {hub} (degree {}):", graph.degree(hub));
+    for (node, sim) in result.embeddings.most_similar(hub, 5) {
+        println!("  node {node:5}  cosine {sim:.3}  degree {}", graph.degree(node));
+    }
+}
