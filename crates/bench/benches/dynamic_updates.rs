@@ -1,0 +1,90 @@
+//! Criterion bench: per-batch sampler maintenance cost under streaming edge
+//! reweights, comparing UniNet's M-H sampler (O(1)/update: nothing to
+//! rebuild), incremental alias maintenance (O(deg) per affected state) and
+//! the full-rebuild strawman (fresh `SamplerManager` per batch), across batch
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use uninet_dyngraph::{DynamicGraph, IncrementalMaintainer, UpdateBatch};
+use uninet_graph::generators::barabasi_albert;
+use uninet_graph::{Graph, NodeId};
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::models::DeepWalk;
+use uninet_walker::SamplerManager;
+
+fn reweight_batch(graph: &Graph, size: usize, seed: u64) -> UpdateBatch {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.num_nodes() as NodeId;
+    let mut batch = UpdateBatch::new();
+    while batch.len() < size {
+        let src = rng.gen_range(0..n);
+        let deg = graph.degree(src);
+        if deg == 0 {
+            continue;
+        }
+        let dst = graph.neighbor_at(src, rng.gen_range(0..deg));
+        batch.update_weight(src, dst, rng.gen_range(0.5f32..4.0));
+    }
+    batch
+}
+
+fn bench_batch_maintenance(c: &mut Criterion) {
+    let graph = barabasi_albert(4_000, 8, true, 3);
+    let model = DeepWalk::new();
+    let maintainer = IncrementalMaintainer::default();
+    let mut group = c.benchmark_group("batch_maintenance");
+    group.sample_size(10);
+
+    for batch_size in [16usize, 64, 256] {
+        let batch = reweight_batch(&graph, batch_size, batch_size as u64);
+
+        group.bench_with_input(
+            BenchmarkId::new("mh_incremental", batch_size),
+            &batch,
+            |b, batch| {
+                let mut dg = DynamicGraph::new(graph.clone(), true);
+                let mut manager = SamplerManager::new(
+                    dg.base(),
+                    &model,
+                    EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+                    0,
+                );
+                b.iter(|| maintainer.apply_batch(&mut dg, &mut manager, &model, batch))
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("alias_incremental", batch_size),
+            &batch,
+            |b, batch| {
+                let mut dg = DynamicGraph::new(graph.clone(), true);
+                let mut manager = SamplerManager::new(dg.base(), &model, EdgeSamplerKind::Alias, 0);
+                b.iter(|| maintainer.apply_batch(&mut dg, &mut manager, &model, batch))
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("alias_full_rebuild", batch_size),
+            &batch,
+            |b, batch| {
+                let mut dg = DynamicGraph::new(graph.clone(), true);
+                let mut manager = SamplerManager::new(dg.base(), &model, EdgeSamplerKind::Alias, 0);
+                b.iter(|| {
+                    maintainer.apply_batch(&mut dg, &mut manager, &model, batch);
+                    manager = SamplerManager::new(dg.base(), &model, EdgeSamplerKind::Alias, 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_maintenance
+}
+criterion_main!(benches);

@@ -28,7 +28,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     let uninet = UniNet::new(pipeline_config());
     let mut group = c.benchmark_group("end_to_end_pipeline");
-    group.bench_function("deepwalk", |b| b.iter(|| uninet.run(&graph, &ModelSpec::DeepWalk)));
+    group.bench_function("deepwalk", |b| {
+        b.iter(|| uninet.run(&graph, &ModelSpec::DeepWalk))
+    });
     group.bench_function("node2vec", |b| {
         b.iter(|| uninet.run(&graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 }))
     });

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use uninet_sampler::{
-    direct_sample, AliasTable, InitStrategy, MhChain, RejectionSampler,
-};
+use uninet_sampler::{direct_sample, AliasTable, InitStrategy, MhChain, RejectionSampler};
 
 fn weights(degree: usize, seed: u64) -> Vec<f32> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -37,12 +35,16 @@ fn bench_single_draw(c: &mut Criterion) {
             b.iter(|| sampler.sample(|k| w[k], &mut rng))
         });
 
-        group.bench_with_input(BenchmarkId::new("metropolis_hastings", degree), &w, |b, w| {
-            let mut chain = MhChain::new();
-            let mut rng = SmallRng::seed_from_u64(4);
-            let wf = |k: usize| w[k];
-            b.iter(|| chain.step(w.len(), &wf, InitStrategy::high_weight_exact(), &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("metropolis_hastings", degree),
+            &w,
+            |b, w| {
+                let mut chain = MhChain::new();
+                let mut rng = SmallRng::seed_from_u64(4);
+                let wf = |k: usize| w[k];
+                b.iter(|| chain.step(w.len(), &wf, InitStrategy::high_weight_exact(), &mut rng))
+            },
+        );
     }
     group.finish();
 }

@@ -39,8 +39,14 @@ fn bench_samplers_node2vec(c: &mut Criterion) {
     let model = Node2Vec::new(0.25, 4.0);
     let mut group = c.benchmark_group("node2vec_walks_by_sampler");
     for (name, kind) in [
-        ("mh_high_weight", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
-        ("mh_random", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
+        (
+            "mh_high_weight",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+        ),
+        (
+            "mh_random",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        ),
         ("alias", EdgeSamplerKind::Alias),
         ("direct", EdgeSamplerKind::Direct),
         ("rejection", EdgeSamplerKind::Rejection),
@@ -68,7 +74,9 @@ fn bench_models_with_mh(c: &mut Criterion) {
         ("metapath2vec", &metapath),
         ("fairwalk", &fairwalk),
     ];
-    let eng = engine(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()));
+    let eng = engine(EdgeSamplerKind::MetropolisHastings(
+        InitStrategy::high_weight_exact(),
+    ));
     for (name, model) in models {
         group.bench_function(name, |b| b.iter(|| eng.generate(&graph, model)));
     }

@@ -27,7 +27,16 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1 — KL_random / KL_high-weight ratio of M-H initialization strategies",
-        &["n", "t", "pi_max/pi_min", "n/t", "KL_r", "KL_h", "KL_r/KL_h", "high-weight wins"],
+        &[
+            "n",
+            "t",
+            "pi_max/pi_min",
+            "n/t",
+            "KL_r",
+            "KL_h",
+            "KL_r/KL_h",
+            "high-weight wins",
+        ],
     );
 
     for (n, ts) in grid {
@@ -52,7 +61,11 @@ fn main() {
                     format!("{:.5}", result.kl_random),
                     format!("{:.5}", result.kl_high_weight),
                     format!("{r:.3}"),
-                    if r > 1.0 { "yes".to_string() } else { "no".to_string() },
+                    if r > 1.0 {
+                        "yes".to_string()
+                    } else {
+                        "no".to_string()
+                    },
                 ]);
             }
         }

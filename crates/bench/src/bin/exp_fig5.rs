@@ -12,12 +12,22 @@ use uninet_graph::generators::heterogenize;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    let fractions: Vec<f64> =
-        if cfg.quick { vec![0.1, 0.5, 0.9] } else { vec![0.1, 0.3, 0.5, 0.7, 0.9] };
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.1, 0.5, 0.9]
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    };
 
     let mut table = Table::new(
         "Figure 5 — node classification accuracy vs train fraction",
-        &["dataset", "model", "init", "train fraction", "micro-F1", "macro-F1"],
+        &[
+            "dataset",
+            "model",
+            "init",
+            "train fraction",
+            "micro-F1",
+            "macro-F1",
+        ],
     );
 
     for (name, lg) in labeled_suite(&cfg) {
@@ -26,14 +36,40 @@ fn main() {
         // heterogenized copy of the same graph.
         let node2vec = ModelSpec::Node2Vec { p: 0.25, q: 4.0 };
         let variants: Vec<(&str, &str, ModelSpec, InitStrategy, bool)> = vec![
-            ("deepwalk", "Rand", ModelSpec::DeepWalk, InitStrategy::Random, false),
-            ("node2vec", "Weight", node2vec.clone(), InitStrategy::high_weight_exact(), false),
-            ("node2vec", "Rand", node2vec.clone(), InitStrategy::Random, false),
-            ("node2vec", "BurnIn", node2vec, InitStrategy::BurnIn { iterations: 100 }, false),
+            (
+                "deepwalk",
+                "Rand",
+                ModelSpec::DeepWalk,
+                InitStrategy::Random,
+                false,
+            ),
+            (
+                "node2vec",
+                "Weight",
+                node2vec.clone(),
+                InitStrategy::high_weight_exact(),
+                false,
+            ),
+            (
+                "node2vec",
+                "Rand",
+                node2vec.clone(),
+                InitStrategy::Random,
+                false,
+            ),
+            (
+                "node2vec",
+                "BurnIn",
+                node2vec,
+                InitStrategy::BurnIn { iterations: 100 },
+                false,
+            ),
             (
                 "metapath2vec",
                 "Rand",
-                ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 0] },
+                ModelSpec::MetaPath2Vec {
+                    metapath: vec![0, 1, 0],
+                },
                 InitStrategy::Random,
                 true,
             ),

@@ -18,21 +18,40 @@ fn main() {
     let cfg = HarnessConfig::from_env();
     let samplers: Vec<(&str, EdgeSamplerKind)> = vec![
         ("KnightKing", EdgeSamplerKind::KnightKing),
-        ("UniNet(Rand)", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
-        ("UniNet(Burnin)", EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 })),
-        ("UniNet(Weight)", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        (
+            "UniNet(Rand)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        ),
+        (
+            "UniNet(Burnin)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 }),
+        ),
+        (
+            "UniNet(Weight)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+        ),
         ("Memory-Aware", EdgeSamplerKind::MemoryAware),
     ];
     let models = vec![
         ModelSpec::DeepWalk,
-        ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] },
+        ModelSpec::MetaPath2Vec {
+            metapath: vec![0, 1, 2, 1, 0],
+        },
         ModelSpec::Edge2Vec { p: 0.25, q: 0.25 },
         ModelSpec::FairWalk { p: 1.0, q: 1.0 },
     ];
 
     let mut table = Table::new(
         "Figure 6 — walk generation time decomposition (initialize + walk)",
-        &["dataset", "model", "sampler", "init (s)", "walk (s)", "total (s)", "init fraction"],
+        &[
+            "dataset",
+            "model",
+            "sampler",
+            "init (s)",
+            "walk (s)",
+            "total (s)",
+            "init fraction",
+        ],
     );
 
     for ds in large_suite(&cfg) {
@@ -56,7 +75,10 @@ fn main() {
                     format!("{:.2}", timing.init.as_secs_f64()),
                     format!("{:.2}", timing.walk.as_secs_f64()),
                     format!("{total:.2}"),
-                    format!("{:.0}%", 100.0 * timing.init.as_secs_f64() / total.max(1e-9)),
+                    format!(
+                        "{:.0}%",
+                        100.0 * timing.init.as_secs_f64() / total.max(1e-9)
+                    ),
                 ]);
             }
         }

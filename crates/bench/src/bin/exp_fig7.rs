@@ -18,8 +18,14 @@ fn samplers() -> Vec<(&'static str, EdgeSamplerKind)> {
         ("Rejection", EdgeSamplerKind::Rejection),
         ("Memory-Aware", EdgeSamplerKind::MemoryAware),
         ("KnightKing", EdgeSamplerKind::KnightKing),
-        ("UniNet Random", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
-        ("UniNet High-Weight", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        (
+            "UniNet Random",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        ),
+        (
+            "UniNet High-Weight",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+        ),
         ("Alias", EdgeSamplerKind::Alias),
     ]
 }
@@ -51,7 +57,11 @@ fn sweep(
             table.add_row(&[
                 panel.to_string(),
                 label.to_string(),
-                if vary_p { format!("p={value}") } else { format!("q={value}") },
+                if vary_p {
+                    format!("p={value}")
+                } else {
+                    format!("q={value}")
+                },
                 format!("{:.3}", (timing.init + timing.walk).as_secs_f64()),
             ]);
         }
@@ -74,14 +84,70 @@ fn main() {
     let edge2vec = |p: f32, q: f32| ModelSpec::Edge2Vec { p, q };
     let fairwalk = |p: f32, q: f32| ModelSpec::FairWalk { p, q };
 
-    sweep(&mut table, &cfg, "(a) node2vec / LiveJournal-like, vary p", &livejournal, &node2vec, true);
-    sweep(&mut table, &cfg, "(b) node2vec / LiveJournal-like, vary q", &livejournal, &node2vec, false);
-    sweep(&mut table, &cfg, "(c) edge2vec / AMiner-like, vary p", &aminer, &edge2vec, true);
-    sweep(&mut table, &cfg, "(d) edge2vec / AMiner-like, vary q", &aminer, &edge2vec, false);
-    sweep(&mut table, &cfg, "(e) node2vec / YouTube-like, vary p", &youtube, &node2vec, true);
-    sweep(&mut table, &cfg, "(f) node2vec / YouTube-like, vary q", &youtube, &node2vec, false);
-    sweep(&mut table, &cfg, "(g) fairwalk / YouTube-like, vary p", &youtube_hetero, &fairwalk, true);
-    sweep(&mut table, &cfg, "(h) fairwalk / YouTube-like, vary q", &youtube_hetero, &fairwalk, false);
+    sweep(
+        &mut table,
+        &cfg,
+        "(a) node2vec / LiveJournal-like, vary p",
+        &livejournal,
+        &node2vec,
+        true,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(b) node2vec / LiveJournal-like, vary q",
+        &livejournal,
+        &node2vec,
+        false,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(c) edge2vec / AMiner-like, vary p",
+        &aminer,
+        &edge2vec,
+        true,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(d) edge2vec / AMiner-like, vary q",
+        &aminer,
+        &edge2vec,
+        false,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(e) node2vec / YouTube-like, vary p",
+        &youtube,
+        &node2vec,
+        true,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(f) node2vec / YouTube-like, vary q",
+        &youtube,
+        &node2vec,
+        false,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(g) fairwalk / YouTube-like, vary p",
+        &youtube_hetero,
+        &fairwalk,
+        true,
+    );
+    sweep(
+        &mut table,
+        &cfg,
+        "(h) fairwalk / YouTube-like, vary q",
+        &youtube_hetero,
+        &fairwalk,
+        false,
+    );
 
     emit(&table, "fig7");
 }

@@ -52,15 +52,17 @@ fn main() {
         // Acceptance ratio measurement.
         let mut stats = AcceptanceStats::new();
         let mut rng = SmallRng::seed_from_u64(77);
-        let sample_nodes: Vec<u32> =
-            (0..graph.num_nodes() as u32).step_by(17.max(graph.num_nodes() / 500)).collect();
+        let sample_nodes: Vec<u32> = (0..graph.num_nodes() as u32)
+            .step_by(17.max(graph.num_nodes() / 500))
+            .collect();
         for &v in &sample_nodes {
             let deg = graph.degree(v);
             if deg < 2 {
                 continue;
             }
             let state = model.initial_state(&graph, v);
-            let sampler = RejectionSampler::new(graph.weights(v), model.rejection_bound(&graph, state));
+            let sampler =
+                RejectionSampler::new(graph.weights(v), model.rejection_bound(&graph, state));
             for _ in 0..20 {
                 let outcome = sampler.sample(
                     |k| model.calculate_weight(&graph, state, graph.edge_ref(v, k)),
@@ -83,8 +85,9 @@ fn main() {
         let _ = t;
 
         // Walk time with the M-H sampler (same workload).
-        let mh_cfg = walk_cfg
-            .with_sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()));
+        let mh_cfg = walk_cfg.with_sampler(EdgeSamplerKind::MetropolisHastings(
+            InitStrategy::high_weight_exact(),
+        ));
         let (_, mh_timing) = WalkEngine::new(mh_cfg).generate(&graph, &model);
         mh_times.push(mh_timing.walk.as_secs_f64());
     }

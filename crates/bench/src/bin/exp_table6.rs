@@ -31,7 +31,15 @@ fn main() {
     let mut table = Table::new(
         "Table VI — time cost of the five NRL models under three system configurations",
         &[
-            "model", "dataset", "system", "Ti", "Tw", "Tl", "Tt", "speedup vs Open", "speedup vs Orig",
+            "model",
+            "dataset",
+            "system",
+            "Ti",
+            "Tw",
+            "Tl",
+            "Tt",
+            "speedup vs Open",
+            "speedup vs Orig",
         ],
     );
 
@@ -41,14 +49,22 @@ fn main() {
     let workloads: Vec<(ModelSpec, &[BenchDataset])> = vec![
         (ModelSpec::DeepWalk, &homogeneous[..]),
         (ModelSpec::Node2Vec { p: 0.25, q: 4.0 }, &homogeneous[..]),
-        (ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] }, &heterogeneous[..]),
+        (
+            ModelSpec::MetaPath2Vec {
+                metapath: vec![0, 1, 2, 1, 0],
+            },
+            &heterogeneous[..],
+        ),
         (ModelSpec::Edge2Vec { p: 0.25, q: 0.25 }, &heterogeneous[..]),
         (ModelSpec::FairWalk { p: 1.0, q: 1.0 }, &heterogeneous[..]),
     ];
 
     for (spec, datasets) in workloads {
-        let datasets: Vec<&BenchDataset> =
-            if cfg.quick { datasets.iter().take(2).collect() } else { datasets.iter().collect() };
+        let datasets: Vec<&BenchDataset> = if cfg.quick {
+            datasets.iter().take(2).collect()
+        } else {
+            datasets.iter().collect()
+        };
         for ds in datasets {
             let mut totals = Vec::new();
             let mut rows = Vec::new();

@@ -26,14 +26,25 @@ fn main() {
         ("Rejection", EdgeSamplerKind::Rejection),
         ("KnightKing", EdgeSamplerKind::KnightKing),
         ("Memory-Aware", EdgeSamplerKind::MemoryAware),
-        ("UniNet(Rand)", EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
-        ("UniNet(Burn)", EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 })),
-        ("UniNet(Weight)", EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        (
+            "UniNet(Rand)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        ),
+        (
+            "UniNet(Burn)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 }),
+        ),
+        (
+            "UniNet(Weight)",
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
+        ),
     ];
 
     let mut table = Table::new(
         "Table VII — node2vec walk generation time (seconds; '*' = exceeds memory guard)",
-        &["dataset", "sampler", "(1,0.25)", "(0.25,1)", "(1,1)", "(1,4)", "(4,1)"],
+        &[
+            "dataset", "sampler", "(1,0.25)", "(0.25,1)", "(1,1)", "(1,4)", "(4,1)",
+        ],
     );
 
     for ds in large_suite(&cfg) {

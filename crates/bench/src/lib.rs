@@ -39,7 +39,9 @@ impl HarnessConfig {
             .and_then(|s| s.parse::<f64>().ok())
             .filter(|s| *s > 0.0)
             .unwrap_or(1.0);
-        let quick = std::env::var("UNINET_QUICK").map(|v| v == "1").unwrap_or(false);
+        let quick = std::env::var("UNINET_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         HarnessConfig { scale, quick }
     }
 
@@ -97,20 +99,44 @@ pub fn hetero_graph(nodes: usize, mean_degree: f64, seed: u64) -> Graph {
 /// (Table VI upper blocks), scaled by the harness config.
 pub fn small_homogeneous_suite(cfg: &HarnessConfig) -> Vec<BenchDataset> {
     vec![
-        BenchDataset { name: "BlogCatalog", graph: social_graph(cfg.nodes(4_000), 20.0, 1) },
-        BenchDataset { name: "Flickr", graph: social_graph(cfg.nodes(8_000), 40.0, 2) },
-        BenchDataset { name: "Amazon", graph: social_graph(cfg.nodes(12_000), 6.0, 3) },
-        BenchDataset { name: "Reddit", graph: social_graph(cfg.nodes(10_000), 25.0, 4) },
+        BenchDataset {
+            name: "BlogCatalog",
+            graph: social_graph(cfg.nodes(4_000), 20.0, 1),
+        },
+        BenchDataset {
+            name: "Flickr",
+            graph: social_graph(cfg.nodes(8_000), 40.0, 2),
+        },
+        BenchDataset {
+            name: "Amazon",
+            graph: social_graph(cfg.nodes(12_000), 6.0, 3),
+        },
+        BenchDataset {
+            name: "Reddit",
+            graph: social_graph(cfg.nodes(10_000), 25.0, 4),
+        },
     ]
 }
 
 /// The heterogeneous datasets (Table VI lower blocks).
 pub fn small_heterogeneous_suite(cfg: &HarnessConfig) -> Vec<BenchDataset> {
     vec![
-        BenchDataset { name: "ACM", graph: hetero_graph(cfg.nodes(3_000), 4.0, 5) },
-        BenchDataset { name: "DBLP", graph: hetero_graph(cfg.nodes(6_000), 9.0, 6) },
-        BenchDataset { name: "DBIS", graph: hetero_graph(cfg.nodes(9_000), 4.0, 7) },
-        BenchDataset { name: "AMiner", graph: hetero_graph(cfg.nodes(12_000), 6.0, 8) },
+        BenchDataset {
+            name: "ACM",
+            graph: hetero_graph(cfg.nodes(3_000), 4.0, 5),
+        },
+        BenchDataset {
+            name: "DBLP",
+            graph: hetero_graph(cfg.nodes(6_000), 9.0, 6),
+        },
+        BenchDataset {
+            name: "DBIS",
+            graph: hetero_graph(cfg.nodes(9_000), 4.0, 7),
+        },
+        BenchDataset {
+            name: "AMiner",
+            graph: hetero_graph(cfg.nodes(12_000), 6.0, 8),
+        },
     ]
 }
 
@@ -119,8 +145,14 @@ pub fn small_heterogeneous_suite(cfg: &HarnessConfig) -> Vec<BenchDataset> {
 /// sampler comparison tractable in CI; raise `UNINET_SCALE` to grow them.
 pub fn large_suite(cfg: &HarnessConfig) -> Vec<BenchDataset> {
     vec![
-        BenchDataset { name: "Twitter(sim)", graph: social_graph(cfg.nodes(30_000), 35.0, 9) },
-        BenchDataset { name: "Web-UK(sim)", graph: social_graph(cfg.nodes(50_000), 30.0, 10) },
+        BenchDataset {
+            name: "Twitter(sim)",
+            graph: social_graph(cfg.nodes(30_000), 35.0, 9),
+        },
+        BenchDataset {
+            name: "Web-UK(sim)",
+            graph: social_graph(cfg.nodes(50_000), 30.0, 10),
+        },
     ]
 }
 
@@ -172,18 +204,27 @@ mod tests {
 
     #[test]
     fn harness_config_defaults() {
-        let cfg = HarnessConfig { scale: 1.0, quick: false };
+        let cfg = HarnessConfig {
+            scale: 1.0,
+            quick: false,
+        };
         assert_eq!(cfg.num_walks(), 10);
         assert_eq!(cfg.walk_length(), 80);
         assert_eq!(cfg.nodes(1000), 1000);
-        let quick = HarnessConfig { scale: 0.01, quick: true };
+        let quick = HarnessConfig {
+            scale: 0.01,
+            quick: true,
+        };
         assert_eq!(quick.num_walks(), 2);
         assert_eq!(quick.nodes(1000), 64);
     }
 
     #[test]
     fn suites_generate_graphs() {
-        let cfg = HarnessConfig { scale: 0.02, quick: true };
+        let cfg = HarnessConfig {
+            scale: 0.02,
+            quick: true,
+        };
         for ds in small_homogeneous_suite(&cfg) {
             assert!(ds.graph.num_nodes() >= 64, "{}", ds.name);
             assert!(ds.graph.num_edges() > 0);

@@ -32,8 +32,11 @@ pub enum BaselineKind {
 
 impl BaselineKind {
     /// All three columns in Table VI order.
-    pub const ALL: [BaselineKind; 3] =
-        [BaselineKind::OpenSource, BaselineKind::UniNetOriginal, BaselineKind::UniNetMh];
+    pub const ALL: [BaselineKind; 3] = [
+        BaselineKind::OpenSource,
+        BaselineKind::UniNetOriginal,
+        BaselineKind::UniNetMh,
+    ];
 
     /// Column label used in reports.
     pub fn label(&self) -> &'static str {
@@ -86,7 +89,10 @@ mod tests {
             baseline_sampler_for(&ModelSpec::Node2Vec { p: 1.0, q: 1.0 }),
             EdgeSamplerKind::Alias
         );
-        assert_eq!(baseline_sampler_for(&ModelSpec::DeepWalk), EdgeSamplerKind::Direct);
+        assert_eq!(
+            baseline_sampler_for(&ModelSpec::DeepWalk),
+            EdgeSamplerKind::Direct
+        );
         assert_eq!(
             baseline_sampler_for(&ModelSpec::FairWalk { p: 1.0, q: 1.0 }),
             EdgeSamplerKind::Direct
@@ -111,7 +117,10 @@ mod tests {
         assert_eq!(orig.walk.num_threads, base.walk.num_threads);
         assert_eq!(orig.walk.sampler, EdgeSamplerKind::Alias);
         let mh = configure(&base, &spec, BaselineKind::UniNetMh);
-        assert!(matches!(mh.walk.sampler, EdgeSamplerKind::MetropolisHastings(_)));
+        assert!(matches!(
+            mh.walk.sampler,
+            EdgeSamplerKind::MetropolisHastings(_)
+        ));
     }
 
     #[test]

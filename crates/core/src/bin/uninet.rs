@@ -12,7 +12,10 @@
 
 use std::process::ExitCode;
 
-use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, UniNet, UniNetConfig};
+use uninet_core::{
+    EdgeSamplerKind, InitStrategy, ModelSpec, StreamingConfig, UniNet, UniNetConfig,
+};
+use uninet_dyngraph::read_update_stream_file;
 use uninet_embedding::io::save_embeddings;
 use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
 use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
@@ -46,6 +49,17 @@ WALKS & TRAINING:
                           rejection | knightking | memory-aware [default: mh-weight]
   --seed <S>              RNG seed                              [default: 42]
 
+STREAMING UPDATES (dynamic-graph mode):
+  --updates <FILE>        edge-update stream replayed after the initial walks:
+                          `add u v [w]` / `del u v` / `w u v <weight>` per line
+                          (aliases: + / - / ~). Affected walks are refreshed
+                          incrementally and embeddings retrained at the end.
+  --update-batch-size <N> mutations per maintenance batch     [default: 256]
+  --compaction-threshold <N>
+                          pending overlay edges that trigger CSR compaction
+                                                              [default: 1024]
+  --directed-updates      do not mirror mutations onto the reverse edge
+
 OUTPUT:
   --output <FILE>         embeddings in word2vec text format (required)
   --help                  print this help
@@ -64,11 +78,16 @@ impl Args {
                 map.insert("help".to_string(), "1".to_string());
                 continue;
             }
+            if arg == "--directed-updates" {
+                map.insert("directed-updates".to_string(), "1".to_string());
+                continue;
+            }
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument: {arg}"));
             };
-            let value =
-                iter.next().ok_or_else(|| format!("flag --{key} expects a value"))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{key} expects a value"))?;
             map.insert(key.to_string(), value);
         }
         Ok(Args { map })
@@ -81,7 +100,9 @@ impl Args {
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
         }
     }
 }
@@ -95,7 +116,12 @@ fn build_graph(args: &Args) -> Result<Graph, String> {
     let mean_degree: f64 = args.parse_or("mean-degree", 10.0)?;
     let seed: u64 = args.parse_or("seed", 42u64)?;
     match args.get("synthetic").unwrap_or("rmat") {
-        "ba" => Ok(barabasi_albert(nodes, (mean_degree / 2.0).max(1.0) as usize, true, seed)),
+        "ba" => Ok(barabasi_albert(
+            nodes,
+            (mean_degree / 2.0).max(1.0) as usize,
+            true,
+            seed,
+        )),
         "rmat" => Ok(rmat(&RmatConfig {
             num_nodes: nodes,
             num_edges: ((nodes as f64 * mean_degree) / 2.0) as usize,
@@ -120,7 +146,11 @@ fn build_spec(args: &Args) -> Result<ModelSpec, String> {
                 .get("metapath")
                 .unwrap_or("0,1,0")
                 .split(',')
-                .map(|t| t.trim().parse().map_err(|_| format!("bad metapath entry: {t}")))
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| format!("bad metapath entry: {t}"))
+                })
                 .collect::<Result<_, _>>()?;
             Ok(ModelSpec::MetaPath2Vec { metapath })
         }
@@ -132,7 +162,9 @@ fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, String> {
     Ok(match args.get("sampler").unwrap_or("mh-weight") {
         "mh-weight" => EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
         "mh-random" => EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
-        "mh-burnin" => EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 }),
+        "mh-burnin" => {
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::BurnIn { iterations: 100 })
+        }
         "alias" => EdgeSamplerKind::Alias,
         "direct" => EdgeSamplerKind::Direct,
         "rejection" => EdgeSamplerKind::Rejection,
@@ -148,7 +180,10 @@ fn run() -> Result<(), String> {
         print!("{HELP}");
         return Ok(());
     }
-    let output = args.get("output").ok_or("--output is required (see --help)")?.to_string();
+    let output = args
+        .get("output")
+        .ok_or("--output is required (see --help)")?
+        .to_string();
 
     let graph = build_graph(&args)?;
     let spec = build_spec(&args)?;
@@ -171,14 +206,54 @@ fn run() -> Result<(), String> {
     config.embedding.num_threads = config.walk.num_threads;
     config.embedding.seed = config.walk.seed;
 
-    let result = UniNet::new(config).run(&graph, &spec);
+    let result = if let Some(updates_path) = args.get("updates") {
+        let mutations = read_update_stream_file(updates_path)
+            .map_err(|e| format!("cannot read update stream {updates_path}: {e}"))?;
+        let streaming = StreamingConfig {
+            batch_size: args.parse_or("update-batch-size", 256usize)?,
+            compaction_threshold: args.parse_or("compaction-threshold", 1024usize)?,
+            symmetric: args.get("directed-updates").is_none(),
+            refresh_each_batch: true,
+        };
+        eprintln!(
+            "streaming mode: {} mutations in batches of {} (compaction threshold {})",
+            mutations.len(),
+            streaming.batch_size,
+            streaming.compaction_threshold
+        );
+        let (result, report) =
+            UniNet::new(config).run_streaming(graph, &spec, &mutations, &streaming);
+        eprintln!(
+            "updates: {} weight + {} topology applied, {} rejected over {} batches \
+             ({:.0} updates/s, {} compactions)",
+            report.weight_mutations,
+            report.topology_mutations,
+            report.rejected_mutations,
+            report.batches,
+            report.update_throughput,
+            report.compactions,
+        );
+        eprintln!(
+            "maintenance: {} states rebuilt ({} bytes), {} M-H chains preserved, {} reset; \
+             refresh: {} walks regenerated",
+            report.maintenance.states_rebuilt,
+            report.maintenance.bytes_rebuilt,
+            report.maintenance.chains_preserved,
+            report.maintenance.chains_reset,
+            report.refresh.walks_refreshed,
+        );
+        result
+    } else {
+        UniNet::new(config).run(&graph, &spec)
+    };
     eprintln!(
         "walks: {} sequences, {} tokens; timing: {}",
         result.corpus.num_walks(),
         result.corpus.total_tokens(),
         result.timing
     );
-    save_embeddings(&result.embeddings, &output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    save_embeddings(&result.embeddings, &output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
     eprintln!("embeddings written to {output}");
     Ok(())
 }

@@ -89,7 +89,9 @@ impl ModelSpec {
         vec![
             ModelSpec::DeepWalk,
             ModelSpec::Node2Vec { p: 0.25, q: 4.0 },
-            ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] },
+            ModelSpec::MetaPath2Vec {
+                metapath: vec![0, 1, 2, 1, 0],
+            },
             ModelSpec::Edge2Vec { p: 0.25, q: 0.25 },
             ModelSpec::FairWalk { p: 1.0, q: 1.0 },
         ]
@@ -97,18 +99,12 @@ impl ModelSpec {
 }
 
 /// Full pipeline configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct UniNetConfig {
     /// Random-walk generation settings (sampler, K, L, threads).
     pub walk: WalkEngineConfig,
     /// Word2vec settings.
     pub embedding: Word2VecConfig,
-}
-
-impl Default for UniNetConfig {
-    fn default() -> Self {
-        UniNetConfig { walk: WalkEngineConfig::default(), embedding: Word2VecConfig::default() }
-    }
 }
 
 impl UniNetConfig {
@@ -135,7 +131,16 @@ mod tests {
         let suite = ModelSpec::paper_benchmark_suite();
         assert_eq!(suite.len(), 5);
         let names: Vec<_> = suite.iter().map(|m| m.name()).collect();
-        assert_eq!(names, vec!["deepwalk", "node2vec", "metapath2vec", "edge2vec", "fairwalk"]);
+        assert_eq!(
+            names,
+            vec![
+                "deepwalk",
+                "node2vec",
+                "metapath2vec",
+                "edge2vec",
+                "fairwalk"
+            ]
+        );
         assert!(suite[2].needs_heterogeneous_graph());
         assert!(!suite[0].needs_heterogeneous_graph());
     }

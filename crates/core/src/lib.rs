@@ -41,14 +41,17 @@ pub mod baselines;
 pub mod config;
 pub mod pipeline;
 pub mod report;
+pub mod streaming;
 pub mod timing;
 
 pub use baselines::{baseline_sampler_for, BaselineKind};
 pub use config::{ModelSpec, UniNetConfig};
 pub use pipeline::{PipelineResult, UniNet};
 pub use report::{format_duration, format_speedup, Table};
+pub use streaming::{StreamingConfig, StreamingReport};
 pub use timing::PhaseTiming;
 
+pub use uninet_dyngraph::{DynamicGraph, GraphMutation, IncrementalMaintainer, UpdateBatch};
 pub use uninet_embedding::Embeddings;
 pub use uninet_graph::Graph;
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};

@@ -47,7 +47,11 @@ impl UniNet {
         let (corpus, timing) = engine.generate(graph, model.as_ref());
         (
             corpus,
-            PhaseTiming { init: timing.init, walk: timing.walk, ..Default::default() },
+            PhaseTiming {
+                init: timing.init,
+                walk: timing.walk,
+                ..Default::default()
+            },
         )
     }
 
@@ -58,7 +62,12 @@ impl UniNet {
         let trainer = Word2VecTrainer::new(self.config.embedding);
         let (embeddings, train_stats) = trainer.train(corpus.walks(), graph.num_nodes());
         timing.learn = t.elapsed();
-        PipelineResult { embeddings, corpus, timing, train_stats }
+        PipelineResult {
+            embeddings,
+            corpus,
+            timing,
+            train_stats,
+        }
     }
 }
 
@@ -143,7 +152,12 @@ mod tests {
         let uninet = UniNet::new(cfg);
         for spec in ModelSpec::paper_benchmark_suite() {
             let result = uninet.run(&g, &spec);
-            assert_eq!(result.embeddings.num_nodes(), g.num_nodes(), "{}", spec.name());
+            assert_eq!(
+                result.embeddings.num_nodes(),
+                g.num_nodes(),
+                "{}",
+                spec.name()
+            );
         }
     }
 
@@ -157,13 +171,15 @@ mod tests {
         cfg.embedding.epochs = 1;
         let uninet = UniNet::new(cfg);
         assert_eq!(uninet.config().walk.sampler, EdgeSamplerKind::Alias);
-        let (corpus, timing) = uninet.generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
+        let (corpus, timing) =
+            uninet.generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
         assert!(corpus.num_walks() > 0);
         // Alias materialization has a non-trivial init phase.
         assert!(timing.init.as_nanos() > 0);
 
         cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
-        let (corpus2, _) = UniNet::new(cfg).generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
+        let (corpus2, _) =
+            UniNet::new(cfg).generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
         assert_eq!(corpus2.num_walks(), corpus.num_walks());
     }
 }

@@ -57,7 +57,12 @@ impl Table {
             .iter()
             .enumerate()
             .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
             })
             .collect();
         let render_row = |cells: &[String]| {

@@ -13,14 +13,18 @@ fn arbitrary_spec() -> impl Strategy<Value = ModelSpec> {
         (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::Node2Vec { p, q }),
         (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::FairWalk { p, q }),
         (0.1f32..4.0, 0.1f32..4.0).prop_map(|(p, q)| ModelSpec::Edge2Vec { p, q }),
-        Just(ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 0] }),
+        Just(ModelSpec::MetaPath2Vec {
+            metapath: vec![0, 1, 0]
+        }),
     ]
 }
 
 fn arbitrary_sampler() -> impl Strategy<Value = EdgeSamplerKind> {
     prop_oneof![
         Just(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random)),
-        Just(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+        Just(EdgeSamplerKind::MetropolisHastings(
+            InitStrategy::high_weight_exact()
+        )),
         Just(EdgeSamplerKind::Direct),
         Just(EdgeSamplerKind::Alias),
         Just(EdgeSamplerKind::Rejection),

@@ -1,0 +1,616 @@
+//! [`DynamicGraph`]: an immutable CSR base plus a per-vertex delta-adjacency
+//! overlay, with periodic compaction back into CSR form.
+//!
+//! Design:
+//!
+//! * **Weight updates are O(1) and immediate.** Reweighting never moves CSR
+//!   entries, so the new weight is written straight into the base arrays.
+//!   This is the workload where the paper's M-H sampler shines: no sampler
+//!   state needs rebuilding at all.
+//! * **Topology updates accumulate in the overlay.** Inserts/deletes are
+//!   logged per vertex; queries merge the overlay with the base on the fly.
+//!   Once the overlay grows past a threshold (policy owned by the
+//!   [`crate::IncrementalMaintainer`]) the graph is compacted: a fresh CSR is
+//!   built in O(|V| + |E|) and the overlay is cleared.
+//! * **The node universe is fixed.** Mutations referencing out-of-range nodes
+//!   are rejected and counted, mirroring a production ingest pipeline that
+//!   quarantines malformed events instead of crashing.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use uninet_graph::{Graph, NodeId};
+
+use crate::mutation::GraphMutation;
+
+/// Outcome classification of one applied mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationEffect {
+    /// Only an edge weight changed (no sampler-topology impact).
+    Reweighted,
+    /// The neighbor set of at least one endpoint changed.
+    TopologyChanged,
+    /// The mutation was a no-op (e.g. removing an absent edge) or referenced
+    /// an out-of-range node; it was counted and skipped.
+    Rejected,
+}
+
+/// Per-vertex delta log: edges inserted on top of the base CSR and base edges
+/// marked deleted. Both are keyed by destination for O(log d) lookups.
+#[derive(Debug, Clone, Default)]
+struct VertexDelta {
+    /// Edges present in the overlay but not the base (dst -> weight).
+    inserts: BTreeMap<NodeId, f32>,
+    /// Base edges masked out by deletions.
+    deletes: BTreeSet<NodeId>,
+}
+
+impl VertexDelta {
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    fn pending(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// Counters describing the state of the overlay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Vertices with a non-empty delta log.
+    pub dirty_vertices: usize,
+    /// Total pending inserts across all vertices.
+    pub pending_inserts: usize,
+    /// Total pending deletes across all vertices.
+    pub pending_deletes: usize,
+}
+
+/// An updatable graph: immutable CSR base + delta overlay.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    base: Graph,
+    overlay: HashMap<NodeId, VertexDelta>,
+    /// Mirror every mutation (`(u,v)` also applies to `(v,u)`), matching
+    /// graphs built with `GraphBuilder::symmetric(true)`.
+    symmetric: bool,
+    /// Monotone counter bumped by every effective mutation.
+    version: u64,
+    /// Mutations rejected since construction.
+    rejected: u64,
+    /// Nodes whose adjacency changed since the last compaction.
+    touched_since_compaction: BTreeSet<NodeId>,
+}
+
+impl DynamicGraph {
+    /// Wraps a CSR graph. `symmetric` mirrors each mutation onto the reverse
+    /// edge, matching how undirected graphs are stored in this workspace.
+    pub fn new(base: Graph, symmetric: bool) -> Self {
+        DynamicGraph {
+            base,
+            overlay: HashMap::new(),
+            symmetric,
+            version: 0,
+            rejected: 0,
+            touched_since_compaction: BTreeSet::new(),
+        }
+    }
+
+    /// The CSR substrate samplers and walkers run over.
+    ///
+    /// Weight updates are already visible here; topology updates become
+    /// visible after [`DynamicGraph::compact`]. The overlay-merged truth is
+    /// available through the query methods below.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Whether mutations are mirrored onto the reverse edge.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Number of nodes (fixed for the lifetime of the dynamic graph).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Monotone version counter (one tick per effective mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of rejected mutations so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Nodes whose adjacency changed since the last compaction.
+    pub fn touched_since_compaction(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.touched_since_compaction.iter().copied()
+    }
+
+    /// Overlay size counters.
+    pub fn overlay_stats(&self) -> OverlayStats {
+        let mut s = OverlayStats {
+            dirty_vertices: 0,
+            pending_inserts: 0,
+            pending_deletes: 0,
+        };
+        for d in self.overlay.values() {
+            if !d.is_empty() {
+                s.dirty_vertices += 1;
+                s.pending_inserts += d.inserts.len();
+                s.pending_deletes += d.deletes.len();
+            }
+        }
+        s
+    }
+
+    /// Total pending overlay entries (inserts + deletes).
+    pub fn pending(&self) -> usize {
+        self.overlay.values().map(VertexDelta::pending).sum()
+    }
+
+    /// Merged out-degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let base = self.base.degree(v);
+        match self.overlay.get(&v) {
+            None => base,
+            Some(d) => base - d.deletes.len() + d.inserts.len(),
+        }
+    }
+
+    /// Merged, sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbor_weights(v)
+            .into_iter()
+            .map(|(dst, _)| dst)
+            .collect()
+    }
+
+    /// Merged, sorted `(neighbor, weight)` list of `v`.
+    pub fn neighbor_weights(&self, v: NodeId) -> Vec<(NodeId, f32)> {
+        let base_n = self.base.neighbors(v);
+        let base_w = self.base.weights(v);
+        match self.overlay.get(&v) {
+            None => base_n.iter().copied().zip(base_w.iter().copied()).collect(),
+            Some(d) => {
+                let mut out = Vec::with_capacity(base_n.len() + d.inserts.len());
+                let mut ins = d.inserts.iter().peekable();
+                for (&dst, &w) in base_n.iter().zip(base_w.iter()) {
+                    while let Some((&idst, &iw)) = ins.peek() {
+                        if idst < dst {
+                            out.push((idst, iw));
+                            ins.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if !d.deletes.contains(&dst) {
+                        out.push((dst, w));
+                    }
+                }
+                for (&idst, &iw) in ins {
+                    out.push((idst, iw));
+                }
+                out
+            }
+        }
+    }
+
+    /// Merged edge-existence test.
+    pub fn has_edge(&self, u: NodeId, dst: NodeId) -> bool {
+        self.weight(u, dst).is_some()
+    }
+
+    /// Merged weight of edge `(u, dst)`, if present.
+    pub fn weight(&self, u: NodeId, dst: NodeId) -> Option<f32> {
+        if let Some(d) = self.overlay.get(&u) {
+            if let Some(&w) = d.inserts.get(&dst) {
+                return Some(w);
+            }
+            if d.deletes.contains(&dst) {
+                return None;
+            }
+        }
+        self.base
+            .find_neighbor(u, dst)
+            .map(|k| self.base.weight_at(u, k))
+    }
+
+    /// Applies one mutation (and its mirror when symmetric), classifying the
+    /// effect. Weight changes hit the base CSR in place; topology changes go
+    /// to the overlay.
+    ///
+    /// The returned effect is the *strongest* of the two directions
+    /// (`TopologyChanged` > `Reweighted` > `Rejected`): on an asymmetric base
+    /// the forward direction may insert while the mirror merely reweights,
+    /// and maintenance must see both. Use [`DynamicGraph::apply_with_effects`]
+    /// for the per-direction breakdown.
+    pub fn apply(&mut self, m: GraphMutation) -> MutationEffect {
+        let (forward, mirror) = self.apply_with_effects(m);
+        match (forward, mirror) {
+            (MutationEffect::TopologyChanged, _) | (_, MutationEffect::TopologyChanged) => {
+                MutationEffect::TopologyChanged
+            }
+            (MutationEffect::Reweighted, _) | (_, MutationEffect::Reweighted) => {
+                MutationEffect::Reweighted
+            }
+            _ => MutationEffect::Rejected,
+        }
+    }
+
+    /// Applies one mutation, returning the `(forward, mirror)` effects.
+    ///
+    /// `mirror` is `Rejected` when the graph is directed or the forward
+    /// application was rejected.
+    pub fn apply_with_effects(&mut self, m: GraphMutation) -> (MutationEffect, MutationEffect) {
+        let (src, dst) = m.endpoints();
+        let n = self.num_nodes() as NodeId;
+        if src >= n || dst >= n || src == dst {
+            self.rejected += 1;
+            return (MutationEffect::Rejected, MutationEffect::Rejected);
+        }
+        let forward = self.apply_directed(m);
+        let mut mirror = MutationEffect::Rejected;
+        if self.symmetric && forward != MutationEffect::Rejected {
+            let mirrored = match m {
+                GraphMutation::AddEdge { src, dst, weight } => GraphMutation::AddEdge {
+                    src: dst,
+                    dst: src,
+                    weight,
+                },
+                GraphMutation::RemoveEdge { src, dst } => {
+                    GraphMutation::RemoveEdge { src: dst, dst: src }
+                }
+                GraphMutation::UpdateWeight { src, dst, weight } => GraphMutation::UpdateWeight {
+                    src: dst,
+                    dst: src,
+                    weight,
+                },
+            };
+            mirror = self.apply_directed(mirrored);
+        }
+        if forward != MutationEffect::Rejected {
+            self.version += 1;
+        } else {
+            self.rejected += 1;
+        }
+        (forward, mirror)
+    }
+
+    fn apply_directed(&mut self, m: GraphMutation) -> MutationEffect {
+        match m {
+            GraphMutation::UpdateWeight { src, dst, weight } => {
+                // Overlay insert first: it shadows the base edge.
+                if let Some(d) = self.overlay.get_mut(&src) {
+                    if let Some(w) = d.inserts.get_mut(&dst) {
+                        *w = weight;
+                        return MutationEffect::Reweighted;
+                    }
+                    if d.deletes.contains(&dst) {
+                        return MutationEffect::Rejected;
+                    }
+                }
+                if self.base.set_weight(src, dst, weight) {
+                    MutationEffect::Reweighted
+                } else {
+                    MutationEffect::Rejected
+                }
+            }
+            GraphMutation::AddEdge { src, dst, weight } => {
+                if self.weight(src, dst).is_some() {
+                    // Upsert semantics: adding an existing edge reweights it.
+                    return self.apply_directed(GraphMutation::UpdateWeight { src, dst, weight });
+                }
+                let d = self.overlay.entry(src).or_default();
+                if d.deletes.remove(&dst) {
+                    // Un-delete: the base edge resurfaces with the new weight.
+                    self.base.set_weight(src, dst, weight);
+                } else {
+                    d.inserts.insert(dst, weight);
+                }
+                self.touched_since_compaction.insert(src);
+                MutationEffect::TopologyChanged
+            }
+            GraphMutation::RemoveEdge { src, dst } => {
+                let d = self.overlay.entry(src).or_default();
+                if d.inserts.remove(&dst).is_some() {
+                    self.touched_since_compaction.insert(src);
+                    return MutationEffect::TopologyChanged;
+                }
+                if !d.deletes.contains(&dst) && self.base.find_neighbor(src, dst).is_some() {
+                    d.deletes.insert(dst);
+                    self.touched_since_compaction.insert(src);
+                    MutationEffect::TopologyChanged
+                } else {
+                    MutationEffect::Rejected
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the base CSR from the merged view, clearing the overlay.
+    ///
+    /// O(|V| + |E|). Node types, edge types and the type registry are
+    /// preserved; edges inserted through the overlay get edge type 0 in
+    /// edge-typed graphs. Returns the set of nodes whose adjacency changed
+    /// since the previous compaction (the sampler-maintenance work list).
+    pub fn compact(&mut self) -> Vec<NodeId> {
+        let touched: Vec<NodeId> = self.touched_since_compaction.iter().copied().collect();
+        if self.overlay.is_empty() {
+            self.touched_since_compaction.clear();
+            return touched;
+        }
+        let n = self.num_nodes();
+        let has_edge_types = !self.base.edge_types().is_empty();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.base.num_edges());
+        let mut weights = Vec::with_capacity(self.base.num_edges());
+        let mut edge_types: Vec<u16> = Vec::new();
+        offsets.push(0usize);
+        for v in 0..n as NodeId {
+            if let Some(d) = self.overlay.get(&v) {
+                let base_n = self.base.neighbors(v);
+                let mut ins = d.inserts.iter().peekable();
+                for (k, &dst) in base_n.iter().enumerate() {
+                    while let Some((&idst, &iw)) = ins.peek() {
+                        if idst < dst {
+                            neighbors.push(idst);
+                            weights.push(iw);
+                            if has_edge_types {
+                                edge_types.push(0);
+                            }
+                            ins.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if !d.deletes.contains(&dst) {
+                        neighbors.push(dst);
+                        weights.push(self.base.weight_at(v, k));
+                        if has_edge_types {
+                            edge_types.push(self.base.edge_type_at(v, k));
+                        }
+                    }
+                }
+                for (&idst, &iw) in ins {
+                    neighbors.push(idst);
+                    weights.push(iw);
+                    if has_edge_types {
+                        edge_types.push(0);
+                    }
+                }
+            } else {
+                // Fast path: copy the untouched adjacency verbatim.
+                neighbors.extend_from_slice(self.base.neighbors(v));
+                weights.extend_from_slice(self.base.weights(v));
+                if has_edge_types {
+                    edge_types.extend_from_slice(self.base.edge_types_of(v));
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+
+        self.base = Graph::from_csr_parts(
+            offsets,
+            neighbors,
+            weights,
+            self.base.node_types().to_vec(),
+            edge_types,
+            self.base.num_node_types(),
+            self.base.num_edge_types(),
+            self.base.type_registry().clone(),
+        );
+        self.overlay.clear();
+        self.touched_since_compaction.clear();
+        touched
+    }
+
+    /// Builds a fresh CSR of the merged view without mutating the overlay
+    /// (used by equivalence tests).
+    pub fn materialize(&self) -> Graph {
+        let mut copy = self.clone();
+        copy.compact();
+        copy.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::GraphBuilder;
+
+    fn square() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 0, 1.0);
+        b.symmetric(true).build()
+    }
+
+    #[test]
+    fn weight_update_is_in_place_and_symmetric() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::UpdateWeight {
+                src: 0,
+                dst: 1,
+                weight: 5.0
+            }),
+            MutationEffect::Reweighted
+        );
+        assert_eq!(dg.weight(0, 1), Some(5.0));
+        assert_eq!(dg.weight(1, 0), Some(5.0));
+        // In place: visible on the CSR base without compaction.
+        let k = dg.base().find_neighbor(0, 1).unwrap();
+        assert_eq!(dg.base().weight_at(0, k), 5.0);
+        assert_eq!(dg.pending(), 0);
+    }
+
+    #[test]
+    fn insert_shows_in_merged_view_before_compaction() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::AddEdge {
+                src: 0,
+                dst: 2,
+                weight: 2.0
+            }),
+            MutationEffect::TopologyChanged
+        );
+        assert_eq!(dg.degree(0), 3);
+        assert!(dg.has_edge(0, 2));
+        assert!(dg.has_edge(2, 0));
+        assert_eq!(dg.neighbors(0), vec![1, 2, 3]);
+        // Base CSR is stale until compaction.
+        assert!(!dg.base().has_edge(0, 2));
+        let touched = dg.compact();
+        assert_eq!(touched, vec![0, 2]);
+        assert!(dg.base().has_edge(0, 2));
+        assert_eq!(dg.pending(), 0);
+    }
+
+    #[test]
+    fn delete_and_undelete() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveEdge { src: 0, dst: 1 }),
+            MutationEffect::TopologyChanged
+        );
+        assert!(!dg.has_edge(0, 1));
+        assert!(!dg.has_edge(1, 0));
+        assert_eq!(dg.degree(0), 1);
+        // Re-adding resurfaces the edge with the new weight.
+        dg.apply(GraphMutation::AddEdge {
+            src: 0,
+            dst: 1,
+            weight: 9.0,
+        });
+        assert_eq!(dg.weight(0, 1), Some(9.0));
+        assert_eq!(dg.degree(0), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_missing() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::AddEdge {
+                src: 0,
+                dst: 99,
+                weight: 1.0
+            }),
+            MutationEffect::Rejected
+        );
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveEdge { src: 0, dst: 2 }),
+            MutationEffect::Rejected
+        );
+        assert_eq!(
+            dg.apply(GraphMutation::UpdateWeight {
+                src: 0,
+                dst: 2,
+                weight: 1.0
+            }),
+            MutationEffect::Rejected
+        );
+        assert_eq!(dg.rejected(), 3);
+        assert_eq!(dg.version(), 0);
+    }
+
+    #[test]
+    fn upsert_add_reweights_existing_edge() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::AddEdge {
+                src: 0,
+                dst: 1,
+                weight: 4.0
+            }),
+            MutationEffect::Reweighted
+        );
+        assert_eq!(dg.weight(0, 1), Some(4.0));
+        assert_eq!(dg.pending(), 0);
+    }
+
+    #[test]
+    fn materialize_matches_compact() {
+        let mut dg = DynamicGraph::new(square(), true);
+        dg.apply(GraphMutation::AddEdge {
+            src: 1,
+            dst: 3,
+            weight: 2.5,
+        });
+        dg.apply(GraphMutation::RemoveEdge { src: 2, dst: 3 });
+        dg.apply(GraphMutation::UpdateWeight {
+            src: 0,
+            dst: 1,
+            weight: 7.0,
+        });
+        let snapshot = dg.materialize();
+        dg.compact();
+        let compacted = dg.base();
+        assert_eq!(snapshot.num_edges(), compacted.num_edges());
+        for v in 0..4u32 {
+            assert_eq!(snapshot.neighbors(v), compacted.neighbors(v));
+            assert_eq!(snapshot.weights(v), compacted.weights(v));
+        }
+        snapshot.validate().unwrap();
+    }
+
+    #[test]
+    fn asymmetric_base_reports_both_direction_effects() {
+        // Directed base containing only (1,0); symmetric mutation on (0,1):
+        // the forward direction inserts (topology) while the mirror upserts
+        // the existing base edge in place (reweight). Both must be reported
+        // or node 1's sampler maintenance is silently skipped.
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let g = b.symmetric(false).build();
+        let mut dg = DynamicGraph::new(g, true);
+        let (forward, mirror) = dg.apply_with_effects(GraphMutation::AddEdge {
+            src: 0,
+            dst: 1,
+            weight: 7.0,
+        });
+        assert_eq!(forward, MutationEffect::TopologyChanged);
+        assert_eq!(mirror, MutationEffect::Reweighted);
+        assert_eq!(dg.weight(0, 1), Some(7.0));
+        assert_eq!(dg.weight(1, 0), Some(7.0));
+        // The reweighted side hit the base CSR directly.
+        let k = dg.base().find_neighbor(1, 0).unwrap();
+        assert_eq!(dg.base().weight_at(1, k), 7.0);
+
+        // Inverse case: forward upsert-reweights the existing (2,1), mirror
+        // inserts the missing (1,2) — apply() must still classify the
+        // mutation as topology-changing so the compaction threshold fires.
+        let effect = dg.apply(GraphMutation::AddEdge {
+            src: 2,
+            dst: 1,
+            weight: 3.0,
+        });
+        assert_eq!(effect, MutationEffect::TopologyChanged);
+        assert!(dg.has_edge(1, 2));
+        assert_eq!(dg.weight(2, 1), Some(3.0));
+    }
+
+    #[test]
+    fn overlay_stats_track_pending_work() {
+        let mut dg = DynamicGraph::new(square(), false);
+        dg.apply(GraphMutation::AddEdge {
+            src: 0,
+            dst: 2,
+            weight: 1.0,
+        });
+        dg.apply(GraphMutation::RemoveEdge { src: 1, dst: 2 });
+        let s = dg.overlay_stats();
+        assert_eq!(s.dirty_vertices, 2);
+        assert_eq!(s.pending_inserts, 1);
+        assert_eq!(s.pending_deletes, 1);
+        assert_eq!(dg.pending(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! [`WalkRefresher`]: finds walks whose trajectories pass through mutated
+//! vertices and regenerates only those, leaving the rest of the corpus
+//! untouched.
+//!
+//! An inverted index (node → walk ids) makes the affected-walk lookup O(1)
+//! per touched node. Refreshed walks append postings for any new nodes they
+//! visit; stale postings (walks that no longer visit a node) are tolerated —
+//! they can only cause an unnecessary refresh, never a missed one — and the
+//! index is rebuilt wholesale once the posting overhead exceeds 2x the corpus
+//! size.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uninet_graph::{Graph, NodeId};
+use uninet_walker::{walk_once, RandomWalkModel, SamplerManager, WalkCorpus};
+
+/// Outcome of one refresh pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Touched nodes examined.
+    pub nodes_examined: usize,
+    /// Walks regenerated.
+    pub walks_refreshed: usize,
+    /// Total nodes re-sampled across refreshed walks.
+    pub tokens_regenerated: usize,
+}
+
+impl RefreshStats {
+    /// Accumulates another pass into this one.
+    pub fn merge(&mut self, other: &RefreshStats) {
+        self.nodes_examined += other.nodes_examined;
+        self.walks_refreshed += other.walks_refreshed;
+        self.tokens_regenerated += other.tokens_regenerated;
+    }
+}
+
+/// Incrementally maintains a walk corpus against a mutating graph.
+#[derive(Debug)]
+pub struct WalkRefresher {
+    /// node -> indices of walks visiting it (may contain stale postings).
+    index: Vec<Vec<u32>>,
+    /// Upper bound of live postings (tokens of the current corpus).
+    live_tokens: usize,
+    /// Total postings currently stored (live + stale).
+    stored_postings: usize,
+    /// Walk length to regenerate with.
+    walk_length: usize,
+    /// Base seed for refresh RNGs.
+    seed: u64,
+    /// Bumped every refresh pass so regenerated walks explore fresh paths.
+    generation: u64,
+}
+
+impl WalkRefresher {
+    /// Builds the node → walks index for `corpus`.
+    pub fn new(corpus: &WalkCorpus, num_nodes: usize, walk_length: usize, seed: u64) -> Self {
+        let mut r = WalkRefresher {
+            index: Vec::new(),
+            live_tokens: 0,
+            stored_postings: 0,
+            walk_length,
+            seed,
+            generation: 0,
+        };
+        r.rebuild_index(corpus, num_nodes);
+        r
+    }
+
+    fn rebuild_index(&mut self, corpus: &WalkCorpus, num_nodes: usize) {
+        let mut index = vec![Vec::new(); num_nodes];
+        for (i, walk) in corpus.iter().enumerate() {
+            let mut seen: Vec<NodeId> = walk.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for v in seen {
+                index[v as usize].push(i as u32);
+            }
+        }
+        self.stored_postings = index.iter().map(Vec::len).sum();
+        self.live_tokens = corpus.total_tokens();
+        self.index = index;
+    }
+
+    /// Walk ids currently indexed under `v` (may include stale entries).
+    pub fn walks_through(&self, v: NodeId) -> &[u32] {
+        &self.index[v as usize]
+    }
+
+    /// Regenerates every walk that passes through any node in `touched`.
+    ///
+    /// Refreshed walks restart from their original start node and are driven
+    /// by the live `manager` — so M-H chain state carried across the update
+    /// is reused, not re-initialized.
+    pub fn refresh<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        corpus: &mut WalkCorpus,
+        graph: &Graph,
+        model: &M,
+        manager: &SamplerManager,
+        touched: &[NodeId],
+    ) -> (RefreshStats, Duration) {
+        let t = Instant::now();
+        self.generation += 1;
+        let mut stats = RefreshStats {
+            nodes_examined: touched.len(),
+            ..Default::default()
+        };
+
+        let mut ids: Vec<u32> = Vec::new();
+        for &v in touched {
+            if (v as usize) < self.index.len() {
+                ids.extend_from_slice(&self.index[v as usize]);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+
+        for &id in &ids {
+            let start = corpus.walk(id as usize)[0];
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed
+                    ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ self.generation.wrapping_mul(0xD1B54A32D192ED03),
+            );
+            let walk = walk_once(graph, model, manager, start, self.walk_length, &mut rng);
+            stats.tokens_regenerated += walk.len();
+
+            // Append postings for newly visited nodes; stale ones are benign.
+            let mut seen: Vec<NodeId> = walk.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for v in seen {
+                // Postings stay sorted so membership is O(log n) even on hub
+                // nodes whose lists approach the corpus size.
+                let postings = &mut self.index[v as usize];
+                if let Err(pos) = postings.binary_search(&id) {
+                    postings.insert(pos, id);
+                    self.stored_postings += 1;
+                }
+            }
+            corpus.set_walk(id as usize, walk);
+        }
+        stats.walks_refreshed = ids.len();
+        self.live_tokens = corpus.total_tokens();
+
+        // Garbage-collect the index when stale postings dominate.
+        if self.stored_postings > 2 * self.live_tokens.max(1) {
+            let n = self.index.len();
+            self.rebuild_index(corpus, n);
+        }
+        (stats, t.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_graph::generators::{rmat, RmatConfig};
+    use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+    use uninet_walker::models::DeepWalk;
+    use uninet_walker::{WalkEngine, WalkEngineConfig};
+
+    fn setup() -> (Graph, WalkCorpus, SamplerManager, WalkEngineConfig) {
+        let g = rmat(&RmatConfig {
+            num_nodes: 150,
+            num_edges: 1200,
+            weighted: true,
+            seed: 17,
+            ..Default::default()
+        });
+        let model = DeepWalk::new();
+        let cfg = WalkEngineConfig::default()
+            .with_num_walks(2)
+            .with_walk_length(12)
+            .with_threads(2)
+            .with_sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random));
+        let manager = SamplerManager::new(&g, &model, cfg.sampler, 0);
+        let engine = WalkEngine::new(cfg);
+        let starts: Vec<NodeId> = g.non_isolated_nodes().collect();
+        let (corpus, _) = engine.generate_with_manager(&g, &model, &manager, &starts);
+        (g, corpus, manager, cfg)
+    }
+
+    #[test]
+    fn index_covers_every_visit() {
+        let (g, corpus, _, cfg) = setup();
+        let refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 7);
+        for (i, walk) in corpus.iter().enumerate() {
+            for &v in walk {
+                assert!(
+                    refresher.walks_through(v).contains(&(i as u32)),
+                    "walk {i} through node {v} not indexed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_touches_only_affected_walks() {
+        let (g, mut corpus, manager, cfg) = setup();
+        let model = DeepWalk::new();
+        let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 7);
+        let touched = [3u32];
+        let affected: Vec<u32> = refresher.walks_through(3).to_vec();
+        let before: Vec<Vec<NodeId>> = corpus.walks().to_vec();
+        let (stats, _) = refresher.refresh(&mut corpus, &g, &model, &manager, &touched);
+        assert_eq!(stats.walks_refreshed, affected.len());
+        assert!(stats.tokens_regenerated > 0);
+        for (i, walk) in corpus.iter().enumerate() {
+            if !affected.contains(&(i as u32)) {
+                assert_eq!(walk, before[i].as_slice(), "unaffected walk {i} changed");
+            } else {
+                assert_eq!(walk[0], before[i][0], "refreshed walk {i} moved its start");
+            }
+        }
+    }
+
+    #[test]
+    fn refreshed_walks_are_valid_paths() {
+        let (g, mut corpus, manager, cfg) = setup();
+        let model = DeepWalk::new();
+        let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 9);
+        let touched: Vec<NodeId> = (0..20).collect();
+        let (stats, _) = refresher.refresh(&mut corpus, &g, &model, &manager, &touched);
+        assert!(stats.walks_refreshed > 0);
+        for walk in corpus.iter() {
+            for pair in walk.windows(2) {
+                assert!(
+                    g.has_edge(pair[0], pair[1]),
+                    "non-edge {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_refresh_keeps_index_consistent() {
+        let (g, mut corpus, manager, cfg) = setup();
+        let model = DeepWalk::new();
+        let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 13);
+        for round in 0..8 {
+            let touched = [(round * 7 % 150) as NodeId, (round * 13 % 150) as NodeId];
+            refresher.refresh(&mut corpus, &g, &model, &manager, &touched);
+        }
+        // Every walk must still be findable under every node it visits.
+        for (i, walk) in corpus.iter().enumerate() {
+            for &v in walk {
+                assert!(refresher.walks_through(v).contains(&(i as u32)));
+            }
+        }
+    }
+}

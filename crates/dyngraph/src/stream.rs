@@ -1,0 +1,204 @@
+//! Edge-update stream I/O: a plain-text event format and batching helpers.
+//!
+//! Format (whitespace separated, `#`/`%` comments ignored):
+//!
+//! ```text
+//! add <src> <dst> [weight]     # or: + <src> <dst> [weight]
+//! del <src> <dst>              # or: - <src> <dst>
+//! w   <src> <dst> <weight>     # or: ~ <src> <dst> <weight>   (reweight)
+//! ```
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use uninet_graph::NodeId;
+
+use crate::mutation::{GraphMutation, UpdateBatch};
+
+/// Errors produced while parsing an update stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A line could not be parsed as an update event.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An I/O error occurred.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Parse { line, content } => {
+                write!(f, "cannot parse update at line {line}: {content:?}")
+            }
+            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Parses one event line (`None` for blanks and comments).
+pub fn parse_line(line: &str) -> Result<Option<GraphMutation>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let op = it.next().ok_or("missing op")?;
+    let src: NodeId = it
+        .next()
+        .ok_or("missing src")?
+        .parse()
+        .map_err(|_| "bad src")?;
+    let dst: NodeId = it
+        .next()
+        .ok_or("missing dst")?
+        .parse()
+        .map_err(|_| "bad dst")?;
+    let weight =
+        |it: &mut dyn Iterator<Item = &str>, default: Option<f32>| -> Result<f32, String> {
+            match it.next() {
+                Some(tok) => tok.parse::<f32>().map_err(|_| "bad weight".to_string()),
+                None => default.ok_or_else(|| "missing weight".to_string()),
+            }
+        };
+    let m = match op {
+        "add" | "+" => GraphMutation::AddEdge {
+            src,
+            dst,
+            weight: weight(&mut it, Some(1.0))?,
+        },
+        "del" | "-" => GraphMutation::RemoveEdge { src, dst },
+        "w" | "~" | "reweight" => GraphMutation::UpdateWeight {
+            src,
+            dst,
+            weight: weight(&mut it, None)?,
+        },
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Some(m))
+}
+
+/// Reads a full update stream from any reader.
+pub fn read_update_stream<R: Read>(reader: R) -> Result<Vec<GraphMutation>, StreamError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        match parse_line(&line) {
+            Ok(Some(m)) => out.push(m),
+            Ok(None) => {}
+            Err(_) => {
+                return Err(StreamError::Parse {
+                    line: i + 1,
+                    content: line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads an update stream from a file.
+pub fn read_update_stream_file<P: AsRef<Path>>(path: P) -> Result<Vec<GraphMutation>, StreamError> {
+    let file = std::fs::File::open(path)?;
+    read_update_stream(file)
+}
+
+/// Splits a mutation list into batches of at most `batch_size` events.
+pub fn into_batches(mutations: &[GraphMutation], batch_size: usize) -> Vec<UpdateBatch> {
+    let batch_size = batch_size.max(1);
+    mutations
+        .chunks(batch_size)
+        .map(|c| UpdateBatch::from_mutations(c.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_ops_and_aliases() {
+        let text = "\
+# comment
+add 0 1 2.5
++ 1 2
+del 2 3
+- 3 4
+w 4 5 0.5
+~ 5 6 1.5
+reweight 6 7 2.0
+";
+        let ms = read_update_stream(text.as_bytes()).unwrap();
+        assert_eq!(ms.len(), 7);
+        assert_eq!(
+            ms[0],
+            GraphMutation::AddEdge {
+                src: 0,
+                dst: 1,
+                weight: 2.5
+            }
+        );
+        assert_eq!(
+            ms[1],
+            GraphMutation::AddEdge {
+                src: 1,
+                dst: 2,
+                weight: 1.0
+            }
+        );
+        assert_eq!(ms[2], GraphMutation::RemoveEdge { src: 2, dst: 3 });
+        assert_eq!(
+            ms[4],
+            GraphMutation::UpdateWeight {
+                src: 4,
+                dst: 5,
+                weight: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = read_update_stream("add 0 1\nbogus line\n".as_bytes()).unwrap_err();
+        match err {
+            StreamError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn reweight_requires_weight() {
+        assert!(parse_line("w 1 2").is_err());
+        assert!(parse_line("w 1 2 3.0").unwrap().is_some());
+        assert!(parse_line("   ").unwrap().is_none());
+        assert!(parse_line("# x").unwrap().is_none());
+    }
+
+    #[test]
+    fn batching_splits_evenly() {
+        let ms: Vec<GraphMutation> = (0..10)
+            .map(|i| GraphMutation::UpdateWeight {
+                src: i,
+                dst: i + 1,
+                weight: 1.0,
+            })
+            .collect();
+        let batches = into_batches(&ms, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        assert!(batches.iter().all(|b| b.is_weight_only()));
+    }
+}

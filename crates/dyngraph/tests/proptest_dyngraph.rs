@@ -1,0 +1,292 @@
+//! Property-based tests of the dynamic-graph subsystem:
+//!
+//! * an arbitrary mutation sequence applied through `DynamicGraph` yields
+//!   degrees / weights / neighbor sets identical to a from-scratch rebuild
+//!   (a reference edge-map model), both through the merged-view queries and
+//!   through the compacted CSR;
+//! * M-H chain state survives reweighting while alias tables are rebuilt to
+//!   the correct new distribution.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uninet_dyngraph::{DynamicGraph, GraphMutation, IncrementalMaintainer, UpdateBatch};
+use uninet_graph::{Graph, GraphBuilder, NodeId};
+use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+use uninet_walker::models::DeepWalk;
+use uninet_walker::{RandomWalkModel, SamplerManager};
+
+const N: u32 = 12;
+
+/// Reference model: a directed edge map with the same semantics as
+/// `DynamicGraph::apply` (upsert adds, reject missing removes/reweights,
+/// mirror when symmetric).
+#[derive(Default)]
+struct EdgeMap {
+    edges: BTreeMap<(NodeId, NodeId), f32>,
+}
+
+impl EdgeMap {
+    fn from_graph(g: &Graph) -> Self {
+        let mut edges = BTreeMap::new();
+        for (src, dst, w) in g.all_edges() {
+            edges.insert((src, dst), w);
+        }
+        EdgeMap { edges }
+    }
+
+    fn apply_directed(&mut self, m: GraphMutation) -> bool {
+        let (src, dst) = m.endpoints();
+        match m {
+            GraphMutation::UpdateWeight { weight, .. } => match self.edges.get_mut(&(src, dst)) {
+                Some(w) => {
+                    *w = weight;
+                    true
+                }
+                None => false,
+            },
+            GraphMutation::AddEdge { weight, .. } => {
+                self.edges.insert((src, dst), weight);
+                true
+            }
+            GraphMutation::RemoveEdge { .. } => self.edges.remove(&(src, dst)).is_some(),
+        }
+    }
+
+    fn apply(&mut self, m: GraphMutation, n: NodeId, symmetric: bool) {
+        let (src, dst) = m.endpoints();
+        if src >= n || dst >= n || src == dst {
+            return;
+        }
+        if self.apply_directed(m) && symmetric {
+            let mirrored = match m {
+                GraphMutation::AddEdge { src, dst, weight } => GraphMutation::AddEdge {
+                    src: dst,
+                    dst: src,
+                    weight,
+                },
+                GraphMutation::RemoveEdge { src, dst } => {
+                    GraphMutation::RemoveEdge { src: dst, dst: src }
+                }
+                GraphMutation::UpdateWeight { src, dst, weight } => GraphMutation::UpdateWeight {
+                    src: dst,
+                    dst: src,
+                    weight,
+                },
+            };
+            self.apply_directed(mirrored);
+        }
+    }
+
+    fn neighbor_weights(&self, v: NodeId) -> Vec<(NodeId, f32)> {
+        self.edges
+            .range((v, 0)..=(v, NodeId::MAX))
+            .map(|(&(_, dst), &w)| (dst, w))
+            .collect()
+    }
+}
+
+fn base_graph(edges: &[(u32, u32, f32)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(N as usize);
+    b.symmetric(true).dedup(true);
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(u % N, v % N, w);
+        }
+    }
+    b.build()
+}
+
+fn arbitrary_mutation() -> impl Strategy<Value = GraphMutation> {
+    (0usize..3, 0u32..N + 2, 0u32..N + 2, 0.1f32..8.0).prop_map(|(op, src, dst, w)| match op {
+        0 => GraphMutation::AddEdge {
+            src,
+            dst,
+            weight: w,
+        },
+        1 => GraphMutation::RemoveEdge { src, dst },
+        _ => GraphMutation::UpdateWeight {
+            src,
+            dst,
+            weight: w,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence property: DynamicGraph == from-scratch rebuild.
+    #[test]
+    fn mutation_sequence_matches_reference_rebuild(
+        edges in prop::collection::vec((0u32..N, 0u32..N, 0.5f32..4.0), 1..40),
+        mutations in prop::collection::vec(arbitrary_mutation(), 0..60),
+        symmetric in any::<bool>(),
+    ) {
+        let g = base_graph(&edges);
+        let mut reference = EdgeMap::from_graph(&g);
+        let mut dg = DynamicGraph::new(g, symmetric);
+
+        for &m in &mutations {
+            dg.apply(m);
+            reference.apply(m, N, symmetric);
+        }
+
+        // Merged-view queries against the reference.
+        for v in 0..N {
+            let expect = reference.neighbor_weights(v);
+            prop_assert_eq!(dg.degree(v), expect.len(), "degree of {}", v);
+            prop_assert_eq!(&dg.neighbor_weights(v), &expect, "adjacency of {}", v);
+            for &(dst, w) in &expect {
+                prop_assert!(dg.has_edge(v, dst));
+                prop_assert_eq!(dg.weight(v, dst), Some(w));
+            }
+        }
+
+        // Compacted CSR against the reference (the from-scratch rebuild).
+        let csr = dg.materialize();
+        csr.validate().unwrap();
+        for v in 0..N {
+            let expect = reference.neighbor_weights(v);
+            let got: Vec<(NodeId, f32)> = csr
+                .neighbors(v)
+                .iter()
+                .copied()
+                .zip(csr.weights(v).iter().copied())
+                .collect();
+            prop_assert_eq!(&got, &expect, "compacted adjacency of {}", v);
+        }
+
+        // Compaction must be idempotent: a second materialize is identical.
+        let again = dg.materialize();
+        prop_assert_eq!(again.num_edges(), csr.num_edges());
+    }
+
+    /// M-H chains survive arbitrary reweight batches untouched; alias tables
+    /// are rebuilt and encode the *new* distribution.
+    #[test]
+    fn mh_chains_survive_reweights_alias_rebuilds(
+        edges in prop::collection::vec((0u32..N, 0u32..N, 0.5f32..4.0), 8..40),
+        reweights in prop::collection::vec((0u32..N, 0u32..N, 0.2f32..9.0), 1..12),
+        seed in 0u64..500,
+    ) {
+        let g = base_graph(&edges);
+        let model = DeepWalk::new();
+        let maintainer = IncrementalMaintainer::default();
+
+        let mut dg_mh = DynamicGraph::new(g.clone(), true);
+        let mut mh = SamplerManager::new(
+            dg_mh.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        // Initialize every chain by sampling once per non-isolated node.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in dg_mh.base().non_isolated_nodes().collect::<Vec<_>>() {
+            let state = model.initial_state(dg_mh.base(), v);
+            mh.sample(dg_mh.base(), &model, state, &mut rng);
+        }
+        let before: Vec<Option<u32>> = (0..mh.num_states()).map(|i| mh.mh_chain_last(i)).collect();
+
+        // Build the reweight batch over edges that actually exist.
+        let mut batch = UpdateBatch::new();
+        for &(u, v, w) in &reweights {
+            if dg_mh.has_edge(u, v) {
+                batch.update_weight(u, v, w);
+            }
+        }
+        let mh_report = maintainer.apply_batch(&mut dg_mh, &mut mh, &model, &batch);
+
+        // Chain state is bit-identical after the reweight.
+        let after: Vec<Option<u32>> = (0..mh.num_states()).map(|i| mh.mh_chain_last(i)).collect();
+        prop_assert_eq!(before, after, "M-H chain state changed across a reweight");
+        prop_assert_eq!(mh_report.maintenance.states_rebuilt, 0);
+        prop_assert_eq!(mh_report.maintenance.bytes_rebuilt, 0);
+
+        // Alias manager over the same batch: touched buckets are rebuilt...
+        let mut dg_alias = DynamicGraph::new(g, true);
+        let mut alias = SamplerManager::new(dg_alias.base(), &model, EdgeSamplerKind::Alias, 0);
+        let alias_report = maintainer.apply_batch(&mut dg_alias, &mut alias, &model, &batch);
+        if !batch.is_empty() {
+            prop_assert!(alias_report.maintenance.states_rebuilt > 0);
+            prop_assert!(alias_report.maintenance.bytes_rebuilt > 0);
+        }
+
+        // ...and the rebuilt tables sample the *new* weights exactly.
+        if let Some(&(u, _, _)) = reweights.iter().find(|&&(u, v, _)| dg_alias.has_edge(u, v)) {
+            let deg = dg_alias.base().degree(u);
+            prop_assume!(deg >= 1);
+            let weights = dg_alias.base().weights(u).to_vec();
+            let total: f64 = weights.iter().map(|&w| w as f64).sum();
+            let state = model.initial_state(dg_alias.base(), u);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5555);
+            let draws = 30_000;
+            let mut counts = vec![0usize; deg];
+            for _ in 0..draws {
+                let k = alias.sample(dg_alias.base(), &model, state, &mut rng).unwrap();
+                counts[k] += 1;
+            }
+            for (k, &c) in counts.iter().enumerate() {
+                let expected = weights[k] as f64 / total;
+                let freq = c as f64 / draws as f64;
+                prop_assert!(
+                    (freq - expected).abs() < 0.04 + 0.1 * expected,
+                    "rebuilt alias table off-target at neighbor {}: {} vs {}",
+                    k, freq, expected
+                );
+            }
+        }
+    }
+
+    /// Topology changes reset exactly the touched buckets' chains; untouched
+    /// chains carry over through compaction.
+    #[test]
+    fn topology_maintenance_resets_only_touched_chains(
+        edges in prop::collection::vec((0u32..N, 0u32..N, 0.5f32..4.0), 12..40),
+        src in 0u32..N,
+        dst in 0u32..N,
+        seed in 0u64..500,
+    ) {
+        let g = base_graph(&edges);
+        prop_assume!(src != dst && !g.has_edge(src, dst));
+        let model = DeepWalk::new();
+        let mut dg = DynamicGraph::new(g, true);
+        let mut manager = SamplerManager::new(
+            dg.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in dg.base().non_isolated_nodes().collect::<Vec<_>>() {
+            let state = model.initial_state(dg.base(), v);
+            manager.sample(dg.base(), &model, state, &mut rng);
+        }
+        let before: Vec<Option<u32>> =
+            (0..manager.num_states()).map(|i| manager.mh_chain_last(i)).collect();
+
+        // Compact on every topology batch (threshold 0).
+        let maintainer = IncrementalMaintainer::new(
+            uninet_dyngraph::MaintainerConfig { compaction_threshold: 0 },
+        );
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(src, dst, 1.0);
+        let report = maintainer.apply_batch(&mut dg, &mut manager, &model, &batch);
+        prop_assert!(report.compacted);
+
+        // DeepWalk: one state per node; only src and dst buckets may reset.
+        for (v, &prior) in before.iter().enumerate().take(N as usize) {
+            let last = manager.mh_chain_last(v);
+            if v == src as usize || v == dst as usize {
+                prop_assert_eq!(last, None, "touched chain {} not reset", v);
+            } else {
+                prop_assert_eq!(last, prior, "untouched chain {} lost state", v);
+            }
+        }
+    }
+}

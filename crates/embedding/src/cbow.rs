@@ -51,7 +51,11 @@ pub fn train_window<R: Rng>(
         let score = output.dot_row(target as usize, &hidden);
         let pred = sigmoid.sigmoid(score);
         let g = (label - pred) * alpha;
-        loss += if label > 0.5 { -(pred.max(1e-7)).ln() } else { -((1.0 - pred).max(1e-7)).ln() };
+        loss += if label > 0.5 {
+            -(pred.max(1e-7)).ln()
+        } else {
+            -((1.0 - pred).max(1e-7)).ln()
+        };
         let mut out_row = vec![0.0f32; dim];
         output.read_row(target as usize, &mut out_row);
         for j in 0..dim {
@@ -88,9 +92,9 @@ pub fn train_walk<R: Rng>(
         let lo = pos.saturating_sub(window - b);
         let hi = (pos + window - b + 1).min(walk.len());
         context.clear();
-        for ctx_pos in lo..hi {
+        for (ctx_pos, &ctx) in walk.iter().enumerate().take(hi).skip(lo) {
             if ctx_pos != pos {
-                context.push(walk[ctx_pos]);
+                context.push(ctx);
             }
         }
         loss += train_window(
@@ -107,7 +111,10 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn setup(n: usize, dim: usize) -> (EmbeddingMatrix, EmbeddingMatrix, SigmoidTable, UnigramTable) {
+    fn setup(
+        n: usize,
+        dim: usize,
+    ) -> (EmbeddingMatrix, EmbeddingMatrix, SigmoidTable, UnigramTable) {
         let input = EmbeddingMatrix::uniform(n, dim, 11);
         let output = EmbeddingMatrix::zeros(n, dim);
         let vocab = Vocabulary::from_counts(vec![5; n]);
@@ -128,7 +135,17 @@ mod tests {
         let (input, output, sigmoid, table) = setup(10, 8);
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..300 {
-            train_window(&input, &output, 3, &[1, 2], 4, 0.05, &sigmoid, &table, &mut rng);
+            train_window(
+                &input,
+                &output,
+                3,
+                &[1, 2],
+                4,
+                0.05,
+                &sigmoid,
+                &table,
+                &mut rng,
+            );
         }
         let mut hidden = vec![0.0; 8];
         let mut row = vec![0.0; 8];
@@ -149,7 +166,9 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for epoch in 0..30 {
-            let loss = train_walk(&input, &output, &walk, 2, 4, 0.05, &sigmoid, &table, &mut rng);
+            let loss = train_walk(
+                &input, &output, &walk, 2, 4, 0.05, &sigmoid, &table, &mut rng,
+            );
             if epoch == 0 {
                 first = loss;
             }

@@ -75,22 +75,18 @@ pub fn read_word2vec_text<R: Read>(reader: R) -> Result<Embeddings, EmbeddingIoE
             continue;
         }
         let mut toks = line.split_whitespace();
-        let node: usize = toks
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| EmbeddingIoError::Parse(format!("bad node id at line {}", lineno + 2)))?;
+        let node: usize = toks.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+            EmbeddingIoError::Parse(format!("bad node id at line {}", lineno + 2))
+        })?;
         if node >= num_nodes {
             return Err(EmbeddingIoError::Parse(format!(
                 "node id {node} out of range (header says {num_nodes})"
             )));
         }
         for j in 0..dim {
-            let val: f32 = toks
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| {
-                    EmbeddingIoError::Parse(format!("missing component {j} at line {}", lineno + 2))
-                })?;
+            let val: f32 = toks.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                EmbeddingIoError::Parse(format!("missing component {j} at line {}", lineno + 2))
+            })?;
             flat[node * dim + j] = val;
         }
     }

@@ -49,7 +49,11 @@ impl Embeddings {
     /// Panics if the vector length is not a multiple of `dim`.
     pub fn from_flat(dim: usize, vectors: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(vectors.len() % dim, 0, "flat vector length must be a multiple of dim");
+        assert_eq!(
+            vectors.len() % dim,
+            0,
+            "flat vector length must be a multiple of dim"
+        );
         Embeddings { dim, vectors }
     }
 

@@ -22,7 +22,9 @@ impl EmbeddingMatrix {
     /// Creates a zero-initialized matrix.
     pub fn zeros(rows: usize, dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        let data = (0..rows * dim).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+        let data = (0..rows * dim)
+            .map(|_| AtomicU32::new(0f32.to_bits()))
+            .collect();
         EmbeddingMatrix { rows, dim, data }
     }
 
@@ -108,7 +110,10 @@ impl EmbeddingMatrix {
 
     /// Extracts the whole matrix as a flat row-major `Vec<f32>`.
     pub fn to_flat(&self) -> Vec<f32> {
-        self.data.iter().map(|c| f32::from_bits(c.load(Ordering::Relaxed))).collect()
+        self.data
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 

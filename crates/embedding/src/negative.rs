@@ -29,7 +29,9 @@ impl UnigramTable {
         assert!(table_size > 0, "table size must be positive");
         let n = vocab.len();
         assert!(n > 0, "vocabulary must not be empty");
-        let mut weights: Vec<f64> = (0..n as u32).map(|v| (vocab.count(v) as f64).powf(power)).collect();
+        let mut weights: Vec<f64> = (0..n as u32)
+            .map(|v| (vocab.count(v) as f64).powf(power))
+            .collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // Degenerate corpus: fall back to the uniform distribution.
@@ -74,7 +76,7 @@ impl UnigramTable {
     /// then returns whatever came up — matching word2vec.c's behaviour).
     #[inline]
     pub fn sample_excluding<R: Rng>(&self, positive: u32, rng: &mut R) -> u32 {
-        for _ in 0..8 {
+        for _ in 0..32 {
             let s = self.sample(rng);
             if s != positive {
                 return s;

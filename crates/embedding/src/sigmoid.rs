@@ -42,7 +42,8 @@ impl SigmoidTable {
         } else if x <= -self.max_exp {
             0.0
         } else {
-            let idx = ((x + self.max_exp) / (2.0 * self.max_exp) * self.table.len() as f32) as usize;
+            let idx =
+                ((x + self.max_exp) / (2.0 * self.max_exp) * self.table.len() as f32) as usize;
             self.table[idx.min(self.table.len() - 1)]
         }
     }

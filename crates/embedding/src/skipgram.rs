@@ -40,7 +40,11 @@ pub fn train_pair<R: Rng>(
         let score = output.dot_row(target as usize, &center_vec);
         let pred = sigmoid.sigmoid(score);
         let g = (label - pred) * alpha;
-        loss += if label > 0.5 { -ln_safe(pred) } else { -ln_safe(1.0 - pred) };
+        loss += if label > 0.5 {
+            -ln_safe(pred)
+        } else {
+            -ln_safe(1.0 - pred)
+        };
 
         // Accumulate gradient wrt the center vector, update the output row.
         let mut out_row = vec![0.0f32; dim];
@@ -75,20 +79,12 @@ pub fn train_walk<R: Rng>(
         let b = rng.gen_range(0..window.max(1));
         let lo = pos.saturating_sub(window - b);
         let hi = (pos + window - b + 1).min(walk.len());
-        for ctx_pos in lo..hi {
+        for (ctx_pos, &ctx) in walk.iter().enumerate().take(hi).skip(lo) {
             if ctx_pos == pos {
                 continue;
             }
             loss += train_pair(
-                input,
-                output,
-                center,
-                walk[ctx_pos],
-                negative,
-                alpha,
-                sigmoid,
-                table,
-                rng,
+                input, output, center, ctx, negative, alpha, sigmoid, table, rng,
             );
         }
     }
@@ -107,7 +103,10 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn setup(num_nodes: usize, dim: usize) -> (EmbeddingMatrix, EmbeddingMatrix, SigmoidTable, UnigramTable) {
+    fn setup(
+        num_nodes: usize,
+        dim: usize,
+    ) -> (EmbeddingMatrix, EmbeddingMatrix, SigmoidTable, UnigramTable) {
         let input = EmbeddingMatrix::uniform(num_nodes, dim, 1);
         let output = EmbeddingMatrix::zeros(num_nodes, dim);
         let sigmoid = SigmoidTable::default();
@@ -133,8 +132,14 @@ mod tests {
             input.read_row(0, &mut c);
             output.dot_row(1, &c)
         };
-        assert!(score_after > score_before, "{score_after} <= {score_before}");
-        assert!(score_after > 1.0, "positive pair score should grow, got {score_after}");
+        assert!(
+            score_after > score_before,
+            "{score_after} <= {score_before}"
+        );
+        assert!(
+            score_after > 1.0,
+            "positive pair score should grow, got {score_after}"
+        );
     }
 
     #[test]
@@ -145,8 +150,9 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for epoch in 0..30 {
-            let loss =
-                train_walk(&input, &output, &walk, 3, 5, 0.05, &sigmoid, &table, &mut rng);
+            let loss = train_walk(
+                &input, &output, &walk, 3, 5, 0.05, &sigmoid, &table, &mut rng,
+            );
             if epoch == 0 {
                 first = loss;
             }
@@ -160,9 +166,29 @@ mod tests {
         let (input, output, sigmoid, table) = setup(5, 4);
         let mut rng = SmallRng::seed_from_u64(4);
         // Length-1 walk has no context pairs: loss 0, no panic.
-        let loss = train_walk(&input, &output, &[2], 5, 2, 0.05, &sigmoid, &table, &mut rng);
+        let loss = train_walk(
+            &input,
+            &output,
+            &[2],
+            5,
+            2,
+            0.05,
+            &sigmoid,
+            &table,
+            &mut rng,
+        );
         assert_eq!(loss, 0.0);
-        let loss2 = train_walk(&input, &output, &[2, 3], 5, 2, 0.05, &sigmoid, &table, &mut rng);
+        let loss2 = train_walk(
+            &input,
+            &output,
+            &[2, 3],
+            5,
+            2,
+            0.05,
+            &sigmoid,
+            &table,
+            &mut rng,
+        );
         assert!(loss2 > 0.0);
     }
 }

@@ -96,7 +96,8 @@ impl Word2VecTrainer {
     pub fn train(&self, walks: &[Vec<u32>], num_nodes: usize) -> (Embeddings, TrainStats) {
         let cfg = &self.config;
         let vocab = Vocabulary::from_walks(num_nodes, walks.iter().map(|w| w.as_slice()));
-        let table = UnigramTable::with_params(&vocab, (num_nodes * 64).clamp(1 << 12, 1 << 22), 0.75);
+        let table =
+            UnigramTable::with_params(&vocab, (num_nodes * 64).clamp(1 << 12, 1 << 22), 0.75);
         let sigmoid = SigmoidTable::default();
         let input = EmbeddingMatrix::uniform(num_nodes, cfg.dim, cfg.seed);
         let output = EmbeddingMatrix::zeros(num_nodes, cfg.dim);
@@ -146,17 +147,31 @@ impl Word2VecTrainer {
                             // Linearly decaying learning rate based on global progress.
                             let done = progress.load(Ordering::Relaxed) as f64;
                             let frac = (done / total_tokens as f64).min(1.0);
-                            let alpha =
-                                (cfg.initial_alpha as f64 * (1.0 - frac)).max(cfg.initial_alpha as f64 * 1e-4)
-                                    as f32;
+                            let alpha = (cfg.initial_alpha as f64 * (1.0 - frac))
+                                .max(cfg.initial_alpha as f64 * 1e-4)
+                                as f32;
                             let loss = match cfg.mode {
                                 TrainingMode::SkipGram => skipgram::train_walk(
-                                    input, output, &sentence, cfg.window, cfg.negative, alpha,
-                                    sigmoid, table, &mut rng,
+                                    input,
+                                    output,
+                                    &sentence,
+                                    cfg.window,
+                                    cfg.negative,
+                                    alpha,
+                                    sigmoid,
+                                    table,
+                                    &mut rng,
                                 ),
                                 TrainingMode::Cbow => cbow::train_walk(
-                                    input, output, &sentence, cfg.window, cfg.negative, alpha,
-                                    sigmoid, table, &mut rng,
+                                    input,
+                                    output,
+                                    &sentence,
+                                    cfg.window,
+                                    cfg.negative,
+                                    alpha,
+                                    sigmoid,
+                                    table,
+                                    &mut rng,
                                 ),
                             };
                             if epoch + 1 == cfg.epochs {
@@ -210,7 +225,7 @@ mod tests {
         for _ in 0..120 {
             for cluster in 0..2u32 {
                 let base = cluster * 5;
-                let walk: Vec<u32> = (0..20).map(|_| base + rng.gen_range(0..5)).collect();
+                let walk: Vec<u32> = (0..20).map(|_| base + rng.gen_range(0u32..5)).collect();
                 walks.push(walk);
             }
         }
@@ -289,7 +304,11 @@ mod tests {
 
     #[test]
     fn empty_corpus_yields_initial_embeddings() {
-        let cfg = Word2VecConfig { dim: 4, num_threads: 2, ..Default::default() };
+        let cfg = Word2VecConfig {
+            dim: 4,
+            num_threads: 2,
+            ..Default::default()
+        };
         let (emb, stats) = Word2VecTrainer::new(cfg).train(&[], 5);
         assert_eq!(emb.num_nodes(), 5);
         assert_eq!(stats.pairs_processed, 0);
@@ -298,7 +317,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_config_panics() {
-        let cfg = Word2VecConfig { dim: 0, ..Default::default() };
+        let cfg = Word2VecConfig {
+            dim: 0,
+            ..Default::default()
+        };
         let _ = Word2VecTrainer::new(cfg);
     }
 }

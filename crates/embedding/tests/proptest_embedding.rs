@@ -85,7 +85,7 @@ proptest! {
                 let s_ab = emb.cosine_similarity(a, b);
                 let s_ba = emb.cosine_similarity(b, a);
                 prop_assert!((s_ab - s_ba).abs() < 1e-5);
-                prop_assert!(s_ab >= -1.0 - 1e-5 && s_ab <= 1.0 + 1e-5);
+                prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&s_ab));
             }
         }
     }

@@ -17,7 +17,10 @@ pub struct LinkPredictionConfig {
 
 impl Default for LinkPredictionConfig {
     fn default() -> Self {
-        LinkPredictionConfig { num_pairs: 1000, seed: 42 }
+        LinkPredictionConfig {
+            num_pairs: 1000,
+            seed: 42,
+        }
     }
 }
 
@@ -82,7 +85,12 @@ mod tests {
     use super::*;
 
     /// Two cliques {0..4} and {5..9}; embeddings = one-hot cluster indicator.
-    fn clique_setup() -> (Vec<(u32, u32)>, impl Fn(u32, u32) -> bool, impl Fn(u32, u32) -> f64) {
+    #[allow(clippy::type_complexity)]
+    fn clique_setup() -> (
+        Vec<(u32, u32)>,
+        impl Fn(u32, u32) -> bool,
+        impl Fn(u32, u32) -> f64,
+    ) {
         let mut edges = Vec::new();
         for base in [0u32, 5] {
             for i in 0..5 {
@@ -99,7 +107,13 @@ mod tests {
     #[test]
     fn perfect_scores_give_auc_one() {
         let (edges, has_edge, score) = clique_setup();
-        let auc = link_prediction_auc(10, &edges, has_edge, score, &LinkPredictionConfig::default());
+        let auc = link_prediction_auc(
+            10,
+            &edges,
+            has_edge,
+            score,
+            &LinkPredictionConfig::default(),
+        );
         assert!(auc > 0.99, "auc = {auc}");
     }
 
@@ -107,8 +121,12 @@ mod tests {
     fn random_scores_give_auc_half() {
         let (edges, has_edge, _) = clique_setup();
         // Score is a deterministic pseudo-random hash of (u, v): uninformative.
-        let score = |u: u32, v: u32| ((u.wrapping_mul(2654435761).wrapping_add(v * 40503)) % 1000) as f64;
-        let cfg = LinkPredictionConfig { num_pairs: 2000, seed: 9 };
+        let score =
+            |u: u32, v: u32| ((u.wrapping_mul(2654435761).wrapping_add(v * 40503)) % 1000) as f64;
+        let cfg = LinkPredictionConfig {
+            num_pairs: 2000,
+            seed: 9,
+        };
         let auc = link_prediction_auc(10, &edges, has_edge, score, &cfg);
         assert!((auc - 0.5).abs() < 0.1, "auc = {auc}");
     }
@@ -117,7 +135,13 @@ mod tests {
     fn inverted_scores_give_auc_zero() {
         let (edges, has_edge, _) = clique_setup();
         let score = |u: u32, v: u32| if (u < 5) == (v < 5) { 0.0 } else { 1.0 };
-        let auc = link_prediction_auc(10, &edges, has_edge, score, &LinkPredictionConfig::default());
+        let auc = link_prediction_auc(
+            10,
+            &edges,
+            has_edge,
+            score,
+            &LinkPredictionConfig::default(),
+        );
         assert!(auc < 0.01, "auc = {auc}");
     }
 

@@ -16,7 +16,13 @@ impl LogisticRegression {
     /// Creates an untrained model for `dim`-dimensional inputs.
     pub fn new(dim: usize, learning_rate: f32, l2: f32, epochs: usize) -> Self {
         assert!(dim > 0 && epochs > 0 && learning_rate > 0.0);
-        LogisticRegression { weights: vec![0.0; dim], bias: 0.0, learning_rate, l2, epochs }
+        LogisticRegression {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            learning_rate,
+            l2,
+            epochs,
+        }
     }
 
     /// Creates a model with the defaults used in the Figure-5 reproduction.
@@ -108,7 +114,11 @@ mod tests {
         let mut model = LogisticRegression::new(2, 0.5, 0.0, 500);
         let loss = model.fit(&refs, &ys);
         assert!(loss < 0.4, "loss = {loss}");
-        let correct = refs.iter().zip(&ys).filter(|(x, &y)| model.predict(x) == y).count();
+        let correct = refs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
         assert!(correct as f64 / ys.len() as f64 > 0.9);
     }
 

@@ -52,7 +52,11 @@ pub fn f1_scores(truth: &[Vec<u32>], predicted: &[Vec<u32>], num_labels: usize) 
     }
     F1Score {
         micro: f1(tp, fp, fne),
-        macro_: if macro_n == 0 { 0.0 } else { macro_sum / macro_n as f64 },
+        macro_: if macro_n == 0 {
+            0.0
+        } else {
+            macro_sum / macro_n as f64
+        },
     }
 }
 
@@ -104,7 +108,10 @@ mod tests {
     #[test]
     fn micro_weights_frequent_labels_more() {
         // Label 0 has many correct predictions, label 1 is always wrong.
-        let truth = vec![vec![0]; 9].into_iter().chain([vec![1]]).collect::<Vec<_>>();
+        let truth = vec![vec![0]; 9]
+            .into_iter()
+            .chain([vec![1]])
+            .collect::<Vec<_>>();
         let mut pred = vec![vec![0]; 9];
         pred.push(vec![0]);
         let s = f1_scores(&truth, &pred, 2);

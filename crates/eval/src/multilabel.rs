@@ -91,11 +91,24 @@ pub fn classify_with_fraction(
     seed: u64,
 ) -> ClassificationReport {
     assert_eq!(features.len(), labels.len());
-    let (train_idx, test_idx) = crate::split::train_test_split(features.len(), train_fraction, seed);
-    let train_x: Vec<&[f32]> = train_idx.iter().map(|&i| features[i as usize].as_slice()).collect();
-    let train_y: Vec<&[u32]> = train_idx.iter().map(|&i| labels[i as usize].as_slice()).collect();
-    let test_x: Vec<&[f32]> = test_idx.iter().map(|&i| features[i as usize].as_slice()).collect();
-    let test_y: Vec<&[u32]> = test_idx.iter().map(|&i| labels[i as usize].as_slice()).collect();
+    let (train_idx, test_idx) =
+        crate::split::train_test_split(features.len(), train_fraction, seed);
+    let train_x: Vec<&[f32]> = train_idx
+        .iter()
+        .map(|&i| features[i as usize].as_slice())
+        .collect();
+    let train_y: Vec<&[u32]> = train_idx
+        .iter()
+        .map(|&i| labels[i as usize].as_slice())
+        .collect();
+    let test_x: Vec<&[f32]> = test_idx
+        .iter()
+        .map(|&i| features[i as usize].as_slice())
+        .collect();
+    let test_y: Vec<&[u32]> = test_idx
+        .iter()
+        .map(|&i| labels[i as usize].as_slice())
+        .collect();
     let clf = OneVsRestClassifier::fit(&train_x, &train_y, num_labels);
     ClassificationReport {
         f1: clf.evaluate(&test_x, &test_y),
@@ -168,8 +181,9 @@ mod tests {
     #[test]
     fn random_features_give_poor_f1() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let xs: Vec<Vec<f32>> =
-            (0..300).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let xs: Vec<Vec<f32>> = (0..300)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let ys: Vec<Vec<u32>> = (0..300).map(|_| vec![rng.gen_range(0..5u32)]).collect();
         let report = classify_with_fraction(&xs, &ys, 5, 0.5, 5);
         assert!(report.f1.micro < 0.45, "micro = {}", report.f1.micro);

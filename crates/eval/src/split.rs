@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         assert_eq!(train_test_split(30, 0.4, 7), train_test_split(30, 0.4, 7));
-        assert_ne!(train_test_split(30, 0.4, 7).0, train_test_split(30, 0.4, 8).0);
+        assert_ne!(
+            train_test_split(30, 0.4, 7).0,
+            train_test_split(30, 0.4, 8).0
+        );
     }
 
     #[test]

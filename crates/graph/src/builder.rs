@@ -29,7 +29,10 @@ impl GraphBuilder {
 
     /// Pre-allocates space for `n` edges.
     pub fn with_capacity(n: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(n), ..Self::default() }
+        GraphBuilder {
+            edges: Vec::with_capacity(n),
+            ..Self::default()
+        }
     }
 
     /// If `true` (default `false`), every added edge is mirrored so the
@@ -126,14 +129,22 @@ impl GraphBuilder {
         let m = edges.len();
         let mut neighbors = vec![0 as NodeId; m];
         let mut weights = vec![0f32; m];
-        let mut etypes = if self.has_edge_types { vec![0u16; m] } else { Vec::new() };
+        let mut etypes = if self.has_edge_types {
+            vec![0u16; m]
+        } else {
+            Vec::new()
+        };
         let mut cursor = offsets.clone();
         for e in &edges {
             let pos = cursor[e.src as usize];
             neighbors[pos] = e.dst;
             weights[pos] = e.weight;
             if self.has_edge_types {
-                etypes[pos] = if e.edge_type == u16::MAX { 0 } else { e.edge_type };
+                etypes[pos] = if e.edge_type == u16::MAX {
+                    0
+                } else {
+                    e.edge_type
+                };
             }
             cursor[e.src as usize] += 1;
         }
@@ -153,8 +164,16 @@ impl GraphBuilder {
         }
 
         if self.dedup {
-            let (o, nbr, w, et) =
-                dedup_csr(&offsets, &neighbors, &weights, if self.has_edge_types { Some(&etypes) } else { None });
+            let (o, nbr, w, et) = dedup_csr(
+                &offsets,
+                &neighbors,
+                &weights,
+                if self.has_edge_types {
+                    Some(&etypes)
+                } else {
+                    None
+                },
+            );
             offsets = o;
             neighbors = nbr;
             weights = w;

@@ -56,12 +56,19 @@ impl Graph {
         num_edge_types: u16,
         type_registry: TypeRegistry,
     ) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least one entry"
+        );
         let num_edges = *offsets.last().unwrap();
         assert_eq!(neighbors.len(), num_edges, "neighbors length mismatch");
         assert_eq!(weights.len(), num_edges, "weights length mismatch");
         if !node_types.is_empty() {
-            assert_eq!(node_types.len(), offsets.len() - 1, "node_types length mismatch");
+            assert_eq!(
+                node_types.len(),
+                offsets.len() - 1,
+                "node_types length mismatch"
+            );
         }
         if !edge_types.is_empty() {
             assert_eq!(edge_types.len(), num_edges, "edge_types length mismatch");
@@ -104,7 +111,10 @@ impl Graph {
 
     /// Maximum out-degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean out-degree.
@@ -185,13 +195,16 @@ impl Graph {
     /// Iterator over all out-edges of `v` as [`EdgeRef`]s.
     pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         let start = self.offsets[v as usize];
-        self.neighbors(v).iter().enumerate().map(move |(k, &dst)| EdgeRef {
-            src: v,
-            dst,
-            weight: self.weights[start + k],
-            local_idx: k as u32,
-            global_idx: start + k,
-        })
+        self.neighbors(v)
+            .iter()
+            .enumerate()
+            .map(move |(k, &dst)| EdgeRef {
+                src: v,
+                dst,
+                weight: self.weights[start + k],
+                local_idx: k as u32,
+                global_idx: start + k,
+            })
     }
 
     /// Iterator over every directed edge `(src, dst, weight)` in the graph.
@@ -300,7 +313,10 @@ impl Graph {
             let nbrs = self.neighbors(v);
             for &u in nbrs {
                 if (u as usize) >= n {
-                    return Err(crate::GraphError::NodeOutOfRange { node: u, num_nodes: n });
+                    return Err(crate::GraphError::NodeOutOfRange {
+                        node: u,
+                        num_nodes: n,
+                    });
                 }
             }
             if !nbrs.windows(2).all(|w| w[0] <= w[1]) {
@@ -310,6 +326,48 @@ impl Graph {
             }
         }
         Ok(())
+    }
+
+    /// The raw node-type array (empty for homogeneous graphs). Exposed for the
+    /// dynamic-graph overlay, which preserves types across compactions.
+    #[inline]
+    pub fn node_types(&self) -> &[u16] {
+        &self.node_types
+    }
+
+    /// The raw edge-type array (empty when edges are untyped).
+    #[inline]
+    pub fn edge_types(&self) -> &[u16] {
+        &self.edge_types
+    }
+
+    /// Overwrites the static weight of the `k`-th out-edge of `v` in place.
+    ///
+    /// This is the O(1) primitive behind streaming weight updates: reweighting
+    /// never moves CSR entries, so no index is invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= degree(v)`.
+    #[inline]
+    pub fn set_weight_at(&mut self, v: NodeId, k: usize, weight: f32) {
+        assert!(k < self.degree(v), "edge index out of range");
+        self.weights[self.offsets[v as usize] + k] = weight;
+        if weight != 1.0 {
+            self.unweighted = false;
+        }
+    }
+
+    /// Overwrites the weight of edge `(u, dst)` in place, returning `false`
+    /// when the edge does not exist.
+    pub fn set_weight(&mut self, u: NodeId, dst: NodeId, weight: f32) -> bool {
+        match self.find_neighbor(u, dst) {
+            Some(k) => {
+                self.set_weight_at(u, k, weight);
+                true
+            }
+            None => false,
+        }
     }
 
     // Accessors for the raw arrays, used by the binary snapshot writer.

@@ -18,17 +18,32 @@ pub struct Edge {
 impl Edge {
     /// Creates an untyped weighted edge.
     pub fn new(src: NodeId, dst: NodeId, weight: f32) -> Self {
-        Edge { src, dst, weight, edge_type: u16::MAX }
+        Edge {
+            src,
+            dst,
+            weight,
+            edge_type: u16::MAX,
+        }
     }
 
     /// Creates a typed weighted edge.
     pub fn typed(src: NodeId, dst: NodeId, weight: f32, edge_type: u16) -> Self {
-        Edge { src, dst, weight, edge_type }
+        Edge {
+            src,
+            dst,
+            weight,
+            edge_type,
+        }
     }
 
     /// Returns the edge with source and destination swapped (same weight/type).
     pub fn reversed(&self) -> Self {
-        Edge { src: self.dst, dst: self.src, weight: self.weight, edge_type: self.edge_type }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+            edge_type: self.edge_type,
+        }
     }
 }
 

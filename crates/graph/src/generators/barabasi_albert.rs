@@ -24,7 +24,11 @@ pub fn barabasi_albert(n: usize, m: usize, weighted: bool, seed: u64) -> Graph {
     let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m);
     for u in 0..m0 {
         for v in (u + 1)..m0 {
-            let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+            let w = if weighted {
+                rng.gen_range(0.5..2.0)
+            } else {
+                1.0
+            };
             b.add_edge(u as NodeId, v as NodeId, w);
             targets.push(u as NodeId);
             targets.push(v as NodeId);
@@ -42,7 +46,11 @@ pub fn barabasi_albert(n: usize, m: usize, weighted: bool, seed: u64) -> Graph {
             }
         }
         for &t in &chosen {
-            let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+            let w = if weighted {
+                rng.gen_range(0.5..2.0)
+            } else {
+                1.0
+            };
             b.add_edge(new_node as NodeId, t, w);
             targets.push(new_node as NodeId);
             targets.push(t);

@@ -27,7 +27,11 @@ pub fn erdos_renyi(n: usize, m: usize, weighted: bool, seed: u64) -> Graph {
         if u == v || !seen.insert((u.min(v), u.max(v))) {
             continue;
         }
-        let w = if weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+        let w = if weighted {
+            rng.gen_range(0.5..2.0)
+        } else {
+            1.0
+        };
         b.add_edge(u, v, w);
         added += 1;
     }

@@ -65,7 +65,10 @@ impl LabeledGraph {
 /// Generates a planted-partition labeled graph.
 pub fn planted_partition(cfg: &PlantedPartitionConfig) -> LabeledGraph {
     assert!(cfg.num_communities >= 2, "need at least two communities");
-    assert!(cfg.num_nodes >= cfg.num_communities * 2, "need at least 2 nodes per community");
+    assert!(
+        cfg.num_nodes >= cfg.num_communities * 2,
+        "need at least 2 nodes per community"
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = cfg.num_nodes;
     let k = cfg.num_communities;
@@ -126,7 +129,11 @@ pub fn planted_partition(cfg: &PlantedPartitionConfig) -> LabeledGraph {
         })
         .collect();
 
-    LabeledGraph { graph, labels, num_labels: k }
+    LabeledGraph {
+        graph,
+        labels,
+        num_labels: k,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +142,11 @@ mod tests {
 
     #[test]
     fn generates_requested_size() {
-        let cfg = PlantedPartitionConfig { num_nodes: 500, num_communities: 5, ..Default::default() };
+        let cfg = PlantedPartitionConfig {
+            num_nodes: 500,
+            num_communities: 5,
+            ..Default::default()
+        };
         let lg = planted_partition(&cfg);
         assert_eq!(lg.graph.num_nodes(), 500);
         assert_eq!(lg.labels.len(), 500);
@@ -145,7 +156,12 @@ mod tests {
 
     #[test]
     fn labels_within_range_and_sorted() {
-        let cfg = PlantedPartitionConfig { num_nodes: 300, num_communities: 6, multi_label_prob: 0.5, ..Default::default() };
+        let cfg = PlantedPartitionConfig {
+            num_nodes: 300,
+            num_communities: 6,
+            multi_label_prob: 0.5,
+            ..Default::default()
+        };
         let lg = planted_partition(&cfg);
         let mut multi = 0;
         for ls in &lg.labels {
@@ -156,7 +172,10 @@ mod tests {
                 multi += 1;
             }
         }
-        assert!(multi > 30, "expected a good number of multi-label nodes, got {multi}");
+        assert!(
+            multi > 30,
+            "expected a good number of multi-label nodes, got {multi}"
+        );
     }
 
     #[test]
@@ -184,7 +203,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = PlantedPartitionConfig { seed: 123, ..Default::default() };
+        let cfg = PlantedPartitionConfig {
+            seed: 123,
+            ..Default::default()
+        };
         let a = planted_partition(&cfg);
         let b = planted_partition(&cfg);
         assert_eq!(a.labels, b.labels);
@@ -194,7 +216,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_few_communities_panics() {
-        let cfg = PlantedPartitionConfig { num_communities: 1, ..Default::default() };
+        let cfg = PlantedPartitionConfig {
+            num_communities: 1,
+            ..Default::default()
+        };
         let _ = planted_partition(&cfg);
     }
 }

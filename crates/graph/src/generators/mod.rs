@@ -33,7 +33,9 @@ use crate::{GraphBuilder, NodeId};
 /// ("we adopt the method in work [35] to randomly generate type information").
 pub fn assign_random_node_types(graph: &Graph, num_types: u16, seed: u64) -> Vec<u16> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..graph.num_nodes()).map(|_| rng.gen_range(0..num_types)).collect()
+    (0..graph.num_nodes())
+        .map(|_| rng.gen_range(0..num_types))
+        .collect()
 }
 
 /// Rebuilds a graph with the given node types and randomly assigned edge
@@ -43,7 +45,11 @@ pub fn heterogenize(graph: &Graph, num_node_types: u16, num_edge_types: u16, see
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut b = GraphBuilder::with_capacity(graph.num_edges());
     for (src, dst, w) in graph.all_edges() {
-        let et = if num_edge_types > 0 { rng.gen_range(0..num_edge_types) } else { 0 };
+        let et = if num_edge_types > 0 {
+            rng.gen_range(0..num_edge_types)
+        } else {
+            0
+        };
         b.add_typed_edge(src, dst, w, et);
     }
     b.set_node_types(node_types);
@@ -220,8 +226,16 @@ pub fn ring_with_chords(n: usize, seed: u64) -> Graph {
     for i in 0..n {
         let j = (i + 1) % n;
         let k = (i + 2) % n;
-        b.add_edge(i as NodeId, j as NodeId, 1.0 + rng.gen_range(0.0..1.0) as f32);
-        b.add_edge(i as NodeId, k as NodeId, 1.0 + rng.gen_range(0.0..1.0) as f32);
+        b.add_edge(
+            i as NodeId,
+            j as NodeId,
+            1.0 + rng.gen_range(0.0..1.0) as f32,
+        );
+        b.add_edge(
+            i as NodeId,
+            k as NodeId,
+            1.0 + rng.gen_range(0.0..1.0) as f32,
+        );
     }
     b.symmetric(true).dedup(true).build()
 }

@@ -46,7 +46,10 @@ impl Default for RmatConfig {
 /// Generates an R-MAT graph according to `cfg`.
 pub fn rmat(cfg: &RmatConfig) -> Graph {
     assert!(cfg.num_nodes >= 2);
-    assert!(cfg.a + cfg.b + cfg.c < 1.0, "quadrant probabilities must sum below 1");
+    assert!(
+        cfg.a + cfg.b + cfg.c < 1.0,
+        "quadrant probabilities must sum below 1"
+    );
     let levels = (usize::BITS - (cfg.num_nodes - 1).leading_zeros()) as usize;
     let size = 1usize << levels;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -63,7 +66,7 @@ pub fn rmat(cfg: &RmatConfig) -> Graph {
         let (mut lo_c, mut hi_c) = (0usize, size);
         // Add a little noise per level to avoid exact self-similar artifacts.
         for _ in 0..levels {
-            let noise = rng.gen_range(-0.02..0.02);
+            let noise = rng.gen_range(-0.02f64..0.02);
             let a = (cfg.a + noise).clamp(0.05, 0.9);
             let b = cfg.b;
             let c = cfg.c;
@@ -91,7 +94,11 @@ pub fn rmat(cfg: &RmatConfig) -> Graph {
         if u == v {
             continue;
         }
-        let w = if cfg.weighted { rng.gen_range(0.5..2.0) } else { 1.0 };
+        let w = if cfg.weighted {
+            rng.gen_range(0.5..2.0)
+        } else {
+            1.0
+        };
         builder.add_edge(u as NodeId, v as NodeId, w);
         generated += 1;
     }
@@ -112,7 +119,11 @@ mod tests {
 
     #[test]
     fn skewed_degrees() {
-        let cfg = RmatConfig { num_nodes: 4096, num_edges: 40_000, ..Default::default() };
+        let cfg = RmatConfig {
+            num_nodes: 4096,
+            num_edges: 40_000,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         assert!(g.max_degree() as f64 > 5.0 * g.mean_degree());
         let h = DegreeHistogram::compute(&g);
@@ -121,14 +132,24 @@ mod tests {
 
     #[test]
     fn weighted_edges() {
-        let cfg = RmatConfig { num_nodes: 256, num_edges: 2000, weighted: true, ..Default::default() };
+        let cfg = RmatConfig {
+            num_nodes: 256,
+            num_edges: 2000,
+            weighted: true,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         assert!(!g.is_unweighted());
     }
 
     #[test]
     fn deterministic() {
-        let cfg = RmatConfig { num_nodes: 512, num_edges: 4000, seed: 123, ..Default::default() };
+        let cfg = RmatConfig {
+            num_nodes: 512,
+            num_edges: 4000,
+            seed: 123,
+            ..Default::default()
+        };
         let a = rmat(&cfg);
         let b = rmat(&cfg);
         assert_eq!(a.num_edges(), b.num_edges());
@@ -139,7 +160,11 @@ mod tests {
 
     #[test]
     fn non_power_of_two_node_count() {
-        let cfg = RmatConfig { num_nodes: 1000, num_edges: 5000, ..Default::default() };
+        let cfg = RmatConfig {
+            num_nodes: 1000,
+            num_edges: 5000,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         assert_eq!(g.num_nodes(), 1000);
         g.validate().unwrap();
@@ -148,7 +173,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_probabilities_panic() {
-        let cfg = RmatConfig { a: 0.5, b: 0.3, c: 0.3, ..Default::default() };
+        let cfg = RmatConfig {
+            a: 0.5,
+            b: 0.3,
+            c: 0.3,
+            ..Default::default()
+        };
         let _ = rmat(&cfg);
     }
 }

@@ -33,7 +33,11 @@ pub struct EdgeListOptions {
 
 impl Default for EdgeListOptions {
     fn default() -> Self {
-        EdgeListOptions { symmetric: true, dedup: false, default_weight: 1.0 }
+        EdgeListOptions {
+            symmetric: true,
+            dedup: false,
+            default_weight: 1.0,
+        }
     }
 }
 
@@ -83,10 +87,11 @@ pub fn read_edge_list<R: Read>(reader: R, opts: EdgeListOptions) -> Result<Graph
 }
 
 fn parse_node(tok: Option<&str>, line: usize, content: &str) -> Result<NodeId> {
-    tok.and_then(|t| t.parse::<NodeId>().ok()).ok_or_else(|| GraphError::Parse {
-        line,
-        content: content.to_string(),
-    })
+    tok.and_then(|t| t.parse::<NodeId>().ok())
+        .ok_or_else(|| GraphError::Parse {
+            line,
+            content: content.to_string(),
+        })
 }
 
 /// Reads an edge-list file from disk.
@@ -196,7 +201,9 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Graph> {
     }
 
     if *offsets.last().unwrap_or(&0) != num_edges {
-        return Err(GraphError::Corrupt("offset array inconsistent with edge count".into()));
+        return Err(GraphError::Corrupt(
+            "offset array inconsistent with edge count".into(),
+        ));
     }
     let g = Graph::from_csr_parts(
         offsets,
@@ -252,7 +259,11 @@ mod tests {
         write_edge_list(&g, &mut out).unwrap();
         let g2 = read_edge_list(
             out.as_slice(),
-            EdgeListOptions { symmetric: false, dedup: false, default_weight: 1.0 },
+            EdgeListOptions {
+                symmetric: false,
+                dedup: false,
+                default_weight: 1.0,
+            },
         )
         .unwrap();
         assert_eq!(g2.num_edges(), g.num_edges());

@@ -90,7 +90,11 @@ impl DegreeHistogram {
         let mut buckets: Vec<usize> = Vec::new();
         for v in 0..graph.num_nodes() as NodeId {
             let d = graph.degree(v);
-            let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+            let bucket = if d == 0 {
+                0
+            } else {
+                (usize::BITS - d.leading_zeros()) as usize
+            };
             if buckets.len() <= bucket {
                 buckets.resize(bucket + 1, 0);
             }

@@ -31,7 +31,10 @@ impl AliasTable {
         let mut prob = vec![0f32; n];
         let mut alias = vec![0u32; n];
         // Scaled probabilities (mean 1.0).
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / total).collect();
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| w as f64 * n as f64 / total)
+            .collect();
 
         let mut small: Vec<usize> = Vec::with_capacity(n);
         let mut large: Vec<usize> = Vec::with_capacity(n);
@@ -126,7 +129,10 @@ mod tests {
         let freqs = empirical(&t, 5, 200_000, 2);
         for (i, f) in freqs.iter().enumerate() {
             let expected = (weights[i] / total) as f64;
-            assert!((f - expected).abs() < 0.01, "outcome {i}: {f} vs {expected}");
+            assert!(
+                (f - expected).abs() < 0.01,
+                "outcome {i}: {f} vs {expected}"
+            );
         }
     }
 

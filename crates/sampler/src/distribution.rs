@@ -17,7 +17,10 @@ impl DiscreteDistribution {
     ///
     /// Panics if weights are empty, contain negatives/NaN, or sum to zero.
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(!weights.is_empty(), "distribution must have at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "distribution must have at least one outcome"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
@@ -71,7 +74,10 @@ impl DiscreteDistribution {
     /// Number of outcomes attaining the maximal probability (the paper's `t`).
     pub fn num_max(&self) -> usize {
         let max = self.weights.iter().cloned().fold(0.0, f64::max);
-        self.weights.iter().filter(|&&w| (w - max).abs() <= max * 1e-9).count()
+        self.weights
+            .iter()
+            .filter(|&&w| (w - max).abs() <= max * 1e-9)
+            .count()
     }
 
     /// Index of an outcome with maximal weight.
@@ -116,7 +122,11 @@ impl DiscreteDistribution {
             weights[t] = min_w;
             // the rest uniformly between min and max (exclusive of max)
             for w in weights.iter_mut().skip(t + 1) {
-                *w = if max_w > min_w { rng.gen_range(min_w..max_w) } else { min_w };
+                *w = if max_w > min_w {
+                    rng.gen_range(min_w..max_w)
+                } else {
+                    min_w
+                };
             }
         }
         // Shuffle so the maxima are not clustered at the front.
@@ -200,7 +210,10 @@ mod tests {
             assert_eq!(d.num_max(), if ratio == 1.0 { n } else { t });
             if ratio > 1.0 {
                 let measured = d.max_prob() / d.min_prob();
-                assert!((measured - ratio).abs() / ratio < 1e-6, "ratio {measured} vs {ratio}");
+                assert!(
+                    (measured - ratio).abs() / ratio < 1e-6,
+                    "ratio {measured} vs {ratio}"
+                );
             }
         }
     }

@@ -107,8 +107,12 @@ pub fn run_init_simulation(cfg: &InitSimulationConfig) -> InitSimulationResult {
             DiscreteDistribution::random_with_shape(cfg.n, cfg.t, cfg.max_min_ratio, &mut rng);
         for _ in 0..cfg.repeats {
             kl_r_sum += measure_kl(&target, InitStrategy::Random, num_samples, &mut rng);
-            kl_h_sum +=
-                measure_kl(&target, InitStrategy::high_weight_exact(), num_samples, &mut rng);
+            kl_h_sum += measure_kl(
+                &target,
+                InitStrategy::high_weight_exact(),
+                num_samples,
+                &mut rng,
+            );
             count += 1;
         }
     }

@@ -37,7 +37,9 @@ impl OutlierFoldingSampler {
     pub fn new(static_weights: &[f32], regular_bound: f32, outliers: Vec<u32>) -> Self {
         assert!(regular_bound > 0.0, "bound must be positive");
         assert!(
-            outliers.iter().all(|&o| (o as usize) < static_weights.len()),
+            outliers
+                .iter()
+                .all(|&o| (o as usize) < static_weights.len()),
             "outlier index out of range"
         );
         OutlierFoldingSampler {
@@ -76,8 +78,8 @@ impl OutlierFoldingSampler {
         dynamic_weight: F,
         rng: &mut R,
     ) -> RejectionOutcome {
-        let regular_mass: f64 = self.regular_bound as f64
-            * self.static_weights.iter().map(|&w| w as f64).sum::<f64>();
+        let regular_mass: f64 =
+            self.regular_bound as f64 * self.static_weights.iter().map(|&w| w as f64).sum::<f64>();
         let mut outlier_excess: Vec<f64> = Vec::with_capacity(self.outliers.len());
         let mut outlier_mass = 0.0f64;
         for &o in &self.outliers {
@@ -100,7 +102,10 @@ impl OutlierFoldingSampler {
                 let mut target = rng.gen_range(0.0..outlier_mass);
                 for (i, &excess) in outlier_excess.iter().enumerate() {
                     if target < excess {
-                        return RejectionOutcome { index: self.outliers[i] as usize, attempts };
+                        return RejectionOutcome {
+                            index: self.outliers[i] as usize,
+                            attempts,
+                        };
                     }
                     target -= excess;
                 }
@@ -115,7 +120,10 @@ impl OutlierFoldingSampler {
             let w = dynamic_weight(candidate).min(cap);
             let ratio = w / cap;
             if attempts >= self.max_attempts || rng.gen::<f32>() < ratio {
-                return RejectionOutcome { index: candidate, attempts };
+                return RejectionOutcome {
+                    index: candidate,
+                    attempts,
+                };
             }
         }
     }
@@ -164,7 +172,10 @@ mod tests {
         let (freqs, _) = empirical(&s, |k| dynamic[k], 5, 120_000, 1);
         for (k, f) in freqs.iter().enumerate() {
             let expected = (dynamic[k] / total) as f64;
-            assert!((f - expected).abs() < 0.01, "outcome {k}: {f} vs {expected}");
+            assert!(
+                (f - expected).abs() < 0.01,
+                "outcome {k}: {f} vs {expected}"
+            );
         }
     }
 
@@ -180,7 +191,10 @@ mod tests {
         let (freqs, _) = empirical(&s, move |k| dyn_copy[k], 6, 200_000, 2);
         for (k, f) in freqs.iter().enumerate() {
             let expected = (dynamic[k] / total) as f64;
-            assert!((f - expected).abs() < 0.012, "outcome {k}: {f} vs {expected}");
+            assert!(
+                (f - expected).abs() < 0.012,
+                "outcome {k}: {f} vs {expected}"
+            );
         }
     }
 

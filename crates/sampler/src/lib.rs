@@ -37,7 +37,7 @@ pub mod rejection;
 pub mod traits;
 
 pub use alias::AliasTable;
-pub use direct::{direct_sample, direct_sample_fn, cumulative_sample};
+pub use direct::{cumulative_sample, direct_sample, direct_sample_fn};
 pub use distribution::DiscreteDistribution;
 pub use init::InitStrategy;
 pub use knightking::OutlierFoldingSampler;

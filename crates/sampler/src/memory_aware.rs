@@ -42,7 +42,9 @@ impl MemoryAwarePlan {
         order.sort_by(|&a, &b| {
             let benefit_a = states[a].1 * states[a].0 as f64;
             let benefit_b = states[b].1 * states[b].0 as f64;
-            benefit_b.partial_cmp(&benefit_a).unwrap_or(std::cmp::Ordering::Equal)
+            benefit_b
+                .partial_cmp(&benefit_a)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut assignment = vec![StateSamplerKind::Direct; states.len()];
         let mut bytes_used = 0usize;
@@ -53,7 +55,11 @@ impl MemoryAwarePlan {
                 bytes_used += cost;
             }
         }
-        MemoryAwarePlan { assignment, bytes_used, budget_bytes }
+        MemoryAwarePlan {
+            assignment,
+            bytes_used,
+            budget_bytes,
+        }
     }
 
     /// The sampler kind assigned to state `i`.
@@ -86,7 +92,11 @@ impl MemoryAwarePlan {
         if self.assignment.is_empty() {
             return 0.0;
         }
-        let alias = self.assignment.iter().filter(|k| **k == StateSamplerKind::Alias).count();
+        let alias = self
+            .assignment
+            .iter()
+            .filter(|k| **k == StateSamplerKind::Alias)
+            .count();
         alias as f64 / self.assignment.len() as f64
     }
 }
@@ -130,8 +140,9 @@ mod tests {
         let budget = 10 * alias_table_bytes(64);
         let plan = MemoryAwarePlan::plan(&states, budget);
         assert!(plan.bytes_used() <= budget);
-        let alias_count =
-            (0..plan.len()).filter(|&i| plan.kind(i) == StateSamplerKind::Alias).count();
+        let alias_count = (0..plan.len())
+            .filter(|&i| plan.kind(i) == StateSamplerKind::Alias)
+            .count();
         assert_eq!(alias_count, 10);
     }
 

@@ -117,7 +117,10 @@ impl MhChain {
         init: InitStrategy,
         rng: &mut R,
     ) -> usize {
-        assert!(deg > 0, "M-H chain cannot sample from an empty neighborhood");
+        assert!(
+            deg > 0,
+            "M-H chain cannot sample from an empty neighborhood"
+        );
         if !self.is_initialized() || self.last as usize >= deg {
             self.initialize(deg, weight, init, rng);
         }
@@ -150,7 +153,21 @@ impl Default for AtomicMhChain {
 impl AtomicMhChain {
     /// Creates an uninitialized chain.
     pub fn new() -> Self {
-        AtomicMhChain { last: AtomicU32::new(UNINIT) }
+        AtomicMhChain {
+            last: AtomicU32::new(UNINIT),
+        }
+    }
+
+    /// Creates a chain carrying over a previous chain's state, if any.
+    ///
+    /// Used by incremental sampler maintenance: because an M-H chain is just
+    /// the last accepted neighbor index, its state can be transplanted across
+    /// graph updates in O(1) — a stale index is handled lazily by `step`'s
+    /// re-initialization check.
+    pub fn from_state(last: Option<u32>) -> Self {
+        AtomicMhChain {
+            last: AtomicU32::new(last.unwrap_or(UNINIT)),
+        }
     }
 
     /// True if some thread has initialized the chain.
@@ -177,14 +194,19 @@ impl AtomicMhChain {
         init: InitStrategy,
         rng: &mut R,
     ) -> usize {
-        assert!(deg > 0, "M-H chain cannot sample from an empty neighborhood");
+        assert!(
+            deg > 0,
+            "M-H chain cannot sample from an empty neighborhood"
+        );
         let mut last = self.last.load(Ordering::Relaxed);
         if last == UNINIT || last as usize >= deg {
             let mut chain = MhChain::new();
             chain.initialize(deg, weight, init, rng);
             last = chain.last;
             // Racing initializations are both valid initial samples; keep one.
-            let _ = self.last.compare_exchange(UNINIT, last, Ordering::Relaxed, Ordering::Relaxed);
+            let _ = self
+                .last
+                .compare_exchange(UNINIT, last, Ordering::Relaxed, Ordering::Relaxed);
             last = self.last.load(Ordering::Relaxed);
             if last == UNINIT || last as usize >= deg {
                 last = chain.last;
@@ -215,12 +237,7 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn chain_marginal(
-        weights: &[f32],
-        draws: usize,
-        init: InitStrategy,
-        seed: u64,
-    ) -> Vec<f64> {
+    fn chain_marginal(weights: &[f32], draws: usize, init: InitStrategy, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut chain = MhChain::new();
         let wf = |k: usize| weights[k];
@@ -249,7 +266,11 @@ mod tests {
         assert!(kl < 5e-4, "kl = {kl}");
         // Spot-check individual probabilities.
         for (k, p) in marginal.iter().enumerate() {
-            assert!((p - target.prob(k)).abs() < 0.01, "outcome {k}: {p} vs {}", target.prob(k));
+            assert!(
+                (p - target.prob(k)).abs() < 0.01,
+                "outcome {k}: {p} vs {}",
+                target.prob(k)
+            );
         }
     }
 
@@ -306,7 +327,7 @@ mod tests {
 
     #[test]
     fn atomic_chain_matches_sequential_behaviour() {
-        let weights = vec![4.0f32, 2.0, 1.0, 1.0];
+        let weights = [4.0f32, 2.0, 1.0, 1.0];
         let target = DiscreteDistribution::new(weights.iter().map(|&w| w as f64).collect());
         let chain = AtomicMhChain::new();
         assert!(!chain.is_initialized());
@@ -324,7 +345,7 @@ mod tests {
 
     #[test]
     fn atomic_chain_is_thread_safe() {
-        let weights = vec![3.0f32, 1.0, 1.0, 1.0, 2.0];
+        let weights = [3.0f32, 1.0, 1.0, 1.0, 2.0];
         let chain = AtomicMhChain::new();
         let wf = |k: usize| weights[k];
         std::thread::scope(|scope| {

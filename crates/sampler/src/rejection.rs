@@ -64,15 +64,21 @@ impl RejectionSampler {
     /// If the bound is violated the sample is still accepted (clamped), which
     /// mirrors the behaviour of practical implementations; correctness then
     /// degrades gracefully rather than panicking.
-    pub fn sample<R: Rng, F: Fn(usize) -> f32>(&self, dynamic_weight: F, rng: &mut R) -> RejectionOutcome {
+    pub fn sample<R: Rng, F: Fn(usize) -> f32>(
+        &self,
+        dynamic_weight: F,
+        rng: &mut R,
+    ) -> RejectionOutcome {
         let mut attempts = 0usize;
         loop {
             attempts += 1;
             let candidate = self.proposal.sample(rng);
-            let ratio =
-                dynamic_weight(candidate) / (self.bound * self.static_weights[candidate]);
+            let ratio = dynamic_weight(candidate) / (self.bound * self.static_weights[candidate]);
             if attempts >= self.max_attempts || rng.gen::<f32>() < ratio {
-                return RejectionOutcome { index: candidate, attempts };
+                return RejectionOutcome {
+                    index: candidate,
+                    attempts,
+                };
             }
         }
     }
@@ -183,7 +189,7 @@ mod tests {
 
     #[test]
     fn memory_scales_with_degree() {
-        let small = RejectionSampler::new(&vec![1.0; 4], 1.0);
+        let small = RejectionSampler::new(&[1.0; 4], 1.0);
         let large = RejectionSampler::new(&vec![1.0; 1024], 1.0);
         assert!(large.memory_bytes() > 100 * small.memory_bytes());
     }

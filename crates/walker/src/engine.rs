@@ -128,29 +128,59 @@ impl WalkEngine {
     ) -> (WalkCorpus, WalkTiming) {
         let cfg = &self.config;
         let t0 = Instant::now();
-        let manager =
-            SamplerManager::new(graph, model, cfg.sampler, cfg.memory_budget_bytes);
+        let manager = SamplerManager::new(graph, model, cfg.sampler, cfg.memory_budget_bytes);
         let init = t0.elapsed();
+        let (corpus, timing) = self.generate_with_manager(graph, model, &manager, start_nodes);
+        (
+            corpus,
+            WalkTiming {
+                init,
+                walk: timing.walk,
+            },
+        )
+    }
 
+    /// Generates walks using a caller-owned [`SamplerManager`].
+    ///
+    /// This is the entry point of the streaming/dynamic pipeline: the manager
+    /// (and with it the per-state M-H chain states) survives across calls, so
+    /// walk refresh after a graph update does not pay the initialization cost
+    /// again. The reported `init` time is zero.
+    pub fn generate_with_manager<M: RandomWalkModel + ?Sized>(
+        &self,
+        graph: &Graph,
+        model: &M,
+        manager: &SamplerManager,
+        start_nodes: &[NodeId],
+    ) -> (WalkCorpus, WalkTiming) {
+        let cfg = &self.config;
+        let init = Duration::ZERO;
         let t1 = Instant::now();
         let num_threads = cfg.num_threads.max(1).min(start_nodes.len().max(1));
         let chunk_size = start_nodes.len().div_ceil(num_threads.max(1)).max(1);
 
         let mut corpus = WalkCorpus::new();
         if start_nodes.is_empty() {
-            return (corpus, WalkTiming { init, walk: t1.elapsed() });
+            return (
+                corpus,
+                WalkTiming {
+                    init,
+                    walk: t1.elapsed(),
+                },
+            );
         }
 
         let chunks: Vec<&[NodeId]> = start_nodes.chunks(chunk_size).collect();
-        let manager_ref = &manager;
+        let manager_ref = manager;
         let results: Vec<WalkCorpus> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .enumerate()
                 .map(|(tid, chunk)| {
                     scope.spawn(move |_| {
-                        let mut rng =
-                            SmallRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        let mut rng = SmallRng::seed_from_u64(
+                            cfg.seed ^ (tid as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
                         let mut local = WalkCorpus::new();
                         for &start in chunk.iter() {
                             for _ in 0..cfg.num_walks {
@@ -168,7 +198,10 @@ impl WalkEngine {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("walker thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("walker thread panicked"))
+                .collect()
         })
         .expect("walker scope panicked");
 
@@ -181,7 +214,10 @@ impl WalkEngine {
 }
 
 /// Runs one walk of at most `length` nodes from `start` (Algorithm 2, lines 5–14).
-fn walk_once<M: RandomWalkModel + ?Sized, R: rand::Rng>(
+///
+/// Public so that the dynamic-graph walk refresher can regenerate individual
+/// walks against a live [`SamplerManager`] without re-running a full corpus.
+pub fn walk_once<M: RandomWalkModel + ?Sized, R: rand::Rng>(
     graph: &Graph,
     model: &M,
     manager: &SamplerManager,
@@ -211,7 +247,13 @@ mod tests {
     use uninet_graph::{GraphBuilder, Metapath};
 
     fn test_graph() -> Graph {
-        rmat(&RmatConfig { num_nodes: 200, num_edges: 1500, weighted: true, seed: 3, ..Default::default() })
+        rmat(&RmatConfig {
+            num_nodes: 200,
+            num_edges: 1500,
+            weighted: true,
+            seed: 3,
+            ..Default::default()
+        })
     }
 
     fn check_walks_are_paths(graph: &Graph, corpus: &WalkCorpus) {
@@ -296,7 +338,10 @@ mod tests {
     fn metapath_walks_alternate_types() {
         let g = heterogenize(&test_graph(), 2, 1, 5);
         let model = MetaPath2Vec::new(Metapath::new(vec![0, 1, 0]));
-        let cfg = WalkEngineConfig::default().with_num_walks(2).with_walk_length(10).with_threads(2);
+        let cfg = WalkEngineConfig::default()
+            .with_num_walks(2)
+            .with_walk_length(10)
+            .with_threads(2);
         let (corpus, _) = WalkEngine::new(cfg).generate(&g, &model);
         let mut checked = 0;
         for walk in corpus.iter() {
@@ -305,7 +350,11 @@ mod tests {
                 continue;
             }
             for (i, &v) in walk.iter().enumerate() {
-                assert_eq!(g.node_type(v) as usize, i % 2, "walk {walk:?} breaks the metapath");
+                assert_eq!(
+                    g.node_type(v) as usize,
+                    i % 2,
+                    "walk {walk:?} breaks the metapath"
+                );
                 checked += 1;
             }
         }
@@ -316,7 +365,10 @@ mod tests {
     fn walk_from_subset_of_nodes() {
         let g = test_graph();
         let engine = WalkEngine::new(
-            WalkEngineConfig::default().with_num_walks(2).with_walk_length(5).with_threads(2),
+            WalkEngineConfig::default()
+                .with_num_walks(2)
+                .with_walk_length(5)
+                .with_threads(2),
         );
         let starts = vec![0u32, 1, 2, 3];
         let (corpus, _) = engine.generate_from(&g, &DeepWalk::new(), &starts);
@@ -345,7 +397,11 @@ mod tests {
         b.add_edge(0, 1, 1.0);
         b.set_num_nodes(3);
         let g = b.symmetric(true).build();
-        let engine = WalkEngine::new(WalkEngineConfig::default().with_num_walks(1).with_walk_length(5));
+        let engine = WalkEngine::new(
+            WalkEngineConfig::default()
+                .with_num_walks(1)
+                .with_walk_length(5),
+        );
         let (corpus, _) = engine.generate_from(&g, &DeepWalk::new(), &[2]);
         assert_eq!(corpus.num_walks(), 1);
         assert_eq!(corpus.walks()[0], vec![2]);

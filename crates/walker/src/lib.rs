@@ -23,8 +23,8 @@ pub mod models;
 pub mod state;
 pub mod walk;
 
-pub use engine::{WalkEngine, WalkEngineConfig, WalkTiming};
-pub use manager::SamplerManager;
+pub use engine::{walk_once, WalkEngine, WalkEngineConfig, WalkTiming};
+pub use manager::{MaintenanceStats, SamplerManager};
 pub use model::RandomWalkModel;
 pub use models::{DeepWalk, Edge2Vec, FairWalk, MetaPath2Vec, Node2Vec};
 pub use state::WalkerState;

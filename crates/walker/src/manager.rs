@@ -30,19 +30,56 @@ pub struct SamplerManager {
 
 enum Backend {
     /// UniNet's M-H sampler: one 4-byte chain per state.
-    MetropolisHastings { chains: Vec<AtomicMhChain>, init: InitStrategy },
+    MetropolisHastings {
+        chains: Vec<AtomicMhChain>,
+        init: InitStrategy,
+    },
     /// Fully materialized alias tables of the *dynamic* weights, per state.
     Alias { tables: Vec<Option<AliasTable>> },
     /// Direct sampling: stateless.
     Direct,
     /// Rejection sampling from per-node static-weight proposals.
-    Rejection { proposals: Vec<Option<AliasTable>>, folding: bool },
+    Rejection {
+        proposals: Vec<Option<AliasTable>>,
+        folding: bool,
+    },
     /// Memory-aware hybrid: alias tables for the states chosen by the plan.
-    MemoryAware { plan: MemoryAwarePlan, tables: Vec<Option<AliasTable>> },
+    MemoryAware {
+        plan: MemoryAwarePlan,
+        tables: Vec<Option<AliasTable>>,
+    },
 }
 
 /// Safety cap on rejection attempts before falling back to direct sampling.
 const MAX_REJECTION_ATTEMPTS: usize = 1024;
+
+/// Cost accounting of one incremental maintenance pass, the quantity the
+/// dynamic-update experiments compare across sampler families.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Walker states whose node was touched by the update.
+    pub states_examined: usize,
+    /// States whose materialized sampler (alias table / proposal) was rebuilt.
+    pub states_rebuilt: usize,
+    /// M-H chains that survived the update with their state intact
+    /// (the paper's O(1)-per-update claim in action).
+    pub chains_preserved: usize,
+    /// M-H chains that had to be reset (topology change on their node).
+    pub chains_reset: usize,
+    /// Bytes of sampler state re-materialized by the pass.
+    pub bytes_rebuilt: usize,
+}
+
+impl MaintenanceStats {
+    /// Accumulates another pass into this one.
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        self.states_examined += other.states_examined;
+        self.states_rebuilt += other.states_rebuilt;
+        self.chains_preserved += other.chains_preserved;
+        self.chains_reset += other.chains_reset;
+        self.bytes_rebuilt += other.bytes_rebuilt;
+    }
+}
 
 impl SamplerManager {
     /// Builds the manager (the initialization phase).
@@ -71,21 +108,17 @@ impl SamplerManager {
                 init,
             },
             EdgeSamplerKind::Direct => Backend::Direct,
-            EdgeSamplerKind::Alias => {
-                Backend::Alias { tables: build_state_tables(graph, model, &bucket_offsets, None) }
-            }
+            EdgeSamplerKind::Alias => Backend::Alias {
+                tables: build_state_tables(graph, model, &bucket_offsets, None),
+            },
             EdgeSamplerKind::Rejection | EdgeSamplerKind::KnightKing => {
                 let proposals = (0..n as NodeId)
-                    .map(|v| {
-                        let weights = graph.weights(v);
-                        if weights.is_empty() || weights.iter().all(|&w| w <= 0.0) {
-                            None
-                        } else {
-                            Some(AliasTable::new(weights))
-                        }
-                    })
+                    .map(|v| build_proposal(graph.weights(v)))
                     .collect();
-                Backend::Rejection { proposals, folding: kind == EdgeSamplerKind::KnightKing }
+                Backend::Rejection {
+                    proposals,
+                    folding: kind == EdgeSamplerKind::KnightKing,
+                }
             }
             EdgeSamplerKind::MemoryAware => {
                 let budget = if memory_budget_bytes == 0 {
@@ -108,7 +141,11 @@ impl SamplerManager {
             }
         };
 
-        SamplerManager { kind, bucket_offsets, backend }
+        SamplerManager {
+            kind,
+            bucket_offsets,
+            backend,
+        }
     }
 
     /// The strategy this manager was built for.
@@ -217,6 +254,240 @@ impl SamplerManager {
         }
     }
 
+    /// The state-index range of node `v`'s bucket.
+    #[inline]
+    fn bucket_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.bucket_offsets[v as usize]..self.bucket_offsets[v as usize + 1]
+    }
+
+    /// The last accepted sample of the M-H chain at `state_index`, or `None`
+    /// when the backend is not M-H or the chain is uninitialized.
+    ///
+    /// Introspection hook used by incremental-maintenance tests to verify
+    /// that chain state survives weight updates.
+    pub fn mh_chain_last(&self, state_index: usize) -> Option<u32> {
+        match &self.backend {
+            Backend::MetropolisHastings { chains, .. } => chains[state_index].last(),
+            _ => None,
+        }
+    }
+
+    /// Whether the alias-family backend holds a materialized table for
+    /// `state_index` (always `false` for stateless/M-H backends).
+    pub fn has_alias_table(&self, state_index: usize) -> bool {
+        match &self.backend {
+            Backend::Alias { tables } | Backend::MemoryAware { tables, .. } => {
+                tables[state_index].is_some()
+            }
+            _ => false,
+        }
+    }
+
+    /// Incrementally absorbs weight-only updates on the nodes in `touched`.
+    ///
+    /// The graph's topology (degrees, neighbor sets, bucket layout) must be
+    /// unchanged; only edge weights may differ from construction time. The
+    /// per-family cost is the experiment the paper's dynamic-workload argument
+    /// rests on:
+    ///
+    /// * **Metropolis–Hastings** — nothing to do: the chains sample from
+    ///   unnormalized weights read on demand, so a reweight costs O(1) (and
+    ///   the existing chain state remains a valid sample of the old target,
+    ///   converging to the new one in subsequent steps).
+    /// * **Alias / memory-aware** — every materialized table over a touched
+    ///   node encodes the old normalized distribution and must be rebuilt at
+    ///   O(deg) per state.
+    /// * **Rejection / KnightKing** — the per-node static proposal table must
+    ///   be rebuilt at O(deg).
+    /// * **Direct** — stateless, nothing to do.
+    pub fn maintain_weights<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        model: &M,
+        touched: &[NodeId],
+    ) -> MaintenanceStats {
+        let mut stats = MaintenanceStats::default();
+        for &v in touched {
+            let range = self.bucket_range(v);
+            let width = range.len();
+            stats.states_examined += width;
+            let deg = graph.degree(v);
+            match &mut self.backend {
+                Backend::MetropolisHastings { .. } => {
+                    stats.chains_preserved += width;
+                }
+                Backend::Direct => {}
+                Backend::Alias { tables } => {
+                    for idx in range {
+                        let affixture = idx - self.bucket_offsets[v as usize];
+                        let table = build_one_table(graph, model, v, affixture, deg);
+                        stats.states_rebuilt += 1;
+                        stats.bytes_rebuilt +=
+                            table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
+                        tables[idx] = table;
+                    }
+                }
+                Backend::MemoryAware { plan, tables } => {
+                    for idx in range {
+                        if plan.kind(idx) != StateSamplerKind::Alias {
+                            continue;
+                        }
+                        let affixture = idx - self.bucket_offsets[v as usize];
+                        let table = build_one_table(graph, model, v, affixture, deg);
+                        stats.states_rebuilt += 1;
+                        stats.bytes_rebuilt +=
+                            table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
+                        tables[idx] = table;
+                    }
+                }
+                Backend::Rejection { proposals, .. } => {
+                    let table = build_proposal(graph.weights(v));
+                    stats.states_rebuilt += 1;
+                    stats.bytes_rebuilt += table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
+                    proposals[v as usize] = table;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Re-aligns the manager with `graph` after a topology change (edge
+    /// inserts/deletes already compacted into the CSR).
+    ///
+    /// `touched` are the nodes whose own adjacency changed — their buckets
+    /// may have resized, so every backend resets/rebuilds them. `stale` are
+    /// nodes whose adjacency is unchanged but whose *materialized* dynamic
+    /// distributions read a mutated node's adjacency (second-order models) —
+    /// alias-family tables there are rebuilt, while M-H chains are carried
+    /// over untouched (chains never materialize weights; a shifted target
+    /// distribution is simply tracked by subsequent transitions).
+    ///
+    /// Every other node's sampler state is carried over when its bucket width
+    /// is unchanged: M-H chains keep their last-accepted sample (4 bytes
+    /// moved per state), alias tables and rejection proposals are reused
+    /// as-is. The memory-aware hybrid re-plans from scratch because its
+    /// state→table assignment is a global optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different node count than the graph the
+    /// manager was built over (dynamic graphs have a fixed node universe).
+    pub fn maintain_topology<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        model: &M,
+        touched: &[NodeId],
+        stale: &[NodeId],
+    ) -> MaintenanceStats {
+        let n = graph.num_nodes();
+        assert_eq!(
+            n + 1,
+            self.bucket_offsets.len(),
+            "maintain_topology requires an unchanged node universe"
+        );
+        let mut is_touched = vec![false; n];
+        for &v in touched {
+            is_touched[v as usize] = true;
+        }
+        let mut is_stale = vec![false; n];
+        for &v in stale {
+            is_stale[v as usize] = true;
+        }
+
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0usize);
+        for v in 0..n as NodeId {
+            let prev = *new_offsets.last().expect("non-empty");
+            new_offsets.push(prev + model.bucket_size(graph, v));
+        }
+        let num_states = *new_offsets.last().expect("non-empty");
+
+        let mut stats = MaintenanceStats::default();
+        for &v in touched.iter().chain(stale) {
+            stats.states_examined += new_offsets[v as usize + 1] - new_offsets[v as usize];
+        }
+
+        match &mut self.backend {
+            Backend::Direct => {}
+            Backend::MetropolisHastings { chains, .. } => {
+                let old = std::mem::take(chains);
+                let mut rebuilt = Vec::with_capacity(num_states);
+                for v in 0..n {
+                    let old_range = self.bucket_offsets[v]..self.bucket_offsets[v + 1];
+                    let new_width = new_offsets[v + 1] - new_offsets[v];
+                    // `stale` nodes keep their chains: only structural bucket
+                    // changes invalidate a chain's index.
+                    if !is_touched[v] && old_range.len() == new_width {
+                        for idx in old_range {
+                            rebuilt.push(AtomicMhChain::from_state(old[idx].last()));
+                        }
+                        stats.chains_preserved += new_width;
+                    } else {
+                        rebuilt.extend((0..new_width).map(|_| AtomicMhChain::new()));
+                        stats.chains_reset += new_width;
+                    }
+                }
+                *chains = rebuilt;
+            }
+            Backend::Alias { tables } => {
+                let mut old = std::mem::take(tables);
+                let mut rebuilt: Vec<Option<AliasTable>> = Vec::with_capacity(num_states);
+                for v in 0..n {
+                    let old_range = self.bucket_offsets[v]..self.bucket_offsets[v + 1];
+                    let new_width = new_offsets[v + 1] - new_offsets[v];
+                    if !is_touched[v] && !is_stale[v] && old_range.len() == new_width {
+                        for idx in old_range {
+                            rebuilt.push(old[idx].take());
+                        }
+                    } else {
+                        let deg = graph.degree(v as NodeId);
+                        for affixture in 0..new_width {
+                            let table = build_one_table(graph, model, v as NodeId, affixture, deg);
+                            stats.states_rebuilt += 1;
+                            stats.bytes_rebuilt +=
+                                table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
+                            rebuilt.push(table);
+                        }
+                    }
+                }
+                *tables = rebuilt;
+            }
+            Backend::Rejection { proposals, .. } => {
+                // Proposals materialize only the node's own static weights,
+                // so `stale` nodes (unchanged adjacency) keep theirs.
+                for &v in touched {
+                    let table = build_proposal(graph.weights(v));
+                    stats.states_rebuilt += 1;
+                    stats.bytes_rebuilt += table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
+                    proposals[v as usize] = table;
+                }
+            }
+            Backend::MemoryAware { plan, tables } => {
+                // The hybrid's alias/direct assignment is a global knapsack
+                // over all states; a topology change forces a re-plan.
+                let budget = plan.budget_bytes();
+                let mut specs = Vec::with_capacity(num_states);
+                for v in 0..n as NodeId {
+                    let deg = graph.degree(v);
+                    for _ in 0..(new_offsets[v as usize + 1] - new_offsets[v as usize]) {
+                        specs.push((deg, deg as f64));
+                    }
+                }
+                let new_plan = MemoryAwarePlan::plan(&specs, budget);
+                let rebuilt = build_state_tables(graph, model, &new_offsets, Some(&new_plan));
+                stats.states_rebuilt += rebuilt.iter().filter(|t| t.is_some()).count();
+                stats.bytes_rebuilt += rebuilt
+                    .iter()
+                    .map(|t| t.as_ref().map(|t| t.memory_bytes()).unwrap_or(0))
+                    .sum::<usize>();
+                *plan = new_plan;
+                *tables = rebuilt;
+            }
+        }
+        self.bucket_offsets = new_offsets;
+        stats
+    }
+
     /// KnightKing-style sampling: outliers folded out of the rejection area.
     fn sample_with_folding<M: RandomWalkModel + ?Sized, R: Rng, F: Fn(usize) -> f32>(
         &self,
@@ -247,8 +518,7 @@ impl SamplerManager {
         // regular area restarts the whole two-area procedure (see
         // `OutlierFoldingSampler::sample` for the correctness argument).
         for _ in 0..MAX_REJECTION_ATTEMPTS {
-            if outlier_mass > 0.0
-                && rng.gen_range(0.0..regular_mass + outlier_mass) >= regular_mass
+            if outlier_mass > 0.0 && rng.gen_range(0.0..regular_mass + outlier_mass) >= regular_mass
             {
                 let mut target = rng.gen_range(0.0..outlier_mass);
                 for (i, &excess) in outlier_excess.iter().enumerate() {
@@ -270,6 +540,43 @@ impl SamplerManager {
     }
 }
 
+/// Materializes the alias table of one walker state's dynamic weights
+/// (`None` for isolated nodes and all-zero distributions).
+fn build_one_table<M: RandomWalkModel + ?Sized>(
+    graph: &Graph,
+    model: &M,
+    v: NodeId,
+    affixture: usize,
+    deg: usize,
+) -> Option<AliasTable> {
+    if deg == 0 {
+        return None;
+    }
+    let state = WalkerState::new(v, affixture as u32);
+    let weights: Vec<f32> = (0..deg)
+        .map(|k| {
+            model
+                .calculate_weight(graph, state, graph.edge_ref(v, k))
+                .max(0.0)
+        })
+        .collect();
+    if weights.iter().all(|&w| w <= 0.0) {
+        None
+    } else {
+        Some(AliasTable::new(&weights))
+    }
+}
+
+/// Materializes the static-weight proposal table of one node for the
+/// rejection-family samplers (`None` for isolated nodes / all-zero weights).
+fn build_proposal(weights: &[f32]) -> Option<AliasTable> {
+    if weights.is_empty() || weights.iter().all(|&w| w <= 0.0) {
+        None
+    } else {
+        Some(AliasTable::new(weights))
+    }
+}
+
 /// Materializes per-state alias tables of the dynamic weights. When `plan` is
 /// given, only states assigned [`StateSamplerKind::Alias`] get a table.
 fn build_state_tables<M: RandomWalkModel + ?Sized>(
@@ -285,18 +592,10 @@ fn build_state_tables<M: RandomWalkModel + ?Sized>(
         let bucket = bucket_offsets[v as usize + 1] - bucket_offsets[v as usize];
         for affixture in 0..bucket {
             let idx = bucket_offsets[v as usize] + affixture;
-            if deg == 0 || plan.is_some_and(|p| p.kind(idx) != StateSamplerKind::Alias) {
-                tables.push(None);
-                continue;
-            }
-            let state = WalkerState::new(v, affixture as u32);
-            let weights: Vec<f32> = (0..deg)
-                .map(|k| model.calculate_weight(graph, state, graph.edge_ref(v, k)).max(0.0))
-                .collect();
-            if weights.iter().all(|&w| w <= 0.0) {
+            if plan.is_some_and(|p| p.kind(idx) != StateSamplerKind::Alias) {
                 tables.push(None);
             } else {
-                tables.push(Some(AliasTable::new(&weights)));
+                tables.push(build_one_table(graph, model, v, affixture, deg));
             }
         }
     }
@@ -321,9 +620,13 @@ mod tests {
 
     fn small_graph() -> Graph {
         let mut b = GraphBuilder::new();
-        for &(u, v, w) in
-            &[(0u32, 1u32, 1.0f32), (0, 2, 2.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
-        {
+        for &(u, v, w) in &[
+            (0u32, 1u32, 1.0f32),
+            (0, 2, 2.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+        ] {
             b.add_edge(u, v, w);
         }
         b.symmetric(true).build()
@@ -402,9 +705,9 @@ mod tests {
                 counts[manager.sample(&g, &model, state, &mut rng).unwrap()] += 1;
             }
             let total_w: f32 = g.weights(0).iter().sum();
-            for k in 0..deg {
+            for (k, &count) in counts.iter().enumerate() {
                 let expected = (g.weight_at(0, k) / total_w) as f64;
-                let freq = counts[k] as f64 / draws as f64;
+                let freq = count as f64 / draws as f64;
                 assert!(
                     (freq - expected).abs() < 0.03,
                     "{kind:?}: neighbor {k} freq {freq} vs {expected}"
@@ -484,6 +787,9 @@ mod tests {
             0,
         );
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(manager.sample(&g, &model, WalkerState::at(2), &mut rng), None);
+        assert_eq!(
+            manager.sample(&g, &model, WalkerState::at(2), &mut rng),
+            None
+        );
     }
 }

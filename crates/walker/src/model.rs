@@ -43,7 +43,9 @@ pub trait RandomWalkModel: Send + Sync {
     /// Total number of walker states over the whole graph (`#state` in
     /// Table I); the default sums the per-node bucket sizes.
     fn num_states(&self, graph: &Graph) -> usize {
-        (0..graph.num_nodes() as NodeId).map(|v| self.bucket_size(graph, v)).sum()
+        (0..graph.num_nodes() as NodeId)
+            .map(|v| self.bucket_size(graph, v))
+            .sum()
     }
 
     /// An upper bound `B` such that `w'(state, e) <= B * static_weight(e)` for
@@ -177,6 +179,6 @@ mod tests {
         let r: &dyn RandomWalkModel = &m;
         assert_eq!(r.name(), "uniform");
         assert_eq!((&r).num_states(&g), 3);
-        assert!(!(&m).is_second_order());
+        assert!(!m.is_second_order());
     }
 }

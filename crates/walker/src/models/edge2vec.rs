@@ -28,7 +28,12 @@ pub struct Edge2Vec {
 impl Edge2Vec {
     /// Creates an edge2vec model with a uniform (all-ones) transition matrix.
     pub fn uniform(p: f32, q: f32, num_edge_types: usize) -> Self {
-        Self::new(p, q, vec![1.0; num_edge_types * num_edge_types], num_edge_types)
+        Self::new(
+            p,
+            q,
+            vec![1.0; num_edge_types * num_edge_types],
+            num_edge_types,
+        )
     }
 
     /// Creates an edge2vec model with an explicit edge-type transition matrix.
@@ -39,9 +44,21 @@ impl Edge2Vec {
     /// entries, or `p`/`q` are not positive.
     pub fn new(p: f32, q: f32, matrix: Vec<f32>, num_edge_types: usize) -> Self {
         assert!(p > 0.0 && q > 0.0, "edge2vec parameters must be positive");
-        assert_eq!(matrix.len(), num_edge_types * num_edge_types, "matrix shape mismatch");
-        assert!(matrix.iter().all(|&m| m >= 0.0), "matrix entries must be non-negative");
-        Edge2Vec { p, q, matrix, num_edge_types }
+        assert_eq!(
+            matrix.len(),
+            num_edge_types * num_edge_types,
+            "matrix shape mismatch"
+        );
+        assert!(
+            matrix.iter().all(|&m| m >= 0.0),
+            "matrix entries must be non-negative"
+        );
+        Edge2Vec {
+            p,
+            q,
+            matrix,
+            num_edge_types,
+        }
     }
 
     /// The transition factor `M[from][to]`; untyped edges (`u16::MAX`) get 1.0.

@@ -42,7 +42,12 @@ impl FairWalk {
                 group_size[v as usize * num_types + graph.node_type(u) as usize] += 1;
             }
         }
-        FairWalk { p, q, group_size, num_types }
+        FairWalk {
+            p,
+            q,
+            group_size,
+            num_types,
+        }
     }
 
     /// Number of neighbors of `v` sharing the node type `t`.
@@ -61,7 +66,9 @@ impl RandomWalkModel for FairWalk {
     fn calculate_weight(&self, graph: &Graph, state: WalkerState, next: EdgeRef) -> f32 {
         let prev = previous_node(graph, state);
         let alpha = node2vec_alpha(graph, prev, next.dst, self.p, self.q);
-        let group = self.neighbors_of_type(state.position, graph.node_type(next.dst)).max(1);
+        let group = self
+            .neighbors_of_type(state.position, graph.node_type(next.dst))
+            .max(1);
         alpha * next.weight / group as f32
     }
 
@@ -135,7 +142,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!((mass_type1 - mass_type2).abs() < 1e-6, "{mass_type1} vs {mass_type2}");
+        assert!(
+            (mass_type1 - mass_type2).abs() < 1e-6,
+            "{mass_type1} vs {mass_type2}"
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
         // follow 0 -> 2 -> 4 -> 3 -> 0 and check the type constraint holds at each hop
         for &(cur, nxt) in &[(0u32, 2u32), (2, 4), (4, 3), (3, 0)] {
             let e = g.edge_ref(cur, g.find_neighbor(cur, nxt).unwrap());
-            assert!(m.calculate_weight(&g, state, e) > 0.0, "step {cur}->{nxt} blocked");
+            assert!(
+                m.calculate_weight(&g, state, e) > 0.0,
+                "step {cur}->{nxt} blocked"
+            );
             state = m.update_state(&g, state, e);
         }
         assert_eq!(state.position, 0);

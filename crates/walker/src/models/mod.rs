@@ -39,7 +39,13 @@ use crate::state::WalkerState;
 /// The `d(u,s) == 1` test is a binary search over `s`'s adjacency list, which
 /// is the `O(log deg)` term in the paper's complexity analysis.
 #[inline]
-pub(crate) fn node2vec_alpha(graph: &Graph, prev: NodeId, candidate: NodeId, p: f32, q: f32) -> f32 {
+pub(crate) fn node2vec_alpha(
+    graph: &Graph,
+    prev: NodeId,
+    candidate: NodeId,
+    p: f32,
+    q: f32,
+) -> f32 {
     if candidate == prev {
         1.0 / p
     } else if graph.has_edge(prev, candidate) {

@@ -25,12 +25,18 @@ pub struct WalkerState {
 impl WalkerState {
     /// Creates a state with an empty affixture (first-order models).
     pub fn at(position: NodeId) -> Self {
-        WalkerState { position, affixture: 0 }
+        WalkerState {
+            position,
+            affixture: 0,
+        }
     }
 
     /// Creates a state with an explicit affixture.
     pub fn new(position: NodeId, affixture: u32) -> Self {
-        WalkerState { position, affixture }
+        WalkerState {
+            position,
+            affixture,
+        }
     }
 }
 

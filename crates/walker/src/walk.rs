@@ -63,6 +63,16 @@ impl WalkCorpus {
         &self.walks
     }
 
+    /// One walk by index.
+    pub fn walk(&self, i: usize) -> &[NodeId] {
+        &self.walks[i]
+    }
+
+    /// Replaces the walk at `i` (used by incremental walk refresh).
+    pub fn set_walk(&mut self, i: usize, walk: Vec<NodeId>) {
+        self.walks[i] = walk;
+    }
+
     /// Consumes the corpus and returns the walks.
     pub fn into_walks(self) -> Vec<Vec<NodeId>> {
         self.walks

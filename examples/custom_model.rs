@@ -72,7 +72,9 @@ fn main() {
             .with_num_walks(5)
             .with_walk_length(40)
             .with_threads(8)
-            .with_sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact())),
+            .with_sampler(EdgeSamplerKind::MetropolisHastings(
+                InitStrategy::high_weight_exact(),
+            )),
     );
 
     // Plain walk vs degree-penalized walk: how much time is spent in the hubs?

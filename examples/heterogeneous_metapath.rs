@@ -32,8 +32,8 @@ fn academic_graph(
     let venue_id = |v: usize| (num_authors + num_papers + v) as NodeId;
 
     let mut node_types = vec![0u16; num_authors];
-    node_types.extend(std::iter::repeat(1u16).take(num_papers));
-    node_types.extend(std::iter::repeat(2u16).take(num_venues));
+    node_types.extend(std::iter::repeat_n(1u16, num_papers));
+    node_types.extend(std::iter::repeat_n(2u16, num_venues));
 
     let mut author_area = vec![0usize; num_authors];
     let mut paper_count = 0usize;
@@ -51,8 +51,11 @@ fn academic_graph(
                     b.add_edge(author_id(coauthor), paper_id(paper), 1.0);
                 }
                 // Publish at the area's venue (90%) or a random one (10%).
-                let venue =
-                    if rng.gen_bool(0.9) { area } else { rng.gen_range(0..num_venues) };
+                let venue = if rng.gen_bool(0.9) {
+                    area
+                } else {
+                    rng.gen_range(0..num_venues)
+                };
                 b.add_edge(paper_id(paper), venue_id(venue), 1.0);
             }
         }
@@ -71,7 +74,9 @@ fn main() {
     );
 
     // Author–Paper–Venue–Paper–Author metapath.
-    let spec = ModelSpec::MetaPath2Vec { metapath: vec![0, 1, 2, 1, 0] };
+    let spec = ModelSpec::MetaPath2Vec {
+        metapath: vec![0, 1, 2, 1, 0],
+    };
 
     let mut config = UniNetConfig::default();
     config.walk.num_walks = 8;

@@ -54,15 +54,13 @@ fn main() {
         config.embedding.num_threads = 8;
         config.embedding.window = 5;
 
-        let result =
-            UniNet::new(config).run(&lg.graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 });
+        let result = UniNet::new(config).run(&lg.graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 });
         let features: Vec<Vec<f32>> = (0..lg.graph.num_nodes() as u32)
             .map(|v| result.embeddings.vector(v).to_vec())
             .collect();
 
         for &fraction in &fractions {
-            let report =
-                classify_with_fraction(&features, &lg.labels, lg.num_labels, fraction, 33);
+            let report = classify_with_fraction(&features, &lg.labels, lg.num_labels, fraction, 33);
             table.add_row(&[
                 label.to_string(),
                 format!("{fraction:.1}"),

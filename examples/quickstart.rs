@@ -49,8 +49,14 @@ fn main() {
     let hub = (0..graph.num_nodes() as u32)
         .max_by_key(|&v| graph.degree(v))
         .expect("non-empty graph");
-    println!("most similar nodes to hub {hub} (degree {}):", graph.degree(hub));
+    println!(
+        "most similar nodes to hub {hub} (degree {}):",
+        graph.degree(hub)
+    );
     for (node, sim) in result.embeddings.most_similar(hub, 5) {
-        println!("  node {node:5}  cosine {sim:.3}  degree {}", graph.degree(node));
+        println!(
+            "  node {node:5}  cosine {sim:.3}  degree {}",
+            graph.degree(node)
+        );
     }
 }

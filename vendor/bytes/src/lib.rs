@@ -1,0 +1,229 @@
+//! Minimal offline shim of the `bytes` crate: little-endian cursor reads over
+//! `&[u8]` ([`Buf`]) and an appendable byte buffer ([`BytesMut`]/[`Bytes`]).
+//! Only the methods used by the graph binary snapshot format are provided.
+
+use std::ops::Deref;
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copies out `dst.len()` bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Sequential little-endian writes into a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"HDR!");
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_f32_le(1.5);
+        buf.put_f64_le(-2.25);
+        let bytes = buf.freeze();
+        let mut cur: &[u8] = &bytes;
+        assert_eq!(cur.remaining(), bytes.len());
+        let mut hdr = [0u8; 4];
+        cur.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 513);
+        assert_eq!(cur.get_u32_le(), 70_000);
+        assert_eq!(cur.get_u64_le(), 1 << 40);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let data = [1u8];
+        let mut cur: &[u8] = &data;
+        let _ = cur.get_u32_le();
+    }
+}

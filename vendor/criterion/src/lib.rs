@@ -1,0 +1,277 @@
+//! Minimal offline shim of the `criterion` benchmarking API.
+//!
+//! Provides [`Criterion`], [`BenchmarkId`], benchmark groups, `b.iter(..)`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple calibrated loop reporting the mean wall-clock time per iteration —
+//! enough for the relative comparisons this workspace's benches make, without
+//! the statistics machinery of the real crate.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) each benchmark body runs exactly once, keeping test runs
+//! fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (split over the sample iterations).
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode =
+            std::env::args().any(|a| a == "--test") || std::env::var("CRITERION_TEST_MODE").is_ok();
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's time budget is fixed.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.test_mode, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.test_mode,
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.test_mode,
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Passed to each benchmark body to time its hot loop.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result_ns = Some(0.0);
+            return;
+        }
+        // Calibrate: find an iteration count that takes roughly
+        // TARGET_MEASURE / sample_size per sample.
+        let mut iters: u64 = 1;
+        let per_sample = TARGET_MEASURE / self.sample_size as u32;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= per_sample / 4 || iters >= 1 << 30 {
+                let scale = if elapsed.as_nanos() == 0 {
+                    4.0
+                } else {
+                    per_sample.as_nanos() as f64 / elapsed.as_nanos() as f64
+                };
+                iters = ((iters as f64 * scale.clamp(0.25, 4.0)) as u64).max(1);
+                break;
+            }
+            iters *= 4;
+        }
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+            total += ns;
+        }
+        // Report the mean; the minimum is tracked to keep the loop honest.
+        let _ = best;
+        self.result_ns = Some(total / self.sample_size as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut b);
+    match b.result_ns {
+        Some(ns) if !test_mode => println!("{id:<60} {:>14} ns/iter", format_ns(ns)),
+        _ => {}
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e7 {
+        format!("{:.2e}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        std::env::set_var("CRITERION_TEST_MODE", "1");
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_and_ids_format() {
+        let id = BenchmarkId::new("alias", 256);
+        assert_eq!(format!("{id}"), "alias/256");
+        let id2 = BenchmarkId::from_parameter(42);
+        assert_eq!(format!("{id2}"), "42");
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal offline shim of `crossbeam::thread::scope`, backed by
+//! `std::thread::scope` (stable since Rust 1.63). Only the scoped-spawn API
+//! used by the walker engine and the embedding trainer is provided.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope run or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing the environment can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the environment.
+    ///
+    /// Unlike `std::thread::scope`, panics of child threads whose handles were
+    /// joined are reported through the handle's `join` result; this function
+    /// returns `Ok` as long as the closure itself did not panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_are_captured_by_join() {
+        let result = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> () { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,6 @@
+//! Everything `use proptest::prelude::*` is expected to bring into scope.
+
+pub use crate::prop;
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
