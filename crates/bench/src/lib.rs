@@ -187,6 +187,92 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Minimal JSON value for machine-readable benchmark artifacts (the
+/// workspace vendors no serde; object key order is preserved so diffs across
+/// PRs stay stable).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (rendered with enough precision for timings).
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(x) => out.push_str(&x.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str((*k).to_string()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a machine-readable benchmark artifact under `results/<file>.json`.
+pub fn emit_json(file: &str, value: &Json) {
+    let path = results_dir().join(format!("{file}.json"));
+    match std::fs::write(&path, value.render() + "\n") {
+        Ok(()) => println!("written to {}\n", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Prints a table to stdout and writes it under `results/<file>.md`.
 pub fn emit(table: &Table, file: &str) {
     println!("{}", table.render_markdown());

@@ -59,6 +59,13 @@ STREAMING UPDATES (dynamic-graph mode):
                           pending overlay edges that trigger CSR compaction
                                                               [default: 1024]
   --directed-updates      do not mirror mutations onto the reverse edge
+  --ingest-threads <T>    worker threads for sharded update application,
+                          sampler maintenance and walk refresh
+                                                       [default: --threads]
+  --queue-capacity <N>    update batches buffered by the intake queue before
+                          back-pressure blocks the reader      [default: 8]
+  --incremental-train     update embeddings online on regenerated walks
+                          instead of a full retrain at end-of-stream
 
 OUTPUT:
   --output <FILE>         embeddings in word2vec text format (required)
@@ -80,6 +87,10 @@ impl Args {
             }
             if arg == "--directed-updates" {
                 map.insert("directed-updates".to_string(), "1".to_string());
+                continue;
+            }
+            if arg == "--incremental-train" {
+                map.insert("incremental-train".to_string(), "1".to_string());
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -214,12 +225,29 @@ fn run() -> Result<(), String> {
             compaction_threshold: args.parse_or("compaction-threshold", 1024usize)?,
             symmetric: args.get("directed-updates").is_none(),
             refresh_each_batch: true,
+            // 0 = follow --threads, so ingestion, maintenance and walk
+            // refresh honor the same worker count as walk generation.
+            ingest_threads: args.parse_or("ingest-threads", 0usize)?,
+            queue_capacity: args.parse_or("queue-capacity", 8usize)?,
+            incremental_train: args.get("incremental-train").is_some(),
         };
         eprintln!(
-            "streaming mode: {} mutations in batches of {} (compaction threshold {})",
+            "streaming mode: {} mutations in batches of {} (compaction threshold {}, \
+             {} ingest threads, queue capacity {}, {} training)",
             mutations.len(),
             streaming.batch_size,
-            streaming.compaction_threshold
+            streaming.compaction_threshold,
+            if streaming.ingest_threads == 0 {
+                config.walk.num_threads
+            } else {
+                streaming.ingest_threads
+            },
+            streaming.queue_capacity,
+            if streaming.incremental_train {
+                "incremental"
+            } else {
+                "full-retrain"
+            },
         );
         let (result, report) =
             UniNet::new(config).run_streaming(graph, &spec, &mutations, &streaming);
@@ -235,13 +263,21 @@ fn run() -> Result<(), String> {
         );
         eprintln!(
             "maintenance: {} states rebuilt ({} bytes), {} M-H chains preserved, {} reset; \
-             refresh: {} walks regenerated",
+             refresh: {} walks regenerated; queue: peak depth {}, {:.1} ms back-pressure",
             report.maintenance.states_rebuilt,
             report.maintenance.bytes_rebuilt,
             report.maintenance.chains_preserved,
             report.maintenance.chains_reset,
             report.refresh.walks_refreshed,
+            report.queue.peak_depth,
+            report.queue.producer_wait.as_secs_f64() * 1e3,
         );
+        if report.incremental_passes > 0 {
+            eprintln!(
+                "incremental training: {} passes over {} regenerated walks",
+                report.incremental_passes, report.incremental_walks_trained,
+            );
+        }
         result
     } else {
         UniNet::new(config).run(&graph, &spec)

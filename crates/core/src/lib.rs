@@ -54,5 +54,6 @@ pub use timing::PhaseTiming;
 pub use uninet_dyngraph::{DynamicGraph, GraphMutation, IncrementalMaintainer, UpdateBatch};
 pub use uninet_embedding::Embeddings;
 pub use uninet_graph::Graph;
+pub use uninet_ingest::{IngestConfig, QueueStats, ShardPlan, ShardedMaintainer};
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};
 pub use uninet_walker::{WalkCorpus, WalkEngineConfig};

@@ -1,21 +1,23 @@
-//! Streaming pipeline mode: interleave edge-update batches with incremental
-//! sampler maintenance and walk refresh, then retrain embeddings on the
-//! refreshed corpus.
+//! Streaming pipeline mode: concurrent ingestion of edge-update batches with
+//! incremental sampler maintenance, parallel walk refresh and (optionally)
+//! incremental embedding updates.
 //!
-//! This is the dynamic-workload counterpart of [`crate::UniNet::run`]: instead
-//! of a frozen CSR, the graph lives in a [`DynamicGraph`] and each
-//! [`UpdateBatch`] flows through the [`IncrementalMaintainer`] (sampler-state
-//! repair) and the [`WalkRefresher`] (regenerating only walks whose
-//! trajectories crossed mutated vertices).
+//! This is the dynamic-workload counterpart of [`crate::UniNet::run`]: the
+//! graph lives in a [`DynamicGraph`] and the update stream flows through the
+//! `uninet-ingest` pipeline — a reader thread feeding a bounded queue
+//! (back-pressure), vertex-range sharded overlay application and sampler
+//! maintenance, then per-batch walk refresh fanned out over the walk engine's
+//! thread pool. Embeddings are either retrained from scratch on the refreshed
+//! corpus (the original behaviour) or, with
+//! [`StreamingConfig::incremental_train`], updated online by SGD passes over
+//! only the regenerated walks.
 
 use std::time::{Duration, Instant};
 
-use uninet_dyngraph::{
-    into_batches, DynamicGraph, GraphMutation, IncrementalMaintainer, MaintainerConfig,
-    RefreshStats, WalkRefresher,
-};
-use uninet_embedding::Word2VecTrainer;
+use uninet_dyngraph::{DynamicGraph, GraphMutation, RefreshStats, WalkRefresher};
+use uninet_embedding::{OnlineWord2Vec, TrainStats, Word2VecTrainer};
 use uninet_graph::{Graph, NodeId};
+use uninet_ingest::{run_pipeline, IngestConfig, QueueStats};
 use uninet_walker::{MaintenanceStats, SamplerManager, WalkEngine};
 
 use crate::config::{ModelSpec, UniNetConfig};
@@ -33,6 +35,14 @@ pub struct StreamingConfig {
     pub symmetric: bool,
     /// Regenerate affected walks after every batch (off = only at the end).
     pub refresh_each_batch: bool,
+    /// Worker threads for sharded update application, sampler maintenance and
+    /// walk refresh. 0 means "use the walk engine's thread count".
+    pub ingest_threads: usize,
+    /// Batches the intake queue buffers before back-pressure blocks intake.
+    pub queue_capacity: usize,
+    /// Train embeddings incrementally on regenerated walks instead of a full
+    /// retrain at end-of-stream.
+    pub incremental_train: bool,
 }
 
 impl Default for StreamingConfig {
@@ -42,6 +52,9 @@ impl Default for StreamingConfig {
             compaction_threshold: 1024,
             symmetric: true,
             refresh_each_batch: true,
+            ingest_threads: 0,
+            queue_capacity: 8,
+            incremental_train: false,
         }
     }
 }
@@ -71,6 +84,12 @@ pub struct StreamingReport {
     pub refresh_time: Duration,
     /// Updates per second over apply + maintain time.
     pub update_throughput: f64,
+    /// Intake queue accounting (back-pressure time, peak depth).
+    pub queue: QueueStats,
+    /// Walks fed to incremental training passes (0 for full retrain).
+    pub incremental_walks_trained: usize,
+    /// Incremental SGD passes run (0 for full retrain).
+    pub incremental_passes: usize,
 }
 
 impl StreamingReport {
@@ -85,11 +104,23 @@ impl StreamingReport {
     }
 }
 
+/// Merges incremental-pass stats into the session-level training stats.
+fn merge_train_stats(total: &mut TrainStats, pass: &TrainStats) {
+    let pairs = total.pairs_processed + pass.pairs_processed;
+    if pairs > 0 {
+        total.final_loss = (total.final_loss * total.pairs_processed as f64
+            + pass.final_loss * pass.pairs_processed as f64)
+            / pairs as f64;
+    }
+    total.pairs_processed = pairs;
+}
+
 impl crate::pipeline::UniNet {
     /// Runs the full dynamic pipeline: initial walk corpus over `graph`,
-    /// replay of `mutations` in batches with incremental maintenance and walk
-    /// refresh, final compaction, then embedding training on the refreshed
-    /// corpus.
+    /// concurrent ingestion of `mutations` (bounded intake queue, sharded
+    /// application, parallel maintenance and walk refresh), final compaction,
+    /// then embedding training — full retrain on the refreshed corpus, or
+    /// incremental updates when `streaming.incremental_train` is set.
     ///
     /// Consumes the graph (it becomes the mutable base of the
     /// [`DynamicGraph`]).
@@ -103,6 +134,11 @@ impl crate::pipeline::UniNet {
         let cfg: &UniNetConfig = self.config();
         let model = spec.instantiate(&graph);
         let model = model.as_ref();
+        let threads = if streaming.ingest_threads == 0 {
+            cfg.walk.num_threads.max(1)
+        } else {
+            streaming.ingest_threads
+        };
 
         // Initial corpus over a caller-owned manager so sampler state (M-H
         // chains in particular) survives into the update phase.
@@ -120,64 +156,113 @@ impl crate::pipeline::UniNet {
             engine.generate_with_manager(&graph, model, &manager, &start_nodes);
 
         let num_nodes = graph.num_nodes();
+        let trainer = Word2VecTrainer::new(cfg.embedding);
+        let mut learn = Duration::ZERO;
+        let mut train_stats = TrainStats::default();
+
+        // Incremental mode trains the base model up front so refresh rounds
+        // can apply corrective passes as the stream is ingested.
+        let mut online: Option<OnlineWord2Vec> = if streaming.incremental_train {
+            let t = Instant::now();
+            let (session, stats) = trainer.train_online(corpus.walks(), num_nodes);
+            learn += t.elapsed();
+            train_stats = stats;
+            Some(session)
+        } else {
+            None
+        };
+
         let mut dyn_graph = DynamicGraph::new(graph, streaming.symmetric);
-        let maintainer = IncrementalMaintainer::new(MaintainerConfig {
-            compaction_threshold: streaming.compaction_threshold,
-        });
         let mut refresher =
             WalkRefresher::new(&corpus, num_nodes, cfg.walk.walk_length, cfg.walk.seed);
 
         let mut report = StreamingReport::default();
-        for batch in into_batches(mutations, streaming.batch_size) {
-            let r = maintainer.apply_batch(&mut dyn_graph, &mut manager, model, &batch);
-            report.batches += 1;
-            report.weight_mutations += r.weight_mutations;
-            report.topology_mutations += r.topology_mutations;
-            report.rejected_mutations += r.rejected_mutations;
-            report.compactions += r.compacted as usize;
-            report.maintenance.merge(&r.maintenance);
-            report.apply_time += r.apply_time;
-            report.maintain_time += r.maintain_time;
+        let ingest_cfg = IngestConfig {
+            batch_size: streaming.batch_size,
+            queue_capacity: streaming.queue_capacity,
+            num_threads: threads,
+            compaction_threshold: streaming.compaction_threshold,
+        };
 
-            if streaming.refresh_each_batch {
-                let mut touched = r.weight_touched.clone();
-                touched.extend_from_slice(&r.topology_touched);
-                touched.sort_unstable();
-                touched.dedup();
-                if !touched.is_empty() {
-                    let (stats, dur) =
-                        refresher.refresh(&mut corpus, dyn_graph.base(), model, &manager, &touched);
-                    report.refresh.merge(&stats);
-                    report.refresh_time += dur;
-                }
-            }
-        }
+        let refresh_each_batch = streaming.refresh_each_batch;
+        {
+            let refresher = &mut refresher;
+            let corpus = &mut corpus;
+            let report = &mut report;
+            let online = &mut online;
+            let learn = &mut learn;
+            let train_stats = &mut train_stats;
+            let ingest_report = run_pipeline(
+                &ingest_cfg,
+                &mut dyn_graph,
+                &mut manager,
+                model,
+                mutations,
+                |dg, mgr, r, is_final| {
+                    // Per-batch refresh is optional; the end-of-stream flush
+                    // always refreshes so the corpus matches the final graph.
+                    if !refresh_each_batch && !is_final {
+                        return;
+                    }
+                    let mut touched = r.weight_touched.clone();
+                    touched.extend_from_slice(&r.topology_touched);
+                    touched.sort_unstable();
+                    touched.dedup();
+                    if touched.is_empty() {
+                        return;
+                    }
+                    let outcome = refresher.refresh_parallel(
+                        corpus,
+                        dg.base(),
+                        model,
+                        mgr,
+                        &touched,
+                        threads,
+                    );
+                    report.refresh.merge(&outcome.stats);
+                    report.refresh_time += outcome.elapsed;
 
-        // Fold any leftover overlay into the CSR and refresh what it touched.
-        let flush = maintainer.flush(&mut dyn_graph, &mut manager, model);
-        if flush.compacted {
-            report.compactions += 1;
-            report.maintenance.merge(&flush.maintenance);
-            report.maintain_time += flush.maintain_time;
-            if !flush.topology_touched.is_empty() {
-                let (stats, dur) = refresher.refresh(
-                    &mut corpus,
-                    dyn_graph.base(),
-                    model,
-                    &manager,
-                    &flush.topology_touched,
-                );
-                report.refresh.merge(&stats);
-                report.refresh_time += dur;
-            }
+                    if let Some(session) = online.as_mut() {
+                        if !outcome.refreshed_ids.is_empty() {
+                            let regenerated: Vec<Vec<NodeId>> = outcome
+                                .refreshed_ids
+                                .iter()
+                                .map(|&id| corpus.walk(id as usize).to_vec())
+                                .collect();
+                            let t = Instant::now();
+                            let stats = trainer.train_incremental(session, &regenerated);
+                            *learn += t.elapsed();
+                            merge_train_stats(train_stats, &stats);
+                            report.incremental_walks_trained += regenerated.len();
+                            report.incremental_passes += 1;
+                        }
+                    }
+                },
+            );
+            report.batches = ingest_report.batches;
+            report.weight_mutations = ingest_report.weight_mutations;
+            report.topology_mutations = ingest_report.topology_mutations;
+            report.rejected_mutations = ingest_report.rejected_mutations;
+            report.compactions = ingest_report.compactions;
+            report.maintenance = ingest_report.maintenance;
+            report.apply_time = ingest_report.apply_time;
+            report.maintain_time = ingest_report.maintain_time;
+            report.queue = ingest_report.queue;
         }
         report.finalize();
 
-        // Retrain embeddings on the refreshed corpus.
-        let t = Instant::now();
-        let trainer = Word2VecTrainer::new(cfg.embedding);
-        let (embeddings, train_stats) = trainer.train(corpus.walks(), num_nodes);
-        let learn = t.elapsed();
+        // Final embeddings: online session snapshot, or full retrain on the
+        // refreshed corpus.
+        let embeddings = match online {
+            Some(session) => session.embeddings(),
+            None => {
+                let t = Instant::now();
+                let (embeddings, stats) = trainer.train(corpus.walks(), num_nodes);
+                learn += t.elapsed();
+                train_stats = stats;
+                embeddings
+            }
+        };
 
         let timing = PhaseTiming {
             init,
@@ -269,6 +354,7 @@ mod tests {
         assert!(report.topology_mutations > 0);
         assert!(report.refresh.walks_refreshed > 0);
         assert!(report.update_throughput > 0.0);
+        assert_eq!(report.queue.batches_enqueued, report.batches);
         // M-H backend: weight updates preserved chains, never rebuilt tables
         // on the weight path (topology compactions may rebuild chains).
         assert!(report.maintenance.chains_preserved > 0);
@@ -337,5 +423,38 @@ mod tests {
         assert_eq!(mh_report.maintenance.states_rebuilt, 0);
         assert_eq!(mh_report.maintenance.bytes_rebuilt, 0);
         assert!(mh_report.maintenance.chains_preserved > 0);
+    }
+
+    #[test]
+    fn incremental_training_tracks_refreshed_walks() {
+        let graph = test_graph();
+        let mutations = mixed_stream(&graph, 200, 13);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 2;
+        cfg.walk.walk_length = 10;
+        cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
+        cfg.embedding.epochs = 1;
+        let streaming = StreamingConfig {
+            batch_size: 32,
+            compaction_threshold: 64,
+            incremental_train: true,
+            ingest_threads: 2,
+            queue_capacity: 2,
+            ..Default::default()
+        };
+        let n = graph.num_nodes();
+        let (result, report) = crate::UniNet::new(cfg).run_streaming(
+            graph,
+            &ModelSpec::DeepWalk,
+            &mutations,
+            &streaming,
+        );
+        assert_eq!(result.embeddings.num_nodes(), n);
+        assert!(report.incremental_passes > 0, "no incremental passes ran");
+        assert_eq!(
+            report.incremental_walks_trained, report.refresh.walks_refreshed,
+            "every refreshed walk should feed incremental training"
+        );
+        assert!(result.train_stats.pairs_processed > 0);
     }
 }

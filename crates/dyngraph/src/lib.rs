@@ -64,7 +64,7 @@ pub mod mutation;
 pub mod refresh;
 pub mod stream;
 
-pub use dynamic::{DynamicGraph, MutationEffect, OverlayStats};
+pub use dynamic::{DynamicGraph, MutationEffect, OverlayStats, ShardOutcome, ShardView};
 pub use maintain::{BatchReport, IncrementalMaintainer, MaintainerConfig};
 pub use mutation::{GraphMutation, UpdateBatch};
 pub use refresh::{RefreshStats, WalkRefresher};

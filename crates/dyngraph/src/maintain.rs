@@ -17,7 +17,7 @@ use uninet_graph::NodeId;
 use uninet_walker::{MaintenanceStats, RandomWalkModel, SamplerManager};
 
 use crate::dynamic::{DynamicGraph, MutationEffect};
-use crate::mutation::UpdateBatch;
+use crate::mutation::{GraphMutation, UpdateBatch};
 
 /// Tuning knobs of the maintainer.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +60,41 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// Folds one mutation's `(forward, mirror)` effects into the tallies:
+    /// touched nodes on the weight path, and the weight/topology/rejected
+    /// classification. This is the single source of truth for report
+    /// bookkeeping, shared by the serial maintainer and the sharded ingest
+    /// path (`uninet-ingest`), so the two can never drift.
+    ///
+    /// `weight_touched` entries are appended unsorted; callers dedup once per
+    /// batch before sampler maintenance.
+    pub fn record_effects(
+        &mut self,
+        m: GraphMutation,
+        (forward, mirror): (MutationEffect, MutationEffect),
+    ) {
+        let (src, dst) = m.endpoints();
+        // On an asymmetric base one direction may insert while the other
+        // reweights in place; both sides need their maintenance.
+        if forward == MutationEffect::Reweighted {
+            self.weight_touched.push(src);
+        }
+        if mirror == MutationEffect::Reweighted {
+            self.weight_touched.push(dst);
+        }
+        match (forward, mirror) {
+            (MutationEffect::TopologyChanged, _) | (_, MutationEffect::TopologyChanged) => {
+                self.topology_mutations += 1;
+            }
+            (MutationEffect::Reweighted, _) | (_, MutationEffect::Reweighted) => {
+                self.weight_mutations += 1;
+            }
+            _ => {
+                self.rejected_mutations += 1;
+            }
+        }
+    }
+
     /// Accumulates another report into this one.
     pub fn merge(&mut self, other: &BatchReport) {
         self.weight_mutations += other.weight_mutations;
@@ -108,43 +143,22 @@ impl IncrementalMaintainer {
         let mut report = BatchReport::default();
 
         let t0 = Instant::now();
-        let mut weight_touched: Vec<NodeId> = Vec::new();
         for &m in batch.mutations() {
-            let (src, dst) = m.endpoints();
-            let (forward, mirror) = graph.apply_with_effects(m);
-            // On an asymmetric base one direction may insert while the other
-            // reweights in place; both sides need their maintenance.
-            if forward == MutationEffect::Reweighted {
-                weight_touched.push(src);
-            }
-            if mirror == MutationEffect::Reweighted {
-                weight_touched.push(dst);
-            }
-            match (forward, mirror) {
-                (MutationEffect::TopologyChanged, _) | (_, MutationEffect::TopologyChanged) => {
-                    report.topology_mutations += 1;
-                }
-                (MutationEffect::Reweighted, _) | (_, MutationEffect::Reweighted) => {
-                    report.weight_mutations += 1;
-                }
-                _ => {
-                    report.rejected_mutations += 1;
-                }
-            }
+            let effects = graph.apply_with_effects(m);
+            report.record_effects(m, effects);
         }
-        weight_touched.sort_unstable();
-        weight_touched.dedup();
+        report.weight_touched.sort_unstable();
+        report.weight_touched.dedup();
         report.apply_time = t0.elapsed();
 
         let t1 = Instant::now();
-        if !weight_touched.is_empty() {
-            report.maintenance.merge(&manager.maintain_weights(
-                graph.base(),
-                model,
-                &weight_touched,
-            ));
+        if !report.weight_touched.is_empty() {
+            let touched = std::mem::take(&mut report.weight_touched);
+            report
+                .maintenance
+                .merge(&manager.maintain_weights(graph.base(), model, &touched));
+            report.weight_touched = touched;
         }
-        report.weight_touched = weight_touched;
 
         if report.topology_mutations > 0 && graph.pending() >= self.config.compaction_threshold {
             report.merge_compaction(self.compact_now(graph, manager, model));

@@ -3,11 +3,16 @@
 //! untouched.
 //!
 //! An inverted index (node → walk ids) makes the affected-walk lookup O(1)
-//! per touched node. Refreshed walks append postings for any new nodes they
-//! visit; stale postings (walks that no longer visit a node) are tolerated —
-//! they can only cause an unnecessary refresh, never a missed one — and the
-//! index is rebuilt wholesale once the posting overhead exceeds 2x the corpus
-//! size.
+//! per touched node. The index is maintained *exactly*: after a walk is
+//! regenerated, postings for nodes the new trajectory no longer visits are
+//! pruned, so the index never accumulates stale entries (a wholesale rebuild
+//! remains as a defensive backstop should the bookkeeping ever drift).
+//!
+//! Refresh comes in two flavors: the serial [`WalkRefresher::refresh`] loop
+//! and [`WalkRefresher::refresh_parallel`], which fans walk regeneration out
+//! across worker threads (walks are independent given the shared lock-free
+//! `SamplerManager`) and applies the corpus/index updates serially. Both use
+//! the same per-walk RNG derivation, so they produce identical corpora.
 
 use std::time::{Duration, Instant};
 
@@ -25,6 +30,8 @@ pub struct RefreshStats {
     pub walks_refreshed: usize,
     /// Total nodes re-sampled across refreshed walks.
     pub tokens_regenerated: usize,
+    /// Stale node→walk postings pruned from the inverted index.
+    pub postings_pruned: usize,
 }
 
 impl RefreshStats {
@@ -33,17 +40,30 @@ impl RefreshStats {
         self.nodes_examined += other.nodes_examined;
         self.walks_refreshed += other.walks_refreshed;
         self.tokens_regenerated += other.tokens_regenerated;
+        self.postings_pruned += other.postings_pruned;
     }
+}
+
+/// A refresh pass plus the ids of the walks it regenerated (consumed by
+/// incremental embedding training, which re-trains only on these walks).
+#[derive(Debug, Clone, Default)]
+pub struct RefreshOutcome {
+    /// Accounting of the pass.
+    pub stats: RefreshStats,
+    /// Ids of the regenerated walks, ascending.
+    pub refreshed_ids: Vec<u32>,
+    /// Wall-clock time of the pass.
+    pub elapsed: Duration,
 }
 
 /// Incrementally maintains a walk corpus against a mutating graph.
 #[derive(Debug)]
 pub struct WalkRefresher {
-    /// node -> indices of walks visiting it (may contain stale postings).
+    /// node -> sorted indices of walks visiting it (exact, postings pruned).
     index: Vec<Vec<u32>>,
     /// Upper bound of live postings (tokens of the current corpus).
     live_tokens: usize,
-    /// Total postings currently stored (live + stale).
+    /// Total postings currently stored.
     stored_postings: usize,
     /// Walk length to regenerate with.
     walk_length: usize,
@@ -83,9 +103,94 @@ impl WalkRefresher {
         self.index = index;
     }
 
-    /// Walk ids currently indexed under `v` (may include stale entries).
+    /// Walk ids currently indexed under `v`.
     pub fn walks_through(&self, v: NodeId) -> &[u32] {
         &self.index[v as usize]
+    }
+
+    /// Total postings currently stored (exact: stale entries are pruned).
+    pub fn stored_postings(&self) -> usize {
+        self.stored_postings
+    }
+
+    /// The ids of every walk passing through any node in `touched`, ascending.
+    fn affected_ids(&self, touched: &[NodeId]) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        for &v in touched {
+            if (v as usize) < self.index.len() {
+                ids.extend_from_slice(&self.index[v as usize]);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The RNG driving the regeneration of walk `id` this generation; shared
+    /// by the serial and parallel paths so they produce identical walks.
+    fn walk_rng(&self, id: u32) -> SmallRng {
+        SmallRng::seed_from_u64(
+            self.seed
+                ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ self.generation.wrapping_mul(0xD1B54A32D192ED03),
+        )
+    }
+
+    /// Re-indexes walk `id` after regeneration: adds postings for newly
+    /// visited nodes and prunes postings for nodes the walk no longer visits.
+    /// Returns the number of stale postings pruned.
+    fn reindex_walk(&mut self, id: u32, old: &[NodeId], new: &[NodeId]) -> usize {
+        let mut old_seen: Vec<NodeId> = old.to_vec();
+        old_seen.sort_unstable();
+        old_seen.dedup();
+        let mut new_seen: Vec<NodeId> = new.to_vec();
+        new_seen.sort_unstable();
+        new_seen.dedup();
+
+        let mut pruned = 0usize;
+        for &v in &new_seen {
+            if old_seen.binary_search(&v).is_err() {
+                // Postings stay sorted so membership stays O(log n).
+                let postings = &mut self.index[v as usize];
+                if let Err(pos) = postings.binary_search(&id) {
+                    postings.insert(pos, id);
+                    self.stored_postings += 1;
+                }
+            }
+        }
+        for &v in &old_seen {
+            if new_seen.binary_search(&v).is_err() {
+                let postings = &mut self.index[v as usize];
+                if let Ok(pos) = postings.binary_search(&id) {
+                    postings.remove(pos);
+                    self.stored_postings -= 1;
+                    pruned += 1;
+                }
+            }
+        }
+        pruned
+    }
+
+    /// Installs regenerated walks into the corpus and the index.
+    fn install(
+        &mut self,
+        corpus: &mut WalkCorpus,
+        regenerated: Vec<(u32, Vec<NodeId>)>,
+        stats: &mut RefreshStats,
+    ) {
+        for (id, walk) in regenerated {
+            stats.tokens_regenerated += walk.len();
+            stats.postings_pruned += self.reindex_walk(id, corpus.walk(id as usize), &walk);
+            corpus.set_walk(id as usize, walk);
+        }
+        self.live_tokens = corpus.total_tokens();
+
+        // Defensive backstop: with exact pruning stale postings can no longer
+        // accumulate, but rebuild wholesale if the bookkeeping ever drifts.
+        if self.stored_postings > 2 * self.live_tokens.max(1) {
+            let n = self.index.len();
+            self.rebuild_index(corpus, n);
+        }
     }
 
     /// Regenerates every walk that passes through any node in `touched`.
@@ -101,6 +206,40 @@ impl WalkRefresher {
         manager: &SamplerManager,
         touched: &[NodeId],
     ) -> (RefreshStats, Duration) {
+        let outcome = self.refresh_collect(corpus, graph, model, manager, touched, 1);
+        (outcome.stats, outcome.elapsed)
+    }
+
+    /// Like [`WalkRefresher::refresh`], but fans walk regeneration out across
+    /// `num_threads` worker threads (the walk engine's thread-pool pattern:
+    /// chunked ids, one RNG per walk) and returns the refreshed walk ids.
+    ///
+    /// Each walk's RNG is derived from its id and the pass generation, not
+    /// the thread, so with stateless sampler backends (alias / direct /
+    /// rejection) the parallel path produces exactly the same corpus as the
+    /// serial one. The M-H backend shares live chain state across walkers, so
+    /// its walk content is schedule-dependent — just as in the batch engine.
+    pub fn refresh_parallel<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        corpus: &mut WalkCorpus,
+        graph: &Graph,
+        model: &M,
+        manager: &SamplerManager,
+        touched: &[NodeId],
+        num_threads: usize,
+    ) -> RefreshOutcome {
+        self.refresh_collect(corpus, graph, model, manager, touched, num_threads)
+    }
+
+    fn refresh_collect<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        corpus: &mut WalkCorpus,
+        graph: &Graph,
+        model: &M,
+        manager: &SamplerManager,
+        touched: &[NodeId],
+        num_threads: usize,
+    ) -> RefreshOutcome {
         let t = Instant::now();
         self.generation += 1;
         let mut stats = RefreshStats {
@@ -108,49 +247,62 @@ impl WalkRefresher {
             ..Default::default()
         };
 
-        let mut ids: Vec<u32> = Vec::new();
-        for &v in touched {
-            if (v as usize) < self.index.len() {
-                ids.extend_from_slice(&self.index[v as usize]);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-
-        for &id in &ids {
-            let start = corpus.walk(id as usize)[0];
-            let mut rng = SmallRng::seed_from_u64(
-                self.seed
-                    ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)
-                    ^ self.generation.wrapping_mul(0xD1B54A32D192ED03),
-            );
-            let walk = walk_once(graph, model, manager, start, self.walk_length, &mut rng);
-            stats.tokens_regenerated += walk.len();
-
-            // Append postings for newly visited nodes; stale ones are benign.
-            let mut seen: Vec<NodeId> = walk.to_vec();
-            seen.sort_unstable();
-            seen.dedup();
-            for v in seen {
-                // Postings stay sorted so membership is O(log n) even on hub
-                // nodes whose lists approach the corpus size.
-                let postings = &mut self.index[v as usize];
-                if let Err(pos) = postings.binary_search(&id) {
-                    postings.insert(pos, id);
-                    self.stored_postings += 1;
-                }
-            }
-            corpus.set_walk(id as usize, walk);
-        }
+        let ids = self.affected_ids(touched);
         stats.walks_refreshed = ids.len();
-        self.live_tokens = corpus.total_tokens();
 
-        // Garbage-collect the index when stale postings dominate.
-        if self.stored_postings > 2 * self.live_tokens.max(1) {
-            let n = self.index.len();
-            self.rebuild_index(corpus, n);
+        let num_threads = num_threads.max(1).min(ids.len().max(1));
+        let regenerated: Vec<(u32, Vec<NodeId>)> = if num_threads <= 1 || ids.len() < 2 {
+            ids.iter()
+                .map(|&id| {
+                    let start = corpus.walk(id as usize)[0];
+                    let mut rng = self.walk_rng(id);
+                    let walk = walk_once(graph, model, manager, start, self.walk_length, &mut rng);
+                    (id, walk)
+                })
+                .collect()
+        } else {
+            let chunk_size = ids.len().div_ceil(num_threads).max(1);
+            let refresher = &*self;
+            let corpus_ref = &*corpus;
+            let parts: Vec<Vec<(u32, Vec<NodeId>)>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|&id| {
+                                    let start = corpus_ref.walk(id as usize)[0];
+                                    let mut rng = refresher.walk_rng(id);
+                                    let walk = walk_once(
+                                        graph,
+                                        model,
+                                        manager,
+                                        start,
+                                        refresher.walk_length,
+                                        &mut rng,
+                                    );
+                                    (id, walk)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("refresh worker panicked"))
+                    .collect()
+            })
+            .expect("refresh scope panicked");
+            parts.into_iter().flatten().collect()
+        };
+
+        self.install(corpus, regenerated, &mut stats);
+        RefreshOutcome {
+            stats,
+            refreshed_ids: ids,
+            elapsed: t.elapsed(),
         }
-        (stats, t.elapsed())
     }
 }
 
@@ -237,20 +389,74 @@ mod tests {
         }
     }
 
+    /// The index must stay *exact* under repeated refresh: every posting
+    /// corresponds to a live visit, and every visit has a posting.
+    fn assert_index_exact(refresher: &WalkRefresher, corpus: &WalkCorpus, num_nodes: usize) {
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        for (i, walk) in corpus.iter().enumerate() {
+            let mut seen: Vec<NodeId> = walk.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for v in seen {
+                expected[v as usize].push(i as u32);
+            }
+        }
+        let mut total = 0usize;
+        for (v, exp) in expected.iter().enumerate() {
+            assert_eq!(
+                refresher.walks_through(v as NodeId),
+                exp.as_slice(),
+                "postings of node {v} diverged"
+            );
+            total += exp.len();
+        }
+        assert_eq!(refresher.stored_postings(), total);
+    }
+
     #[test]
-    fn repeated_refresh_keeps_index_consistent() {
+    fn repeated_refresh_keeps_index_exact_without_stale_growth() {
         let (g, mut corpus, manager, cfg) = setup();
         let model = DeepWalk::new();
         let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 13);
+        let mut pruned = 0usize;
         for round in 0..8 {
             let touched = [(round * 7 % 150) as NodeId, (round * 13 % 150) as NodeId];
-            refresher.refresh(&mut corpus, &g, &model, &manager, &touched);
+            let (stats, _) = refresher.refresh(&mut corpus, &g, &model, &manager, &touched);
+            pruned += stats.postings_pruned;
         }
-        // Every walk must still be findable under every node it visits.
-        for (i, walk) in corpus.iter().enumerate() {
-            for &v in walk {
-                assert!(refresher.walks_through(v).contains(&(i as u32)));
-            }
-        }
+        assert_index_exact(&refresher, &corpus, g.num_nodes());
+        // Regenerated trajectories diverge, so some postings must have been
+        // pruned; without pruning they would linger as stale index growth.
+        assert!(pruned > 0, "no stale postings pruned over 8 rounds");
+    }
+
+    #[test]
+    fn parallel_refresh_matches_serial() {
+        // Stateless sampler: identical per-walk RNGs must give identical
+        // corpora regardless of the thread schedule (M-H chains are shared
+        // mutable state, so they are exempt from bit-exactness).
+        let (g, _, _, cfg) = setup();
+        let cfg = cfg.with_sampler(EdgeSamplerKind::Direct);
+        let model = DeepWalk::new();
+        let manager = SamplerManager::new(&g, &model, cfg.sampler, 0);
+        let engine = WalkEngine::new(cfg);
+        let starts: Vec<NodeId> = g.non_isolated_nodes().collect();
+        let (corpus, _) = engine.generate_with_manager(&g, &model, &manager, &starts);
+
+        let mut serial_corpus = corpus.clone();
+        let mut serial = WalkRefresher::new(&serial_corpus, g.num_nodes(), cfg.walk_length, 29);
+        let mut parallel_corpus = corpus;
+        let mut parallel = WalkRefresher::new(&parallel_corpus, g.num_nodes(), cfg.walk_length, 29);
+
+        let touched: Vec<NodeId> = (0..30).collect();
+        let (serial_stats, _) = serial.refresh(&mut serial_corpus, &g, &model, &manager, &touched);
+        let outcome =
+            parallel.refresh_parallel(&mut parallel_corpus, &g, &model, &manager, &touched, 4);
+
+        assert_eq!(serial_stats, outcome.stats);
+        assert_eq!(serial_corpus.walks(), parallel_corpus.walks());
+        assert_eq!(outcome.refreshed_ids.len(), outcome.stats.walks_refreshed);
+        assert!(outcome.refreshed_ids.windows(2).all(|w| w[0] < w[1]));
+        assert_index_exact(&parallel, &parallel_corpus, g.num_nodes());
     }
 }

@@ -23,6 +23,7 @@ pub mod cbow;
 pub mod io;
 pub mod matrix;
 pub mod negative;
+pub mod online;
 pub mod sigmoid;
 pub mod skipgram;
 pub mod trainer;
@@ -30,6 +31,7 @@ pub mod vocab;
 
 pub use matrix::EmbeddingMatrix;
 pub use negative::UnigramTable;
+pub use online::OnlineWord2Vec;
 pub use sigmoid::SigmoidTable;
 pub use trainer::{TrainStats, TrainingMode, Word2VecConfig, Word2VecTrainer};
 pub use vocab::Vocabulary;

@@ -169,10 +169,20 @@ mod tests {
             }
         });
         // Hogwild loses some updates under contention but most must land.
+        // On a single hardware thread, preemption can park a thread holding a
+        // stale read for arbitrarily long and wipe nearly everything it did
+        // not observe, so the lower bound only holds under real parallelism.
+        let parallel = std::thread::available_parallelism()
+            .map(|p| p.get() > 1)
+            .unwrap_or(false);
         let mut buf = vec![0.0; 8];
         m.read_row(0, &mut buf);
         for &x in &buf {
-            assert!(x > 1000.0, "too many lost updates: {x}");
+            if parallel {
+                assert!(x > 1000.0, "too many lost updates: {x}");
+            } else {
+                assert!(x > 0.0, "all updates lost: {x}");
+            }
             assert!(x <= 4000.0);
         }
     }

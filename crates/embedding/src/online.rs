@@ -1,0 +1,255 @@
+//! Incremental (online) word2vec training for streaming-graph pipelines.
+//!
+//! After a graph update, only the walks whose trajectories crossed mutated
+//! vertices are regenerated — and negative-sampling SGD is already an online
+//! algorithm, so there is no need to retrain over the whole corpus: a
+//! corrective pass over just the regenerated walks adapts the affected
+//! embeddings while the rest of the parameter matrices stay warm.
+//!
+//! [`OnlineWord2Vec`] owns the persistent training state (input/output
+//! matrices, vocabulary, negative-sampling table); it is created by a full
+//! training pass over the initial corpus
+//! ([`Word2VecTrainer::train_online`]) and advanced by
+//! [`Word2VecTrainer::train_incremental`] calls on refreshed walks. The
+//! vocabulary and unigram table are kept from the initial corpus: node
+//! frequencies drift slowly under incremental refresh (walk starts never
+//! move), and the `f^0.75` flattening makes the negative distribution
+//! insensitive to small shifts.
+
+use crate::matrix::EmbeddingMatrix;
+use crate::negative::UnigramTable;
+use crate::sigmoid::SigmoidTable;
+use crate::trainer::{run_sgd_pass, AlphaSchedule, TrainStats, Word2VecTrainer};
+use crate::vocab::Vocabulary;
+use crate::Embeddings;
+
+/// Learning-rate factor of incremental passes relative to `initial_alpha`.
+///
+/// Incremental updates fine-tune a converged model, so they use a reduced but
+/// still substantial rate: large enough to track topology changes, small
+/// enough not to wreck the unaffected structure (the final rates of the
+/// decayed full pass are near zero and would learn nothing).
+const INCREMENTAL_ALPHA_FACTOR: f32 = 0.5;
+
+/// Persistent state of an online word2vec training session.
+pub struct OnlineWord2Vec {
+    num_nodes: usize,
+    vocab: Vocabulary,
+    table: UnigramTable,
+    sigmoid: SigmoidTable,
+    input: EmbeddingMatrix,
+    output: EmbeddingMatrix,
+    incremental_passes: usize,
+}
+
+impl OnlineWord2Vec {
+    /// Number of nodes the session was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of incremental passes applied since the initial full train.
+    pub fn incremental_passes(&self) -> usize {
+        self.incremental_passes
+    }
+
+    /// A snapshot of the current input embeddings.
+    pub fn embeddings(&self) -> Embeddings {
+        Embeddings::from_flat(self.input.dim(), self.input.to_flat())
+    }
+}
+
+impl Word2VecTrainer {
+    /// Runs a full training pass over `walks` and returns the reusable online
+    /// session alongside the usual stats — the entry point of streaming
+    /// pipelines that follow up with [`Word2VecTrainer::train_incremental`].
+    pub fn train_online(
+        &self,
+        walks: &[Vec<u32>],
+        num_nodes: usize,
+    ) -> (OnlineWord2Vec, TrainStats) {
+        let cfg = self.config();
+        let vocab = Vocabulary::from_walks(num_nodes, walks.iter().map(|w| w.as_slice()));
+        let table =
+            UnigramTable::with_params(&vocab, (num_nodes * 64).clamp(1 << 12, 1 << 22), 0.75);
+        let sigmoid = SigmoidTable::default();
+        let input = EmbeddingMatrix::uniform(num_nodes, cfg.dim, cfg.seed);
+        let output = EmbeddingMatrix::zeros(num_nodes, cfg.dim);
+
+        let stats = run_sgd_pass(
+            cfg,
+            walks,
+            &vocab,
+            &table,
+            &sigmoid,
+            &input,
+            &output,
+            cfg.epochs,
+            AlphaSchedule::LinearDecay,
+        );
+        (
+            OnlineWord2Vec {
+                num_nodes,
+                vocab,
+                table,
+                sigmoid,
+                input,
+                output,
+                incremental_passes: 0,
+            },
+            stats,
+        )
+    }
+
+    /// Runs one negative-sampling SGD pass over only `walks` (the regenerated
+    /// walks of a refresh round), updating the session's matrices in place.
+    ///
+    /// This replaces the full-corpus retrain of the streaming pipeline: cost
+    /// is proportional to the refreshed tokens, not the corpus size.
+    pub fn train_incremental(
+        &self,
+        session: &mut OnlineWord2Vec,
+        walks: &[Vec<u32>],
+    ) -> TrainStats {
+        if walks.is_empty() {
+            return TrainStats::default();
+        }
+        let cfg = self.config();
+        let alpha = cfg.initial_alpha * INCREMENTAL_ALPHA_FACTOR;
+        let stats = run_sgd_pass(
+            cfg,
+            walks,
+            &session.vocab,
+            &session.table,
+            &session.sigmoid,
+            &session.input,
+            &session.output,
+            1,
+            AlphaSchedule::Constant(alpha),
+        );
+        session.incremental_passes += 1;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Word2VecConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Walks over two disjoint cliques: {0..4} and {5..9}.
+    fn cluster_walks(seed: u64, count: usize) -> Vec<Vec<u32>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut walks = Vec::new();
+        for _ in 0..count {
+            for cluster in 0..2u32 {
+                let base = cluster * 5;
+                let walk: Vec<u32> = (0..20).map(|_| base + rng.gen_range(0u32..5)).collect();
+                walks.push(walk);
+            }
+        }
+        walks
+    }
+
+    fn intra_vs_inter(emb: &Embeddings) -> (f32, f32) {
+        let mut intra = (0.0, 0);
+        let mut inter = (0.0, 0);
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let s = emb.cosine_similarity(a, b);
+                if (a < 5) == (b < 5) {
+                    intra = (intra.0 + s, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + s, inter.1 + 1);
+                }
+            }
+        }
+        (intra.0 / intra.1 as f32, inter.0 / inter.1 as f32)
+    }
+
+    fn test_config() -> Word2VecConfig {
+        Word2VecConfig {
+            dim: 16,
+            window: 4,
+            negative: 4,
+            epochs: 3,
+            num_threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn online_session_matches_batch_training_quality() {
+        let walks = cluster_walks(5, 120);
+        let trainer = Word2VecTrainer::new(test_config());
+        let (session, stats) = trainer.train_online(&walks, 10);
+        assert!(stats.pairs_processed > 0);
+        assert_eq!(session.num_nodes(), 10);
+        let (intra, inter) = intra_vs_inter(&session.embeddings());
+        assert!(intra > inter + 0.2, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn incremental_pass_adapts_to_changed_walks() {
+        // Initial corpus: node 4 walks with cluster {0..4}. After the "graph
+        // update", its regenerated walks tie it to cluster {5..9}; one
+        // incremental pass must pull it across without a full retrain.
+        let walks = cluster_walks(7, 150);
+        let trainer = Word2VecTrainer::new(test_config());
+        let (mut session, _) = trainer.train_online(&walks, 10);
+        let before = session.embeddings();
+        let sim_before: f32 = (5..10).map(|v| before.cosine_similarity(4, v)).sum();
+
+        let mut rng = SmallRng::seed_from_u64(23);
+        let moved: Vec<Vec<u32>> = (0..80)
+            .map(|_| {
+                (0..20)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            4u32
+                        } else {
+                            5 + rng.gen_range(0u32..5)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for _ in 0..3 {
+            let stats = trainer.train_incremental(&mut session, &moved);
+            assert!(stats.pairs_processed > 0);
+        }
+        assert_eq!(session.incremental_passes(), 3);
+
+        let after = session.embeddings();
+        let sim_after: f32 = (5..10).map(|v| after.cosine_similarity(4, v)).sum();
+        assert!(
+            sim_after > sim_before + 0.5,
+            "node 4 did not move toward its new cluster: {sim_before} -> {sim_after}"
+        );
+        // Untouched structure survives: cluster {0..3} stays coherent.
+        let mut intact = 0.0;
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                intact += after.cosine_similarity(a, b);
+            }
+        }
+        assert!(
+            intact / 6.0 > 0.3,
+            "unaffected cluster washed out: {intact}"
+        );
+    }
+
+    #[test]
+    fn incremental_on_empty_walks_is_a_noop() {
+        let walks = cluster_walks(3, 40);
+        let trainer = Word2VecTrainer::new(test_config());
+        let (mut session, _) = trainer.train_online(&walks, 10);
+        let before = session.embeddings().as_flat().to_vec();
+        let stats = trainer.train_incremental(&mut session, &[]);
+        assert_eq!(stats.pairs_processed, 0);
+        assert_eq!(session.incremental_passes(), 0);
+        assert_eq!(session.embeddings().as_flat(), before.as_slice());
+    }
+}

@@ -93,124 +93,145 @@ impl Word2VecTrainer {
     /// Trains embeddings for `num_nodes` nodes from the walk corpus.
     ///
     /// `walks` is any slice of node sequences (the output of the walk engine).
+    /// One-shot form of [`Word2VecTrainer::train_online`]: identical setup and
+    /// SGD schedule, with the session state discarded.
     pub fn train(&self, walks: &[Vec<u32>], num_nodes: usize) -> (Embeddings, TrainStats) {
-        let cfg = &self.config;
-        let vocab = Vocabulary::from_walks(num_nodes, walks.iter().map(|w| w.as_slice()));
-        let table =
-            UnigramTable::with_params(&vocab, (num_nodes * 64).clamp(1 << 12, 1 << 22), 0.75);
-        let sigmoid = SigmoidTable::default();
-        let input = EmbeddingMatrix::uniform(num_nodes, cfg.dim, cfg.seed);
-        let output = EmbeddingMatrix::zeros(num_nodes, cfg.dim);
+        let (session, stats) = self.train_online(walks, num_nodes);
+        (session.embeddings(), stats)
+    }
+}
 
-        let total_tokens = (vocab.total_tokens().max(1)) * cfg.epochs as u64;
-        let progress = AtomicU64::new(0);
-        let pairs = AtomicU64::new(0);
-        let loss_bits = AtomicU64::new(0f64.to_bits());
+/// Learning-rate schedule of one [`run_sgd_pass`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AlphaSchedule {
+    /// word2vec.c behaviour: linear decay with global token progress.
+    LinearDecay,
+    /// A fixed learning rate (incremental fine-tuning passes).
+    Constant(f32),
+}
 
-        let num_threads = cfg.num_threads.max(1).min(walks.len().max(1));
-        let chunk = walks.len().div_ceil(num_threads.max(1)).max(1);
+/// The multi-threaded Hogwild SGD loop shared by the batch trainer and the
+/// incremental/online trainer: `epochs` passes of `cfg.mode` updates over
+/// `walks` against the shared `input`/`output` matrices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sgd_pass(
+    cfg: &Word2VecConfig,
+    walks: &[Vec<u32>],
+    vocab: &Vocabulary,
+    table: &UnigramTable,
+    sigmoid: &SigmoidTable,
+    input: &EmbeddingMatrix,
+    output: &EmbeddingMatrix,
+    epochs: usize,
+    schedule: AlphaSchedule,
+) -> TrainStats {
+    let total_tokens = vocab.total_tokens().max(1) * epochs.max(1) as u64;
+    let progress = AtomicU64::new(0);
+    let pairs = AtomicU64::new(0);
+    let loss_bits = AtomicU64::new(0f64.to_bits());
 
-        crossbeam::thread::scope(|scope| {
-            for (tid, shard) in walks.chunks(chunk).enumerate() {
-                let vocab = &vocab;
-                let table = &table;
-                let sigmoid = &sigmoid;
-                let input = &input;
-                let output = &output;
-                let progress = &progress;
-                let pairs = &pairs;
-                let loss_bits = &loss_bits;
-                scope.spawn(move |_| {
-                    let mut rng = SmallRng::seed_from_u64(
-                        cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
-                    );
-                    let mut sentence: Vec<u32> = Vec::new();
-                    let mut local_loss = 0.0f64;
-                    let mut local_pairs = 0u64;
-                    for epoch in 0..cfg.epochs {
-                        for walk in shard {
-                            // Sub-sample frequent nodes.
-                            sentence.clear();
-                            for &v in walk {
-                                if cfg.subsample > 0.0 {
-                                    let keep = vocab.keep_probability(v, cfg.subsample);
-                                    if rng.gen::<f64>() > keep {
-                                        continue;
-                                    }
+    let num_threads = cfg.num_threads.max(1).min(walks.len().max(1));
+    let chunk = walks.len().div_ceil(num_threads.max(1)).max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for (tid, shard) in walks.chunks(chunk).enumerate() {
+            let progress = &progress;
+            let pairs = &pairs;
+            let loss_bits = &loss_bits;
+            scope.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(
+                    cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let mut sentence: Vec<u32> = Vec::new();
+                let mut local_loss = 0.0f64;
+                let mut local_pairs = 0u64;
+                for epoch in 0..epochs {
+                    for walk in shard {
+                        // Sub-sample frequent nodes.
+                        sentence.clear();
+                        for &v in walk {
+                            if cfg.subsample > 0.0 {
+                                let keep = vocab.keep_probability(v, cfg.subsample);
+                                if rng.gen::<f64>() > keep {
+                                    continue;
                                 }
-                                sentence.push(v);
                             }
-                            if sentence.len() < 2 {
-                                progress.fetch_add(walk.len() as u64, Ordering::Relaxed);
-                                continue;
-                            }
-                            // Linearly decaying learning rate based on global progress.
-                            let done = progress.load(Ordering::Relaxed) as f64;
-                            let frac = (done / total_tokens as f64).min(1.0);
-                            let alpha = (cfg.initial_alpha as f64 * (1.0 - frac))
-                                .max(cfg.initial_alpha as f64 * 1e-4)
-                                as f32;
-                            let loss = match cfg.mode {
-                                TrainingMode::SkipGram => skipgram::train_walk(
-                                    input,
-                                    output,
-                                    &sentence,
-                                    cfg.window,
-                                    cfg.negative,
-                                    alpha,
-                                    sigmoid,
-                                    table,
-                                    &mut rng,
-                                ),
-                                TrainingMode::Cbow => cbow::train_walk(
-                                    input,
-                                    output,
-                                    &sentence,
-                                    cfg.window,
-                                    cfg.negative,
-                                    alpha,
-                                    sigmoid,
-                                    table,
-                                    &mut rng,
-                                ),
-                            };
-                            if epoch + 1 == cfg.epochs {
-                                local_loss += loss as f64;
-                                local_pairs += sentence.len() as u64;
-                            }
+                            sentence.push(v);
+                        }
+                        if sentence.len() < 2 {
                             progress.fetch_add(walk.len() as u64, Ordering::Relaxed);
+                            continue;
                         }
-                    }
-                    pairs.fetch_add(local_pairs, Ordering::Relaxed);
-                    // Accumulate the loss with a CAS loop over f64 bits.
-                    let mut current = loss_bits.load(Ordering::Relaxed);
-                    loop {
-                        let new = (f64::from_bits(current) + local_loss).to_bits();
-                        match loss_bits.compare_exchange(
-                            current,
-                            new,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        ) {
-                            Ok(_) => break,
-                            Err(actual) => current = actual,
+                        let alpha = match schedule {
+                            AlphaSchedule::Constant(a) => a,
+                            AlphaSchedule::LinearDecay => {
+                                // Linear decay based on global progress.
+                                let done = progress.load(Ordering::Relaxed) as f64;
+                                let frac = (done / total_tokens as f64).min(1.0);
+                                (cfg.initial_alpha as f64 * (1.0 - frac))
+                                    .max(cfg.initial_alpha as f64 * 1e-4)
+                                    as f32
+                            }
+                        };
+                        let loss = match cfg.mode {
+                            TrainingMode::SkipGram => skipgram::train_walk(
+                                input,
+                                output,
+                                &sentence,
+                                cfg.window,
+                                cfg.negative,
+                                alpha,
+                                sigmoid,
+                                table,
+                                &mut rng,
+                            ),
+                            TrainingMode::Cbow => cbow::train_walk(
+                                input,
+                                output,
+                                &sentence,
+                                cfg.window,
+                                cfg.negative,
+                                alpha,
+                                sigmoid,
+                                table,
+                                &mut rng,
+                            ),
+                        };
+                        if epoch + 1 == epochs {
+                            local_loss += loss as f64;
+                            local_pairs += sentence.len() as u64;
                         }
+                        progress.fetch_add(walk.len() as u64, Ordering::Relaxed);
                     }
-                });
-            }
-        })
-        .expect("training thread panicked");
+                }
+                pairs.fetch_add(local_pairs, Ordering::Relaxed);
+                // Accumulate the loss with a CAS loop over f64 bits.
+                let mut current = loss_bits.load(Ordering::Relaxed);
+                loop {
+                    let new = (f64::from_bits(current) + local_loss).to_bits();
+                    match loss_bits.compare_exchange(
+                        current,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => current = actual,
+                    }
+                }
+            });
+        }
+    })
+    .expect("training thread panicked");
 
-        let total_pairs = pairs.load(Ordering::Relaxed);
-        let stats = TrainStats {
-            pairs_processed: total_pairs,
-            final_loss: if total_pairs == 0 {
-                0.0
-            } else {
-                f64::from_bits(loss_bits.load(Ordering::Relaxed)) / total_pairs as f64
-            },
-        };
-        (Embeddings::from_flat(cfg.dim, input.to_flat()), stats)
+    let total_pairs = pairs.load(Ordering::Relaxed);
+    TrainStats {
+        pairs_processed: total_pairs,
+        final_loss: if total_pairs == 0 {
+            0.0
+        } else {
+            f64::from_bits(loss_bits.load(Ordering::Relaxed)) / total_pairs as f64
+        },
     }
 }
 

@@ -1,0 +1,263 @@
+//! [`ShardedMaintainer`]: the parallel counterpart of
+//! `uninet_dyngraph::IncrementalMaintainer`.
+//!
+//! One batch flows through three stages:
+//!
+//! 1. **Sharded overlay application** — the batch is partitioned by the
+//!    [`crate::ShardPlan`]; each shard's local mutations are applied by a
+//!    worker thread against that shard's `ShardView` (disjoint vertex rows),
+//!    and the deferred side effects are committed afterwards. Cross-shard
+//!    mutations are applied serially. The result is identical to the
+//!    sequential path (see the module docs of [`crate::shard`]).
+//! 2. **Parallel weight maintenance** — alias/proposal rebuilds over touched
+//!    nodes fan out via `SamplerManager::maintain_weights_parallel` (a no-op
+//!    beyond counters for the M-H backend, the paper's point).
+//! 3. **Compaction** — unchanged threshold policy, delegated to the serial
+//!    maintainer (compaction is a full CSR rebuild; its cost is amortized).
+
+use std::time::Instant;
+
+use uninet_dyngraph::{
+    BatchReport, DynamicGraph, IncrementalMaintainer, MaintainerConfig, ShardOutcome, UpdateBatch,
+};
+use uninet_walker::{RandomWalkModel, SamplerManager};
+
+use crate::shard::ShardPlan;
+
+/// Applies update batches with vertex-range parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedMaintainer {
+    config: MaintainerConfig,
+    threads: usize,
+}
+
+impl ShardedMaintainer {
+    /// Creates a maintainer applying batches with up to `threads` workers.
+    pub fn new(config: MaintainerConfig, threads: usize) -> Self {
+        ShardedMaintainer {
+            config,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The compaction policy in use.
+    pub fn config(&self) -> &MaintainerConfig {
+        &self.config
+    }
+
+    /// Worker threads used for shard application and weight maintenance.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies one batch — sharded overlay application, parallel sampler
+    /// maintenance, threshold compaction — producing a [`BatchReport`]
+    /// identical to the serial `IncrementalMaintainer::apply_batch`.
+    pub fn apply_batch<M: RandomWalkModel + ?Sized>(
+        &self,
+        graph: &mut DynamicGraph,
+        manager: &mut SamplerManager,
+        model: &M,
+        batch: &UpdateBatch,
+        plan: &ShardPlan,
+    ) -> BatchReport {
+        if self.threads <= 1 || plan.num_shards() <= 1 {
+            return IncrementalMaintainer::new(self.config)
+                .apply_batch(graph, manager, model, batch);
+        }
+
+        let mut report = BatchReport::default();
+        let t0 = Instant::now();
+        let parts = plan.partition(batch);
+
+        if parts.local_len() > 0 {
+            let views = graph.shard_views(plan.bounds());
+            // Each worker tallies into its own BatchReport via the shared
+            // `record_effects` bookkeeping, so sharded and serial reports
+            // cannot drift.
+            let applied: Vec<(BatchReport, ShardOutcome)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = views
+                    .into_iter()
+                    .zip(parts.local.iter())
+                    .filter(|(_, ops)| !ops.is_empty())
+                    .map(|(view, ops)| {
+                        scope.spawn(move |_| {
+                            let mut view = view;
+                            let mut tallies = BatchReport::default();
+                            for &m in ops {
+                                let effects = view.apply_with_effects(m);
+                                tallies.record_effects(m, effects);
+                            }
+                            (tallies, view.finish())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("shard scope panicked");
+
+            let mut outcomes = Vec::with_capacity(applied.len());
+            for (mut tallies, outcome) in applied {
+                report.weight_mutations += tallies.weight_mutations;
+                report.topology_mutations += tallies.topology_mutations;
+                report.rejected_mutations += tallies.rejected_mutations;
+                report.weight_touched.append(&mut tallies.weight_touched);
+                outcomes.push(outcome);
+            }
+            graph.commit_shards(outcomes);
+        }
+
+        // Serial residual: cross-shard pairs and malformed events.
+        for &m in &parts.residual {
+            let effects = graph.apply_with_effects(m);
+            report.record_effects(m, effects);
+        }
+        report.weight_touched.sort_unstable();
+        report.weight_touched.dedup();
+        report.apply_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        if !report.weight_touched.is_empty() {
+            let touched = std::mem::take(&mut report.weight_touched);
+            report.maintenance.merge(&manager.maintain_weights_parallel(
+                graph.base(),
+                model,
+                &touched,
+                self.threads,
+            ));
+            report.weight_touched = touched;
+        }
+
+        if report.topology_mutations > 0 && graph.pending() >= self.config.compaction_threshold {
+            let flush = IncrementalMaintainer::new(self.config).flush(graph, manager, model);
+            report.compacted = flush.compacted;
+            report.topology_touched = flush.topology_touched;
+            report.maintenance.merge(&flush.maintenance);
+        }
+        report.maintain_time = t1.elapsed();
+        report
+    }
+
+    /// Forces compaction and sampler re-alignment (end-of-stream), identical
+    /// to the serial maintainer's flush.
+    pub fn flush<M: RandomWalkModel + ?Sized>(
+        &self,
+        graph: &mut DynamicGraph,
+        manager: &mut SamplerManager,
+        model: &M,
+    ) -> BatchReport {
+        IncrementalMaintainer::new(self.config).flush(graph, manager, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uninet_graph::generators::{rmat, RmatConfig};
+    use uninet_graph::NodeId;
+    use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+    use uninet_walker::models::DeepWalk;
+
+    fn test_graph() -> uninet_graph::Graph {
+        rmat(&RmatConfig {
+            num_nodes: 120,
+            num_edges: 900,
+            weighted: true,
+            seed: 5,
+            ..Default::default()
+        })
+    }
+
+    fn mixed_batch(g: &uninet_graph::Graph, count: usize, seed: u64) -> UpdateBatch {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = g.num_nodes() as NodeId;
+        let mut batch = UpdateBatch::new();
+        for i in 0..count {
+            let src = rng.gen_range(0..n);
+            if g.degree(src) == 0 {
+                continue;
+            }
+            let dst = g.neighbor_at(src, rng.gen_range(0..g.degree(src)));
+            match i % 4 {
+                0 | 1 => batch.update_weight(src, dst, rng.gen_range(0.5f32..4.0)),
+                2 => batch.add_edge(src, (dst + 1) % n, rng.gen_range(0.5f32..2.0)),
+                _ => batch.remove_edge(src, dst),
+            };
+        }
+        batch
+    }
+
+    #[test]
+    fn sharded_apply_matches_serial_for_every_sampler() {
+        let g = test_graph();
+        let model = DeepWalk::new();
+        let batch = mixed_batch(&g, 120, 3);
+        let plan = ShardPlan::new(g.num_nodes(), 4);
+        for kind in [
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            EdgeSamplerKind::Alias,
+            EdgeSamplerKind::Rejection,
+        ] {
+            let mut dg_serial = DynamicGraph::new(g.clone(), true);
+            let mut m_serial = SamplerManager::new(dg_serial.base(), &model, kind, 0);
+            let serial = IncrementalMaintainer::new(MaintainerConfig {
+                compaction_threshold: 64,
+            })
+            .apply_batch(&mut dg_serial, &mut m_serial, &model, &batch);
+
+            let mut dg_sharded = DynamicGraph::new(g.clone(), true);
+            let mut m_sharded = SamplerManager::new(dg_sharded.base(), &model, kind, 0);
+            let sharded = ShardedMaintainer::new(
+                MaintainerConfig {
+                    compaction_threshold: 64,
+                },
+                4,
+            )
+            .apply_batch(&mut dg_sharded, &mut m_sharded, &model, &batch, &plan);
+
+            assert_eq!(serial.weight_mutations, sharded.weight_mutations);
+            assert_eq!(serial.topology_mutations, sharded.topology_mutations);
+            assert_eq!(serial.rejected_mutations, sharded.rejected_mutations);
+            assert_eq!(serial.weight_touched, sharded.weight_touched);
+            assert_eq!(serial.compacted, sharded.compacted);
+            assert_eq!(serial.topology_touched, sharded.topology_touched);
+            assert_eq!(serial.maintenance, sharded.maintenance);
+            assert_eq!(dg_serial.pending(), dg_sharded.pending());
+
+            let a = dg_serial.materialize();
+            let b = dg_sharded.materialize();
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(a.neighbors(v), b.neighbors(v), "{kind:?} node {v}");
+                assert_eq!(a.weights(v), b.weights(v), "{kind:?} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_serial_maintainer() {
+        let g = test_graph();
+        let model = DeepWalk::new();
+        let batch = mixed_batch(&g, 40, 9);
+        let plan = ShardPlan::new(g.num_nodes(), 1);
+        let mut dg = DynamicGraph::new(g.clone(), true);
+        let mut manager = SamplerManager::new(
+            dg.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        let r = ShardedMaintainer::new(MaintainerConfig::default(), 1).apply_batch(
+            &mut dg,
+            &mut manager,
+            &model,
+            &batch,
+            &plan,
+        );
+        assert!(r.weight_mutations + r.topology_mutations > 0);
+    }
+}

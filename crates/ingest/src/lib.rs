@@ -1,0 +1,35 @@
+//! # uninet-ingest
+//!
+//! Concurrent ingestion subsystem for dynamic graphs: turns the serial
+//! streaming-update path (`apply → maintain → refresh → retrain`, one
+//! mutation batch at a time on one thread) into a pipeline that keeps
+//! mutation intake, sampler maintenance and embedding refresh off each
+//! other's critical paths:
+//!
+//! 1. **Bounded intake** ([`queue`]) — a reader thread chunks the update
+//!    stream into batches and feeds a bounded MPSC queue; a full queue blocks
+//!    the reader (back-pressure), so memory stays bounded under load spikes.
+//! 2. **Vertex-range sharding** ([`shard`], [`apply`]) — each batch is
+//!    partitioned by endpoint pair; shards own disjoint vertex ranges of the
+//!    `DynamicGraph` overlay and apply their local mutations in parallel,
+//!    with cross-shard events applied serially. The partition preserves
+//!    per-edge mutation order, which makes the merged result *identical* to
+//!    sequential application (property-tested in `tests/proptest_ingest.rs`).
+//! 3. **Parallel maintenance** — alias/proposal rebuilds over touched
+//!    sampler buckets fan out across the same worker pool
+//!    (`SamplerManager::maintain_weights_parallel`); the M-H backend needs no
+//!    rebuild at all, which is the paper's dynamic-workload claim.
+//! 4. **Downstream hooks** ([`pipeline`]) — after every batch the pipeline
+//!    hands the report to a callback where `uninet-core` fans walk refresh
+//!    out over the walk-engine thread pool and applies incremental
+//!    (regenerated-walks-only) embedding updates.
+
+pub mod apply;
+pub mod pipeline;
+pub mod queue;
+pub mod shard;
+
+pub use apply::ShardedMaintainer;
+pub use pipeline::{run_pipeline, IngestConfig, IngestReport};
+pub use queue::{batch_queue, BatchReceiver, BatchSender, QueueStats};
+pub use shard::{PartitionedBatch, ShardPlan};

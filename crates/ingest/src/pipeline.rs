@@ -1,0 +1,261 @@
+//! The end-to-end ingestion pipeline: reader thread → bounded queue →
+//! sharded application → per-batch maintenance callback.
+//!
+//! ```text
+//!  mutations ──reader thread──▶ [bounded MPSC queue] ──▶ apply (sharded)
+//!                                 back-pressure          ├─ maintain samplers
+//!                                                        └─ on_batch hook
+//!                                                           (walk refresh,
+//!                                                            incremental SGD)
+//! ```
+//!
+//! The reader thread chunks the mutation stream into [`UpdateBatch`]es and
+//! feeds the queue; a full queue blocks it (back-pressure), so intake never
+//! outruns maintenance by more than `queue_capacity` batches. The consumer
+//! (the caller's thread) drains the queue, applies each batch through the
+//! [`ShardedMaintainer`] and hands the report to `on_batch` — which is where
+//! the streaming pipeline hangs walk refresh and incremental training.
+
+use std::time::{Duration, Instant};
+
+use uninet_dyngraph::{BatchReport, DynamicGraph, GraphMutation, MaintainerConfig, UpdateBatch};
+use uninet_walker::{MaintenanceStats, RandomWalkModel, SamplerManager};
+
+use crate::apply::ShardedMaintainer;
+use crate::queue::{batch_queue, QueueStats};
+use crate::shard::ShardPlan;
+
+/// Configuration of the ingestion pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Mutations per maintenance batch.
+    pub batch_size: usize,
+    /// Batches the intake queue holds before back-pressure blocks the reader.
+    pub queue_capacity: usize,
+    /// Worker threads for shard application and sampler maintenance.
+    pub num_threads: usize,
+    /// Pending overlay entries that trigger compaction back into CSR.
+    pub compaction_threshold: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            batch_size: 256,
+            queue_capacity: 8,
+            num_threads: 4,
+            compaction_threshold: 1024,
+        }
+    }
+}
+
+/// Aggregate accounting of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Batches processed.
+    pub batches: usize,
+    /// Weight-only mutations applied.
+    pub weight_mutations: usize,
+    /// Topology mutations applied.
+    pub topology_mutations: usize,
+    /// Mutations rejected (missing edges, out-of-range nodes, self-loops).
+    pub rejected_mutations: usize,
+    /// Compactions performed.
+    pub compactions: usize,
+    /// Sampler maintenance cost across all batches.
+    pub maintenance: MaintenanceStats,
+    /// Time spent applying mutations to the dynamic graph.
+    pub apply_time: Duration,
+    /// Time spent repairing sampler state (incl. compactions).
+    pub maintain_time: Duration,
+    /// Intake queue accounting (back-pressure, depth).
+    pub queue: QueueStats,
+}
+
+/// Runs the concurrent ingestion pipeline over a pre-collected mutation
+/// stream. `on_batch` fires after every applied batch on the caller's thread
+/// — it may freely borrow the graph and manager state it closed over. The
+/// final `bool` argument is `true` only for the end-of-stream flush (which
+/// fires only when the flush actually compacted leftover overlay entries).
+pub fn run_pipeline<M: RandomWalkModel + ?Sized>(
+    config: &IngestConfig,
+    graph: &mut DynamicGraph,
+    manager: &mut SamplerManager,
+    model: &M,
+    mutations: &[GraphMutation],
+    mut on_batch: impl FnMut(&DynamicGraph, &SamplerManager, &BatchReport, bool),
+) -> IngestReport {
+    let maintainer = ShardedMaintainer::new(
+        MaintainerConfig {
+            compaction_threshold: config.compaction_threshold,
+        },
+        config.num_threads,
+    );
+    let plan = ShardPlan::new(graph.num_nodes(), config.num_threads);
+    let mut report = IngestReport::default();
+
+    let queue_stats = crossbeam::thread::scope(|scope| {
+        let (tx, rx) = batch_queue(config.queue_capacity);
+        let batch_size = config.batch_size.max(1);
+        let reader = scope.spawn(move |_| {
+            let mut tx = tx;
+            for chunk in mutations.chunks(batch_size) {
+                if !tx.send(UpdateBatch::from_mutations(chunk.to_vec())) {
+                    break; // consumer hung up
+                }
+            }
+            tx.finish()
+        });
+
+        while let Some(batch) = rx.recv() {
+            let r = maintainer.apply_batch(graph, manager, model, &batch, &plan);
+            report.batches += 1;
+            report.weight_mutations += r.weight_mutations;
+            report.topology_mutations += r.topology_mutations;
+            report.rejected_mutations += r.rejected_mutations;
+            report.compactions += r.compacted as usize;
+            report.maintenance.merge(&r.maintenance);
+            report.apply_time += r.apply_time;
+            report.maintain_time += r.maintain_time;
+            on_batch(graph, manager, &r, false);
+        }
+        reader.join().expect("reader thread panicked")
+    })
+    .expect("pipeline scope panicked");
+    report.queue = queue_stats;
+
+    // Fold any leftover overlay into the CSR and surface what it touched.
+    let t = Instant::now();
+    let flush = maintainer.flush(graph, manager, model);
+    report.maintain_time += t.elapsed();
+    if flush.compacted {
+        report.compactions += 1;
+        report.maintenance.merge(&flush.maintenance);
+        on_batch(graph, manager, &flush, true);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uninet_graph::generators::{rmat, RmatConfig};
+    use uninet_graph::NodeId;
+    use uninet_sampler::{EdgeSamplerKind, InitStrategy};
+    use uninet_walker::models::DeepWalk;
+
+    fn test_graph() -> uninet_graph::Graph {
+        rmat(&RmatConfig {
+            num_nodes: 150,
+            num_edges: 1100,
+            weighted: true,
+            seed: 41,
+            ..Default::default()
+        })
+    }
+
+    fn mixed_stream(g: &uninet_graph::Graph, count: usize, seed: u64) -> Vec<GraphMutation> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = g.num_nodes() as NodeId;
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let src = rng.gen_range(0..n);
+            if g.degree(src) == 0 {
+                continue;
+            }
+            let dst = g.neighbor_at(src, rng.gen_range(0..g.degree(src)));
+            out.push(match out.len() % 5 {
+                0..=2 => GraphMutation::UpdateWeight {
+                    src,
+                    dst,
+                    weight: rng.gen_range(0.5f32..4.0),
+                },
+                3 => GraphMutation::AddEdge {
+                    src,
+                    dst: rng.gen_range(0..n),
+                    weight: 1.0,
+                },
+                _ => GraphMutation::RemoveEdge { src, dst },
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn pipeline_matches_serial_reference() {
+        let g = test_graph();
+        let model = DeepWalk::new();
+        let stream = mixed_stream(&g, 400, 7);
+        let kind = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
+
+        // Serial reference: the pre-existing run_streaming application loop.
+        let mut dg_ref = DynamicGraph::new(g.clone(), true);
+        let mut mgr_ref = SamplerManager::new(dg_ref.base(), &model, kind, 0);
+        let serial = uninet_dyngraph::IncrementalMaintainer::new(MaintainerConfig {
+            compaction_threshold: 128,
+        });
+        let mut ref_weight = 0;
+        let mut ref_topo = 0;
+        for batch in uninet_dyngraph::into_batches(&stream, 64) {
+            let r = serial.apply_batch(&mut dg_ref, &mut mgr_ref, &model, &batch);
+            ref_weight += r.weight_mutations;
+            ref_topo += r.topology_mutations;
+        }
+        serial.flush(&mut dg_ref, &mut mgr_ref, &model);
+
+        let mut dg = DynamicGraph::new(g.clone(), true);
+        let mut mgr = SamplerManager::new(dg.base(), &model, kind, 0);
+        let cfg = IngestConfig {
+            batch_size: 64,
+            queue_capacity: 4,
+            num_threads: 4,
+            compaction_threshold: 128,
+        };
+        let mut callbacks = 0usize;
+        let report = run_pipeline(&cfg, &mut dg, &mut mgr, &model, &stream, |_, _, r, _| {
+            callbacks += 1;
+            assert!(
+                r.weight_mutations + r.topology_mutations + r.rejected_mutations > 0 || r.compacted
+            );
+        });
+
+        assert_eq!(report.batches, stream.len().div_ceil(64));
+        assert!(callbacks >= report.batches);
+        assert_eq!(report.weight_mutations, ref_weight);
+        assert_eq!(report.topology_mutations, ref_topo);
+        assert_eq!(report.queue.batches_enqueued, report.batches);
+        assert_eq!(dg.pending(), 0);
+
+        let a = dg_ref.materialize();
+        let b = dg.materialize();
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "node {v}");
+            assert_eq!(a.weights(v), b.weights(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let g = test_graph();
+        let model = DeepWalk::new();
+        let mut dg = DynamicGraph::new(g.clone(), true);
+        let mut mgr = SamplerManager::new(
+            dg.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        let report = run_pipeline(
+            &IngestConfig::default(),
+            &mut dg,
+            &mut mgr,
+            &model,
+            &[],
+            |_, _, _, _| panic!("no batches expected"),
+        );
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.queue.batches_enqueued, 0);
+    }
+}

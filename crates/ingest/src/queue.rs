@@ -1,0 +1,175 @@
+//! The bounded intake queue decoupling mutation intake from maintenance.
+//!
+//! A thin wrapper over `std::sync::mpsc::sync_channel` that adds the
+//! accounting the pipeline reports: batches enqueued, time the producer spent
+//! blocked on a full queue (back-pressure), and the peak queue depth.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uninet_dyngraph::UpdateBatch;
+
+/// Accounting of one queue's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Batches pushed through the queue.
+    pub batches_enqueued: usize,
+    /// Total time the producer spent blocked on a full queue.
+    pub producer_wait: Duration,
+    /// Highest observed number of batches in flight.
+    pub peak_depth: usize,
+}
+
+impl QueueStats {
+    /// Accumulates another queue's accounting into this one.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.batches_enqueued += other.batches_enqueued;
+        self.producer_wait += other.producer_wait;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+    }
+}
+
+/// Creates a bounded batch queue of the given capacity (clamped to ≥ 1).
+pub fn batch_queue(capacity: usize) -> (BatchSender, BatchReceiver) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        BatchSender {
+            tx,
+            depth: Arc::clone(&depth),
+            stats: QueueStats::default(),
+        },
+        BatchReceiver { rx, depth },
+    )
+}
+
+/// Producer half of the intake queue. Dropping it closes the stream.
+pub struct BatchSender {
+    tx: SyncSender<UpdateBatch>,
+    depth: Arc<AtomicUsize>,
+    stats: QueueStats,
+}
+
+impl BatchSender {
+    /// Sends one batch, blocking while the queue is full (back-pressure).
+    /// Returns `false` when the consumer hung up.
+    pub fn send(&mut self, batch: UpdateBatch) -> bool {
+        // Count the batch in flight *before* handing it over: once `send`
+        // returns, the consumer may already have received (and un-counted) it.
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // Only time the blocking fallback, so `producer_wait` measures actual
+        // back-pressure rather than per-send channel overhead.
+        let ok = match self.tx.try_send(batch) {
+            Ok(()) => true,
+            Err(std::sync::mpsc::TrySendError::Full(batch)) => {
+                let t = Instant::now();
+                let ok = self.tx.send(batch).is_ok();
+                self.stats.producer_wait += t.elapsed();
+                ok
+            }
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+        };
+        if ok {
+            self.stats.batches_enqueued += 1;
+            self.stats.peak_depth = self.stats.peak_depth.max(depth);
+        } else {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Consumes the sender, closing the queue and returning its accounting.
+    pub fn finish(self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// Consumer half of the intake queue.
+pub struct BatchReceiver {
+    rx: Receiver<UpdateBatch>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl BatchReceiver {
+    /// Blocks for the next batch; `None` once the producer is done.
+    pub fn recv(&self) -> Option<UpdateBatch> {
+        let batch = self.rx.recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uninet_dyngraph::GraphMutation;
+
+    fn batch(n: usize) -> UpdateBatch {
+        UpdateBatch::from_mutations(
+            (0..n as u32)
+                .map(|i| GraphMutation::UpdateWeight {
+                    src: i,
+                    dst: i + 1,
+                    weight: 1.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn queue_delivers_in_order_and_counts() {
+        let (mut tx, rx) = batch_queue(4);
+        let producer = std::thread::spawn(move || {
+            for i in 1..=6 {
+                assert!(tx.send(batch(i)));
+            }
+            tx.finish()
+        });
+        let mut sizes = Vec::new();
+        while let Some(b) = rx.recv() {
+            sizes.push(b.len());
+        }
+        let stats = producer.join().unwrap();
+        assert_eq!(sizes, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(stats.batches_enqueued, 6);
+        assert!(stats.peak_depth >= 1);
+    }
+
+    #[test]
+    fn bounded_queue_applies_back_pressure() {
+        let (mut tx, rx) = batch_queue(1);
+        let producer = std::thread::spawn(move || {
+            for _ in 0..3 {
+                assert!(tx.send(batch(2)));
+            }
+            tx.finish()
+        });
+        // Drain slowly so the producer has to block on the full queue.
+        let mut got = 0;
+        while let Some(_b) = rx.recv() {
+            std::thread::sleep(Duration::from_millis(20));
+            got += 1;
+        }
+        let stats = producer.join().unwrap();
+        assert_eq!(got, 3);
+        assert!(
+            stats.producer_wait >= Duration::from_millis(10),
+            "producer never blocked: {:?}",
+            stats.producer_wait
+        );
+        // The depth gauge counts queued batches (≤ capacity) plus at most one
+        // mid-send and one received-but-not-yet-decremented batch.
+        assert!(stats.peak_depth <= 3, "peak {}", stats.peak_depth);
+    }
+
+    #[test]
+    fn send_after_consumer_drop_reports_closure() {
+        let (mut tx, rx) = batch_queue(1);
+        drop(rx);
+        assert!(!tx.send(batch(1)));
+        let stats = tx.finish();
+        assert_eq!(stats.batches_enqueued, 0);
+    }
+}

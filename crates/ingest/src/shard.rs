@@ -1,0 +1,148 @@
+//! [`ShardPlan`]: vertex-range sharding of the update stream.
+//!
+//! The plan splits the node universe into contiguous, roughly equal ranges.
+//! A mutation whose endpoints both fall inside one range is *local* to that
+//! shard and can be applied concurrently with every other shard's local
+//! mutations (disjoint vertex rows). Everything else — cross-shard edges,
+//! out-of-range endpoints, self-loops — goes to the *residual* list and is
+//! applied serially.
+//!
+//! ## Why this partition is sequentially equivalent
+//!
+//! Mutation semantics are per-edge: each operation's outcome depends only on
+//! the state of its own (directed) edge, and the global bookkeeping
+//! (version/rejected counters, pending counts, touched sets) is commutative.
+//! Two mutations therefore commute unless they reference the same unordered
+//! endpoint pair. All mutations on one pair share the same shard
+//! classification (it is a function of the two endpoints), so they land in
+//! the same local list or all in the residual list — in stream order either
+//! way. Any interleaving of the per-shard lists and the residual is then
+//! equivalent to the original sequence; the proptests in
+//! `tests/proptest_ingest.rs` exercise exactly this claim.
+
+use uninet_dyngraph::{GraphMutation, UpdateBatch};
+use uninet_graph::NodeId;
+
+/// A partition of the node universe into contiguous vertex ranges.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// `bounds[i]..bounds[i+1]` is shard `i`'s vertex range.
+    bounds: Vec<usize>,
+}
+
+/// An [`UpdateBatch`] split into per-shard local mutations plus the serial
+/// residual, preserving stream order within every list.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedBatch {
+    /// Mutations local to each shard (both endpoints inside the range).
+    pub local: Vec<Vec<GraphMutation>>,
+    /// Cross-shard and invalid mutations, applied serially.
+    pub residual: Vec<GraphMutation>,
+}
+
+impl PartitionedBatch {
+    /// Total mutations that can be applied in parallel.
+    pub fn local_len(&self) -> usize {
+        self.local.iter().map(Vec::len).sum()
+    }
+}
+
+impl ShardPlan {
+    /// Splits `num_nodes` vertices into `num_shards` contiguous ranges of
+    /// near-equal size (at least one shard).
+    pub fn new(num_nodes: usize, num_shards: usize) -> Self {
+        let k = num_shards.max(1).min(num_nodes.max(1));
+        let mut bounds = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            bounds.push(i * num_nodes / k);
+        }
+        ShardPlan { bounds }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        *self.bounds.last().expect("non-empty")
+    }
+
+    /// The range boundaries, as consumed by `DynamicGraph::shard_views`.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// The shard owning node `v` (`None` when out of range).
+    pub fn shard_of(&self, v: NodeId) -> Option<usize> {
+        if (v as usize) >= self.num_nodes() {
+            return None;
+        }
+        // partition_point returns the first bound > v, i.e. shard index + 1.
+        Some(self.bounds.partition_point(|&b| b <= v as usize) - 1)
+    }
+
+    /// Splits a batch into per-shard local lists plus the serial residual,
+    /// preserving stream order within each list.
+    pub fn partition(&self, batch: &UpdateBatch) -> PartitionedBatch {
+        let mut out = PartitionedBatch {
+            local: vec![Vec::new(); self.num_shards()],
+            residual: Vec::new(),
+        };
+        for &m in batch.mutations() {
+            let (src, dst) = m.endpoints();
+            match (self.shard_of(src), self.shard_of(dst)) {
+                (Some(a), Some(b)) if a == b && src != dst => out.local[a].push(m),
+                _ => out.residual.push(m),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_universe_with_balanced_ranges() {
+        let plan = ShardPlan::new(103, 4);
+        assert_eq!(plan.num_shards(), 4);
+        assert_eq!(plan.bounds().first(), Some(&0));
+        assert_eq!(plan.bounds().last(), Some(&103));
+        for w in plan.bounds().windows(2) {
+            let width = w[1] - w[0];
+            assert!((25..=26).contains(&width), "unbalanced shard: {width}");
+        }
+        for v in 0..103u32 {
+            let s = plan.shard_of(v).unwrap();
+            let r = plan.bounds()[s]..plan.bounds()[s + 1];
+            assert!(r.contains(&(v as usize)), "node {v} outside shard {s}");
+        }
+        assert_eq!(plan.shard_of(103), None);
+    }
+
+    #[test]
+    fn degenerate_plans_clamp() {
+        assert_eq!(ShardPlan::new(10, 0).num_shards(), 1);
+        assert_eq!(ShardPlan::new(3, 16).num_shards(), 3);
+        assert_eq!(ShardPlan::new(0, 4).num_shards(), 1);
+    }
+
+    #[test]
+    fn partition_routes_by_endpoint_pair() {
+        let plan = ShardPlan::new(100, 2); // [0,50) and [50,100)
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(1, 2, 1.0); // shard 0
+        batch.add_edge(60, 70, 1.0); // shard 1
+        batch.add_edge(10, 90, 1.0); // cross-shard
+        batch.update_weight(3, 3, 1.0); // self-loop
+        batch.remove_edge(5, 200); // out of range
+        let parts = plan.partition(&batch);
+        assert_eq!(parts.local[0].len(), 1);
+        assert_eq!(parts.local[1].len(), 1);
+        assert_eq!(parts.residual.len(), 3);
+        assert_eq!(parts.local_len(), 2);
+    }
+}
