@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use uninet_core::{ModelSpec, UniNet, UniNetConfig};
+use uninet_core::{Engine, ModelSpec, UniNetConfig};
 use uninet_graph::generators::{rmat, RmatConfig};
 
 fn pipeline_config() -> UniNetConfig {
@@ -26,13 +26,22 @@ fn bench_end_to_end(c: &mut Criterion) {
         seed: 4,
         ..Default::default()
     });
-    let uninet = UniNet::new(pipeline_config());
+    let engine_for = |spec: ModelSpec| {
+        Engine::builder()
+            .graph(graph.clone())
+            .model(spec)
+            .config(pipeline_config())
+            .build()
+            .expect("benchmark configuration is valid")
+    };
     let mut group = c.benchmark_group("end_to_end_pipeline");
+    let deepwalk = engine_for(ModelSpec::DeepWalk);
     group.bench_function("deepwalk", |b| {
-        b.iter(|| uninet.run(&graph, &ModelSpec::DeepWalk))
+        b.iter(|| deepwalk.train().expect("engine is idle"))
     });
+    let node2vec = engine_for(ModelSpec::Node2Vec { p: 0.25, q: 4.0 });
     group.bench_function("node2vec", |b| {
-        b.iter(|| uninet.run(&graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 }))
+        b.iter(|| node2vec.train().expect("engine is idle"))
     });
     group.finish();
 }

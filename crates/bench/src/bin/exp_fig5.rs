@@ -6,7 +6,7 @@
 //! node2vec with high-weight init is slightly better than with random init.
 
 use uninet_bench::{emit, labeled_suite, HarnessConfig};
-use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, Table, UniNet, UniNetConfig};
+use uninet_core::{EdgeSamplerKind, Engine, InitStrategy, ModelSpec, Table, UniNetConfig};
 use uninet_eval::multilabel::classify_with_fraction;
 use uninet_graph::generators::heterogenize;
 
@@ -91,9 +91,16 @@ fn main() {
             config.embedding.window = 5;
             config.embedding.num_threads = 16;
 
-            let result = UniNet::new(config).run(&graph, &spec);
+            let engine = Engine::builder()
+                .graph(graph.clone())
+                .model(spec.clone())
+                .config(config)
+                .build()
+                .expect("benchmark configuration is valid");
+            engine.train().expect("engine is idle");
+            let snapshot = engine.snapshot();
             let features: Vec<Vec<f32>> = (0..graph.num_nodes() as u32)
-                .map(|v| result.embeddings.vector(v).to_vec())
+                .map(|v| snapshot.embeddings().vector(v).to_vec())
                 .collect();
 
             for &fraction in &fractions {

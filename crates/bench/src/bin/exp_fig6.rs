@@ -59,7 +59,7 @@ fn main() {
         // the heterogeneous models can run on them; we do the same.
         let graph = heterogenize(&ds.graph, 3, 4, 123);
         for spec in &models {
-            let model = spec.instantiate(&graph);
+            let model = spec.instantiate(&graph).expect("benchmark specs are valid");
             for (label, kind) in &samplers {
                 let walk_cfg = WalkEngineConfig::default()
                     .with_num_walks(cfg.num_walks().min(4))

@@ -47,7 +47,7 @@ fn sweep(
         for &value in &values {
             let (p, q) = if vary_p { (value, 1.0) } else { (1.0, value) };
             let spec = make_spec(p, q);
-            let model = spec.instantiate(graph);
+            let model = spec.instantiate(graph).expect("benchmark specs are valid");
             let walk_cfg = WalkEngineConfig::default()
                 .with_num_walks(cfg.num_walks().min(3))
                 .with_walk_length(cfg.walk_length().min(40))

@@ -1,9 +1,10 @@
 //! Concurrent-ingestion experiment: serial vs. sharded streaming pipelines,
-//! and full retrain vs. incremental embedding updates.
+//! full retrain vs. incremental embedding updates, and the latency of
+//! embedding queries served concurrently with an active stream.
 //!
 //! 1. **Pipeline throughput** — replay the same mixed update stream through
-//!    `UniNet::run_streaming` with 1 ingest thread (the serial path: batch
-//!    loop, serial maintenance, serial refresh) and with N ingest threads
+//!    [`Engine::stream`] with 1 ingest thread (the serial path: batch loop,
+//!    serial maintenance, serial refresh) and with N ingest threads
 //!    (bounded-queue intake, vertex-range sharded application, parallel
 //!    sampler maintenance and walk refresh). Reports sustained updates/s and
 //!    the per-phase latency split. On a multi-core host the sharded pipeline
@@ -12,16 +13,23 @@
 //! 2. **Incremental vs. full retrain** — same stream, embeddings either
 //!    retrained from scratch on the refreshed corpus or updated online on
 //!    regenerated walks only. Compares link-prediction AUC on the final
-//!    graph (expected: within noise) and the training-phase time.
+//!    graph (expected: within noise) and the training-phase time; no query
+//!    load runs here, keeping these columns comparable across PRs.
+//! 3. **Concurrent query service** — a dedicated sharded incremental session
+//!    with reader threads hammering `top_k` against the engine's embedding
+//!    store; per-query latency (including snapshot/lock acquisition) is the
+//!    "serving while training" measurement.
 //!
 //! Emits `results/BENCH_streaming.json` so the perf trajectory is tracked
 //! across PRs.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use uninet_bench::{emit, emit_json, HarnessConfig, Json};
 use uninet_core::{
-    EdgeSamplerKind, InitStrategy, ModelSpec, StreamingConfig, StreamingReport, Table, UniNet,
+    EdgeSamplerKind, Engine, InitStrategy, ModelSpec, StreamingConfig, StreamingReport, Table,
     UniNetConfig,
 };
 use uninet_dyngraph::GraphMutation;
@@ -74,6 +82,16 @@ fn pipeline_config(cfg: &HarnessConfig, threads: usize, sampler: EdgeSamplerKind
     uninet.embedding.epochs = 2;
     uninet.embedding.num_threads = threads;
     uninet
+}
+
+fn engine_for(graph: &Graph, config: UniNetConfig, streaming: StreamingConfig) -> Engine {
+    Engine::builder()
+        .graph(graph.clone())
+        .model(ModelSpec::DeepWalk)
+        .config(config)
+        .streaming(streaming)
+        .build()
+        .expect("benchmark configuration is valid")
 }
 
 fn report_json(sampler: &str, label: &str, report: &StreamingReport, wall: f64) -> Json {
@@ -130,6 +148,85 @@ fn auc_of(graph: &Graph, embeddings: &uninet_core::Embeddings) -> f64 {
     )
 }
 
+/// Per-query latency statistics from the concurrent readers.
+#[derive(Debug, Default, Clone, Copy)]
+struct QueryStats {
+    queries: usize,
+    mean_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_epoch: u64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Spawns `readers` threads that issue `top_k` queries against `engine`'s
+/// store until `stop` flips, and aggregates their latency distribution.
+fn run_query_readers(
+    engine: &Engine,
+    readers: usize,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<(Vec<f64>, u64)>> {
+    (0..readers)
+        .map(|i| {
+            let store = engine.store();
+            let stop = Arc::clone(stop);
+            let num_nodes = engine.num_nodes() as u32;
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(1000 + i as u64);
+                let mut latencies_us = Vec::new();
+                let mut max_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let node = rng.gen_range(0..num_nodes);
+                    // The timer covers snapshot acquisition too — the read
+                    // lock is the only step a concurrent publisher can block,
+                    // so excluding it would hide writer-induced stalls.
+                    let t = Instant::now();
+                    let snap = store.snapshot();
+                    if snap.num_nodes() == 0 {
+                        // Nothing published yet; wait for the first snapshot.
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let top = snap.top_k(node.min(snap.num_nodes() as u32 - 1), 10);
+                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    max_epoch = max_epoch.max(snap.epoch());
+                    assert!(top.len() <= 10);
+                }
+                (latencies_us, max_epoch)
+            })
+        })
+        .collect()
+}
+
+fn collect_query_stats(handles: Vec<std::thread::JoinHandle<(Vec<f64>, u64)>>) -> QueryStats {
+    let mut all = Vec::new();
+    let mut max_epoch = 0;
+    for h in handles {
+        let (lat, epoch) = h.join().expect("query reader panicked");
+        all.extend(lat);
+        max_epoch = max_epoch.max(epoch);
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    QueryStats {
+        queries: all.len(),
+        mean_us: if all.is_empty() {
+            0.0
+        } else {
+            all.iter().sum::<f64>() / all.len() as f64
+        },
+        p95_us: percentile(&all, 0.95),
+        p99_us: percentile(&all, 0.99),
+        max_epoch,
+    }
+}
+
 fn main() {
     let cfg = HarnessConfig::from_env();
     let threads = std::thread::available_parallelism()
@@ -183,9 +280,16 @@ fn main() {
                 queue_capacity: 8,
                 ..Default::default()
             };
+            let engine = engine_for(
+                &graph,
+                pipeline_config(&cfg, ingest_threads, sampler),
+                streaming,
+            );
             let t = Instant::now();
-            let (_, report) = UniNet::new(pipeline_config(&cfg, ingest_threads, sampler))
-                .run_streaming(graph.clone(), &ModelSpec::DeepWalk, &stream, &streaming);
+            let outcome = engine
+                .stream_blocking(stream.clone())
+                .expect("engine is idle");
+            let report = outcome.report;
             let wall = t.elapsed().as_secs_f64();
             // End-to-end streaming throughput: every phase of the update path
             // (apply + maintain + refresh). Walk refresh dominates and is the
@@ -225,6 +329,9 @@ fn main() {
     println!();
 
     // Part 2: full retrain vs. incremental training on regenerated walks.
+    // No query readers run here, so the learn-time and AUC columns stay
+    // comparable across PRs (the concurrent-query measurement has its own
+    // dedicated session in part 3 below).
     let mut table = Table::new(
         "Concurrent ingestion — full retrain vs. incremental embedding updates",
         &[
@@ -233,6 +340,7 @@ fn main() {
             "link-pred AUC",
             "pairs trained",
             "incremental passes",
+            "snapshots",
         ],
     );
     let mut json_training = Vec::new();
@@ -248,12 +356,21 @@ fn main() {
             incremental_train: incremental,
             ..Default::default()
         };
-        let (result, report) = UniNet::new(pipeline_config(
-            &cfg,
-            threads,
-            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
-        ))
-        .run_streaming(graph.clone(), &ModelSpec::DeepWalk, &stream, &streaming);
+        let engine = engine_for(
+            &graph,
+            pipeline_config(
+                &cfg,
+                threads,
+                EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            ),
+            streaming,
+        );
+        let outcome = engine
+            .stream_blocking(stream.clone())
+            .expect("engine is idle");
+
+        let result = outcome.result;
+        let report = outcome.report;
         // Score embeddings against the post-stream compacted graph.
         let mut dg = uninet_core::DynamicGraph::new(graph.clone(), true);
         for &m in &stream {
@@ -268,6 +385,7 @@ fn main() {
             format!("{auc:.4}"),
             format!("{}", result.train_stats.pairs_processed),
             format!("{}", report.incremental_passes),
+            format!("{}", report.snapshots_published),
         ]);
         json_training.push(Json::Obj(vec![
             ("training", Json::Str(label.to_string())),
@@ -285,6 +403,10 @@ fn main() {
                 "incremental_walks",
                 Json::Int(report.incremental_walks_trained as u64),
             ),
+            (
+                "snapshots_published",
+                Json::Int(report.snapshots_published as u64),
+            ),
         ]));
     }
     emit(&table, "exp_ingest_training");
@@ -294,6 +416,85 @@ fn main() {
         aucs[0],
         aucs[1] - aucs[0]
     );
+    println!();
+
+    // Part 3: the concurrent query service — reader threads hammer `top_k`
+    // against the engine's embedding store (timer includes snapshot/lock
+    // acquisition) for the whole duration of a sharded incremental session.
+    // The store is primed by a batch train so queries are answered from
+    // epoch 1; each refresh round then publishes a fresh snapshot.
+    let num_readers = 2usize;
+    let engine = engine_for(
+        &graph,
+        pipeline_config(
+            &cfg,
+            threads,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+        ),
+        StreamingConfig {
+            batch_size: stream.len().div_ceil(4).max(1),
+            compaction_threshold: 2048,
+            ingest_threads: threads,
+            incremental_train: true,
+            ..Default::default()
+        },
+    );
+    engine.train().expect("engine is idle");
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers = run_query_readers(&engine, num_readers, &stop);
+    let wall = Instant::now();
+    let outcome = engine
+        .stream_blocking(stream.clone())
+        .expect("engine is idle");
+    let stream_wall_s = wall.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let queries = collect_query_stats(readers);
+    let mut table = Table::new(
+        "Concurrent query service — top-k latency during active streaming",
+        &[
+            "readers",
+            "queries served",
+            "queries/s",
+            "query mean us",
+            "query p95 us",
+            "query p99 us",
+            "snapshots",
+            "final epoch",
+        ],
+    );
+    table.add_row(&[
+        format!("{num_readers}"),
+        format!("{}", queries.queries),
+        format!("{:.0}", queries.queries as f64 / stream_wall_s.max(1e-9)),
+        format!("{:.1}", queries.mean_us),
+        format!("{:.1}", queries.p95_us),
+        format!("{:.1}", queries.p99_us),
+        format!("{}", outcome.report.snapshots_published),
+        format!("{}", outcome.epoch),
+    ]);
+    emit(&table, "exp_ingest_queries");
+    println!(
+        "query service: {} top-k queries served while streaming \
+         (mean {:.1} us, p95 {:.1} us, p99 {:.1} us, max epoch seen {})",
+        queries.queries, queries.mean_us, queries.p95_us, queries.p99_us, queries.max_epoch,
+    );
+    let json_queries = Json::Obj(vec![
+        ("query_readers", Json::Int(num_readers as u64)),
+        ("queries_served", Json::Int(queries.queries as u64)),
+        (
+            "queries_per_sec",
+            Json::Num(queries.queries as f64 / stream_wall_s.max(1e-9)),
+        ),
+        ("query_mean_us", Json::Num(queries.mean_us)),
+        ("query_p95_us", Json::Num(queries.p95_us)),
+        ("query_p99_us", Json::Num(queries.p99_us)),
+        ("query_max_epoch", Json::Int(queries.max_epoch)),
+        (
+            "snapshots_published",
+            Json::Int(outcome.report.snapshots_published as u64),
+        ),
+        ("stream_wall_s", Json::Num(stream_wall_s)),
+    ]);
 
     emit_json(
         "BENCH_streaming",
@@ -322,6 +523,7 @@ fn main() {
                 ),
             ),
             ("training", Json::Arr(json_training)),
+            ("query_service", json_queries),
             (
                 "auc_delta_incremental_vs_full",
                 Json::Num(aucs[1] - aucs[0]),

@@ -13,7 +13,7 @@ use uninet_bench::{
     emit, small_heterogeneous_suite, small_homogeneous_suite, BenchDataset, HarnessConfig,
 };
 use uninet_core::{
-    baselines, format_duration, format_speedup, BaselineKind, ModelSpec, Table, UniNet,
+    baselines, format_duration, format_speedup, BaselineKind, Engine, ModelSpec, Table,
     UniNetConfig,
 };
 
@@ -70,7 +70,13 @@ fn main() {
             let mut rows = Vec::new();
             for kind in BaselineKind::ALL {
                 let run_cfg = baselines::configure(&base, &spec, kind);
-                let result = UniNet::new(run_cfg).run(&ds.graph, &spec);
+                let engine = Engine::builder()
+                    .graph(ds.graph.clone())
+                    .model(spec.clone())
+                    .config(run_cfg)
+                    .build()
+                    .expect("benchmark configuration is valid");
+                let result = engine.train().expect("engine is idle");
                 totals.push(result.timing);
                 rows.push((kind, result.timing));
             }

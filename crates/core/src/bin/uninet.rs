@@ -1,4 +1,4 @@
-//! `uninet` — command-line front end of the pipeline: read an edge list (or
+//! `uninet` — command-line front end of the engine: read an edge list (or
 //! generate a synthetic graph), run one of the five NRL models, and write the
 //! embeddings in word2vec text format.
 //!
@@ -8,17 +8,18 @@
 //! ```
 //!
 //! Run `uninet --help` for the full flag list. The flag parser is hand-rolled
-//! (no external CLI dependency is allowed in this workspace).
+//! (no external CLI dependency is allowed in this workspace); every failure
+//! path surfaces a typed [`UniNetError`] with the offending flag or the
+//! file/line of a malformed input.
 
 use std::process::ExitCode;
 
 use uninet_core::{
-    EdgeSamplerKind, InitStrategy, ModelSpec, StreamingConfig, UniNet, UniNetConfig,
+    EdgeSamplerKind, Engine, EngineBuilder, InitStrategy, ModelSpec, StreamingConfig, UniNetError,
 };
 use uninet_dyngraph::read_update_stream_file;
 use uninet_embedding::io::save_embeddings;
 use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
-use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
 use uninet_graph::Graph;
 
 const HELP: &str = "\
@@ -77,7 +78,7 @@ struct Args {
 }
 
 impl Args {
-    fn parse() -> Result<Self, String> {
+    fn parse() -> Result<Self, UniNetError> {
         let mut map = std::collections::HashMap::new();
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(arg) = iter.next() {
@@ -94,11 +95,14 @@ impl Args {
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument: {arg}"));
+                return Err(UniNetError::invalid_argument(
+                    arg.clone(),
+                    "unexpected positional argument (flags start with --)",
+                ));
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| format!("flag --{key} expects a value"))?;
+            let value = iter.next().ok_or_else(|| {
+                UniNetError::invalid_argument(key.to_string(), "the flag expects a value")
+            })?;
             map.insert(key.to_string(), value);
         }
         Ok(Args { map })
@@ -108,21 +112,28 @@ impl Args {
         self.map.get(key).map(String::as_str)
     }
 
-    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, UniNetError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value for --{key}: {v}")),
+            Some(v) => v.parse().map_err(|_| {
+                UniNetError::invalid_argument(
+                    key.to_string(),
+                    format!(
+                        "cannot parse {v:?} as {}",
+                        std::any::type_name::<T>()
+                            .rsplit("::")
+                            .next()
+                            .unwrap_or("number")
+                    ),
+                )
+            }),
         }
     }
 }
 
-fn build_graph(args: &Args) -> Result<Graph, String> {
-    if let Some(path) = args.get("input") {
-        return read_edge_list_file(path, EdgeListOptions::default())
-            .map_err(|e| format!("cannot read {path}: {e}"));
-    }
+/// Builds the synthetic graph; `--input` files are loaded by the engine
+/// builder itself so their errors carry file context.
+fn build_graph(args: &Args) -> Result<Graph, UniNetError> {
     let nodes: usize = args.parse_or("nodes", 10_000)?;
     let mean_degree: f64 = args.parse_or("mean-degree", 10.0)?;
     let seed: u64 = args.parse_or("seed", 42u64)?;
@@ -140,11 +151,14 @@ fn build_graph(args: &Args) -> Result<Graph, String> {
             seed,
             ..Default::default()
         })),
-        other => Err(format!("unknown synthetic generator: {other}")),
+        other => Err(UniNetError::invalid_argument(
+            "synthetic",
+            format!("unknown generator {other:?} (expected rmat or ba)"),
+        )),
     }
 }
 
-fn build_spec(args: &Args) -> Result<ModelSpec, String> {
+fn build_spec(args: &Args) -> Result<ModelSpec, UniNetError> {
     let p: f32 = args.parse_or("p", 1.0f32)?;
     let q: f32 = args.parse_or("q", 1.0f32)?;
     match args.get("model").unwrap_or("deepwalk") {
@@ -158,18 +172,27 @@ fn build_spec(args: &Args) -> Result<ModelSpec, String> {
                 .unwrap_or("0,1,0")
                 .split(',')
                 .map(|t| {
-                    t.trim()
-                        .parse()
-                        .map_err(|_| format!("bad metapath entry: {t}"))
+                    t.trim().parse().map_err(|_| {
+                        UniNetError::invalid_argument(
+                            "metapath",
+                            format!("bad node-type entry {t:?} (expected a small integer)"),
+                        )
+                    })
                 })
                 .collect::<Result<_, _>>()?;
             Ok(ModelSpec::MetaPath2Vec { metapath })
         }
-        other => Err(format!("unknown model: {other}")),
+        other => Err(UniNetError::invalid_argument(
+            "model",
+            format!(
+                "unknown model {other:?} (expected deepwalk, node2vec, metapath2vec, \
+                 edge2vec or fairwalk)"
+            ),
+        )),
     }
 }
 
-fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, String> {
+fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, UniNetError> {
     Ok(match args.get("sampler").unwrap_or("mh-weight") {
         "mh-weight" => EdgeSamplerKind::MetropolisHastings(InitStrategy::high_weight_exact()),
         "mh-random" => EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
@@ -181,11 +204,41 @@ fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, String> {
         "rejection" => EdgeSamplerKind::Rejection,
         "knightking" => EdgeSamplerKind::KnightKing,
         "memory-aware" => EdgeSamplerKind::MemoryAware,
-        other => return Err(format!("unknown sampler: {other}")),
+        other => {
+            return Err(UniNetError::invalid_argument(
+                "sampler",
+                format!("unknown sampler {other:?}"),
+            ))
+        }
     })
 }
 
-fn run() -> Result<(), String> {
+fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
+    let mut builder: EngineBuilder = Engine::builder()
+        .model(build_spec(args)?)
+        .num_walks(args.parse_or("num-walks", 10usize)?)
+        .walk_length(args.parse_or("walk-length", 80usize)?)
+        .threads(args.parse_or("threads", 16usize)?)
+        .seed(args.parse_or("seed", 42u64)?)
+        .sampler(build_sampler(args)?)
+        .dim(args.parse_or("dim", 128usize)?)
+        .epochs(args.parse_or("epochs", 1usize)?)
+        .update_batch_size(args.parse_or("update-batch-size", 256usize)?)
+        .compaction_threshold(args.parse_or("compaction-threshold", 1024usize)?)
+        .symmetric_updates(args.get("directed-updates").is_none())
+        // 0 = follow --threads, so ingestion, maintenance and walk refresh
+        // honor the same worker count as walk generation.
+        .ingest_threads(args.parse_or("ingest-threads", 0usize)?)
+        .queue_capacity(args.parse_or("queue-capacity", 8usize)?)
+        .incremental_train(args.get("incremental-train").is_some());
+    builder = match args.get("input") {
+        Some(path) => builder.graph_from_edge_list(path),
+        None => builder.graph(build_graph(args)?),
+    };
+    builder.build()
+}
+
+fn run() -> Result<(), UniNetError> {
     let args = Args::parse()?;
     if args.get("help").is_some() {
         print!("{HELP}");
@@ -193,44 +246,22 @@ fn run() -> Result<(), String> {
     }
     let output = args
         .get("output")
-        .ok_or("--output is required (see --help)")?
+        .ok_or_else(|| {
+            UniNetError::invalid_argument("output", "the flag is required (see --help)")
+        })?
         .to_string();
 
-    let graph = build_graph(&args)?;
-    let spec = build_spec(&args)?;
+    let engine = build_engine(&args)?;
     eprintln!(
-        "graph: {} nodes, {} edges, {} node types; model: {}",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.num_node_types(),
-        spec.name()
+        "graph: {} nodes; model: {}; sampler: {:?}",
+        engine.num_nodes(),
+        engine.spec().name(),
+        engine.config().walk.sampler,
     );
 
-    let mut config = UniNetConfig::default();
-    config.walk.num_walks = args.parse_or("num-walks", 10usize)?;
-    config.walk.walk_length = args.parse_or("walk-length", 80usize)?;
-    config.walk.num_threads = args.parse_or("threads", 16usize)?;
-    config.walk.seed = args.parse_or("seed", 42u64)?;
-    config.walk.sampler = build_sampler(&args)?;
-    config.embedding.dim = args.parse_or("dim", 128usize)?;
-    config.embedding.epochs = args.parse_or("epochs", 1usize)?;
-    config.embedding.num_threads = config.walk.num_threads;
-    config.embedding.seed = config.walk.seed;
-
-    let result = if let Some(updates_path) = args.get("updates") {
-        let mutations = read_update_stream_file(updates_path)
-            .map_err(|e| format!("cannot read update stream {updates_path}: {e}"))?;
-        let streaming = StreamingConfig {
-            batch_size: args.parse_or("update-batch-size", 256usize)?,
-            compaction_threshold: args.parse_or("compaction-threshold", 1024usize)?,
-            symmetric: args.get("directed-updates").is_none(),
-            refresh_each_batch: true,
-            // 0 = follow --threads, so ingestion, maintenance and walk
-            // refresh honor the same worker count as walk generation.
-            ingest_threads: args.parse_or("ingest-threads", 0usize)?,
-            queue_capacity: args.parse_or("queue-capacity", 8usize)?,
-            incremental_train: args.get("incremental-train").is_some(),
-        };
+    let (corpus_walks, corpus_tokens, timing) = if let Some(updates_path) = args.get("updates") {
+        let mutations = read_update_stream_file(updates_path)?;
+        let streaming: &StreamingConfig = engine.streaming_config();
         eprintln!(
             "streaming mode: {} mutations in batches of {} (compaction threshold {}, \
              {} ingest threads, queue capacity {}, {} training)",
@@ -238,7 +269,7 @@ fn run() -> Result<(), String> {
             streaming.batch_size,
             streaming.compaction_threshold,
             if streaming.ingest_threads == 0 {
-                config.walk.num_threads
+                engine.config().walk.num_threads
             } else {
                 streaming.ingest_threads
             },
@@ -249,8 +280,8 @@ fn run() -> Result<(), String> {
                 "full-retrain"
             },
         );
-        let (result, report) =
-            UniNet::new(config).run_streaming(graph, &spec, &mutations, &streaming);
+        let outcome = engine.stream_blocking(mutations)?;
+        let report = &outcome.report;
         eprintln!(
             "updates: {} weight + {} topology applied, {} rejected over {} batches \
              ({:.0} updates/s, {} compactions)",
@@ -274,22 +305,28 @@ fn run() -> Result<(), String> {
         );
         if report.incremental_passes > 0 {
             eprintln!(
-                "incremental training: {} passes over {} regenerated walks",
-                report.incremental_passes, report.incremental_walks_trained,
+                "incremental training: {} passes over {} regenerated walks \
+                 ({} snapshots served)",
+                report.incremental_passes,
+                report.incremental_walks_trained,
+                report.snapshots_published,
             );
         }
-        result
+        (
+            outcome.result.corpus.num_walks(),
+            outcome.result.corpus.total_tokens(),
+            outcome.result.timing,
+        )
     } else {
-        UniNet::new(config).run(&graph, &spec)
+        let report = engine.train()?;
+        (
+            report.corpus.num_walks(),
+            report.corpus.total_tokens(),
+            report.timing,
+        )
     };
-    eprintln!(
-        "walks: {} sequences, {} tokens; timing: {}",
-        result.corpus.num_walks(),
-        result.corpus.total_tokens(),
-        result.timing
-    );
-    save_embeddings(&result.embeddings, &output)
-        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!("walks: {corpus_walks} sequences, {corpus_tokens} tokens; timing: {timing}");
+    save_embeddings(engine.snapshot().embeddings(), &output)?;
     eprintln!("embeddings written to {output}");
     Ok(())
 }
@@ -297,8 +334,8 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {err}");
             ExitCode::FAILURE
         }
     }

@@ -6,6 +6,8 @@ use uninet_walker::{RandomWalkModel, WalkEngineConfig};
 
 use uninet_embedding::Word2VecConfig;
 
+use crate::error::UniNetError;
+
 /// Declarative description of which NRL model to run.
 ///
 /// A `ModelSpec` is turned into a concrete [`RandomWalkModel`] against a given
@@ -60,27 +62,62 @@ impl ModelSpec {
         matches!(self, ModelSpec::MetaPath2Vec { .. })
     }
 
-    /// Builds the concrete model for `graph`.
-    pub fn instantiate(&self, graph: &Graph) -> Box<dyn RandomWalkModel> {
+    /// Checks the spec's own hyper-parameters, without a graph.
+    ///
+    /// A metapath with fewer than two node types cannot describe a
+    /// transition, and non-positive or non-finite `p`/`q` make the
+    /// second-order transition weights meaningless — both are reported as
+    /// [`UniNetError::InvalidConfig`] instead of being silently patched.
+    pub fn validate(&self) -> Result<(), UniNetError> {
         match self {
+            ModelSpec::DeepWalk => Ok(()),
+            ModelSpec::MetaPath2Vec { metapath } => {
+                if metapath.len() < 2 {
+                    return Err(UniNetError::invalid_config(
+                        "model.metapath",
+                        format!(
+                            "a metapath needs at least 2 node types to define a transition \
+                             (got {})",
+                            metapath.len()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            ModelSpec::Node2Vec { p, q }
+            | ModelSpec::Edge2Vec { p, q }
+            | ModelSpec::FairWalk { p, q } => {
+                for (name, v) in [("model.p", *p), ("model.q", *q)] {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(UniNetError::invalid_config(
+                            name,
+                            format!("must be a positive finite number (got {v})"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the concrete model for `graph`.
+    ///
+    /// Fails with [`UniNetError::InvalidConfig`] when [`ModelSpec::validate`]
+    /// rejects the spec (e.g. a metapath shorter than two node types).
+    pub fn instantiate(&self, graph: &Graph) -> Result<Box<dyn RandomWalkModel>, UniNetError> {
+        self.validate()?;
+        Ok(match self {
             ModelSpec::DeepWalk => Box::new(DeepWalk::new()),
             ModelSpec::Node2Vec { p, q } => Box::new(Node2Vec::new(*p, *q)),
             ModelSpec::MetaPath2Vec { metapath } => {
-                let mp = if metapath.len() >= 2 {
-                    Metapath::new(metapath.clone())
-                } else {
-                    // Default APA-style path over the first two node types.
-                    let t = graph.num_node_types().max(2);
-                    Metapath::new(vec![0, 1 % t, 0])
-                };
-                Box::new(MetaPath2Vec::new(mp))
+                Box::new(MetaPath2Vec::new(Metapath::new(metapath.clone())))
             }
             ModelSpec::Edge2Vec { p, q } => {
                 let types = graph.num_edge_types().max(1) as usize;
                 Box::new(Edge2Vec::uniform(*p, *q, types))
             }
             ModelSpec::FairWalk { p, q } => Box::new(FairWalk::new(graph, *p, *q)),
-        }
+        })
     }
 
     /// The five models with the hyper-parameters used in the paper's
@@ -149,18 +186,38 @@ mod tests {
     fn instantiate_all_models() {
         let g = heterogenize(&ring_with_chords(30, 1), 3, 2, 2);
         for spec in ModelSpec::paper_benchmark_suite() {
-            let model = spec.instantiate(&g);
+            let model = spec.instantiate(&g).unwrap();
             assert_eq!(model.name(), spec.name());
             assert!(model.num_states(&g) >= g.num_nodes());
         }
     }
 
     #[test]
-    fn degenerate_metapath_falls_back() {
+    fn degenerate_metapath_is_rejected() {
         let g = heterogenize(&ring_with_chords(20, 1), 3, 2, 3);
-        let spec = ModelSpec::MetaPath2Vec { metapath: vec![] };
-        let model = spec.instantiate(&g);
-        assert_eq!(model.name(), "metapath2vec");
+        for metapath in [vec![], vec![0u16]] {
+            let spec = ModelSpec::MetaPath2Vec { metapath };
+            match spec.instantiate(&g) {
+                Err(UniNetError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, "model.metapath")
+                }
+                Err(other) => panic!("expected InvalidConfig, got {other}"),
+                Ok(_) => panic!("degenerate metapath must not instantiate"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_positive_node2vec_params_are_rejected() {
+        assert!(ModelSpec::Node2Vec { p: 0.0, q: 1.0 }.validate().is_err());
+        assert!(ModelSpec::FairWalk {
+            p: 1.0,
+            q: f32::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(ModelSpec::Edge2Vec { p: -1.0, q: 1.0 }.validate().is_err());
+        assert!(ModelSpec::Node2Vec { p: 0.25, q: 4.0 }.validate().is_ok());
     }
 
     #[test]

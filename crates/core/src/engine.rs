@@ -1,0 +1,687 @@
+//! The long-lived engine facade: one builder-validated handle over batch
+//! training, streaming ingestion and concurrent embedding queries.
+//!
+//! [`EngineBuilder`] collects the graph source, model spec and
+//! hyper-parameters, validates everything once, and produces an [`Engine`].
+//! The engine owns the graph and an [`EmbeddingStore`] serving layer:
+//!
+//! * [`Engine::train`] — the batch pipeline (walks + word2vec), publishing
+//!   the learned embeddings to the store.
+//! * [`Engine::stream`] — spawns the concurrent ingestion pipeline on a
+//!   background thread and returns a [`StreamHandle`]; the engine stays
+//!   queryable the whole time, and with
+//!   [`StreamingConfig::incremental_train`](crate::StreamingConfig) every
+//!   refresh round publishes an updated snapshot.
+//! * [`Engine::top_k`] / [`Engine::cosine`] / [`Engine::vector`] — embedding
+//!   queries served lock-free from the latest published snapshot.
+//!
+//! ```
+//! use uninet_core::{Engine, ModelSpec};
+//! use uninet_graph::generators::barabasi_albert;
+//!
+//! let engine = Engine::builder()
+//!     .graph(barabasi_albert(300, 4, true, 7))
+//!     .model(ModelSpec::DeepWalk)
+//!     .num_walks(2)
+//!     .walk_length(15)
+//!     .dim(32)
+//!     .threads(2)
+//!     .build()
+//!     .expect("valid configuration");
+//! let report = engine.train().expect("engine is idle");
+//! assert!(report.corpus.num_walks() > 0);
+//! let neighbours = engine.top_k(0, 5);
+//! assert_eq!(neighbours.len(), 5);
+//! ```
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use uninet_dyngraph::GraphMutation;
+use uninet_embedding::{EmbeddingSnapshot, EmbeddingStore, TrainStats};
+use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
+use uninet_graph::Graph;
+use uninet_sampler::EdgeSamplerKind;
+use uninet_walker::{WalkCorpus, WalkEngineConfig};
+
+use crate::config::{ModelSpec, UniNetConfig};
+use crate::error::UniNetError;
+use crate::pipeline::{self, PipelineResult};
+use crate::streaming::{run_streaming_session, StreamingConfig, StreamingReport};
+use crate::timing::PhaseTiming;
+
+/// Where the engine's graph comes from.
+enum GraphSource {
+    /// An already-constructed graph.
+    InMemory(Graph),
+    /// An edge-list file loaded at build time.
+    EdgeList(PathBuf, EdgeListOptions),
+}
+
+/// Typed, validating builder for [`Engine`].
+///
+/// Every setter is chainable; [`EngineBuilder::build`] performs all
+/// validation and returns [`UniNetError::InvalidConfig`] for the first
+/// rejected field, so a misconfigured engine can never be constructed.
+///
+/// ```
+/// use uninet_core::{Engine, ModelSpec, UniNetError};
+/// use uninet_graph::generators::ring_with_chords;
+///
+/// // Zero walks per node is rejected at build time, not at run time.
+/// let err = Engine::builder()
+///     .graph(ring_with_chords(50, 2))
+///     .num_walks(0)
+///     .build()
+///     .unwrap_err();
+/// assert!(matches!(err, UniNetError::InvalidConfig { field: "walk.num_walks", .. }));
+/// ```
+pub struct EngineBuilder {
+    source: Option<GraphSource>,
+    spec: ModelSpec,
+    config: UniNetConfig,
+    streaming: StreamingConfig,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the paper-default configuration and DeepWalk.
+    pub fn new() -> Self {
+        EngineBuilder {
+            source: None,
+            spec: ModelSpec::DeepWalk,
+            config: UniNetConfig::default(),
+            streaming: StreamingConfig::default(),
+        }
+    }
+
+    /// Uses an already-constructed graph.
+    pub fn graph(mut self, graph: Graph) -> Self {
+        self.source = Some(GraphSource::InMemory(graph));
+        self
+    }
+
+    /// Loads the graph from an edge-list file at build time
+    /// (`src dst [weight] [edge_type]` per line).
+    pub fn graph_from_edge_list(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(GraphSource::EdgeList(
+            path.into(),
+            EdgeListOptions::default(),
+        ));
+        self
+    }
+
+    /// Loads the graph from an edge-list file with explicit parse options.
+    pub fn graph_from_edge_list_with(
+        mut self,
+        path: impl Into<PathBuf>,
+        options: EdgeListOptions,
+    ) -> Self {
+        self.source = Some(GraphSource::EdgeList(path.into(), options));
+        self
+    }
+
+    /// Selects the NRL model to run (default: DeepWalk).
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the whole pipeline configuration (walk + embedding), e.g.
+    /// one produced by [`crate::baselines::configure`].
+    pub fn config(mut self, config: UniNetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the walk-generation configuration wholesale.
+    pub fn walk_config(mut self, walk: WalkEngineConfig) -> Self {
+        self.config.walk = walk;
+        self
+    }
+
+    /// Replaces the streaming configuration wholesale.
+    pub fn streaming(mut self, streaming: StreamingConfig) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Walks started per node (`K`).
+    pub fn num_walks(mut self, k: usize) -> Self {
+        self.config.walk.num_walks = k;
+        self
+    }
+
+    /// Nodes per walk (`L`).
+    pub fn walk_length(mut self, l: usize) -> Self {
+        self.config.walk.walk_length = l;
+        self
+    }
+
+    /// Worker threads for walk generation, training and ingestion.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.config.walk.num_threads = t;
+        self.config.embedding.num_threads = t;
+        self
+    }
+
+    /// The edge-sampler backend.
+    pub fn sampler(mut self, sampler: EdgeSamplerKind) -> Self {
+        self.config.walk.sampler = sampler;
+        self
+    }
+
+    /// Memory budget for the memory-aware sampler.
+    pub fn memory_budget_bytes(mut self, bytes: usize) -> Self {
+        self.config.walk.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Seed for both walk generation and embedding training RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.walk.seed = seed;
+        self.config.embedding.seed = seed;
+        self
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config.embedding.dim = dim;
+        self
+    }
+
+    /// Skip-gram context window.
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.embedding.window = window;
+        self
+    }
+
+    /// Word2vec epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.embedding.epochs = epochs;
+        self
+    }
+
+    /// Mutations applied per streaming maintenance batch.
+    pub fn update_batch_size(mut self, n: usize) -> Self {
+        self.streaming.batch_size = n;
+        self
+    }
+
+    /// Pending overlay entries that trigger CSR compaction.
+    pub fn compaction_threshold(mut self, n: usize) -> Self {
+        self.streaming.compaction_threshold = n;
+        self
+    }
+
+    /// Whether streaming mutations mirror onto the reverse edge.
+    pub fn symmetric_updates(mut self, symmetric: bool) -> Self {
+        self.streaming.symmetric = symmetric;
+        self
+    }
+
+    /// Worker threads for the ingestion pipeline (0 = follow
+    /// [`EngineBuilder::threads`]).
+    pub fn ingest_threads(mut self, t: usize) -> Self {
+        self.streaming.ingest_threads = t;
+        self
+    }
+
+    /// Update batches buffered by the intake queue before back-pressure.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.streaming.queue_capacity = n;
+        self
+    }
+
+    /// Train embeddings incrementally on regenerated walks during streaming.
+    pub fn incremental_train(mut self, on: bool) -> Self {
+        self.streaming.incremental_train = on;
+        self
+    }
+
+    /// Minimum milliseconds between serving-store snapshot publications
+    /// during incremental streaming (0 = publish after every pass). See
+    /// [`StreamingConfig::snapshot_interval_ms`](crate::StreamingConfig).
+    pub fn snapshot_interval_ms(mut self, ms: u64) -> Self {
+        self.streaming.snapshot_interval_ms = ms;
+        self
+    }
+
+    /// Validates the configuration, loads the graph if necessary, and
+    /// constructs the engine.
+    pub fn build(self) -> Result<Engine, UniNetError> {
+        let EngineBuilder {
+            source,
+            spec,
+            mut config,
+            streaming,
+        } = self;
+
+        let graph = match source.ok_or_else(|| {
+            UniNetError::invalid_config(
+                "graph",
+                "no graph source: call .graph(..) or .graph_from_edge_list(..)",
+            )
+        })? {
+            GraphSource::InMemory(g) => g,
+            GraphSource::EdgeList(path, options) => read_edge_list_file(&path, options)?,
+        };
+
+        if graph.num_nodes() == 0 {
+            return Err(UniNetError::invalid_config("graph", "graph has no nodes"));
+        }
+        spec.validate()?;
+        // Graph-dependent spec checks: a metapath naming a node type the
+        // graph does not have can never transition and silently degenerates
+        // every walk to its start node.
+        if let ModelSpec::MetaPath2Vec { metapath } = &spec {
+            let available = graph.num_node_types().max(1);
+            if let Some(&bad) = metapath.iter().find(|&&t| t >= available) {
+                return Err(UniNetError::invalid_config(
+                    "model.metapath",
+                    format!(
+                        "metapath names node type {bad} but the graph only has types \
+                         0..{available}"
+                    ),
+                ));
+            }
+        }
+
+        // Thread counts are normalized, everything else must be explicit.
+        config.walk.num_threads = config.walk.num_threads.max(1);
+        config.embedding.num_threads = config.embedding.num_threads.max(1);
+
+        let checks: [(&'static str, bool, String); 8] = [
+            (
+                "walk.num_walks",
+                config.walk.num_walks >= 1,
+                "must start at least 1 walk per node (got 0)".into(),
+            ),
+            (
+                "walk.walk_length",
+                config.walk.walk_length >= 2,
+                format!(
+                    "a walk must visit at least 2 nodes (got {})",
+                    config.walk.walk_length
+                ),
+            ),
+            (
+                "embedding.dim",
+                config.embedding.dim >= 1,
+                "embedding dimensionality must be positive (got 0)".into(),
+            ),
+            (
+                "embedding.epochs",
+                config.embedding.epochs >= 1,
+                "training needs at least 1 epoch (got 0)".into(),
+            ),
+            (
+                "embedding.window",
+                config.embedding.window >= 1,
+                "the context window must be positive (got 0)".into(),
+            ),
+            (
+                "embedding.initial_alpha",
+                config.embedding.initial_alpha.is_finite() && config.embedding.initial_alpha > 0.0,
+                format!(
+                    "the learning rate must be a positive finite number (got {})",
+                    config.embedding.initial_alpha
+                ),
+            ),
+            (
+                "streaming.batch_size",
+                streaming.batch_size >= 1,
+                "streaming batches must hold at least 1 mutation (got 0)".into(),
+            ),
+            (
+                "streaming.queue_capacity",
+                streaming.queue_capacity >= 1,
+                "the intake queue must buffer at least 1 batch (got 0)".into(),
+            ),
+        ];
+        for (field, ok, reason) in checks {
+            if !ok {
+                return Err(UniNetError::InvalidConfig { field, reason });
+            }
+        }
+
+        let num_nodes = graph.num_nodes();
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                config,
+                streaming,
+                spec,
+                num_nodes,
+                store: Arc::new(EmbeddingStore::new()),
+                core: Mutex::new(CoreState::Idle(EngineCore { graph })),
+            }),
+        })
+    }
+}
+
+/// The engine state a streaming session borrows exclusively.
+struct EngineCore {
+    graph: Graph,
+}
+
+/// Whereabouts of the engine's exclusive state.
+enum CoreState {
+    /// Available for `train`/`generate_walks`/`stream`.
+    Idle(EngineCore),
+    /// A streaming session owns the core on its background thread.
+    Streaming,
+    /// A streaming session panicked and the core was lost with it.
+    Poisoned,
+}
+
+struct EngineInner {
+    config: UniNetConfig,
+    streaming: StreamingConfig,
+    spec: ModelSpec,
+    num_nodes: usize,
+    store: Arc<EmbeddingStore>,
+    core: Mutex<CoreState>,
+}
+
+impl EngineInner {
+    /// Acquires the core for an exclusive operation. The returned guard is
+    /// held for the operation's duration — a panic in the operation unwinds
+    /// with the core still in place, so the engine survives.
+    fn lock_core(
+        &self,
+        operation: &'static str,
+    ) -> Result<std::sync::MutexGuard<'_, CoreState>, UniNetError> {
+        let guard = match self.core.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                return Err(UniNetError::EngineBusy { operation })
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                // An exclusive operation panicked while holding the lock.
+                // Batch operations only read the graph, so the state is
+                // intact — recover it.
+                self.core.clear_poison();
+                e.into_inner()
+            }
+        };
+        match &*guard {
+            CoreState::Idle(_) => Ok(guard),
+            CoreState::Streaming => Err(UniNetError::EngineBusy { operation }),
+            CoreState::Poisoned => Err(UniNetError::EnginePoisoned { operation }),
+        }
+    }
+}
+
+/// Summary of one [`Engine::train`] run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Wall-clock breakdown (`Ti`, `Tw`, `Tl`).
+    pub timing: PhaseTiming,
+    /// Word2vec training statistics.
+    pub train_stats: TrainStats,
+    /// The generated walk corpus.
+    pub corpus: WalkCorpus,
+    /// The store epoch under which the learned embeddings were published.
+    pub epoch: u64,
+}
+
+/// Everything produced by a completed streaming session.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The pipeline outputs (final embeddings, refreshed corpus, timing).
+    pub result: PipelineResult,
+    /// Ingestion/maintenance/refresh accounting.
+    pub report: StreamingReport,
+    /// The store epoch after the final snapshot was published.
+    pub epoch: u64,
+}
+
+/// A running streaming-ingestion session.
+///
+/// The session drives the ingest pipeline on a background thread; the engine
+/// (and any clone of its [`EmbeddingStore`]) stays queryable the whole time.
+/// Call [`StreamHandle::join`] to wait for completion and collect the
+/// [`StreamOutcome`]; the engine's graph is updated to the post-stream
+/// compacted graph and becomes available to `train`/`stream` again.
+pub struct StreamHandle {
+    thread: JoinHandle<(PipelineResult, StreamingReport, u64)>,
+    store: Arc<EmbeddingStore>,
+}
+
+impl StreamHandle {
+    /// The serving store the session publishes snapshots into — clone it
+    /// into reader threads to query embeddings while ingestion runs.
+    pub fn store(&self) -> Arc<EmbeddingStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Whether the session thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Waits for the session to finish and returns its outcome.
+    pub fn join(self) -> Result<StreamOutcome, UniNetError> {
+        // The epoch comes from the session's own last publish, not from the
+        // store, so a train() racing in right after the session cannot leak
+        // its epoch into this outcome.
+        let (result, report, epoch) = self
+            .thread
+            .join()
+            .map_err(|_| UniNetError::StreamPanicked)?;
+        Ok(StreamOutcome {
+            result,
+            report,
+            epoch,
+        })
+    }
+}
+
+/// The long-lived UniNet engine: batch training, streaming ingestion and a
+/// concurrent embedding query service behind one handle.
+///
+/// Constructed by [`EngineBuilder`] (see [`Engine::builder`]); cheap to
+/// clone-share via its internal `Arc`s. See the [module docs](self) for a
+/// quickstart.
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Clone for Engine {
+    /// Clones the handle, not the state: both handles share the same graph,
+    /// store and busy/idle state via the internal `Arc`.
+    fn clone(&self) -> Self {
+        Engine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.inner.core.try_lock() {
+            Ok(guard) => match &*guard {
+                CoreState::Idle(_) => "idle",
+                CoreState::Streaming => "streaming",
+                CoreState::Poisoned => "poisoned",
+            },
+            Err(_) => "busy",
+        };
+        f.debug_struct("Engine")
+            .field("model", &self.inner.spec.name())
+            .field("num_nodes", &self.inner.num_nodes)
+            .field("epoch", &self.inner.store.epoch())
+            .field("state", &state)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Starts a new [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The active pipeline configuration.
+    pub fn config(&self) -> &UniNetConfig {
+        &self.inner.config
+    }
+
+    /// The active streaming configuration.
+    pub fn streaming_config(&self) -> &StreamingConfig {
+        &self.inner.streaming
+    }
+
+    /// The model spec the engine runs.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.inner.spec
+    }
+
+    /// Number of nodes in the engine's graph.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    /// The concurrent embedding query service. Snapshots are published by
+    /// [`Engine::train`] and by streaming sessions; clones can be handed to
+    /// reader threads and outlive the engine.
+    pub fn store(&self) -> Arc<EmbeddingStore> {
+        Arc::clone(&self.inner.store)
+    }
+
+    /// The current embedding snapshot (epoch 0 and empty until the first
+    /// train or stream completes a training pass).
+    pub fn snapshot(&self) -> Arc<EmbeddingSnapshot> {
+        self.inner.store.snapshot()
+    }
+
+    /// The embedding vector of `node` in the latest snapshot.
+    pub fn vector(&self, node: u32) -> Option<Vec<f32>> {
+        self.inner.store.vector(node)
+    }
+
+    /// Cosine similarity between two nodes in the latest snapshot.
+    pub fn cosine(&self, a: u32, b: u32) -> Option<f32> {
+        self.inner.store.cosine(a, b)
+    }
+
+    /// The `k` most similar nodes to `node` in the latest snapshot.
+    pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
+        self.inner.store.top_k(node, k)
+    }
+
+    /// Runs walk generation only and returns the corpus plus (`Ti`, `Tw`).
+    ///
+    /// Fails with [`UniNetError::EngineBusy`] while a streaming session (or
+    /// another exclusive operation) is active.
+    pub fn generate_walks(&self) -> Result<(WalkCorpus, PhaseTiming), UniNetError> {
+        let guard = self.inner.lock_core("generate walks")?;
+        let CoreState::Idle(core) = &*guard else {
+            unreachable!("lock_core only returns idle guards");
+        };
+        let model = self
+            .inner
+            .spec
+            .instantiate(&core.graph)
+            .expect("spec validated at build time");
+        Ok(pipeline::generate_walks(
+            &self.inner.config,
+            &core.graph,
+            model.as_ref(),
+        ))
+    }
+
+    /// Runs the batch pipeline (walks + embedding learning) and publishes
+    /// the learned embeddings to the engine's store.
+    ///
+    /// Fails with [`UniNetError::EngineBusy`] while a streaming session (or
+    /// another exclusive operation) is active.
+    pub fn train(&self) -> Result<TrainReport, UniNetError> {
+        let guard = self.inner.lock_core("train")?;
+        let CoreState::Idle(core) = &*guard else {
+            unreachable!("lock_core only returns idle guards");
+        };
+        let model = self
+            .inner
+            .spec
+            .instantiate(&core.graph)
+            .expect("spec validated at build time");
+        let result = pipeline::run_batch(&self.inner.config, &core.graph, model.as_ref());
+        // Publish before releasing the core, so a stream() racing in right
+        // after us cannot have its fresher snapshots overwritten by these.
+        let epoch = self.inner.store.publish(result.embeddings);
+        drop(guard);
+        Ok(TrainReport {
+            timing: result.timing,
+            train_stats: result.train_stats,
+            corpus: result.corpus,
+            epoch,
+        })
+    }
+
+    /// Spawns the streaming-ingestion session over `mutations` on a
+    /// background thread and returns its [`StreamHandle`].
+    ///
+    /// The engine stays queryable while the session runs: reads are served
+    /// from the latest published snapshot (with
+    /// [`StreamingConfig::incremental_train`](crate::StreamingConfig) each
+    /// refresh round publishes one; otherwise the final embeddings are
+    /// published at end-of-stream). A second `stream` or a `train` during the
+    /// session fails with [`UniNetError::EngineBusy`].
+    pub fn stream(&self, mutations: Vec<GraphMutation>) -> Result<StreamHandle, UniNetError> {
+        let mut guard = self.inner.lock_core("stream")?;
+        let CoreState::Idle(core) = std::mem::replace(&mut *guard, CoreState::Streaming) else {
+            unreachable!("lock_core only returns idle guards");
+        };
+        drop(guard);
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::spawn(move || {
+            // The session owns the graph, so a panic would otherwise lose the
+            // core forever while the state still claims a session is active.
+            // Catch the unwind, mark the engine poisoned (later exclusive
+            // calls get `EnginePoisoned` instead of a misleading busy error),
+            // and re-raise so `join` reports `StreamPanicked`.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_streaming_session(
+                    &inner.config,
+                    &inner.streaming,
+                    &inner.spec,
+                    core.graph,
+                    &mutations,
+                    Some(&inner.store),
+                )
+            }));
+            let mut state = inner.core.lock().expect("engine core lock poisoned");
+            match outcome {
+                Ok((result, report, final_graph, epoch)) => {
+                    *state = CoreState::Idle(EngineCore { graph: final_graph });
+                    drop(state);
+                    (result, report, epoch)
+                }
+                Err(payload) => {
+                    *state = CoreState::Poisoned;
+                    drop(state);
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        });
+        Ok(StreamHandle {
+            thread,
+            store: Arc::clone(&self.inner.store),
+        })
+    }
+
+    /// Convenience wrapper: run a full streaming session synchronously.
+    pub fn stream_blocking(
+        &self,
+        mutations: Vec<GraphMutation>,
+    ) -> Result<StreamOutcome, UniNetError> {
+        self.stream(mutations)?.join()
+    }
+}

@@ -11,11 +11,17 @@
 //! Embeddings = Word2Vec(Walks)                 // uninet-embedding
 //! ```
 //!
+//! and wraps it in one long-lived facade:
+//!
+//! * [`Engine`] / [`EngineBuilder`] — the validated entry point: batch
+//!   training ([`Engine::train`]), streaming ingestion ([`Engine::stream`])
+//!   and a concurrent embedding query service ([`Engine::top_k`]) behind a
+//!   single handle.
 //! * [`ModelSpec`] — declarative description of which NRL model to run
 //!   (DeepWalk, node2vec, metapath2vec, edge2vec, fairwalk) with its
 //!   hyper-parameters.
-//! * [`UniNetConfig`] / [`UniNet`] — the end-to-end pipeline with the timing
-//!   breakdown (`Ti`, `Tw`, `Tl`, `Tt`) reported in Table VI.
+//! * [`UniNetError`] — the workspace-wide typed error enum every fallible
+//!   public entry point returns.
 //! * [`baselines`] — sampler/parallelism configurations that emulate the
 //!   original open-source implementations and "UniNet (Orig)".
 //! * [`report`] — plain-text table rendering used by the benchmark harness.
@@ -23,22 +29,28 @@
 //! ## Quickstart
 //!
 //! ```
-//! use uninet_core::{ModelSpec, UniNet, UniNetConfig};
+//! use uninet_core::{Engine, ModelSpec};
 //! use uninet_graph::generators::{rmat, RmatConfig};
 //!
 //! let graph = rmat(&RmatConfig { num_nodes: 300, num_edges: 2000, ..Default::default() });
-//! let mut config = UniNetConfig::default();
-//! config.walk.num_walks = 2;
-//! config.walk.walk_length = 20;
-//! config.embedding.dim = 32;
-//! config.embedding.num_threads = 2;
-//! config.walk.num_threads = 2;
-//! let result = UniNet::new(config).run(&graph, &ModelSpec::DeepWalk);
-//! assert_eq!(result.embeddings.num_nodes(), graph.num_nodes());
+//! let engine = Engine::builder()
+//!     .graph(graph)
+//!     .model(ModelSpec::DeepWalk)
+//!     .num_walks(2)
+//!     .walk_length(20)
+//!     .dim(32)
+//!     .threads(2)
+//!     .build()
+//!     .expect("valid configuration");
+//! let report = engine.train().expect("engine is idle");
+//! assert_eq!(engine.snapshot().num_nodes(), engine.num_nodes());
+//! assert!(report.corpus.num_walks() > 0);
 //! ```
 
 pub mod baselines;
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod streaming;
@@ -46,14 +58,18 @@ pub mod timing;
 
 pub use baselines::{baseline_sampler_for, BaselineKind};
 pub use config::{ModelSpec, UniNetConfig};
-pub use pipeline::{PipelineResult, UniNet};
+pub use engine::{Engine, EngineBuilder, StreamHandle, StreamOutcome, TrainReport};
+pub use error::UniNetError;
+pub use pipeline::PipelineResult;
 pub use report::{format_duration, format_speedup, Table};
 pub use streaming::{StreamingConfig, StreamingReport};
 pub use timing::PhaseTiming;
 
-pub use uninet_dyngraph::{DynamicGraph, GraphMutation, IncrementalMaintainer, UpdateBatch};
-pub use uninet_embedding::Embeddings;
-pub use uninet_graph::Graph;
+pub use uninet_dyngraph::{
+    DynamicGraph, GraphMutation, IncrementalMaintainer, ParseIssue, StreamError, UpdateBatch,
+};
+pub use uninet_embedding::{EmbeddingSnapshot, EmbeddingStore, Embeddings};
+pub use uninet_graph::{Graph, GraphError};
 pub use uninet_ingest::{IngestConfig, QueueStats, ShardPlan, ShardedMaintainer};
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};
 pub use uninet_walker::{WalkCorpus, WalkEngineConfig};

@@ -1,16 +1,21 @@
-//! The end-to-end UniNet pipeline: random-walk generation followed by
-//! word2vec training, with the per-phase timing of Table VI.
+//! The batch pipeline internals: random-walk generation followed by word2vec
+//! training, with the per-phase timing of Table VI.
+//!
+//! These free functions are the engine-room of [`crate::Engine`]; they assume
+//! the model spec was validated up front (the [`crate::EngineBuilder`] does
+//! this at build time) and therefore take an already-instantiated
+//! [`RandomWalkModel`].
 
 use std::time::Instant;
 
 use uninet_embedding::{Embeddings, TrainStats, Word2VecTrainer};
 use uninet_graph::Graph;
-use uninet_walker::{WalkCorpus, WalkEngine};
+use uninet_walker::{RandomWalkModel, WalkCorpus, WalkEngine};
 
-use crate::config::{ModelSpec, UniNetConfig};
+use crate::config::UniNetConfig;
 use crate::timing::PhaseTiming;
 
-/// Everything produced by one pipeline run.
+/// Everything produced by one batch pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
     /// The learned node embeddings.
@@ -23,60 +28,48 @@ pub struct PipelineResult {
     pub train_stats: TrainStats,
 }
 
-/// The UniNet framework facade.
-#[derive(Debug, Clone, Copy)]
-pub struct UniNet {
-    config: UniNetConfig,
+/// Runs walk generation only and returns the corpus plus (`Ti`, `Tw`).
+pub(crate) fn generate_walks(
+    config: &UniNetConfig,
+    graph: &Graph,
+    model: &dyn RandomWalkModel,
+) -> (WalkCorpus, PhaseTiming) {
+    let engine = WalkEngine::new(config.walk);
+    let (corpus, timing) = engine.generate(graph, model);
+    (
+        corpus,
+        PhaseTiming {
+            init: timing.init,
+            walk: timing.walk,
+            ..Default::default()
+        },
+    )
 }
 
-impl UniNet {
-    /// Creates a framework instance with the given configuration.
-    pub fn new(config: UniNetConfig) -> Self {
-        UniNet { config }
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &UniNetConfig {
-        &self.config
-    }
-
-    /// Runs walk generation only and returns the corpus plus (`Ti`, `Tw`).
-    pub fn generate_walks(&self, graph: &Graph, spec: &ModelSpec) -> (WalkCorpus, PhaseTiming) {
-        let model = spec.instantiate(graph);
-        let engine = WalkEngine::new(self.config.walk);
-        let (corpus, timing) = engine.generate(graph, model.as_ref());
-        (
-            corpus,
-            PhaseTiming {
-                init: timing.init,
-                walk: timing.walk,
-                ..Default::default()
-            },
-        )
-    }
-
-    /// Runs the full pipeline (walks + embedding learning).
-    pub fn run(&self, graph: &Graph, spec: &ModelSpec) -> PipelineResult {
-        let (corpus, mut timing) = self.generate_walks(graph, spec);
-        let t = Instant::now();
-        let trainer = Word2VecTrainer::new(self.config.embedding);
-        let (embeddings, train_stats) = trainer.train(corpus.walks(), graph.num_nodes());
-        timing.learn = t.elapsed();
-        PipelineResult {
-            embeddings,
-            corpus,
-            timing,
-            train_stats,
-        }
+/// Runs the full batch pipeline (walks + embedding learning).
+pub(crate) fn run_batch(
+    config: &UniNetConfig,
+    graph: &Graph,
+    model: &dyn RandomWalkModel,
+) -> PipelineResult {
+    let (corpus, mut timing) = generate_walks(config, graph, model);
+    let t = Instant::now();
+    let trainer = Word2VecTrainer::new(config.embedding);
+    let (embeddings, train_stats) = trainer.train(corpus.walks(), graph.num_nodes());
+    timing.learn = t.elapsed();
+    PipelineResult {
+        embeddings,
+        corpus,
+        timing,
+        train_stats,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::UniNetConfig;
+    use crate::config::{ModelSpec, UniNetConfig};
     use uninet_graph::generators::{heterogenize, planted_partition, PlantedPartitionConfig};
-    use uninet_sampler::{EdgeSamplerKind, InitStrategy};
 
     fn labeled_graph() -> uninet_graph::generators::LabeledGraph {
         planted_partition(&PlantedPartitionConfig {
@@ -90,17 +83,42 @@ mod tests {
     }
 
     #[test]
-    fn deepwalk_pipeline_produces_embeddings() {
+    fn run_batch_produces_embeddings() {
         let lg = labeled_graph();
         let mut cfg = UniNetConfig::small();
-        cfg.walk.num_walks = 4;
-        cfg.walk.walk_length = 30;
-        cfg.embedding.epochs = 2;
-        let result = UniNet::new(cfg).run(&lg.graph, &ModelSpec::DeepWalk);
+        cfg.walk.num_walks = 2;
+        cfg.walk.walk_length = 15;
+        cfg.embedding.epochs = 1;
+        let model = ModelSpec::DeepWalk.instantiate(&lg.graph).unwrap();
+        let result = run_batch(&cfg, &lg.graph, model.as_ref());
         assert_eq!(result.embeddings.num_nodes(), lg.graph.num_nodes());
         assert!(result.corpus.num_walks() > 0);
         assert!(result.timing.total().as_nanos() > 0);
         assert!(result.train_stats.pairs_processed > 0);
+    }
+
+    #[test]
+    fn all_models_train_end_to_end() {
+        // Full walks + word2vec pass for all five models, not just walk
+        // generation — training-path regressions in any model must fail here.
+        let lg = labeled_graph();
+        let g = heterogenize(&lg.graph, 3, 2, 5);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 1;
+        cfg.walk.walk_length = 10;
+        cfg.embedding.epochs = 1;
+        cfg.embedding.dim = 16;
+        for spec in ModelSpec::paper_benchmark_suite() {
+            let model = spec.instantiate(&g).unwrap();
+            let result = run_batch(&cfg, &g, model.as_ref());
+            assert_eq!(
+                result.embeddings.num_nodes(),
+                g.num_nodes(),
+                "{}",
+                spec.name()
+            );
+            assert!(result.train_stats.pairs_processed > 0, "{}", spec.name());
+        }
     }
 
     #[test]
@@ -114,7 +132,10 @@ mod tests {
         cfg.embedding.dim = 48;
         cfg.embedding.epochs = 3;
         cfg.embedding.window = 5;
-        let result = UniNet::new(cfg).run(&lg.graph, &ModelSpec::Node2Vec { p: 1.0, q: 1.0 });
+        let model = ModelSpec::Node2Vec { p: 1.0, q: 1.0 }
+            .instantiate(&lg.graph)
+            .unwrap();
+        let result = run_batch(&cfg, &lg.graph, model.as_ref());
         let emb = &result.embeddings;
         let mut intra = 0.0f64;
         let mut inter = 0.0f64;
@@ -138,48 +159,5 @@ mod tests {
         let intra = intra / intra_n as f64;
         let inter = inter / inter_n as f64;
         assert!(intra > inter + 0.05, "intra {intra} vs inter {inter}");
-    }
-
-    #[test]
-    fn all_models_run_end_to_end() {
-        let lg = labeled_graph();
-        let g = heterogenize(&lg.graph, 3, 2, 5);
-        let mut cfg = UniNetConfig::small();
-        cfg.walk.num_walks = 1;
-        cfg.walk.walk_length = 10;
-        cfg.embedding.epochs = 1;
-        cfg.embedding.dim = 16;
-        let uninet = UniNet::new(cfg);
-        for spec in ModelSpec::paper_benchmark_suite() {
-            let result = uninet.run(&g, &spec);
-            assert_eq!(
-                result.embeddings.num_nodes(),
-                g.num_nodes(),
-                "{}",
-                spec.name()
-            );
-        }
-    }
-
-    #[test]
-    fn sampler_kind_is_honoured() {
-        let lg = labeled_graph();
-        let mut cfg = UniNetConfig::small();
-        cfg.walk.num_walks = 1;
-        cfg.walk.walk_length = 10;
-        cfg.walk.sampler = EdgeSamplerKind::Alias;
-        cfg.embedding.epochs = 1;
-        let uninet = UniNet::new(cfg);
-        assert_eq!(uninet.config().walk.sampler, EdgeSamplerKind::Alias);
-        let (corpus, timing) =
-            uninet.generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
-        assert!(corpus.num_walks() > 0);
-        // Alias materialization has a non-trivial init phase.
-        assert!(timing.init.as_nanos() > 0);
-
-        cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
-        let (corpus2, _) =
-            UniNet::new(cfg).generate_walks(&lg.graph, &ModelSpec::Node2Vec { p: 0.5, q: 2.0 });
-        assert_eq!(corpus2.num_walks(), corpus.num_walks());
     }
 }

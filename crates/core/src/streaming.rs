@@ -2,7 +2,7 @@
 //! incremental sampler maintenance, parallel walk refresh and (optionally)
 //! incremental embedding updates.
 //!
-//! This is the dynamic-workload counterpart of [`crate::UniNet::run`]: the
+//! This is the dynamic-workload counterpart of [`crate::Engine::train`]: the
 //! graph lives in a [`DynamicGraph`] and the update stream flows through the
 //! `uninet-ingest` pipeline — a reader thread feeding a bounded queue
 //! (back-pressure), vertex-range sharded overlay application and sampler
@@ -11,11 +11,16 @@
 //! corpus (the original behaviour) or, with
 //! [`StreamingConfig::incremental_train`], updated online by SGD passes over
 //! only the regenerated walks.
+//!
+//! When the session runs under an [`crate::Engine`], every trained embedding
+//! version is published to the engine's [`EmbeddingStore`], so concurrent
+//! readers serve `top_k`/`cosine` queries from a consistent epoch while
+//! ingestion continues.
 
 use std::time::{Duration, Instant};
 
 use uninet_dyngraph::{DynamicGraph, GraphMutation, RefreshStats, WalkRefresher};
-use uninet_embedding::{OnlineWord2Vec, TrainStats, Word2VecTrainer};
+use uninet_embedding::{EmbeddingStore, OnlineWord2Vec, TrainStats, Word2VecTrainer};
 use uninet_graph::{Graph, NodeId};
 use uninet_ingest::{run_pipeline, IngestConfig, QueueStats};
 use uninet_walker::{MaintenanceStats, SamplerManager, WalkEngine};
@@ -43,6 +48,13 @@ pub struct StreamingConfig {
     /// Train embeddings incrementally on regenerated walks instead of a full
     /// retrain at end-of-stream.
     pub incremental_train: bool,
+    /// Minimum milliseconds between snapshot publications to the serving
+    /// store during incremental training. Publishing copies the full
+    /// embedding matrix and recomputes its norms (O(n·dim)), so on large
+    /// graphs an unthrottled per-round publish dominates the ingestion path;
+    /// 0 publishes after every incremental pass. The model state after the
+    /// final pass is always published regardless of the interval.
+    pub snapshot_interval_ms: u64,
 }
 
 impl Default for StreamingConfig {
@@ -55,6 +67,7 @@ impl Default for StreamingConfig {
             ingest_threads: 0,
             queue_capacity: 8,
             incremental_train: false,
+            snapshot_interval_ms: 0,
         }
     }
 }
@@ -90,6 +103,8 @@ pub struct StreamingReport {
     pub incremental_walks_trained: usize,
     /// Incremental SGD passes run (0 for full retrain).
     pub incremental_passes: usize,
+    /// Embedding snapshots published to the serving store during the stream.
+    pub snapshots_published: usize,
 }
 
 impl StreamingReport {
@@ -115,170 +130,220 @@ fn merge_train_stats(total: &mut TrainStats, pass: &TrainStats) {
     total.pairs_processed = pairs;
 }
 
-impl crate::pipeline::UniNet {
-    /// Runs the full dynamic pipeline: initial walk corpus over `graph`,
-    /// concurrent ingestion of `mutations` (bounded intake queue, sharded
-    /// application, parallel maintenance and walk refresh), final compaction,
-    /// then embedding training — full retrain on the refreshed corpus, or
-    /// incremental updates when `streaming.incremental_train` is set.
-    ///
-    /// Consumes the graph (it becomes the mutable base of the
-    /// [`DynamicGraph`]).
-    pub fn run_streaming(
-        &self,
-        graph: Graph,
-        spec: &ModelSpec,
-        mutations: &[GraphMutation],
-        streaming: &StreamingConfig,
-    ) -> (PipelineResult, StreamingReport) {
-        let cfg: &UniNetConfig = self.config();
-        let model = spec.instantiate(&graph);
-        let model = model.as_ref();
-        let threads = if streaming.ingest_threads == 0 {
-            cfg.walk.num_threads.max(1)
-        } else {
-            streaming.ingest_threads
-        };
+/// Runs the full dynamic pipeline: initial walk corpus over `graph`,
+/// concurrent ingestion of `mutations` (bounded intake queue, sharded
+/// application, parallel maintenance and walk refresh), final compaction,
+/// then embedding training — full retrain on the refreshed corpus, or
+/// incremental updates when `streaming.incremental_train` is set.
+///
+/// Consumes the graph (it becomes the mutable base of the [`DynamicGraph`])
+/// and returns the post-stream compacted graph alongside the results, so a
+/// long-lived engine can keep its graph current.
+///
+/// When `store` is set, trained embedding versions are published to it: the
+/// initial online model, incremental passes (subject to
+/// [`StreamingConfig::snapshot_interval_ms`] throttling), and the
+/// end-of-stream state. The returned epoch is that of this session's last
+/// publish (0 when `store` is `None`). The spec must already have passed
+/// [`ModelSpec::validate`] — the engine builder guarantees this.
+pub(crate) fn run_streaming_session(
+    cfg: &UniNetConfig,
+    streaming: &StreamingConfig,
+    spec: &ModelSpec,
+    graph: Graph,
+    mutations: &[GraphMutation],
+    store: Option<&EmbeddingStore>,
+) -> (PipelineResult, StreamingReport, Graph, u64) {
+    let model = spec
+        .instantiate(&graph)
+        .expect("model spec is validated before a streaming session starts");
+    let model = model.as_ref();
+    let threads = if streaming.ingest_threads == 0 {
+        cfg.walk.num_threads.max(1)
+    } else {
+        streaming.ingest_threads
+    };
 
-        // Initial corpus over a caller-owned manager so sampler state (M-H
-        // chains in particular) survives into the update phase.
-        let t0 = Instant::now();
-        let mut manager = SamplerManager::new(
-            &graph,
+    // Initial corpus over a caller-owned manager so sampler state (M-H
+    // chains in particular) survives into the update phase.
+    let t0 = Instant::now();
+    let mut manager = SamplerManager::new(
+        &graph,
+        model,
+        cfg.walk.sampler,
+        cfg.walk.memory_budget_bytes,
+    );
+    let init = t0.elapsed();
+    let engine = WalkEngine::new(cfg.walk);
+    let start_nodes: Vec<NodeId> = graph.non_isolated_nodes().collect();
+    let (mut corpus, walk_timing) =
+        engine.generate_with_manager(&graph, model, &manager, &start_nodes);
+
+    let num_nodes = graph.num_nodes();
+    let trainer = Word2VecTrainer::new(cfg.embedding);
+    let mut learn = Duration::ZERO;
+    let mut train_stats = TrainStats::default();
+    let mut report = StreamingReport::default();
+    let mut last_epoch = 0u64;
+    let mut last_publish = Instant::now();
+    let snapshot_interval = Duration::from_millis(streaming.snapshot_interval_ms);
+    // Whether the store reflects the session's current model (false after an
+    // incremental pass was throttled out of publishing).
+    let mut store_current = true;
+
+    // Incremental mode trains the base model up front so refresh rounds
+    // can apply corrective passes as the stream is ingested — and so the
+    // serving store has fresh vectors from the very first batch.
+    let mut online: Option<OnlineWord2Vec> = if streaming.incremental_train {
+        let t = Instant::now();
+        let (session, stats) = trainer.train_online(corpus.walks(), num_nodes);
+        learn += t.elapsed();
+        train_stats = stats;
+        if let Some(store) = store {
+            last_epoch = store.publish(session.embeddings());
+            report.snapshots_published += 1;
+            last_publish = Instant::now();
+        }
+        Some(session)
+    } else {
+        None
+    };
+
+    let mut dyn_graph = DynamicGraph::new(graph, streaming.symmetric);
+    let mut refresher = WalkRefresher::new(&corpus, num_nodes, cfg.walk.walk_length, cfg.walk.seed);
+
+    let ingest_cfg = IngestConfig {
+        batch_size: streaming.batch_size,
+        queue_capacity: streaming.queue_capacity,
+        num_threads: threads,
+        compaction_threshold: streaming.compaction_threshold,
+    };
+
+    let refresh_each_batch = streaming.refresh_each_batch;
+    {
+        let refresher = &mut refresher;
+        let corpus = &mut corpus;
+        let report = &mut report;
+        let last_epoch = &mut last_epoch;
+        let last_publish = &mut last_publish;
+        let store_current = &mut store_current;
+        let online = &mut online;
+        let learn = &mut learn;
+        let train_stats = &mut train_stats;
+        let ingest_report = run_pipeline(
+            &ingest_cfg,
+            &mut dyn_graph,
+            &mut manager,
             model,
-            cfg.walk.sampler,
-            cfg.walk.memory_budget_bytes,
-        );
-        let init = t0.elapsed();
-        let engine = WalkEngine::new(cfg.walk);
-        let start_nodes: Vec<NodeId> = graph.non_isolated_nodes().collect();
-        let (mut corpus, walk_timing) =
-            engine.generate_with_manager(&graph, model, &manager, &start_nodes);
+            mutations,
+            |dg, mgr, r, is_final| {
+                // Per-batch refresh is optional; the end-of-stream flush
+                // always refreshes so the corpus matches the final graph.
+                if !refresh_each_batch && !is_final {
+                    return;
+                }
+                let mut touched = r.weight_touched.clone();
+                touched.extend_from_slice(&r.topology_touched);
+                touched.sort_unstable();
+                touched.dedup();
+                if touched.is_empty() {
+                    return;
+                }
+                let outcome =
+                    refresher.refresh_parallel(corpus, dg.base(), model, mgr, &touched, threads);
+                report.refresh.merge(&outcome.stats);
+                report.refresh_time += outcome.elapsed;
 
-        let num_nodes = graph.num_nodes();
-        let trainer = Word2VecTrainer::new(cfg.embedding);
-        let mut learn = Duration::ZERO;
-        let mut train_stats = TrainStats::default();
-
-        // Incremental mode trains the base model up front so refresh rounds
-        // can apply corrective passes as the stream is ingested.
-        let mut online: Option<OnlineWord2Vec> = if streaming.incremental_train {
-            let t = Instant::now();
-            let (session, stats) = trainer.train_online(corpus.walks(), num_nodes);
-            learn += t.elapsed();
-            train_stats = stats;
-            Some(session)
-        } else {
-            None
-        };
-
-        let mut dyn_graph = DynamicGraph::new(graph, streaming.symmetric);
-        let mut refresher =
-            WalkRefresher::new(&corpus, num_nodes, cfg.walk.walk_length, cfg.walk.seed);
-
-        let mut report = StreamingReport::default();
-        let ingest_cfg = IngestConfig {
-            batch_size: streaming.batch_size,
-            queue_capacity: streaming.queue_capacity,
-            num_threads: threads,
-            compaction_threshold: streaming.compaction_threshold,
-        };
-
-        let refresh_each_batch = streaming.refresh_each_batch;
-        {
-            let refresher = &mut refresher;
-            let corpus = &mut corpus;
-            let report = &mut report;
-            let online = &mut online;
-            let learn = &mut learn;
-            let train_stats = &mut train_stats;
-            let ingest_report = run_pipeline(
-                &ingest_cfg,
-                &mut dyn_graph,
-                &mut manager,
-                model,
-                mutations,
-                |dg, mgr, r, is_final| {
-                    // Per-batch refresh is optional; the end-of-stream flush
-                    // always refreshes so the corpus matches the final graph.
-                    if !refresh_each_batch && !is_final {
-                        return;
-                    }
-                    let mut touched = r.weight_touched.clone();
-                    touched.extend_from_slice(&r.topology_touched);
-                    touched.sort_unstable();
-                    touched.dedup();
-                    if touched.is_empty() {
-                        return;
-                    }
-                    let outcome = refresher.refresh_parallel(
-                        corpus,
-                        dg.base(),
-                        model,
-                        mgr,
-                        &touched,
-                        threads,
-                    );
-                    report.refresh.merge(&outcome.stats);
-                    report.refresh_time += outcome.elapsed;
-
-                    if let Some(session) = online.as_mut() {
-                        if !outcome.refreshed_ids.is_empty() {
-                            let regenerated: Vec<Vec<NodeId>> = outcome
-                                .refreshed_ids
-                                .iter()
-                                .map(|&id| corpus.walk(id as usize).to_vec())
-                                .collect();
-                            let t = Instant::now();
-                            let stats = trainer.train_incremental(session, &regenerated);
-                            *learn += t.elapsed();
-                            merge_train_stats(train_stats, &stats);
-                            report.incremental_walks_trained += regenerated.len();
-                            report.incremental_passes += 1;
+                if let Some(session) = online.as_mut() {
+                    if !outcome.refreshed_ids.is_empty() {
+                        let regenerated: Vec<Vec<NodeId>> = outcome
+                            .refreshed_ids
+                            .iter()
+                            .map(|&id| corpus.walk(id as usize).to_vec())
+                            .collect();
+                        let t = Instant::now();
+                        let stats = trainer.train_incremental(session, &regenerated);
+                        *learn += t.elapsed();
+                        merge_train_stats(train_stats, &stats);
+                        report.incremental_walks_trained += regenerated.len();
+                        report.incremental_passes += 1;
+                        // Publish the adapted vectors so concurrent readers
+                        // track the stream instead of serving the initial
+                        // model until end-of-stream. Publishing copies the
+                        // matrix and recomputes norms, so it is throttled by
+                        // `snapshot_interval_ms` on the ingestion path.
+                        if let Some(store) = store {
+                            if last_publish.elapsed() >= snapshot_interval {
+                                *last_epoch = store.publish(session.embeddings());
+                                report.snapshots_published += 1;
+                                *last_publish = Instant::now();
+                                *store_current = true;
+                            } else {
+                                *store_current = false;
+                            }
                         }
                     }
-                },
-            );
-            report.batches = ingest_report.batches;
-            report.weight_mutations = ingest_report.weight_mutations;
-            report.topology_mutations = ingest_report.topology_mutations;
-            report.rejected_mutations = ingest_report.rejected_mutations;
-            report.compactions = ingest_report.compactions;
-            report.maintenance = ingest_report.maintenance;
-            report.apply_time = ingest_report.apply_time;
-            report.maintain_time = ingest_report.maintain_time;
-            report.queue = ingest_report.queue;
-        }
-        report.finalize();
-
-        // Final embeddings: online session snapshot, or full retrain on the
-        // refreshed corpus.
-        let embeddings = match online {
-            Some(session) => session.embeddings(),
-            None => {
-                let t = Instant::now();
-                let (embeddings, stats) = trainer.train(corpus.walks(), num_nodes);
-                learn += t.elapsed();
-                train_stats = stats;
-                embeddings
-            }
-        };
-
-        let timing = PhaseTiming {
-            init,
-            walk: walk_timing.walk,
-            learn,
-        };
-        (
-            PipelineResult {
-                embeddings,
-                corpus,
-                timing,
-                train_stats,
+                }
             },
-            report,
-        )
+        );
+        report.batches = ingest_report.batches;
+        report.weight_mutations = ingest_report.weight_mutations;
+        report.topology_mutations = ingest_report.topology_mutations;
+        report.rejected_mutations = ingest_report.rejected_mutations;
+        report.compactions = ingest_report.compactions;
+        report.maintenance = ingest_report.maintenance;
+        report.apply_time = ingest_report.apply_time;
+        report.maintain_time = ingest_report.maintain_time;
+        report.queue = ingest_report.queue;
     }
+    report.finalize();
+
+    // Final embeddings: online session snapshot, or full retrain on the
+    // refreshed corpus. Incremental sessions already published after the
+    // last unthrottled pass, so they only cut an end-of-stream version when
+    // the throttle suppressed the most recent one; the full-retrain path
+    // always has a new version to publish.
+    let embeddings = match online {
+        Some(session) => {
+            let embeddings = session.embeddings();
+            if let Some(store) = store {
+                if !store_current {
+                    last_epoch = store.publish(embeddings.clone());
+                    report.snapshots_published += 1;
+                }
+            }
+            embeddings
+        }
+        None => {
+            let t = Instant::now();
+            let (embeddings, stats) = trainer.train(corpus.walks(), num_nodes);
+            learn += t.elapsed();
+            train_stats = stats;
+            if let Some(store) = store {
+                last_epoch = store.publish(embeddings.clone());
+                report.snapshots_published += 1;
+            }
+            embeddings
+        }
+    };
+
+    let final_graph = dyn_graph.into_base();
+    let timing = PhaseTiming {
+        init,
+        walk: walk_timing.walk,
+        learn,
+    };
+    (
+        PipelineResult {
+            embeddings,
+            corpus,
+            timing,
+            train_stats,
+        },
+        report,
+        final_graph,
+        last_epoch,
+    )
 }
 
 #[cfg(test)]
@@ -327,6 +392,18 @@ mod tests {
         out
     }
 
+    fn session(
+        cfg: &UniNetConfig,
+        streaming: &StreamingConfig,
+        spec: &ModelSpec,
+        graph: Graph,
+        mutations: &[GraphMutation],
+    ) -> (PipelineResult, StreamingReport) {
+        let (result, report, _, _) =
+            run_streaming_session(cfg, streaming, spec, graph, mutations, None);
+        (result, report)
+    }
+
     #[test]
     fn streaming_run_produces_refreshed_embeddings() {
         let graph = test_graph();
@@ -342,12 +419,7 @@ mod tests {
             ..Default::default()
         };
         let n = graph.num_nodes();
-        let (result, report) = crate::UniNet::new(cfg).run_streaming(
-            graph,
-            &ModelSpec::DeepWalk,
-            &mutations,
-            &streaming,
-        );
+        let (result, report) = session(&cfg, &streaming, &ModelSpec::DeepWalk, graph, &mutations);
         assert_eq!(result.embeddings.num_nodes(), n);
         assert!(report.batches > 0);
         assert!(report.weight_mutations > 0);
@@ -374,11 +446,12 @@ mod tests {
             compaction_threshold: 32,
             ..Default::default()
         };
-        let (result, _) = crate::UniNet::new(cfg).run_streaming(
-            graph,
-            &ModelSpec::Node2Vec { p: 0.5, q: 2.0 },
-            &mutations,
+        let (result, _) = session(
+            &cfg,
             &streaming,
+            &ModelSpec::Node2Vec { p: 0.5, q: 2.0 },
+            graph,
+            &mutations,
         );
         // After the final flush the corpus must be consistent with the final
         // compacted graph: every refreshed walk is a path in it. Walks that
@@ -406,18 +479,20 @@ mod tests {
         cfg.embedding.epochs = 1;
 
         cfg.walk.sampler = EdgeSamplerKind::Alias;
-        let (_, alias_report) = crate::UniNet::new(cfg).run_streaming(
-            graph.clone(),
-            &ModelSpec::DeepWalk,
-            &mutations,
+        let (_, alias_report) = session(
+            &cfg,
             &StreamingConfig::default(),
+            &ModelSpec::DeepWalk,
+            graph.clone(),
+            &mutations,
         );
         cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
-        let (_, mh_report) = crate::UniNet::new(cfg).run_streaming(
-            graph,
-            &ModelSpec::DeepWalk,
-            &mutations,
+        let (_, mh_report) = session(
+            &cfg,
             &StreamingConfig::default(),
+            &ModelSpec::DeepWalk,
+            graph,
+            &mutations,
         );
         assert!(alias_report.maintenance.states_rebuilt > 0);
         assert_eq!(mh_report.maintenance.states_rebuilt, 0);
@@ -443,12 +518,7 @@ mod tests {
             ..Default::default()
         };
         let n = graph.num_nodes();
-        let (result, report) = crate::UniNet::new(cfg).run_streaming(
-            graph,
-            &ModelSpec::DeepWalk,
-            &mutations,
-            &streaming,
-        );
+        let (result, report) = session(&cfg, &streaming, &ModelSpec::DeepWalk, graph, &mutations);
         assert_eq!(result.embeddings.num_nodes(), n);
         assert!(report.incremental_passes > 0, "no incremental passes ran");
         assert_eq!(
@@ -456,5 +526,46 @@ mod tests {
             "every refreshed walk should feed incremental training"
         );
         assert!(result.train_stats.pairs_processed > 0);
+    }
+
+    #[test]
+    fn session_publishes_snapshots_and_returns_final_graph() {
+        let graph = test_graph();
+        let n = graph.num_nodes();
+        let mutations = mixed_stream(&graph, 150, 17);
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 1;
+        cfg.walk.walk_length = 8;
+        cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
+        cfg.embedding.epochs = 1;
+        let streaming = StreamingConfig {
+            batch_size: 32,
+            incremental_train: true,
+            ..Default::default()
+        };
+        let store = EmbeddingStore::new();
+        let (_, report, final_graph, last_epoch) = run_streaming_session(
+            &cfg,
+            &streaming,
+            &ModelSpec::DeepWalk,
+            graph,
+            &mutations,
+            Some(&store),
+        );
+        assert_eq!(last_epoch, store.epoch());
+        // Initial online model + one per incremental pass; the end-of-stream
+        // state is identical to the last pass, so no extra version is cut.
+        assert_eq!(
+            report.snapshots_published,
+            1 + report.incremental_passes,
+            "initial + per-pass snapshots"
+        );
+        assert!(
+            report.incremental_passes > 0,
+            "stream produced no refreshes"
+        );
+        assert_eq!(store.epoch(), report.snapshots_published as u64);
+        assert_eq!(store.num_nodes(), n);
+        assert_eq!(final_graph.num_nodes(), n);
     }
 }

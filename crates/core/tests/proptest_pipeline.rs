@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, UniNet, UniNetConfig};
+use uninet_core::{EdgeSamplerKind, Engine, InitStrategy, ModelSpec, UniNetConfig};
 use uninet_graph::generators::{erdos_renyi, heterogenize};
 
 fn arbitrary_spec() -> impl Strategy<Value = ModelSpec> {
@@ -52,7 +52,13 @@ proptest! {
         cfg.walk.num_threads = 2;
         cfg.walk.sampler = sampler;
         cfg.walk.seed = seed;
-        let (corpus, _) = UniNet::new(cfg).generate_walks(&graph, &spec);
+        let engine = Engine::builder()
+            .graph(graph.clone())
+            .config(cfg)
+            .model(spec.clone())
+            .build()
+            .expect("valid random configuration");
+        let (corpus, _) = engine.generate_walks().expect("engine is idle");
         prop_assert!(corpus.num_walks() > 0);
         for walk in corpus.iter() {
             prop_assert!(!walk.is_empty());
@@ -74,7 +80,13 @@ proptest! {
         cfg.walk.num_walks = 2;
         cfg.walk.walk_length = 10;
         cfg.walk.num_threads = 2;
-        let (corpus, _) = UniNet::new(cfg).generate_walks(&graph, &ModelSpec::DeepWalk);
+        let engine = Engine::builder()
+            .graph(graph.clone())
+            .config(cfg)
+            .model(ModelSpec::DeepWalk)
+            .build()
+            .expect("valid configuration");
+        let (corpus, _) = engine.generate_walks().expect("engine is idle");
         let counts = corpus.visit_counts(graph.num_nodes());
         prop_assert_eq!(counts.len(), graph.num_nodes());
         let total: u64 = counts.iter().sum();

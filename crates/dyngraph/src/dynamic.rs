@@ -518,6 +518,14 @@ impl DynamicGraph {
         copy.base
     }
 
+    /// Consumes the dynamic graph, folding any pending overlay into the CSR,
+    /// and returns the merged base — the zero-copy teardown counterpart of
+    /// [`DynamicGraph::materialize`].
+    pub fn into_base(mut self) -> Graph {
+        self.compact();
+        self.base
+    }
+
     /// Splits the overlay into disjoint mutable [`ShardView`]s over the
     /// contiguous vertex ranges `bounds[i]..bounds[i+1]`.
     ///

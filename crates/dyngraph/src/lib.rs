@@ -68,4 +68,6 @@ pub use dynamic::{DynamicGraph, MutationEffect, OverlayStats, ShardOutcome, Shar
 pub use maintain::{BatchReport, IncrementalMaintainer, MaintainerConfig};
 pub use mutation::{GraphMutation, UpdateBatch};
 pub use refresh::{RefreshStats, WalkRefresher};
-pub use stream::{into_batches, read_update_stream, read_update_stream_file, StreamError};
+pub use stream::{
+    into_batches, parse_line, read_update_stream, read_update_stream_file, ParseIssue, StreamError,
+};

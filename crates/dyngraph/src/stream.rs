@@ -9,68 +9,167 @@
 //! ```
 
 use std::io::{BufRead, BufReader, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use uninet_graph::NodeId;
 
 use crate::mutation::{GraphMutation, UpdateBatch};
 
-/// Errors produced while parsing an update stream.
+/// Why a single event line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseIssue {
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field was present but not a valid number.
+    InvalidNumber {
+        /// Which field failed (`src`, `dst`, `weight`).
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// The opcode was not one of `add`/`del`/`w` (or their aliases).
+    UnknownOp(String),
+}
+
+impl std::fmt::Display for ParseIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseIssue::MissingField(field) => write!(f, "missing {field}"),
+            ParseIssue::InvalidNumber { field, token } => {
+                write!(f, "invalid {field}: {token:?}")
+            }
+            ParseIssue::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIssue {}
+
+/// Errors produced while reading an update stream.
+///
+/// Both variants carry the source file (when the stream came from one) so
+/// `Display` can point at `file:line` like a compiler diagnostic.
 #[derive(Debug)]
 pub enum StreamError {
     /// A line could not be parsed as an update event.
     Parse {
+        /// Source file, if the stream was read from one.
+        path: Option<PathBuf>,
         /// 1-based line number.
         line: usize,
         /// The offending line content.
         content: String,
+        /// What exactly was wrong with the line.
+        issue: ParseIssue,
     },
     /// An I/O error occurred.
-    Io(std::io::Error),
+    Io {
+        /// Source file, if the stream was read from one.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl StreamError {
+    /// Attaches a source path to an error that was produced without one.
+    pub fn with_path<P: AsRef<Path>>(self, p: P) -> Self {
+        let p = p.as_ref().to_path_buf();
+        match self {
+            StreamError::Parse {
+                line,
+                content,
+                issue,
+                ..
+            } => StreamError::Parse {
+                path: Some(p),
+                line,
+                content,
+                issue,
+            },
+            StreamError::Io { source, .. } => StreamError::Io {
+                path: Some(p),
+                source,
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StreamError::Parse { line, content } => {
-                write!(f, "cannot parse update at line {line}: {content:?}")
-            }
-            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+            StreamError::Parse {
+                path,
+                line,
+                content,
+                issue,
+            } => match path {
+                Some(p) => write!(
+                    f,
+                    "cannot parse update at {}:{line}: {content:?} ({issue})",
+                    p.display()
+                ),
+                None => write!(
+                    f,
+                    "cannot parse update at line {line}: {content:?} ({issue})"
+                ),
+            },
+            StreamError::Io { path, source } => match path {
+                Some(p) => write!(f, "cannot read update stream {}: {source}", p.display()),
+                None => write!(f, "i/o error: {source}"),
+            },
         }
     }
 }
 
-impl std::error::Error for StreamError {}
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Parse { issue, .. } => Some(issue),
+            StreamError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for StreamError {
     fn from(e: std::io::Error) -> Self {
-        StreamError::Io(e)
+        StreamError::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
 /// Parses one event line (`None` for blanks and comments).
-pub fn parse_line(line: &str) -> Result<Option<GraphMutation>, String> {
+pub fn parse_line(line: &str) -> Result<Option<GraphMutation>, ParseIssue> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
         return Ok(None);
     }
     let mut it = line.split_whitespace();
-    let op = it.next().ok_or("missing op")?;
-    let src: NodeId = it
-        .next()
-        .ok_or("missing src")?
-        .parse()
-        .map_err(|_| "bad src")?;
-    let dst: NodeId = it
-        .next()
-        .ok_or("missing dst")?
-        .parse()
-        .map_err(|_| "bad dst")?;
+    let op = it.next().ok_or(ParseIssue::MissingField("op"))?;
+    // Validate the opcode first so a garbage line is diagnosed as an unknown
+    // op rather than as a bad operand of an op that was never recognized.
+    if !matches!(op, "add" | "+" | "del" | "-" | "w" | "~" | "reweight") {
+        return Err(ParseIssue::UnknownOp(op.to_string()));
+    }
+    let node = |tok: Option<&str>, field: &'static str| -> Result<NodeId, ParseIssue> {
+        let tok = tok.ok_or(ParseIssue::MissingField(field))?;
+        tok.parse().map_err(|_| ParseIssue::InvalidNumber {
+            field,
+            token: tok.to_string(),
+        })
+    };
+    let src = node(it.next(), "src")?;
+    let dst = node(it.next(), "dst")?;
     let weight =
-        |it: &mut dyn Iterator<Item = &str>, default: Option<f32>| -> Result<f32, String> {
+        |it: &mut dyn Iterator<Item = &str>, default: Option<f32>| -> Result<f32, ParseIssue> {
             match it.next() {
-                Some(tok) => tok.parse::<f32>().map_err(|_| "bad weight".to_string()),
-                None => default.ok_or_else(|| "missing weight".to_string()),
+                Some(tok) => tok.parse::<f32>().map_err(|_| ParseIssue::InvalidNumber {
+                    field: "weight",
+                    token: tok.to_string(),
+                }),
+                None => default.ok_or(ParseIssue::MissingField("weight")),
             }
         };
     let m = match op {
@@ -85,7 +184,7 @@ pub fn parse_line(line: &str) -> Result<Option<GraphMutation>, String> {
             dst,
             weight: weight(&mut it, None)?,
         },
-        other => return Err(format!("unknown op {other:?}")),
+        _ => unreachable!("opcode validated above"),
     };
     Ok(Some(m))
 }
@@ -98,10 +197,12 @@ pub fn read_update_stream<R: Read>(reader: R) -> Result<Vec<GraphMutation>, Stre
         match parse_line(&line) {
             Ok(Some(m)) => out.push(m),
             Ok(None) => {}
-            Err(_) => {
+            Err(issue) => {
                 return Err(StreamError::Parse {
+                    path: None,
                     line: i + 1,
                     content: line,
+                    issue,
                 })
             }
         }
@@ -109,10 +210,14 @@ pub fn read_update_stream<R: Read>(reader: R) -> Result<Vec<GraphMutation>, Stre
     Ok(out)
 }
 
-/// Reads an update stream from a file.
+/// Reads an update stream from a file; errors carry the path for context.
 pub fn read_update_stream_file<P: AsRef<Path>>(path: P) -> Result<Vec<GraphMutation>, StreamError> {
-    let file = std::fs::File::open(path)?;
-    read_update_stream(file)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| StreamError::Io {
+        path: Some(path.to_path_buf()),
+        source: e,
+    })?;
+    read_update_stream(file).map_err(|e| e.with_path(path))
 }
 
 /// Splits a mutation list into batches of at most `batch_size` events.
@@ -172,10 +277,57 @@ reweight 6 7 2.0
     #[test]
     fn reports_line_numbers_on_errors() {
         let err = read_update_stream("add 0 1\nbogus line\n".as_bytes()).unwrap_err();
-        match err {
-            StreamError::Parse { line, .. } => assert_eq!(line, 2),
+        match &err {
+            StreamError::Parse { line, issue, .. } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*issue, ParseIssue::UnknownOp("bogus".to_string()));
+            }
             other => panic!("unexpected: {other}"),
         }
+        assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn file_errors_carry_path_and_line_in_display() {
+        let err = read_update_stream("w 1 nan-ish 2.0\n".as_bytes())
+            .unwrap_err()
+            .with_path("updates.txt");
+        let msg = format!("{err}");
+        assert!(msg.contains("updates.txt:1"), "missing file:line in {msg}");
+        assert!(msg.contains("invalid dst"), "missing issue in {msg}");
+
+        let missing = read_update_stream_file("/nonexistent/updates.txt").unwrap_err();
+        assert!(format!("{missing}").contains("/nonexistent/updates.txt"));
+    }
+
+    #[test]
+    fn parse_issues_are_typed() {
+        assert_eq!(
+            parse_line("add").unwrap_err(),
+            ParseIssue::MissingField("src")
+        );
+        assert_eq!(
+            parse_line("add 0").unwrap_err(),
+            ParseIssue::MissingField("dst")
+        );
+        assert_eq!(
+            parse_line("add x 1").unwrap_err(),
+            ParseIssue::InvalidNumber {
+                field: "src",
+                token: "x".to_string()
+            }
+        );
+        assert_eq!(
+            parse_line("w 0 1 heavy").unwrap_err(),
+            ParseIssue::InvalidNumber {
+                field: "weight",
+                token: "heavy".to_string()
+            }
+        );
+        assert_eq!(
+            parse_line("frob 0 1").unwrap_err(),
+            ParseIssue::UnknownOp("frob".to_string())
+        );
     }
 
     #[test]

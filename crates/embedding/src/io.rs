@@ -4,33 +4,83 @@
 //! consumed by their evaluation scripts.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::Embeddings;
 
-/// Errors produced when reading an embedding file.
+/// Errors produced when reading or writing an embedding file.
+///
+/// Both variants carry the file path (when the embeddings came from or went
+/// to one) so `Display` names the offending file.
 #[derive(Debug)]
 pub enum EmbeddingIoError {
     /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// The file is not valid word2vec text format.
-    Parse(String),
+    Io {
+        /// The file involved, if any.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The input is not valid word2vec text format.
+    Parse {
+        /// The file involved, if any.
+        path: Option<PathBuf>,
+        /// What was malformed.
+        msg: String,
+    },
+}
+
+impl EmbeddingIoError {
+    fn parse(msg: impl Into<String>) -> Self {
+        EmbeddingIoError::Parse {
+            path: None,
+            msg: msg.into(),
+        }
+    }
+
+    /// Attaches a file path to an error that was produced without one.
+    pub fn with_path<P: AsRef<Path>>(self, p: P) -> Self {
+        let p = p.as_ref().to_path_buf();
+        match self {
+            EmbeddingIoError::Io { source, .. } => EmbeddingIoError::Io {
+                path: Some(p),
+                source,
+            },
+            EmbeddingIoError::Parse { msg, .. } => EmbeddingIoError::Parse { path: Some(p), msg },
+        }
+    }
 }
 
 impl std::fmt::Display for EmbeddingIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EmbeddingIoError::Io(e) => write!(f, "i/o error: {e}"),
-            EmbeddingIoError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EmbeddingIoError::Io { path, source } => match path {
+                Some(p) => write!(f, "cannot access embeddings file {}: {source}", p.display()),
+                None => write!(f, "i/o error: {source}"),
+            },
+            EmbeddingIoError::Parse { path, msg } => match path {
+                Some(p) => write!(f, "cannot parse embeddings file {}: {msg}", p.display()),
+                None => write!(f, "parse error: {msg}"),
+            },
         }
     }
 }
 
-impl std::error::Error for EmbeddingIoError {}
+impl std::error::Error for EmbeddingIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbeddingIoError::Io { source, .. } => Some(source),
+            EmbeddingIoError::Parse { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for EmbeddingIoError {
     fn from(e: std::io::Error) -> Self {
-        EmbeddingIoError::Io(e)
+        EmbeddingIoError::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
@@ -55,18 +105,18 @@ pub fn read_word2vec_text<R: Read>(reader: R) -> Result<Embeddings, EmbeddingIoE
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()
-        .ok_or_else(|| EmbeddingIoError::Parse("empty file".into()))??;
+        .ok_or_else(|| EmbeddingIoError::parse("empty file"))??;
     let mut parts = header.split_whitespace();
     let num_nodes: usize = parts
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| EmbeddingIoError::Parse("bad node count in header".into()))?;
+        .ok_or_else(|| EmbeddingIoError::parse("bad node count in header"))?;
     let dim: usize = parts
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| EmbeddingIoError::Parse("bad dimension in header".into()))?;
+        .ok_or_else(|| EmbeddingIoError::parse("bad dimension in header"))?;
     if dim == 0 {
-        return Err(EmbeddingIoError::Parse("dimension must be positive".into()));
+        return Err(EmbeddingIoError::parse("dimension must be positive"));
     }
     let mut flat = vec![0.0f32; num_nodes * dim];
     for (lineno, line) in lines.enumerate() {
@@ -76,16 +126,16 @@ pub fn read_word2vec_text<R: Read>(reader: R) -> Result<Embeddings, EmbeddingIoE
         }
         let mut toks = line.split_whitespace();
         let node: usize = toks.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
-            EmbeddingIoError::Parse(format!("bad node id at line {}", lineno + 2))
+            EmbeddingIoError::parse(format!("bad node id at line {}", lineno + 2))
         })?;
         if node >= num_nodes {
-            return Err(EmbeddingIoError::Parse(format!(
+            return Err(EmbeddingIoError::parse(format!(
                 "node id {node} out of range (header says {num_nodes})"
             )));
         }
         for j in 0..dim {
             let val: f32 = toks.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
-                EmbeddingIoError::Parse(format!("missing component {j} at line {}", lineno + 2))
+                EmbeddingIoError::parse(format!("missing component {j} at line {}", lineno + 2))
             })?;
             flat[node * dim + j] = val;
         }
@@ -93,16 +143,24 @@ pub fn read_word2vec_text<R: Read>(reader: R) -> Result<Embeddings, EmbeddingIoE
     Ok(Embeddings::from_flat(dim, flat))
 }
 
-/// Writes embeddings to a file in word2vec text format.
+/// Writes embeddings to a file in word2vec text format; errors carry the
+/// path for context.
 pub fn save_embeddings<P: AsRef<Path>>(emb: &Embeddings, path: P) -> Result<(), EmbeddingIoError> {
-    let file = std::fs::File::create(path)?;
-    write_word2vec_text(emb, file)
+    let path = path.as_ref();
+    let file = std::fs::File::create(path)
+        .map_err(EmbeddingIoError::from)
+        .map_err(|e| e.with_path(path))?;
+    write_word2vec_text(emb, file).map_err(|e| e.with_path(path))
 }
 
-/// Reads embeddings from a file in word2vec text format.
+/// Reads embeddings from a file in word2vec text format; errors carry the
+/// path for context.
 pub fn load_embeddings<P: AsRef<Path>>(path: P) -> Result<Embeddings, EmbeddingIoError> {
-    let file = std::fs::File::open(path)?;
-    read_word2vec_text(file)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(EmbeddingIoError::from)
+        .map_err(|e| e.with_path(path))?;
+    read_word2vec_text(file).map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -149,6 +207,22 @@ mod tests {
         assert_eq!(emb.vector(0), &[1.0, 2.0]);
         assert_eq!(emb.vector(1), &[0.0, 0.0]);
         assert_eq!(emb.vector(3), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn file_errors_name_the_path() {
+        let err = load_embeddings("/nonexistent/emb.txt").unwrap_err();
+        assert!(matches!(err, EmbeddingIoError::Io { path: Some(_), .. }));
+        assert!(format!("{err}").contains("/nonexistent/emb.txt"));
+
+        let dir = std::env::temp_dir().join("uninet_embedding_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.txt");
+        std::fs::write(&path, "not a header\n").unwrap();
+        let err = load_embeddings(&path).unwrap_err();
+        assert!(matches!(err, EmbeddingIoError::Parse { path: Some(_), .. }));
+        assert!(format!("{err}").contains("broken.txt"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

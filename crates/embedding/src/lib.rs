@@ -26,6 +26,7 @@ pub mod negative;
 pub mod online;
 pub mod sigmoid;
 pub mod skipgram;
+pub mod store;
 pub mod trainer;
 pub mod vocab;
 
@@ -33,6 +34,7 @@ pub use matrix::EmbeddingMatrix;
 pub use negative::UnigramTable;
 pub use online::OnlineWord2Vec;
 pub use sigmoid::SigmoidTable;
+pub use store::{EmbeddingSnapshot, EmbeddingStore};
 pub use trainer::{TrainStats, TrainingMode, Word2VecConfig, Word2VecTrainer};
 pub use vocab::Vocabulary;
 

@@ -1,0 +1,358 @@
+//! A concurrent serving layer over learned embeddings.
+//!
+//! The store holds an immutable [`EmbeddingSnapshot`] behind an
+//! `RwLock<Arc<..>>`: readers take the read lock only long enough to clone the
+//! `Arc`, then answer queries entirely lock-free against the frozen snapshot,
+//! while a training writer publishes a replacement snapshot with a short write
+//! lock that swaps one pointer. Readers therefore never observe a
+//! half-written matrix and never block an incremental training pass, and every
+//! published snapshot carries a monotonically increasing epoch so callers can
+//! detect staleness.
+//!
+//! ```
+//! use uninet_embedding::{Embeddings, EmbeddingStore};
+//!
+//! let store = EmbeddingStore::new();
+//! assert!(store.is_empty());
+//! store.publish(Embeddings::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]));
+//! assert_eq!(store.epoch(), 1);
+//! assert_eq!(store.vector(0), Some(vec![1.0, 0.0]));
+//! let neighbours = store.top_k(0, 1);
+//! assert_eq!(neighbours.len(), 1);
+//! ```
+
+use std::sync::{Arc, RwLock};
+
+use crate::Embeddings;
+
+/// One immutable published version of the embeddings.
+#[derive(Debug)]
+pub struct EmbeddingSnapshot {
+    epoch: u64,
+    embeddings: Embeddings,
+    /// Precomputed L2 norm per node, so cosine queries cost one dot product.
+    norms: Vec<f32>,
+}
+
+impl EmbeddingSnapshot {
+    fn new(epoch: u64, embeddings: Embeddings) -> Self {
+        let norms = (0..embeddings.num_nodes() as u32)
+            .map(|v| {
+                embeddings
+                    .vector(v)
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .collect();
+        EmbeddingSnapshot {
+            epoch,
+            embeddings,
+            norms,
+        }
+    }
+
+    /// The snapshot's publication epoch (0 = the initial empty snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen embeddings.
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.embeddings
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.embeddings.num_nodes()
+    }
+
+    fn contains(&self, node: u32) -> bool {
+        (node as usize) < self.embeddings.num_nodes()
+    }
+
+    /// Cosine similarity against the precomputed norms; `None` out of range.
+    pub fn cosine(&self, a: u32, b: u32) -> Option<f32> {
+        if !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        let na = self.norms[a as usize];
+        let nb = self.norms[b as usize];
+        if na == 0.0 || nb == 0.0 {
+            return Some(0.0);
+        }
+        let dot: f32 = self
+            .embeddings
+            .vector(a)
+            .iter()
+            .zip(self.embeddings.vector(b))
+            .map(|(x, y)| x * y)
+            .sum();
+        Some(dot / (na * nb))
+    }
+
+    /// The `k` nodes most cosine-similar to `node` (excluding `node` itself),
+    /// best first. Empty when `node` is out of range.
+    pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
+        if !self.contains(node) || k == 0 {
+            return Vec::new();
+        }
+        // Bounded selection: keep the k best seen so far in a min-heap, so a
+        // query over n nodes costs O(n · dim + n log k) instead of a full sort.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Scored(f32, u32);
+        impl Eq for Scored {}
+        impl PartialOrd for Scored {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Scored {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.1.cmp(&other.1))
+            }
+        }
+
+        // The query vector and its norm are loop-invariant — fetch them once.
+        let va = self.embeddings.vector(node);
+        let na = self.norms[node as usize];
+        let mut heap: BinaryHeap<Reverse<Scored>> = BinaryHeap::with_capacity(k + 1);
+        for u in 0..self.embeddings.num_nodes() as u32 {
+            if u == node {
+                continue;
+            }
+            let nb = self.norms[u as usize];
+            let s = if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                let dot: f32 = va
+                    .iter()
+                    .zip(self.embeddings.vector(u))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                dot / (na * nb)
+            };
+            heap.push(Reverse(Scored(s, u)));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        // Ascending order of `Reverse` is descending score — best first.
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|Reverse(Scored(s, u))| (u, s))
+            .collect()
+    }
+}
+
+/// Concurrent embedding query service: epoch-versioned snapshots behind a
+/// pointer-swap `RwLock` (see the module docs for the locking discipline).
+#[derive(Debug)]
+pub struct EmbeddingStore {
+    /// Epoch allocator, advanced outside the lock so snapshot construction
+    /// (the O(n·dim) norms pass) never blocks readers.
+    next_epoch: std::sync::atomic::AtomicU64,
+    slot: RwLock<Arc<EmbeddingSnapshot>>,
+}
+
+impl Default for EmbeddingStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddingStore {
+    /// Creates an empty store (epoch 0, no vectors).
+    pub fn new() -> Self {
+        EmbeddingStore {
+            next_epoch: std::sync::atomic::AtomicU64::new(0),
+            slot: RwLock::new(Arc::new(EmbeddingSnapshot::new(
+                0,
+                Embeddings::from_flat(1, Vec::new()),
+            ))),
+        }
+    }
+
+    /// Publishes a new embedding version and returns its epoch.
+    ///
+    /// The snapshot (including its norms table) is built *before* the write
+    /// lock is taken, so readers are only ever blocked for a pointer swap.
+    /// In-flight readers keep the snapshot they already cloned; new readers
+    /// see the published version. If two publishers race, the higher epoch
+    /// wins regardless of install order.
+    pub fn publish(&self, embeddings: Embeddings) -> u64 {
+        use std::sync::atomic::Ordering;
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings));
+        let mut slot = self.slot.write().expect("embedding store lock poisoned");
+        if snapshot.epoch() > slot.epoch() {
+            *slot = snapshot;
+        }
+        epoch
+    }
+
+    /// The current snapshot; queries against it are lock-free and see one
+    /// consistent version even while new epochs are published.
+    pub fn snapshot(&self) -> Arc<EmbeddingSnapshot> {
+        Arc::clone(&self.slot.read().expect("embedding store lock poisoned"))
+    }
+
+    /// The epoch of the current snapshot (0 until the first [`publish`]).
+    ///
+    /// [`publish`]: EmbeddingStore::publish
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().num_nodes() == 0
+    }
+
+    /// Number of nodes in the current snapshot.
+    pub fn num_nodes(&self) -> usize {
+        self.snapshot().num_nodes()
+    }
+
+    /// The embedding vector of `node`, or `None` when out of range.
+    pub fn vector(&self, node: u32) -> Option<Vec<f32>> {
+        let snap = self.snapshot();
+        snap.contains(node)
+            .then(|| snap.embeddings().vector(node).to_vec())
+    }
+
+    /// Cosine similarity of `a` and `b`, or `None` when out of range.
+    pub fn cosine(&self, a: u32, b: u32) -> Option<f32> {
+        self.snapshot().cosine(a, b)
+    }
+
+    /// The `k` nodes most similar to `node` in the current snapshot.
+    pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
+        self.snapshot().top_k(node, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embeddings {
+        // 5 nodes in 3 dimensions with distinct directions.
+        Embeddings::from_flat(
+            3,
+            vec![
+                1.0, 0.0, 0.0, // 0
+                0.9, 0.1, 0.0, // 1: close to 0
+                0.0, 1.0, 0.0, // 2
+                0.0, 0.0, 1.0, // 3
+                0.0, 0.0, 0.0, // 4: zero vector
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_store_answers_safely() {
+        let store = EmbeddingStore::new();
+        assert_eq!(store.epoch(), 0);
+        assert!(store.is_empty());
+        assert_eq!(store.vector(0), None);
+        assert_eq!(store.cosine(0, 1), None);
+        assert!(store.top_k(0, 5).is_empty());
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_serves_vectors() {
+        let store = EmbeddingStore::new();
+        assert_eq!(store.publish(sample()), 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.num_nodes(), 5);
+        assert_eq!(store.vector(2), Some(vec![0.0, 1.0, 0.0]));
+        assert_eq!(store.vector(5), None);
+        assert_eq!(store.publish(sample()), 2);
+    }
+
+    #[test]
+    fn cosine_matches_embeddings_impl() {
+        let store = EmbeddingStore::new();
+        store.publish(sample());
+        let emb = sample();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                let got = store.cosine(a, b).unwrap();
+                let want = emb.cosine_similarity(a, b);
+                assert!((got - want).abs() < 1e-6, "({a},{b}): {got} vs {want}");
+            }
+        }
+        assert_eq!(store.cosine(0, 9), None);
+    }
+
+    #[test]
+    fn top_k_agrees_with_brute_force_scan() {
+        let store = EmbeddingStore::new();
+        store.publish(sample());
+        let emb = sample();
+        for node in 0..5u32 {
+            for k in [1usize, 2, 3, 10] {
+                let fast = store.top_k(node, k);
+                let brute = emb.most_similar(node, k);
+                assert_eq!(fast.len(), brute.len(), "node {node} k {k}");
+                for (f, b) in fast.iter().zip(&brute) {
+                    // Scores must match exactly in order; node ids may differ
+                    // only between equal scores.
+                    assert!((f.1 - b.1).abs() < 1e-6, "node {node} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn old_snapshots_survive_publication() {
+        let store = EmbeddingStore::new();
+        store.publish(sample());
+        let old = store.snapshot();
+        store.publish(Embeddings::from_flat(2, vec![1.0, 1.0]));
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(old.num_nodes(), 5);
+        assert_eq!(store.num_nodes(), 1);
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let store = Arc::new(EmbeddingStore::new());
+        store.publish(sample());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = store.snapshot();
+                        assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                        last_epoch = snap.epoch();
+                        let _ = snap.top_k(0, 3);
+                    }
+                    last_epoch
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            store.publish(sample());
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() <= store.epoch());
+        }
+        assert_eq!(store.epoch(), 51);
+    }
+}

@@ -30,7 +30,7 @@ use crate::{GraphBuilder, NodeId};
 
 /// Assigns random node types to an existing graph, following the procedure
 /// the paper borrows from KnightKing for heterogenizing large networks
-/// ("we adopt the method in work [35] to randomly generate type information").
+/// ("we adopt the method in work \[35\] to randomly generate type information").
 pub fn assign_random_node_types(graph: &Graph, num_types: u16, seed: u64) -> Vec<u16> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..graph.num_nodes())

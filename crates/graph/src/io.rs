@@ -94,10 +94,14 @@ fn parse_node(tok: Option<&str>, line: usize, content: &str) -> Result<NodeId> {
         })
 }
 
-/// Reads an edge-list file from disk.
+/// Reads an edge-list file from disk; errors carry the path for context.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P, opts: EdgeListOptions) -> Result<Graph> {
-    let file = std::fs::File::open(path)?;
-    read_edge_list(file, opts)
+    let path = path.as_ref();
+    let attach = |e: GraphError| e.with_path(path);
+    let file = std::fs::File::open(path)
+        .map_err(GraphError::from)
+        .map_err(attach)?;
+    read_edge_list(file, opts).map_err(attach)
 }
 
 /// Writes the graph as a plain-text edge list (`src dst weight`), one directed
@@ -219,17 +223,19 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Graph> {
     Ok(g)
 }
 
-/// Writes the binary snapshot of a graph to a file.
+/// Writes the binary snapshot of a graph to a file; errors carry the path.
 pub fn write_binary_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let path = path.as_ref();
     let bytes = to_bytes(graph);
-    std::fs::write(path, &bytes)?;
+    std::fs::write(path, &bytes).map_err(|e| GraphError::from(e).with_path(path))?;
     Ok(())
 }
 
-/// Reads a binary snapshot of a graph from a file.
+/// Reads a binary snapshot of a graph from a file; errors carry the path.
 pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
-    let data = std::fs::read(path)?;
-    from_bytes(&data)
+    let path = path.as_ref();
+    let data = std::fs::read(path).map_err(|e| GraphError::from(e).with_path(path))?;
+    from_bytes(&data).map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]

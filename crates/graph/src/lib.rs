@@ -64,6 +64,27 @@ pub enum GraphError {
     Corrupt(String),
     /// An operation required node/edge types but the graph has none.
     MissingTypes(&'static str),
+    /// Any of the above, with the file it happened in attached — produced by
+    /// the `*_file` loaders so diagnostics name the offending path.
+    File {
+        /// The graph file involved.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: Box<GraphError>,
+    },
+}
+
+impl GraphError {
+    /// Attaches a file path (no-op if one is already attached).
+    pub fn with_path<P: AsRef<std::path::Path>>(self, p: P) -> Self {
+        match self {
+            GraphError::File { .. } => self,
+            other => GraphError::File {
+                path: p.as_ref().to_path_buf(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for GraphError {
@@ -78,6 +99,9 @@ impl std::fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Corrupt(msg) => write!(f, "corrupt graph snapshot: {msg}"),
             GraphError::MissingTypes(what) => write!(f, "graph has no {what} information"),
+            GraphError::File { path, source } => {
+                write!(f, "graph file {}: {source}", path.display())
+            }
         }
     }
 }
@@ -86,6 +110,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::File { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -7,6 +7,12 @@
 //! through hubs. Only `calculate_weight` / `update_state` need to be written;
 //! sampling, state management and parallelism come from the framework.
 //!
+//! This example deliberately drives the low-level `WalkEngine` layer: the
+//! high-level `uninet_core::Engine` facade covers the five built-in
+//! `ModelSpec`s, while user-defined `RandomWalkModel`s plug in one layer
+//! below, against the same sampler and trainer machinery (see `quickstart.rs`
+//! for the builder-based facade).
+//!
 //! Run with:
 //! ```text
 //! cargo run --release -p uninet-core --example custom_model

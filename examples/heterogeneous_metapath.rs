@@ -6,7 +6,7 @@
 //! cargo run --release -p uninet-core --example heterogeneous_metapath
 //! ```
 
-use uninet_core::{ModelSpec, UniNet, UniNetConfig};
+use uninet_core::{Engine, ModelSpec, UniNetError};
 use uninet_graph::{GraphBuilder, NodeId};
 
 use rand::rngs::SmallRng;
@@ -64,7 +64,7 @@ fn academic_graph(
     (b.symmetric(true).dedup(true).build(), author_area)
 }
 
-fn main() {
+fn main() -> Result<(), UniNetError> {
     let (graph, author_area) = academic_graph(4, 150, 3);
     println!(
         "academic graph: {} nodes, {} edges, {} node types",
@@ -73,32 +73,34 @@ fn main() {
         graph.num_node_types()
     );
 
-    // Author–Paper–Venue–Paper–Author metapath.
-    let spec = ModelSpec::MetaPath2Vec {
-        metapath: vec![0, 1, 2, 1, 0],
-    };
+    // Author–Paper–Venue–Paper–Author metapath. A metapath with fewer than
+    // two node types is rejected by the builder with
+    // `UniNetError::InvalidConfig` instead of being silently replaced.
+    let engine = Engine::builder()
+        .graph(graph)
+        .model(ModelSpec::MetaPath2Vec {
+            metapath: vec![0, 1, 2, 1, 0],
+        })
+        .num_walks(8)
+        .walk_length(40)
+        .threads(8)
+        .dim(64)
+        .window(5)
+        .epochs(2)
+        .build()?;
 
-    let mut config = UniNetConfig::default();
-    config.walk.num_walks = 8;
-    config.walk.walk_length = 40;
-    config.walk.num_threads = 8;
-    config.embedding.dim = 64;
-    config.embedding.num_threads = 8;
-    config.embedding.window = 5;
-    config.embedding.epochs = 2;
-
-    let result = UniNet::new(config).run(&graph, &spec);
+    let report = engine.train()?;
     println!(
         "generated {} metapath-guided walks in {:?} (init {:?})",
-        result.corpus.num_walks(),
-        result.timing.walk,
-        result.timing.init
+        report.corpus.num_walks(),
+        report.timing.walk,
+        report.timing.init
     );
 
     // Do embeddings of authors in the same research area end up closer
-    // together than authors of different areas?
+    // together than authors of different areas? Query the engine's snapshot.
     let num_authors = author_area.len();
-    let emb = &result.embeddings;
+    let snapshot = engine.snapshot();
     let mut rng = SmallRng::seed_from_u64(7);
     let (mut intra, mut inter, mut intra_n, mut inter_n) = (0.0f64, 0.0f64, 0u32, 0u32);
     for _ in 0..20_000 {
@@ -107,7 +109,7 @@ fn main() {
         if a == b {
             continue;
         }
-        let s = emb.cosine_similarity(a as u32, b as u32) as f64;
+        let s = snapshot.cosine(a as u32, b as u32).unwrap_or(0.0) as f64;
         if author_area[a] == author_area[b] {
             intra += s;
             intra_n += 1;
@@ -122,4 +124,5 @@ fn main() {
         inter / inter_n as f64
     );
     println!("(a larger same-area similarity means the metapath walks captured the semantics)");
+    Ok(())
 }

@@ -10,11 +10,11 @@
 //! cargo run --release -p uninet-core --example node_classification
 //! ```
 
-use uninet_core::{EdgeSamplerKind, InitStrategy, ModelSpec, Table, UniNet, UniNetConfig};
+use uninet_core::{EdgeSamplerKind, Engine, InitStrategy, ModelSpec, Table, UniNetError};
 use uninet_eval::multilabel::classify_with_fraction;
 use uninet_graph::generators::{planted_partition, PlantedPartitionConfig};
 
-fn main() {
+fn main() -> Result<(), UniNetError> {
     // A BlogCatalog-like labeled graph (scaled down).
     let lg = planted_partition(&PlantedPartitionConfig {
         num_nodes: 2_000,
@@ -44,19 +44,21 @@ fn main() {
     );
 
     for (label, init) in strategies {
-        let mut config = UniNetConfig::default();
-        config.walk.num_walks = 6;
-        config.walk.walk_length = 40;
-        config.walk.num_threads = 8;
-        config.walk.sampler = EdgeSamplerKind::MetropolisHastings(init);
-        config.embedding.dim = 64;
-        config.embedding.epochs = 2;
-        config.embedding.num_threads = 8;
-        config.embedding.window = 5;
-
-        let result = UniNet::new(config).run(&lg.graph, &ModelSpec::Node2Vec { p: 0.25, q: 4.0 });
+        let engine = Engine::builder()
+            .graph(lg.graph.clone())
+            .model(ModelSpec::Node2Vec { p: 0.25, q: 4.0 })
+            .num_walks(6)
+            .walk_length(40)
+            .threads(8)
+            .sampler(EdgeSamplerKind::MetropolisHastings(init))
+            .dim(64)
+            .epochs(2)
+            .window(5)
+            .build()?;
+        engine.train()?;
+        let snapshot = engine.snapshot();
         let features: Vec<Vec<f32>> = (0..lg.graph.num_nodes() as u32)
-            .map(|v| result.embeddings.vector(v).to_vec())
+            .map(|v| snapshot.embeddings().vector(v).to_vec())
             .collect();
 
         for &fraction in &fractions {
@@ -71,4 +73,5 @@ fn main() {
     }
 
     println!("\n{}", table.render_markdown());
+    Ok(())
 }

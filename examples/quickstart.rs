@@ -1,16 +1,17 @@
 //! Quickstart: learn DeepWalk embeddings of a small synthetic social network
-//! with UniNet's Metropolis-Hastings edge sampler and inspect the result.
+//! with UniNet's Metropolis-Hastings edge sampler and query the result
+//! through the engine's embedding store.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release -p uninet-core --example quickstart
 //! ```
 
-use uninet_core::{format_duration, ModelSpec, UniNet, UniNetConfig};
+use uninet_core::{format_duration, Engine, ModelSpec, UniNetError};
 use uninet_graph::generators::barabasi_albert;
 use uninet_graph::GraphStats;
 
-fn main() {
+fn main() -> Result<(), UniNetError> {
     // 1. Build (or load) a graph. Here: a 2 000-node scale-free network.
     let graph = barabasi_albert(2_000, 5, true, 7);
     let stats = GraphStats::compute(&graph);
@@ -18,45 +19,58 @@ fn main() {
         "graph: {} nodes, {} edges, mean degree {:.1}, max degree {}",
         stats.num_nodes, stats.num_edges, stats.mean_degree, stats.max_degree
     );
-
-    // 2. Configure the pipeline: 10 walks of length 80 per node (the paper's
-    //    defaults), 64-dimensional skip-gram embeddings.
-    let mut config = UniNetConfig::default();
-    config.walk.num_walks = 10;
-    config.walk.walk_length = 80;
-    config.walk.num_threads = 8;
-    config.embedding.dim = 64;
-    config.embedding.num_threads = 8;
-    config.embedding.epochs = 1;
-
-    // 3. Run DeepWalk end-to-end.
-    let result = UniNet::new(config).run(&graph, &ModelSpec::DeepWalk);
-    println!(
-        "walks: {} sequences, {} tokens (mean length {:.1})",
-        result.corpus.num_walks(),
-        result.corpus.total_tokens(),
-        result.corpus.mean_length()
-    );
-    println!(
-        "timing: Ti={} Tw={} Tl={} (total {})",
-        format_duration(result.timing.init),
-        format_duration(result.timing.walk),
-        format_duration(result.timing.learn),
-        format_duration(result.timing.total())
-    );
-
-    // 4. Inspect the embeddings: nearest neighbours of the highest-degree hub.
     let hub = (0..graph.num_nodes() as u32)
         .max_by_key(|&v| graph.degree(v))
         .expect("non-empty graph");
+    let hub_degree = graph.degree(hub);
+    let degree_of = {
+        let degrees: Vec<usize> = (0..graph.num_nodes() as u32)
+            .map(|v| graph.degree(v))
+            .collect();
+        move |v: u32| degrees[v as usize]
+    };
+
+    // 2. Configure the engine: 10 walks of length 80 per node (the paper's
+    //    defaults), 64-dimensional skip-gram embeddings. The builder
+    //    validates everything up front.
+    let engine = Engine::builder()
+        .graph(graph)
+        .model(ModelSpec::DeepWalk)
+        .num_walks(10)
+        .walk_length(80)
+        .threads(8)
+        .dim(64)
+        .epochs(1)
+        .build()?;
+
+    // 3. Run DeepWalk end-to-end; the learned embeddings are published to the
+    //    engine's store.
+    let report = engine.train()?;
     println!(
-        "most similar nodes to hub {hub} (degree {}):",
-        graph.degree(hub)
+        "walks: {} sequences, {} tokens (mean length {:.1})",
+        report.corpus.num_walks(),
+        report.corpus.total_tokens(),
+        report.corpus.mean_length()
     );
-    for (node, sim) in result.embeddings.most_similar(hub, 5) {
+    println!(
+        "timing: Ti={} Tw={} Tl={} (total {})",
+        format_duration(report.timing.init),
+        format_duration(report.timing.walk),
+        format_duration(report.timing.learn),
+        format_duration(report.timing.total())
+    );
+
+    // 4. Query the embeddings: nearest neighbours of the highest-degree hub,
+    //    served from the store's epoch-versioned snapshot.
+    println!(
+        "most similar nodes to hub {hub} (degree {hub_degree}), epoch {}:",
+        report.epoch
+    );
+    for (node, sim) in engine.top_k(hub, 5) {
         println!(
             "  node {node:5}  cosine {sim:.3}  degree {}",
-            graph.degree(node)
+            degree_of(node)
         );
     }
+    Ok(())
 }
