@@ -19,6 +19,11 @@
 //!    with reader threads hammering `top_k` against the engine's embedding
 //!    store; per-query latency (including snapshot/lock acquisition) is the
 //!    "serving while training" measurement.
+//! 4. **Exact vs. ANN top-k** — the same trained embeddings served through
+//!    the brute-force scan and through the per-snapshot HNSW index,
+//!    side by side: median/p95 latency, recall@10 against the exact result,
+//!    the per-epoch index build cost, and the batch-API amortization of
+//!    snapshot acquisition.
 //!
 //! Emits `results/BENCH_streaming.json` so the perf trajectory is tracked
 //! across PRs.
@@ -29,8 +34,8 @@ use std::time::Instant;
 
 use uninet_bench::{emit, emit_json, HarnessConfig, Json};
 use uninet_core::{
-    EdgeSamplerKind, Engine, InitStrategy, ModelSpec, StreamingConfig, StreamingReport, Table,
-    UniNetConfig,
+    EdgeSamplerKind, Engine, InitStrategy, ModelSpec, QueryMode, StreamingConfig, StreamingReport,
+    Table, UniNetConfig,
 };
 use uninet_dyngraph::GraphMutation;
 use uninet_eval::{link_prediction_auc, LinkPredictionConfig};
@@ -495,11 +500,145 @@ fn main() {
         ),
         ("stream_wall_s", Json::Num(stream_wall_s)),
     ]);
+    println!();
+
+    // Part 4: exact vs. ANN serving over the same trained embeddings. The
+    // part-3 session's final vectors are republished into an ANN-enabled
+    // store — no redundant retrain, and both paths (plus part 3 above)
+    // serve the very same embeddings; the only added cost is one index
+    // build, which is exactly the per-epoch price being measured.
+    let ann_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig::default());
+    ann_store.publish(engine.snapshot().embeddings().clone());
+    let snapshot = ann_store.snapshot();
+    let index = snapshot.ann().expect("ANN engine builds an index");
+    let ann_build_ms = index.build_time().as_secs_f64() * 1e3;
+    let k = 10usize;
+    let num_queries = if cfg.quick { 200usize } else { 1000 };
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let query_nodes: Vec<u32> = (0..num_queries)
+        .map(|_| rng.gen_range(0..snapshot.num_nodes() as u32))
+        .collect();
+
+    let mut table = Table::new(
+        "Query service — exact scan vs. HNSW ANN top-k over one snapshot",
+        &[
+            "mode",
+            "median us",
+            "p95 us",
+            "queries/s",
+            "recall@10",
+            "index build ms",
+        ],
+    );
+    let mut ann_json_fields: Vec<(&'static str, Json)> = vec![
+        ("k", Json::Int(k as u64)),
+        ("queries", Json::Int(num_queries as u64)),
+        ("ann_build_ms", Json::Num(ann_build_ms)),
+    ];
+    let mut medians = Vec::new();
+    let mut exact_results: Vec<Vec<(u32, f32)>> = Vec::new();
+    for mode in [QueryMode::Exact, QueryMode::Ann] {
+        let mut latencies = Vec::with_capacity(query_nodes.len());
+        let mut results = Vec::with_capacity(query_nodes.len());
+        for &node in &query_nodes {
+            let t = Instant::now();
+            let hits = snapshot.top_k_mode(node, k, mode);
+            latencies.push(t.elapsed().as_secs_f64() * 1e6);
+            results.push(hits);
+        }
+        let total_s = latencies.iter().sum::<f64>() / 1e6;
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = percentile(&latencies, 0.5);
+        let p95 = percentile(&latencies, 0.95);
+        let (label, recall) = match mode {
+            QueryMode::Exact => {
+                exact_results = results;
+                ("exact-scan", 1.0)
+            }
+            QueryMode::Ann => {
+                let mut hits = 0usize;
+                let mut total = 0usize;
+                for (approx, exact) in results.iter().zip(&exact_results) {
+                    let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
+                    hits += approx
+                        .iter()
+                        .filter(|&&(u, _)| exact_ids.contains(&u))
+                        .count();
+                    total += exact.len();
+                }
+                ("hnsw-ann", hits as f64 / total.max(1) as f64)
+            }
+        };
+        table.add_row(&[
+            label.to_string(),
+            format!("{median:.1}"),
+            format!("{p95:.1}"),
+            format!("{:.0}", num_queries as f64 / total_s.max(1e-9)),
+            format!("{recall:.4}"),
+            if matches!(mode, QueryMode::Ann) {
+                format!("{ann_build_ms:.1}")
+            } else {
+                "-".to_string()
+            },
+        ]);
+        medians.push(median);
+        let qps = num_queries as f64 / total_s.max(1e-9);
+        match mode {
+            QueryMode::Exact => {
+                ann_json_fields.push(("exact_median_us", Json::Num(median)));
+                ann_json_fields.push(("exact_p95_us", Json::Num(p95)));
+                ann_json_fields.push(("exact_queries_per_sec", Json::Num(qps)));
+            }
+            QueryMode::Ann => {
+                ann_json_fields.push(("ann_median_us", Json::Num(median)));
+                ann_json_fields.push(("ann_p95_us", Json::Num(p95)));
+                ann_json_fields.push(("ann_queries_per_sec", Json::Num(qps)));
+                ann_json_fields.push(("recall_at_10", Json::Num(recall)));
+            }
+        }
+    }
+    emit(&table, "exp_ingest_ann");
+    let ann_speedup = if medians[1] > 0.0 {
+        medians[0] / medians[1]
+    } else {
+        0.0
+    };
+    ann_json_fields.push(("ann_speedup_median", Json::Num(ann_speedup)));
+    println!(
+        "ann serving: median {:.1} us vs exact {:.1} us ({:.2}x), index built in {:.1} ms",
+        medians[1], medians[0], ann_speedup, ann_build_ms,
+    );
+
+    // Batch-API amortization: the same slab through per-call store queries
+    // (one read lock each) and through one top_k_batch (one lock, one epoch).
+    let store = &ann_store;
+    let t = Instant::now();
+    for &node in &query_nodes {
+        let _ = store.top_k_mode(node, k, QueryMode::Ann);
+    }
+    let per_call_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let batch = store.top_k_batch(&query_nodes, k, QueryMode::Ann);
+    let batch_s = t.elapsed().as_secs_f64();
+    assert_eq!(batch.len(), query_nodes.len());
+    println!(
+        "batch api: {} queries in {:.1} ms batched vs {:.1} ms per-call",
+        query_nodes.len(),
+        batch_s * 1e3,
+        per_call_s * 1e3,
+    );
+    ann_json_fields.push(("batch_total_ms", Json::Num(batch_s * 1e3)));
+    ann_json_fields.push(("per_call_total_ms", Json::Num(per_call_s * 1e3)));
+    let json_ann = Json::Obj(ann_json_fields);
 
     emit_json(
         "BENCH_streaming",
         &Json::Obj(vec![
             ("experiment", Json::Str("exp_ingest".to_string())),
+            // The harness scale knobs, so trend-file readers can tell a
+            // configuration change from a performance change.
+            ("scale", Json::Num(cfg.scale)),
+            ("quick", Json::Bool(cfg.quick)),
             ("nodes", Json::Int(graph.num_nodes() as u64)),
             ("edges", Json::Int(graph.num_edges() as u64)),
             ("updates", Json::Int(stream.len() as u64)),
@@ -524,6 +663,7 @@ fn main() {
             ),
             ("training", Json::Arr(json_training)),
             ("query_service", json_queries),
+            ("ann_query_service", json_ann),
             (
                 "auc_delta_incremental_vs_full",
                 Json::Num(aucs[1] - aucs[0]),

@@ -13,6 +13,19 @@
 //!   defaults, which are laptop-sized, *not* the paper's billion-edge runs),
 //! * `UNINET_QUICK` — when set to `1`, cuts walk counts/lengths for CI-speed
 //!   smoke runs.
+//!
+//! Besides the scale knobs, the crate provides the synthetic dataset registry
+//! (stand-ins for the paper's datasets at any scale) and the [`Json`] emitter
+//! behind the machine-readable `results/BENCH_*.json` trend files.
+//!
+//! ```
+//! use uninet_bench::{HarnessConfig, Json};
+//!
+//! let cfg = HarnessConfig::from_env();
+//! assert!(cfg.scale > 0.0);
+//! let blob = Json::Obj(vec![("answer", Json::Int(42))]);
+//! assert_eq!(blob.render(), "{\"answer\":42}");
+//! ```
 
 use std::path::PathBuf;
 

@@ -68,6 +68,16 @@ STREAMING UPDATES (dynamic-graph mode):
   --incremental-train     update embeddings online on regenerated walks
                           instead of a full retrain at end-of-stream
 
+QUERY SERVICE (ANN):
+  --ann                   build an HNSW index into every published embedding
+                          snapshot, so top-k queries run in ~O(log n * d)
+                          instead of a full scan
+  --ann-m <M>             HNSW links per node and layer (layer 0: 2M)
+                                                              [default: 16]
+  --ann-ef-construction <N>
+                          HNSW construction beam width        [default: 100]
+  --ann-ef-search <N>     HNSW query beam width (recall knob) [default: 64]
+
 OUTPUT:
   --output <FILE>         embeddings in word2vec text format (required)
   --help                  print this help
@@ -92,6 +102,10 @@ impl Args {
             }
             if arg == "--incremental-train" {
                 map.insert("incremental-train".to_string(), "1".to_string());
+                continue;
+            }
+            if arg == "--ann" {
+                map.insert("ann".to_string(), "1".to_string());
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -230,7 +244,11 @@ fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
         // honor the same worker count as walk generation.
         .ingest_threads(args.parse_or("ingest-threads", 0usize)?)
         .queue_capacity(args.parse_or("queue-capacity", 8usize)?)
-        .incremental_train(args.get("incremental-train").is_some());
+        .incremental_train(args.get("incremental-train").is_some())
+        .ann_index(args.get("ann").is_some())
+        .ann_m(args.parse_or("ann-m", 16usize)?)
+        .ann_ef_construction(args.parse_or("ann-ef-construction", 100usize)?)
+        .ann_ef_search(args.parse_or("ann-ef-search", 64usize)?);
     builder = match args.get("input") {
         Some(path) => builder.graph_from_edge_list(path),
         None => builder.graph(build_graph(args)?),
@@ -258,6 +276,13 @@ fn run() -> Result<(), UniNetError> {
         engine.spec().name(),
         engine.config().walk.sampler,
     );
+    if engine.streaming_config().ann_index {
+        let s = engine.streaming_config();
+        eprintln!(
+            "query service: HNSW ANN per snapshot (M={}, ef_construction={}, ef_search={})",
+            s.ann_m, s.ann_ef_construction, s.ann_ef_search,
+        );
+    }
 
     let (corpus_walks, corpus_tokens, timing) = if let Some(updates_path) = args.get("updates") {
         let mutations = read_update_stream_file(updates_path)?;

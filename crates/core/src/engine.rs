@@ -13,7 +13,11 @@
 //!   [`StreamingConfig::incremental_train`](crate::StreamingConfig) every
 //!   refresh round publishes an updated snapshot.
 //! * [`Engine::top_k`] / [`Engine::cosine`] / [`Engine::vector`] — embedding
-//!   queries served lock-free from the latest published snapshot.
+//!   queries served lock-free from the latest published snapshot; with
+//!   [`EngineBuilder::ann_index`] top-k routes through a per-snapshot HNSW
+//!   index ([`QueryMode`] selects the path per call), and
+//!   [`Engine::top_k_batch`] / [`Engine::cosine_batch`] answer query slabs
+//!   from one snapshot acquisition.
 //!
 //! ```
 //! use uninet_core::{Engine, ModelSpec};
@@ -39,7 +43,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use uninet_dyngraph::GraphMutation;
-use uninet_embedding::{EmbeddingSnapshot, EmbeddingStore, TrainStats};
+use uninet_embedding::{AnnConfig, EmbeddingSnapshot, EmbeddingStore, QueryMode, TrainStats};
 use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
 use uninet_graph::Graph;
 use uninet_sampler::EdgeSamplerKind;
@@ -253,6 +257,34 @@ impl EngineBuilder {
         self
     }
 
+    /// Build an HNSW ANN index into every published snapshot, so
+    /// [`Engine::top_k`] serves approximate results in `O(log n · d)`-ish
+    /// time instead of a full scan ([`QueryMode::Exact`] queries stay
+    /// available per call). The per-epoch rebuild runs outside the store's
+    /// write lock.
+    pub fn ann_index(mut self, on: bool) -> Self {
+        self.streaming.ann_index = on;
+        self
+    }
+
+    /// HNSW `M` (max neighbours per node and layer; layer 0 keeps `2M`).
+    pub fn ann_m(mut self, m: usize) -> Self {
+        self.streaming.ann_m = m;
+        self
+    }
+
+    /// HNSW construction beam width (`ef_construction`).
+    pub fn ann_ef_construction(mut self, ef: usize) -> Self {
+        self.streaming.ann_ef_construction = ef;
+        self
+    }
+
+    /// HNSW query beam width (`ef_search`) — the recall/latency knob.
+    pub fn ann_ef_search(mut self, ef: usize) -> Self {
+        self.streaming.ann_ef_search = ef;
+        self
+    }
+
     /// Validates the configuration, loads the graph if necessary, and
     /// constructs the engine.
     pub fn build(self) -> Result<Engine, UniNetError> {
@@ -350,6 +382,45 @@ impl EngineBuilder {
                 return Err(UniNetError::InvalidConfig { field, reason });
             }
         }
+        if streaming.ann_index {
+            if streaming.ann_m < 2 {
+                return Err(UniNetError::invalid_config(
+                    "streaming.ann_m",
+                    format!(
+                        "HNSW needs at least 2 links per node (got {})",
+                        streaming.ann_m
+                    ),
+                ));
+            }
+            if streaming.ann_ef_construction < streaming.ann_m {
+                return Err(UniNetError::invalid_config(
+                    "streaming.ann_ef_construction",
+                    format!(
+                        "the construction beam must be at least ann_m = {} (got {})",
+                        streaming.ann_m, streaming.ann_ef_construction
+                    ),
+                ));
+            }
+            if streaming.ann_ef_search == 0 {
+                return Err(UniNetError::invalid_config(
+                    "streaming.ann_ef_search",
+                    "the query beam must be positive (got 0)".to_string(),
+                ));
+            }
+        }
+
+        // The serving store; with ANN enabled, every published snapshot gets
+        // an HNSW index whose level RNG derives from the engine seed.
+        let store = if streaming.ann_index {
+            EmbeddingStore::with_ann(AnnConfig {
+                m: streaming.ann_m,
+                ef_construction: streaming.ann_ef_construction,
+                ef_search: streaming.ann_ef_search,
+                seed: config.walk.seed,
+            })
+        } else {
+            EmbeddingStore::new()
+        };
 
         let num_nodes = graph.num_nodes();
         Ok(Engine {
@@ -358,7 +429,7 @@ impl EngineBuilder {
                 streaming,
                 spec,
                 num_nodes,
-                store: Arc::new(EmbeddingStore::new()),
+                store: Arc::new(store),
                 core: Mutex::new(CoreState::Idle(EngineCore { graph })),
             }),
         })
@@ -572,8 +643,30 @@ impl Engine {
     }
 
     /// The `k` most similar nodes to `node` in the latest snapshot.
+    ///
+    /// Routes through the snapshot's HNSW index when the engine was built
+    /// with [`EngineBuilder::ann_index`] (falling back to the exact scan
+    /// otherwise); use [`Engine::top_k_mode`] to pick the path explicitly.
     pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
-        self.inner.store.top_k(node, k)
+        self.inner.store.top_k_mode(node, k, QueryMode::Ann)
+    }
+
+    /// The `k` most similar nodes to `node`, selected via an explicit
+    /// [`QueryMode`]: [`QueryMode::Exact`] always scans every vector,
+    /// [`QueryMode::Ann`] uses the snapshot's HNSW index when one exists.
+    pub fn top_k_mode(&self, node: u32, k: usize, mode: QueryMode) -> Vec<(u32, f32)> {
+        self.inner.store.top_k_mode(node, k, mode)
+    }
+
+    /// Answers a slab of top-k queries with one snapshot acquisition: the
+    /// read lock is taken once and every row is served from the same epoch.
+    pub fn top_k_batch(&self, nodes: &[u32], k: usize, mode: QueryMode) -> Vec<Vec<(u32, f32)>> {
+        self.inner.store.top_k_batch(nodes, k, mode)
+    }
+
+    /// Answers a slab of cosine queries with one snapshot acquisition.
+    pub fn cosine_batch(&self, pairs: &[(u32, u32)]) -> Vec<Option<f32>> {
+        self.inner.store.cosine_batch(pairs)
     }
 
     /// Runs walk generation only and returns the corpus plus (`Ti`, `Tw`).

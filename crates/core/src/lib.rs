@@ -68,7 +68,9 @@ pub use timing::PhaseTiming;
 pub use uninet_dyngraph::{
     DynamicGraph, GraphMutation, IncrementalMaintainer, ParseIssue, StreamError, UpdateBatch,
 };
-pub use uninet_embedding::{EmbeddingSnapshot, EmbeddingStore, Embeddings};
+pub use uninet_embedding::{
+    AnnConfig, EmbeddingSnapshot, EmbeddingStore, Embeddings, HnswIndex, QueryMode,
+};
 pub use uninet_graph::{Graph, GraphError};
 pub use uninet_ingest::{IngestConfig, QueueStats, ShardPlan, ShardedMaintainer};
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};

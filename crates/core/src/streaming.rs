@@ -50,15 +50,31 @@ pub struct StreamingConfig {
     pub incremental_train: bool,
     /// Minimum milliseconds between snapshot publications to the serving
     /// store during incremental training. Publishing copies the full
-    /// embedding matrix and recomputes its norms (O(n·dim)), so on large
-    /// graphs an unthrottled per-round publish dominates the ingestion path;
-    /// 0 publishes after every incremental pass. The model state after the
-    /// final pass is always published regardless of the interval.
+    /// embedding matrix, recomputes its norms (O(n·dim)) and — with
+    /// [`ann_index`](StreamingConfig::ann_index) — rebuilds the HNSW index,
+    /// so on large graphs an unthrottled per-round publish dominates the
+    /// ingestion path; 0 publishes after every incremental pass. The model
+    /// state after the final pass is always published regardless of the
+    /// interval.
     pub snapshot_interval_ms: u64,
+    /// Build an HNSW ANN index into every published snapshot, so
+    /// `QueryMode::Ann` top-k queries run in `O(log n · d)`-ish time instead
+    /// of a full scan. The rebuild cost is paid once per publish (outside the
+    /// store's write lock); pair with
+    /// [`snapshot_interval_ms`](StreamingConfig::snapshot_interval_ms) on
+    /// large graphs.
+    pub ann_index: bool,
+    /// HNSW `M`: max neighbours per node on upper layers (layer 0 keeps 2M).
+    pub ann_m: usize,
+    /// HNSW construction beam width (`ef_construction`, must be ≥ `ann_m`).
+    pub ann_ef_construction: usize,
+    /// HNSW query beam width (`ef_search`) — the recall/latency knob.
+    pub ann_ef_search: usize,
 }
 
 impl Default for StreamingConfig {
     fn default() -> Self {
+        let ann = uninet_embedding::AnnConfig::default();
         StreamingConfig {
             batch_size: 256,
             compaction_threshold: 1024,
@@ -68,6 +84,10 @@ impl Default for StreamingConfig {
             queue_capacity: 8,
             incremental_train: false,
             snapshot_interval_ms: 0,
+            ann_index: false,
+            ann_m: ann.m,
+            ann_ef_construction: ann.ef_construction,
+            ann_ef_search: ann.ef_search,
         }
     }
 }

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use uninet_core::{EdgeSamplerKind, Engine, GraphMutation, InitStrategy, ModelSpec, UniNetError};
+use uninet_core::{
+    EdgeSamplerKind, Engine, GraphMutation, InitStrategy, ModelSpec, QueryMode, UniNetError,
+};
 use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
 use uninet_graph::{Graph, NodeId};
 
@@ -140,6 +142,40 @@ fn builder_rejects_bad_configs() {
         "streaming.queue_capacity",
     );
     assert_invalid(Engine::builder().build().unwrap_err(), "graph");
+    // ANN options are validated only when the index is enabled.
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_index(true)
+            .ann_m(1)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_m",
+    );
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_index(true)
+            .ann_m(16)
+            .ann_ef_construction(4)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_ef_construction",
+    );
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_index(true)
+            .ann_ef_search(0)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_ef_search",
+    );
+    assert!(Engine::builder()
+        .graph(g())
+        .ann_m(0) // nonsense, but ignored while the index is off
+        .build()
+        .is_ok());
     // A valid configuration still builds.
     assert!(Engine::builder().graph(g()).build().is_ok());
 }
@@ -215,6 +251,66 @@ fn top_k_agrees_with_brute_force_over_trained_embeddings() {
             );
         }
     }
+}
+
+#[test]
+fn ann_engine_routes_top_k_through_the_index() {
+    let engine = Engine::builder()
+        .graph(test_graph())
+        .model(ModelSpec::DeepWalk)
+        .num_walks(2)
+        .walk_length(10)
+        .dim(24)
+        .epochs(1)
+        .threads(2)
+        .seed(11)
+        .sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random))
+        .ann_index(true)
+        .ann_ef_search(128)
+        .build()
+        .unwrap();
+    // Nothing published yet: ANN queries answer safely from the empty epoch.
+    assert!(engine.top_k(0, 5).is_empty());
+    engine.train().unwrap();
+
+    let snapshot = engine.snapshot();
+    assert!(snapshot.ann().is_some(), "snapshot should carry the index");
+    let emb = snapshot.embeddings();
+    let mut hits = 0usize;
+    for node in [0u32, 7, 42, 199] {
+        // The default path serves from the index...
+        let ann = engine.top_k(node, 10);
+        assert_eq!(ann.len(), 10);
+        for pair in ann.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "ann results not sorted");
+        }
+        // ...while QueryMode::Exact still matches brute force exactly.
+        let exact = engine.top_k_mode(node, 10, QueryMode::Exact);
+        let brute = emb.most_similar(node, 10);
+        for (f, b) in exact.iter().zip(&brute) {
+            assert!((f.1 - b.1).abs() < 1e-6);
+        }
+        let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
+        hits += ann.iter().filter(|&&(u, _)| exact_ids.contains(&u)).count();
+    }
+    assert!(hits >= 36, "recall@10 over 4 probes too low: {hits}/40");
+}
+
+#[test]
+fn batch_queries_amortize_one_snapshot_acquisition() {
+    let engine = small_engine(test_graph());
+    engine.train().unwrap();
+    let nodes: Vec<u32> = (0..50).collect();
+    let batch = engine.top_k_batch(&nodes, 5, QueryMode::Exact);
+    assert_eq!(batch.len(), nodes.len());
+    for (&node, row) in nodes.iter().zip(&batch) {
+        assert_eq!(row, &engine.top_k_mode(node, 5, QueryMode::Exact));
+    }
+    let pairs = [(0u32, 1u32), (5, 9), (0, 10_000)];
+    let cosines = engine.cosine_batch(&pairs);
+    assert_eq!(cosines[0], engine.cosine(0, 1));
+    assert_eq!(cosines[1], engine.cosine(5, 9));
+    assert_eq!(cosines[2], None);
 }
 
 #[test]
@@ -330,6 +426,74 @@ fn concurrent_queries_during_streaming_see_monotone_epochs() {
          one refresh-round snapshot"
     );
     assert_eq!(final_epoch, outcome.report.snapshots_published as u64);
+}
+
+#[test]
+fn ann_queries_during_streaming_see_monotone_epochs() {
+    let graph = test_graph();
+    let mutations = mixed_stream(&graph, 400, 13);
+    let engine = Engine::builder()
+        .graph(graph)
+        .model(ModelSpec::DeepWalk)
+        .num_walks(2)
+        .walk_length(10)
+        .dim(24)
+        .epochs(1)
+        .threads(2)
+        .sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random))
+        .update_batch_size(32)
+        .compaction_threshold(64)
+        .incremental_train(true)
+        .ann_index(true)
+        .build()
+        .unwrap();
+
+    let handle = engine.stream(mutations).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            let store = handle.store();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(500 + i);
+                let mut last_epoch = 0u64;
+                let mut ann_answers = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = store.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epoch went backwards: {} -> {}",
+                        last_epoch,
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    if snap.num_nodes() > 0 {
+                        // Every published snapshot must carry a freshly built
+                        // index; the ANN path serves the query.
+                        assert!(snap.ann().is_some(), "snapshot without HNSW index");
+                        let node = rng.gen_range(0..snap.num_nodes() as u32);
+                        let top = snap.top_k_mode(node, 5, QueryMode::Ann);
+                        assert!(top.len() <= 5);
+                        for pair in top.windows(2) {
+                            assert!(pair[0].1 >= pair[1].1, "ann top_k not sorted");
+                        }
+                        ann_answers += 1;
+                    }
+                }
+                (ann_answers, last_epoch)
+            })
+        })
+        .collect();
+
+    let outcome = handle.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let (ann_answers, last_epoch) = reader.join().expect("reader panicked");
+        assert!(ann_answers > 0, "reader served no ANN queries");
+        assert!(last_epoch <= outcome.epoch);
+    }
+    assert!(outcome.report.snapshots_published >= 2);
+    assert!(engine.snapshot().ann().is_some());
 }
 
 #[test]

@@ -25,6 +25,10 @@
 //! * [`stream`] — a plain-text edge-update stream format plus batching, used
 //!   by the `uninet --updates` CLI streaming mode.
 //!
+//! `uninet-ingest` drives these components concurrently (sharded application,
+//! parallel maintenance), and `uninet-core`'s `Engine::stream` wraps the
+//! whole pipeline in a session the embedding query service stays live under.
+//!
 //! ## Example
 //!
 //! ```

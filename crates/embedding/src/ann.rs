@@ -1,0 +1,516 @@
+//! Approximate nearest-neighbour search over embedding snapshots.
+//!
+//! The serving path's exact `top_k` is a full scan: every query touches all
+//! `n` vectors (`O(n·d)` per query), which caps the query service far below
+//! the millions-of-users traffic the engine targets. This module provides an
+//! [`HnswIndex`] — a Hierarchical Navigable Small World graph (Malkov &
+//! Yashunin, 2016) built once per published snapshot — that answers the same
+//! cosine top-k queries in roughly `O(log n · d)` by greedy descent through a
+//! layered proximity graph.
+//!
+//! Design points:
+//!
+//! * **Immutable after build.** The index is constructed alongside a
+//!   snapshot's norms (outside the store's write lock) and never mutated
+//!   afterwards, so concurrent readers share it without synchronization.
+//! * **Deterministic.** Layer assignment draws from a [`SmallRng`] seeded by
+//!   [`AnnConfig::seed`] (the engine seed), and insertion order is node
+//!   order — two builds over the same vectors produce the same graph.
+//! * **Cosine via normalization.** Vectors are L2-normalized at build time,
+//!   so similarity is a plain dot product and results carry the same cosine
+//!   scores the exact scan reports.
+//!
+//! ```
+//! use uninet_embedding::{AnnConfig, Embeddings, HnswIndex};
+//!
+//! let emb = Embeddings::from_flat(2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0]);
+//! let index = HnswIndex::build(&emb, &AnnConfig::default());
+//! let hits = index.search_node(0, 1);
+//! assert_eq!(hits[0].0, 1); // node 1 points almost the same way as node 0
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Embeddings;
+
+/// Hard cap on HNSW layer count; with `m >= 2` the level sampler reaches
+/// this only with astronomically small probability.
+const MAX_LEVEL: usize = 16;
+
+/// How an embedding query selects its top-k candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Brute-force scan over every vector: exact results, `O(n·d)` per query.
+    Exact,
+    /// HNSW graph search: approximate results in `O(log n · d)`-ish time,
+    /// falling back to the exact scan when the snapshot carries no index.
+    #[default]
+    Ann,
+}
+
+/// HNSW construction and search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnConfig {
+    /// Maximum neighbours kept per node on the upper layers (layer 0 keeps
+    /// `2·m`). Higher values trade memory and build time for recall.
+    pub m: usize,
+    /// Beam width of the candidate search during construction; must be at
+    /// least `m`.
+    pub ef_construction: usize,
+    /// Default beam width during queries (raised to `k` when `k` is larger);
+    /// the recall/latency knob.
+    pub ef_search: usize,
+    /// Seed of the deterministic layer-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// An `(f32 score, node id)` pair ordered as "bigger score is better" with
+/// NaN collapsed to equality and ids as the tie-break, so it can live in
+/// heaps. Shared by the ANN search here and the exact scan in `store.rs` —
+/// both paths must break ties identically.
+#[derive(PartialEq, Clone, Copy)]
+pub(crate) struct Sim(pub(crate) f32, pub(crate) u32);
+
+impl Eq for Sim {}
+impl PartialOrd for Sim {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sim {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+/// A generation-stamped visited set: `clear` is O(1), so one allocation
+/// serves every layer of a search (and every insertion of a build).
+struct Visited {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl Visited {
+    fn new(n: usize) -> Self {
+        Visited {
+            stamp: vec![0; n],
+            gen: 0,
+        }
+    }
+
+    /// Grows the set to cover `n` nodes; existing stamps stay valid because
+    /// `clear` always moves to a generation no old stamp can carry.
+    fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Marks `v` visited; returns `true` when it was already marked.
+    fn test_and_set(&mut self, v: u32) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        let seen = *slot == self.gen;
+        *slot = self.gen;
+        seen
+    }
+}
+
+/// A Hierarchical Navigable Small World index over one embedding version.
+///
+/// Built by [`HnswIndex::build`]; queried concurrently by any number of
+/// readers through [`HnswIndex::search`] / [`HnswIndex::search_node`].
+#[derive(Debug)]
+pub struct HnswIndex {
+    dim: usize,
+    num_nodes: usize,
+    ef_search: usize,
+    /// L2-normalized copies of the indexed vectors (zero vectors stay zero),
+    /// so similarity is one dot product.
+    normalized: Vec<f32>,
+    /// `neighbors[node][level]` — adjacency per layer, `0..=node_level`.
+    neighbors: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    top_level: usize,
+    build_time: Duration,
+}
+
+impl HnswIndex {
+    /// Builds the index over every vector in `embeddings`.
+    ///
+    /// Deterministic for a given `(embeddings, config)` pair. Cost is
+    /// `O(n · ef_construction · d)`-ish — this is the per-epoch rebuild the
+    /// serving layer pays so queries get out of the full-scan regime.
+    pub fn build(embeddings: &Embeddings, config: &AnnConfig) -> Self {
+        assert!(config.m >= 2, "HNSW needs m >= 2");
+        let start = Instant::now();
+        let dim = embeddings.dim();
+        let n = embeddings.num_nodes();
+        let mut normalized = Vec::with_capacity(n * dim);
+        for v in 0..n as u32 {
+            let row = embeddings.vector(v);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm == 0.0 {
+                normalized.extend_from_slice(row);
+            } else {
+                normalized.extend(row.iter().map(|x| x / norm));
+            }
+        }
+        let mut index = HnswIndex {
+            dim,
+            num_nodes: n,
+            ef_search: config.ef_search.max(1),
+            normalized,
+            neighbors: vec![Vec::new(); n],
+            entry: 0,
+            top_level: 0,
+            build_time: Duration::ZERO,
+        };
+        let ml = 1.0 / (config.m as f64).ln();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut visited = Visited::new(n);
+        for v in 0..n as u32 {
+            // Exponentially distributed layer assignment: P(level >= l) = m^-l.
+            let u: f64 = rng.gen();
+            let level = ((-(1.0 - u).ln() * ml) as usize).min(MAX_LEVEL);
+            index.insert(v, level, config, &mut visited);
+        }
+        index.build_time = start.elapsed();
+        index
+    }
+
+    /// Number of indexed vectors.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The index's top layer (0 for tiny graphs).
+    pub fn top_level(&self) -> usize {
+        self.top_level
+    }
+
+    /// Wall-clock time the build took — the per-epoch rebuild cost a
+    /// publishing writer pays outside the store's write lock.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    #[inline]
+    fn vec_of(&self, v: u32) -> &[f32] {
+        let start = v as usize * self.dim;
+        &self.normalized[start..start + self.dim]
+    }
+
+    #[inline]
+    fn dot(&self, query: &[f32], v: u32) -> f32 {
+        query.iter().zip(self.vec_of(v)).map(|(x, y)| x * y).sum()
+    }
+
+    /// Beam search on one layer: expands from `entries` keeping the `ef`
+    /// most similar nodes seen; returns them best first.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[Sim],
+        ef: usize,
+        level: usize,
+        visited: &mut Visited,
+    ) -> Vec<Sim> {
+        visited.clear();
+        // `candidates` is a max-heap of the frontier, `results` a min-heap of
+        // the best `ef` found so far.
+        let mut candidates: BinaryHeap<Sim> = BinaryHeap::new();
+        let mut results: BinaryHeap<Reverse<Sim>> = BinaryHeap::with_capacity(ef + 1);
+        for &e in entries {
+            if !visited.test_and_set(e.1) {
+                candidates.push(e);
+                results.push(Reverse(e));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+        while let Some(c) = candidates.pop() {
+            let worst = results.peek().map(|r| r.0 .0).unwrap_or(f32::NEG_INFINITY);
+            if results.len() >= ef && c.0 < worst {
+                break;
+            }
+            let adj = &self.neighbors[c.1 as usize];
+            if level >= adj.len() {
+                continue;
+            }
+            for &u in &adj[level] {
+                if visited.test_and_set(u) {
+                    continue;
+                }
+                let s = Sim(self.dot(query, u), u);
+                let worst = results.peek().map(|r| r.0 .0).unwrap_or(f32::NEG_INFINITY);
+                if results.len() < ef || s.0 > worst {
+                    candidates.push(s);
+                    results.push(Reverse(s));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Sim> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// The select-neighbours heuristic (Algorithm 4 of the HNSW paper): a
+    /// candidate is kept only when it is closer to the query than to every
+    /// neighbour already selected, which preserves links across clusters;
+    /// pruned candidates backfill remaining slots.
+    fn select_neighbors(&self, candidates: &[Sim], m: usize) -> Vec<Sim> {
+        let mut selected: Vec<Sim> = Vec::with_capacity(m);
+        let mut skipped: Vec<Sim> = Vec::new();
+        for &c in candidates {
+            if selected.len() >= m {
+                break;
+            }
+            let cv = self.vec_of(c.1);
+            let diverse = selected.iter().all(|s| {
+                let to_selected: f32 = cv.iter().zip(self.vec_of(s.1)).map(|(x, y)| x * y).sum();
+                to_selected < c.0
+            });
+            if diverse {
+                selected.push(c);
+            } else {
+                skipped.push(c);
+            }
+        }
+        for c in skipped {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(c);
+        }
+        selected
+    }
+
+    /// Adds `b` to `a`'s adjacency on `level`, pruning back to `cap` with the
+    /// diversity heuristic when the list overflows.
+    fn link(&mut self, a: u32, b: u32, level: usize, cap: usize) {
+        let list = &mut self.neighbors[a as usize][level];
+        if list.contains(&b) {
+            return;
+        }
+        list.push(b);
+        if list.len() <= cap {
+            return;
+        }
+        let av = a as usize * self.dim;
+        let query: Vec<f32> = self.normalized[av..av + self.dim].to_vec();
+        let mut scored: Vec<Sim> = self.neighbors[a as usize][level]
+            .iter()
+            .map(|&u| Sim(self.dot(&query, u), u))
+            .collect();
+        scored.sort_by(|x, y| y.cmp(x));
+        let kept = self.select_neighbors(&scored, cap);
+        self.neighbors[a as usize][level] = kept.into_iter().map(|s| s.1).collect();
+    }
+
+    fn insert(&mut self, q: u32, level: usize, config: &AnnConfig, visited: &mut Visited) {
+        self.neighbors[q as usize] = vec![Vec::new(); level + 1];
+        if q == 0 {
+            self.entry = q;
+            self.top_level = level;
+            return;
+        }
+        let query: Vec<f32> = self.vec_of(q).to_vec();
+        let mut ep = vec![Sim(self.dot(&query, self.entry), self.entry)];
+        // Greedy descent through the layers above the new node's level.
+        for l in ((level + 1)..=self.top_level).rev() {
+            ep = self.search_layer(&query, &ep, 1, l, visited);
+        }
+        // Beam search and bidirectional linking on the layers the node joins.
+        for l in (0..=level.min(self.top_level)).rev() {
+            let found = self.search_layer(&query, &ep, config.ef_construction.max(1), l, visited);
+            let cap = if l == 0 { config.m * 2 } else { config.m };
+            let chosen = self.select_neighbors(&found, config.m);
+            for s in &chosen {
+                self.link(q, s.1, l, cap);
+                self.link(s.1, q, l, cap);
+            }
+            ep = found;
+        }
+        if level > self.top_level {
+            self.top_level = level;
+            self.entry = q;
+        }
+    }
+
+    /// The `k` indexed vectors most cosine-similar to `query`, best first.
+    ///
+    /// `query` need not be an indexed vector — external embeddings of the
+    /// right dimensionality work too (it is normalized internally).
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        if self.num_nodes == 0 || k == 0 {
+            return Vec::new();
+        }
+        let norm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let normalized: Vec<f32> = if norm == 0.0 {
+            query.to_vec()
+        } else {
+            query.iter().map(|x| x / norm).collect()
+        };
+        // Reuse a per-thread visited set: allocating (and zeroing) one per
+        // query would put an O(n) memset on the sub-linear serving path.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Visited> =
+                std::cell::RefCell::new(Visited::new(0));
+        }
+        SCRATCH.with(|scratch| {
+            let mut visited = scratch.borrow_mut();
+            visited.ensure(self.num_nodes);
+            let mut ep = vec![Sim(self.dot(&normalized, self.entry), self.entry)];
+            for l in (1..=self.top_level).rev() {
+                ep = self.search_layer(&normalized, &ep, 1, l, &mut visited);
+            }
+            let ef = self.ef_search.max(k);
+            let mut found = self.search_layer(&normalized, &ep, ef, 0, &mut visited);
+            found.truncate(k);
+            found.into_iter().map(|s| (s.1, s.0)).collect()
+        })
+    }
+
+    /// The `k` nodes most similar to the indexed `node` (excluding `node`
+    /// itself), best first. Empty when `node` is out of range.
+    pub fn search_node(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
+        if (node as usize) >= self.num_nodes || k == 0 {
+            return Vec::new();
+        }
+        let query: Vec<f32> = self.vec_of(node).to_vec();
+        // Over-fetch by one so the query node's own hit can be dropped.
+        let mut hits = self.search(&query, k + 1);
+        hits.retain(|&(u, _)| u != node);
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_unit_embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            let row: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            flat.extend(row.iter().map(|x| x / norm));
+        }
+        Embeddings::from_flat(dim, flat)
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_answer_safely() {
+        let empty = Embeddings::from_flat(4, Vec::new());
+        let index = HnswIndex::build(&empty, &AnnConfig::default());
+        assert!(index.search(&[0.0; 4], 3).is_empty());
+        assert!(index.search_node(0, 3).is_empty());
+
+        let one = Embeddings::from_flat(2, vec![1.0, 0.0]);
+        let index = HnswIndex::build(&one, &AnnConfig::default());
+        assert!(index.search_node(0, 3).is_empty());
+        assert_eq!(index.search(&[1.0, 0.0], 3), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn search_node_never_returns_the_query_node() {
+        let emb = random_unit_embeddings(200, 8, 3);
+        let index = HnswIndex::build(&emb, &AnnConfig::default());
+        for node in [0u32, 17, 99, 199] {
+            let hits = index.search_node(node, 10);
+            assert_eq!(hits.len(), 10);
+            assert!(hits.iter().all(|&(u, _)| u != node));
+            for pair in hits.windows(2) {
+                assert!(pair[0].1 >= pair[1].1, "results not sorted best-first");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let emb = random_unit_embeddings(300, 16, 9);
+        let cfg = AnnConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let a = HnswIndex::build(&emb, &cfg);
+        let b = HnswIndex::build(&emb, &cfg);
+        assert_eq!(a.top_level(), b.top_level());
+        for node in 0..300u32 {
+            assert_eq!(a.search_node(node, 5), b.search_node(node, 5));
+        }
+    }
+
+    #[test]
+    fn recall_against_brute_force_is_high() {
+        let emb = random_unit_embeddings(500, 16, 21);
+        let index = HnswIndex::build(&emb, &AnnConfig::default());
+        let k = 10;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for node in (0..500u32).step_by(7) {
+            let approx = index.search_node(node, k);
+            let exact = emb.most_similar(node, k);
+            let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
+            hits += approx
+                .iter()
+                .filter(|&&(u, _)| exact_ids.contains(&u))
+                .count();
+            total += k;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn scores_match_exact_cosine() {
+        let emb = random_unit_embeddings(100, 8, 5);
+        let index = HnswIndex::build(&emb, &AnnConfig::default());
+        for (u, s) in index.search_node(0, 5) {
+            let want = emb.cosine_similarity(0, u);
+            assert!((s - want).abs() < 1e-5, "node {u}: {s} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_vectors_are_indexed_without_panicking() {
+        let emb = Embeddings::from_flat(2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let index = HnswIndex::build(&emb, &AnnConfig::default());
+        let hits = index.search_node(1, 3);
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -18,7 +18,27 @@
 //!
 //! The output type [`Embeddings`] is consumed by `uninet-eval` for the node
 //! classification experiments (Figure 5 of the paper).
+//!
+//! On top of training, the crate carries the **serving layer**: the
+//! epoch-versioned [`store::EmbeddingStore`] (pointer-swap snapshots queried
+//! lock-free by concurrent readers) and the [`ann`] module's HNSW index that
+//! takes top-k queries out of the full-scan regime.
+//!
+//! ```
+//! use uninet_embedding::{Embeddings, EmbeddingStore, QueryMode};
+//!
+//! // Train-side output: one dim-sized vector per node...
+//! let emb = Embeddings::from_flat(2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0]);
+//! assert_eq!(emb.num_nodes(), 3);
+//!
+//! // ...published into the serving store and queried concurrently.
+//! let store = EmbeddingStore::new();
+//! store.publish(emb);
+//! let top = store.top_k_mode(0, 1, QueryMode::Exact);
+//! assert_eq!(top[0].0, 1);
+//! ```
 
+pub mod ann;
 pub mod cbow;
 pub mod io;
 pub mod matrix;
@@ -30,6 +50,7 @@ pub mod store;
 pub mod trainer;
 pub mod vocab;
 
+pub use ann::{AnnConfig, HnswIndex, QueryMode};
 pub use matrix::EmbeddingMatrix;
 pub use negative::UnigramTable;
 pub use online::OnlineWord2Vec;

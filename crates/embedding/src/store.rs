@@ -1,28 +1,54 @@
 //! A concurrent serving layer over learned embeddings.
 //!
+//! # Snapshot / epoch semantics
+//!
 //! The store holds an immutable [`EmbeddingSnapshot`] behind an
 //! `RwLock<Arc<..>>`: readers take the read lock only long enough to clone the
 //! `Arc`, then answer queries entirely lock-free against the frozen snapshot,
 //! while a training writer publishes a replacement snapshot with a short write
 //! lock that swaps one pointer. Readers therefore never observe a
-//! half-written matrix and never block an incremental training pass, and every
-//! published snapshot carries a monotonically increasing epoch so callers can
-//! detect staleness.
+//! half-written matrix and never block an incremental training pass.
+//!
+//! An **epoch** is the version number of one published embedding state. The
+//! store starts at epoch 0 (an empty placeholder snapshot); every
+//! [`EmbeddingStore::publish`] allocates the next epoch, so epochs observed
+//! through [`EmbeddingStore::snapshot`] are monotonically non-decreasing and
+//! a reader can detect staleness by comparing the epoch it served against the
+//! store's current one. In-flight readers keep the `Arc` they cloned — an old
+//! snapshot stays fully queryable (at its old epoch) until its last reader
+//! drops it.
+//!
+//! **When do snapshots publish?** Batch training publishes once at the end of
+//! the run. Incremental streaming publishes the initial online model and then
+//! one snapshot per walk-refresh round, throttled by the engine's
+//! `snapshot_interval_ms` (publishing copies the matrix, recomputes norms and
+//! — when ANN serving is enabled — rebuilds the HNSW index, all `O(n·d)` or
+//! worse, so on large graphs an unthrottled per-round publish would dominate
+//! the ingestion path). The final post-stream state is always published.
+//!
+//! **ANN serving.** A store created with [`EmbeddingStore::with_ann`] builds
+//! an [`HnswIndex`] into every published snapshot. The rebuild happens on the
+//! publishing thread *before* the write lock is taken, so however expensive
+//! the index construction, readers still only ever block on the pointer swap;
+//! the cost is borne once per epoch instead of `O(n·d)` per query. Queries
+//! pick their path per call via [`QueryMode`] ([`QueryMode::Ann`] falls back
+//! to the exact scan when a snapshot has no index).
 //!
 //! ```
-//! use uninet_embedding::{Embeddings, EmbeddingStore};
+//! use uninet_embedding::{Embeddings, EmbeddingStore, QueryMode};
 //!
 //! let store = EmbeddingStore::new();
 //! assert!(store.is_empty());
 //! store.publish(Embeddings::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]));
 //! assert_eq!(store.epoch(), 1);
 //! assert_eq!(store.vector(0), Some(vec![1.0, 0.0]));
-//! let neighbours = store.top_k(0, 1);
+//! let neighbours = store.top_k_mode(0, 1, QueryMode::Ann); // no index: exact fallback
 //! assert_eq!(neighbours.len(), 1);
 //! ```
 
 use std::sync::{Arc, RwLock};
 
+use crate::ann::{AnnConfig, HnswIndex, QueryMode};
 use crate::Embeddings;
 
 /// One immutable published version of the embeddings.
@@ -32,10 +58,12 @@ pub struct EmbeddingSnapshot {
     embeddings: Embeddings,
     /// Precomputed L2 norm per node, so cosine queries cost one dot product.
     norms: Vec<f32>,
+    /// HNSW index over the vectors, when the publishing store enables ANN.
+    ann: Option<HnswIndex>,
 }
 
 impl EmbeddingSnapshot {
-    fn new(epoch: u64, embeddings: Embeddings) -> Self {
+    fn new(epoch: u64, embeddings: Embeddings, ann_config: Option<&AnnConfig>) -> Self {
         let norms = (0..embeddings.num_nodes() as u32)
             .map(|v| {
                 embeddings
@@ -46,10 +74,14 @@ impl EmbeddingSnapshot {
                     .sqrt()
             })
             .collect();
+        let ann = ann_config
+            .filter(|_| embeddings.num_nodes() > 0)
+            .map(|cfg| HnswIndex::build(&embeddings, cfg));
         EmbeddingSnapshot {
             epoch,
             embeddings,
             norms,
+            ann,
         }
     }
 
@@ -100,30 +132,16 @@ impl EmbeddingSnapshot {
         }
         // Bounded selection: keep the k best seen so far in a min-heap, so a
         // query over n nodes costs O(n · dim + n log k) instead of a full sort.
+        // `Sim` is the same ordered-score type the ANN path uses, so both
+        // paths break score ties identically.
+        use crate::ann::Sim;
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-
-        #[derive(PartialEq)]
-        struct Scored(f32, u32);
-        impl Eq for Scored {}
-        impl PartialOrd for Scored {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Scored {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0
-                    .partial_cmp(&other.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(self.1.cmp(&other.1))
-            }
-        }
 
         // The query vector and its norm are loop-invariant — fetch them once.
         let va = self.embeddings.vector(node);
         let na = self.norms[node as usize];
-        let mut heap: BinaryHeap<Reverse<Scored>> = BinaryHeap::with_capacity(k + 1);
+        let mut heap: BinaryHeap<Reverse<Sim>> = BinaryHeap::with_capacity(k + 1);
         for u in 0..self.embeddings.num_nodes() as u32 {
             if u == node {
                 continue;
@@ -139,7 +157,7 @@ impl EmbeddingSnapshot {
                     .sum();
                 dot / (na * nb)
             };
-            heap.push(Reverse(Scored(s, u)));
+            heap.push(Reverse(Sim(s, u)));
             if heap.len() > k {
                 heap.pop();
             }
@@ -147,8 +165,48 @@ impl EmbeddingSnapshot {
         // Ascending order of `Reverse` is descending score — best first.
         heap.into_sorted_vec()
             .into_iter()
-            .map(|Reverse(Scored(s, u))| (u, s))
+            .map(|Reverse(Sim(s, u))| (u, s))
             .collect()
+    }
+
+    /// The snapshot's ANN index, when the publishing store enabled one.
+    pub fn ann(&self) -> Option<&HnswIndex> {
+        self.ann.as_ref()
+    }
+
+    /// Like [`top_k`](EmbeddingSnapshot::top_k), but with an explicit
+    /// [`QueryMode`]. [`QueryMode::Ann`] routes through the HNSW index and
+    /// falls back to the exact scan when the snapshot carries no index or the
+    /// graph search comes back short (possible on degenerate inputs).
+    pub fn top_k_mode(&self, node: u32, k: usize, mode: QueryMode) -> Vec<(u32, f32)> {
+        match (mode, &self.ann) {
+            (QueryMode::Ann, Some(index)) if self.contains(node) && k > 0 => {
+                let hits = index.search_node(node, k);
+                if hits.len() < k.min(self.num_nodes().saturating_sub(1)) {
+                    self.top_k(node, k)
+                } else {
+                    hits
+                }
+            }
+            _ => self.top_k(node, k),
+        }
+    }
+
+    /// Answers a slab of top-k queries against this one frozen version.
+    ///
+    /// Results line up with `nodes`; out-of-range nodes yield empty rows.
+    pub fn top_k_batch(&self, nodes: &[u32], k: usize, mode: QueryMode) -> Vec<Vec<(u32, f32)>> {
+        nodes
+            .iter()
+            .map(|&node| self.top_k_mode(node, k, mode))
+            .collect()
+    }
+
+    /// Answers a slab of cosine queries against this one frozen version.
+    ///
+    /// Results line up with `pairs`; out-of-range pairs yield `None`.
+    pub fn cosine_batch(&self, pairs: &[(u32, u32)]) -> Vec<Option<f32>> {
+        pairs.iter().map(|&(a, b)| self.cosine(a, b)).collect()
     }
 }
 
@@ -160,6 +218,8 @@ pub struct EmbeddingStore {
     /// (the O(n·dim) norms pass) never blocks readers.
     next_epoch: std::sync::atomic::AtomicU64,
     slot: RwLock<Arc<EmbeddingSnapshot>>,
+    /// When set, every published snapshot gets an HNSW index built into it.
+    ann: Option<AnnConfig>,
 }
 
 impl Default for EmbeddingStore {
@@ -169,20 +229,39 @@ impl Default for EmbeddingStore {
 }
 
 impl EmbeddingStore {
-    /// Creates an empty store (epoch 0, no vectors).
+    /// Creates an empty store (epoch 0, no vectors, exact-scan serving only).
     pub fn new() -> Self {
+        Self::with_ann_config(None)
+    }
+
+    /// Creates an empty store that builds an [`HnswIndex`] into every
+    /// published snapshot, so [`QueryMode::Ann`] queries leave the full-scan
+    /// regime. The rebuild cost is paid per publish, outside the write lock.
+    pub fn with_ann(config: AnnConfig) -> Self {
+        Self::with_ann_config(Some(config))
+    }
+
+    fn with_ann_config(ann: Option<AnnConfig>) -> Self {
         EmbeddingStore {
             next_epoch: std::sync::atomic::AtomicU64::new(0),
             slot: RwLock::new(Arc::new(EmbeddingSnapshot::new(
                 0,
                 Embeddings::from_flat(1, Vec::new()),
+                None,
             ))),
+            ann,
         }
+    }
+
+    /// The ANN configuration snapshots are indexed with, if any.
+    pub fn ann_config(&self) -> Option<&AnnConfig> {
+        self.ann.as_ref()
     }
 
     /// Publishes a new embedding version and returns its epoch.
     ///
-    /// The snapshot (including its norms table) is built *before* the write
+    /// The snapshot (its norms table, and its HNSW index when the store was
+    /// created via [`EmbeddingStore::with_ann`]) is built *before* the write
     /// lock is taken, so readers are only ever blocked for a pointer swap.
     /// In-flight readers keep the snapshot they already cloned; new readers
     /// see the published version. If two publishers race, the higher epoch
@@ -190,7 +269,7 @@ impl EmbeddingStore {
     pub fn publish(&self, embeddings: Embeddings) -> u64 {
         use std::sync::atomic::Ordering;
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings));
+        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings, self.ann.as_ref()));
         let mut slot = self.slot.write().expect("embedding store lock poisoned");
         if snapshot.epoch() > slot.epoch() {
             *slot = snapshot;
@@ -233,9 +312,28 @@ impl EmbeddingStore {
         self.snapshot().cosine(a, b)
     }
 
-    /// The `k` nodes most similar to `node` in the current snapshot.
+    /// The `k` nodes most similar to `node` in the current snapshot
+    /// (exact scan; see [`top_k_mode`](EmbeddingStore::top_k_mode)).
     pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
         self.snapshot().top_k(node, k)
+    }
+
+    /// The `k` nodes most similar to `node`, selected via `mode`.
+    pub fn top_k_mode(&self, node: u32, k: usize, mode: QueryMode) -> Vec<(u32, f32)> {
+        self.snapshot().top_k_mode(node, k, mode)
+    }
+
+    /// Answers a slab of top-k queries with one snapshot acquisition, so the
+    /// per-query read-lock cost is amortized across the batch and every row
+    /// is answered from the same epoch.
+    pub fn top_k_batch(&self, nodes: &[u32], k: usize, mode: QueryMode) -> Vec<Vec<(u32, f32)>> {
+        self.snapshot().top_k_batch(nodes, k, mode)
+    }
+
+    /// Answers a slab of cosine queries with one snapshot acquisition (one
+    /// consistent epoch, one read lock for the whole batch).
+    pub fn cosine_batch(&self, pairs: &[(u32, u32)]) -> Vec<Option<f32>> {
+        self.snapshot().cosine_batch(pairs)
     }
 }
 
@@ -322,6 +420,60 @@ mod tests {
         assert_eq!(old.num_nodes(), 5);
         assert_eq!(store.num_nodes(), 1);
         assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn ann_stores_index_snapshots_and_answer_queries() {
+        let store = EmbeddingStore::with_ann(AnnConfig::default());
+        assert!(store.ann_config().is_some());
+        // The empty epoch-0 snapshot carries no index and answers safely.
+        assert!(store.snapshot().ann().is_none());
+        assert!(store.top_k_mode(0, 3, QueryMode::Ann).is_empty());
+
+        store.publish(sample());
+        let snap = store.snapshot();
+        assert!(snap.ann().is_some(), "publish should build the index");
+        for node in 0..5u32 {
+            let ann = snap.top_k_mode(node, 2, QueryMode::Ann);
+            let exact = snap.top_k(node, 2);
+            assert_eq!(ann.len(), exact.len(), "node {node}");
+            for (a, e) in ann.iter().zip(&exact) {
+                assert!(
+                    (a.1 - e.1).abs() < 1e-6,
+                    "node {node}: {ann:?} vs {exact:?}"
+                );
+            }
+        }
+        // A store without ANN serves QueryMode::Ann via the exact fallback.
+        let plain = EmbeddingStore::new();
+        plain.publish(sample());
+        assert!(plain.snapshot().ann().is_none());
+        assert_eq!(
+            plain.top_k_mode(0, 2, QueryMode::Ann),
+            plain.top_k_mode(0, 2, QueryMode::Exact)
+        );
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let store = EmbeddingStore::with_ann(AnnConfig::default());
+        store.publish(sample());
+        let nodes = [0u32, 3, 1, 99];
+        for mode in [QueryMode::Exact, QueryMode::Ann] {
+            let batch = store.top_k_batch(&nodes, 2, mode);
+            assert_eq!(batch.len(), nodes.len());
+            for (&node, row) in nodes.iter().zip(&batch) {
+                assert_eq!(row, &store.top_k_mode(node, 2, mode), "node {node}");
+            }
+            assert!(batch[3].is_empty(), "out-of-range row should be empty");
+        }
+        let pairs = [(0u32, 1u32), (2, 3), (0, 99)];
+        let cosines = store.cosine_batch(&pairs);
+        assert_eq!(cosines.len(), pairs.len());
+        for (&(a, b), &got) in pairs.iter().zip(&cosines) {
+            assert_eq!(got, store.cosine(a, b));
+        }
+        assert_eq!(cosines[2], None);
     }
 
     #[test]

@@ -73,6 +73,42 @@ proptest! {
     }
 
     #[test]
+    fn ann_top_k_recall_beats_point_nine(
+        n in 64usize..280,
+        dim in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use uninet_embedding::{AnnConfig, HnswIndex};
+
+        // Random unit vectors — the adversarial (structure-free) case for a
+        // proximity-graph index.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            let row: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            flat.extend(row.iter().map(|x| x / norm));
+        }
+        let emb = Embeddings::from_flat(dim, flat);
+        let index = HnswIndex::build(&emb, &AnnConfig { seed, ..Default::default() });
+
+        let k = 10usize;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for node in (0..n as u32).step_by((n / 16).max(1)) {
+            let approx = index.search_node(node, k);
+            let exact = emb.most_similar(node, k);
+            prop_assert_eq!(approx.len(), exact.len(), "node {}", node);
+            let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
+            hits += approx.iter().filter(|&&(u, _)| exact_ids.contains(&u)).count();
+            total += exact.len();
+        }
+        let recall = hits as f64 / total.max(1) as f64;
+        prop_assert!(recall >= 0.9, "recall@10 = {} (n={}, dim={})", recall, n, dim);
+    }
+
+    #[test]
     fn cosine_similarity_is_symmetric_and_bounded(
         vectors in prop::collection::vec(-3.0f32..3.0, 8..64),
     ) {

@@ -11,6 +11,22 @@
 //! * [`metrics`] — micro/macro F1 scores,
 //! * [`split`] — train-fraction splits over labeled nodes,
 //! * [`linkpred`] — link prediction via embedding similarity (extension).
+//!
+//! The crate is deliberately independent of the rest of the workspace (it
+//! sees embeddings only through closures and plain slices), so any vector
+//! representation can be evaluated with it.
+//!
+//! ```
+//! use uninet_eval::{f1_scores, train_test_split};
+//!
+//! let truth = vec![vec![0], vec![1], vec![0, 1]];
+//! let predicted = vec![vec![0], vec![1], vec![0]];
+//! let f1 = f1_scores(&truth, &predicted, 2);
+//! assert!(f1.micro > 0.5 && f1.micro <= 1.0);
+//!
+//! let (train, test) = train_test_split(10, 0.7, 42);
+//! assert_eq!(train.len() + test.len(), 10);
+//! ```
 
 pub mod linkpred;
 pub mod logistic;

@@ -15,6 +15,11 @@
 //!   paper's eleven real-world datasets (Table V), and
 //! * summary statistics ([`stats`]).
 //!
+//! Within the workspace this crate is the storage plane everything else sits
+//! on: `uninet-walker` walks over it, `uninet-dyngraph` wraps it in a delta
+//! overlay for streaming updates, and `uninet-core` loads it from edge lists
+//! (see `docs/ARCHITECTURE.md` at the repo root for the full picture).
+//!
 //! ## Example
 //!
 //! ```

@@ -23,6 +23,18 @@
 //!    hands the report to a callback where `uninet-core` fans walk refresh
 //!    out over the walk-engine thread pool and applies incremental
 //!    (regenerated-walks-only) embedding updates.
+//!
+//! ```
+//! use uninet_ingest::ShardPlan;
+//!
+//! // 100 vertices split across 4 disjoint contiguous ranges: every vertex
+//! // belongs to exactly one shard, so shards apply mutations in parallel
+//! // without ever touching the same adjacency row.
+//! let plan = ShardPlan::new(100, 4);
+//! assert_eq!(plan.num_shards(), 4);
+//! assert_eq!(plan.shard_of(0), plan.shard_of(24));
+//! assert_ne!(plan.shard_of(0), plan.shard_of(99));
+//! ```
 
 pub mod apply;
 pub mod pipeline;

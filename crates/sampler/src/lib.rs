@@ -23,7 +23,24 @@
 //!   strategies for the M-H chains (Section III-C, Theorem 3).
 //! * [`kl`] — Kullback–Leibler divergence utilities used to reproduce Fig. 1.
 //!
-//! All samplers are deterministic given a seeded [`rand::Rng`].
+//! All samplers are deterministic given a seeded [`rand::Rng`]. The crate is
+//! the bottom of the workspace stack: `uninet-walker` lays these samplers out
+//! per walker state, and the streaming layers above exploit the M-H sampler's
+//! zero-rebuild property when edge weights change under live traffic.
+//!
+//! ```
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use uninet_sampler::AliasTable;
+//!
+//! // O(1) draws from a static weighted distribution.
+//! let table = AliasTable::new(&[1.0, 2.0, 7.0]);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut counts = [0usize; 3];
+//! for _ in 0..3000 {
+//!     counts[table.sample(&mut rng)] += 1;
+//! }
+//! assert!(counts[2] > counts[0]); // weight 7 dominates weight 1
+//! ```
 
 pub mod alias;
 pub mod direct;

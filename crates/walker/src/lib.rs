@@ -15,6 +15,27 @@
 //!   (alias, direct, rejection, KnightKing-style, memory-aware).
 //! * [`WalkEngine`] — multi-threaded random walk generation (Algorithm 2),
 //!   with separately reported initialization and walking time.
+//!
+//! The crate sits between `uninet-graph`/`uninet-sampler` below and
+//! `uninet-embedding` above: it turns a graph into a [`WalkCorpus`] that the
+//! word2vec trainer consumes, and its [`SamplerManager`] is the state the
+//! dynamic-graph layers maintain incrementally when edges change.
+//!
+//! ```
+//! use uninet_graph::generators::ring_with_chords;
+//! use uninet_walker::models::DeepWalk;
+//! use uninet_walker::{WalkEngine, WalkEngineConfig};
+//!
+//! let graph = ring_with_chords(50, 3);
+//! let config = WalkEngineConfig {
+//!     num_walks: 1,
+//!     walk_length: 8,
+//!     num_threads: 1,
+//!     ..Default::default()
+//! };
+//! let (corpus, _timing) = WalkEngine::new(config).generate(&graph, &DeepWalk::new());
+//! assert_eq!(corpus.num_walks(), 50); // one walk per node
+//! ```
 
 pub mod engine;
 pub mod manager;
