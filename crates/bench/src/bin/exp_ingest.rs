@@ -189,19 +189,17 @@ fn run_query_readers(
                 let mut max_epoch = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let node = rng.gen_range(0..num_nodes);
-                    // The timer covers snapshot acquisition too — the read
-                    // lock is the only step a concurrent publisher can block,
-                    // so excluding it would hide writer-induced stalls.
+                    // Queries go through the store service path, whose timer
+                    // covers snapshot acquisition too — the read lock is the
+                    // only step a concurrent publisher can block, so excluding
+                    // it would hide writer-induced stalls. The same path also
+                    // feeds the engine's `query.top_k.*` latency histograms.
+                    // The caller primes the store with a batch train, so the
+                    // first snapshot is already published when readers start.
                     let t = Instant::now();
-                    let snap = store.snapshot();
-                    if snap.num_nodes() == 0 {
-                        // Nothing published yet; wait for the first snapshot.
-                        std::thread::yield_now();
-                        continue;
-                    }
-                    let top = snap.top_k(node.min(snap.num_nodes() as u32 - 1), 10);
+                    let top = store.top_k(node, 10);
                     latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
-                    max_epoch = max_epoch.max(snap.epoch());
+                    max_epoch = max_epoch.max(store.epoch());
                     assert!(top.len() <= 10);
                 }
                 (latencies_us, max_epoch)
@@ -507,7 +505,13 @@ fn main() {
     // store — no redundant retrain, and both paths (plus part 3 above)
     // serve the very same embeddings; the only added cost is one index
     // build, which is exactly the per-epoch price being measured.
-    let ann_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig::default());
+    // Registering the side store's telemetry in the engine's registry makes
+    // both stores share the same `query.*`/`engine.publish.*` instruments, so
+    // the telemetry section below carries exact AND ANN latency quantiles.
+    let ann_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig::default())
+        .instrumented(uninet_core::StoreTelemetry::registered(
+            &engine.metrics_registry(),
+        ));
     ann_store.publish(engine.snapshot().embeddings().clone());
     let snapshot = ann_store.snapshot();
     let index = snapshot.ann().expect("ANN engine builds an index");
@@ -664,6 +668,10 @@ fn main() {
             ("training", Json::Arr(json_training)),
             ("query_service", json_queries),
             ("ann_query_service", json_ann),
+            // The part-3 engine's full telemetry snapshot: per-stage ingest
+            // timings, publish/epoch gauges and per-mode query latency
+            // quantiles, straight from `Engine::metrics()`.
+            ("telemetry", Json::Raw(engine.metrics().to_json())),
             (
                 "auc_delta_incremental_vs_full",
                 Json::Num(aucs[1] - aucs[0]),

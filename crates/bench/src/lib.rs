@@ -217,6 +217,9 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An ordered object.
     Obj(Vec<(&'static str, Json)>),
+    /// Pre-rendered JSON spliced in verbatim (e.g. a telemetry snapshot from
+    /// `MetricsSnapshot::to_json()`). The caller guarantees validity.
+    Raw(String),
 }
 
 impl Json {
@@ -237,6 +240,7 @@ impl Json {
                 }
             }
             Json::Int(x) => out.push_str(&x.to_string()),
+            Json::Raw(s) => out.push_str(s),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Str(s) => {
                 out.push('"');
@@ -316,6 +320,15 @@ mod tests {
         };
         assert_eq!(quick.num_walks(), 2);
         assert_eq!(quick.nodes(1000), 64);
+    }
+
+    #[test]
+    fn raw_json_is_spliced_verbatim() {
+        let blob = Json::Obj(vec![
+            ("n", Json::Int(3)),
+            ("telemetry", Json::Raw("{\"a\":{\"b\":1}}".to_string())),
+        ]);
+        assert_eq!(blob.render(), "{\"n\":3,\"telemetry\":{\"a\":{\"b\":1}}}");
     }
 
     #[test]

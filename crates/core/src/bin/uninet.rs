@@ -80,6 +80,9 @@ QUERY SERVICE (ANN):
 
 OUTPUT:
   --output <FILE>         embeddings in word2vec text format (required)
+  --metrics-json <FILE>   dump the engine telemetry snapshot (counters, gauges
+                          and latency quantiles for the ingest, engine and
+                          query planes) as JSON after the run
   --help                  print this help
 ";
 
@@ -328,6 +331,13 @@ fn run() -> Result<(), UniNetError> {
             report.queue.peak_depth,
             report.queue.producer_wait.as_secs_f64() * 1e3,
         );
+        if report.queue.stalls > 0 {
+            eprintln!(
+                "back-pressure: producer stalled {} times waiting for queue slots \
+                 (raise --queue-capacity or --ingest-threads to absorb bursts)",
+                report.queue.stalls,
+            );
+        }
         if report.incremental_passes > 0 {
             eprintln!(
                 "incremental training: {} passes over {} regenerated walks \
@@ -353,6 +363,10 @@ fn run() -> Result<(), UniNetError> {
     eprintln!("walks: {corpus_walks} sequences, {corpus_tokens} tokens; timing: {timing}");
     save_embeddings(engine.snapshot().embeddings(), &output)?;
     eprintln!("embeddings written to {output}");
+    if let Some(path) = args.get("metrics-json") {
+        std::fs::write(path, engine.metrics().to_json())?;
+        eprintln!("telemetry snapshot written to {path}");
+    }
     Ok(())
 }
 

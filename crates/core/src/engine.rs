@@ -43,14 +43,19 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use uninet_dyngraph::GraphMutation;
-use uninet_embedding::{AnnConfig, EmbeddingSnapshot, EmbeddingStore, QueryMode, TrainStats};
+use uninet_embedding::{
+    AnnConfig, EmbeddingSnapshot, EmbeddingStore, QueryMode, StoreTelemetry, TrainStats,
+};
 use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
 use uninet_graph::Graph;
+use uninet_ingest::IngestMetrics;
+use uninet_metrics::{MetricsRegistry, MetricsSnapshot};
 use uninet_sampler::EdgeSamplerKind;
 use uninet_walker::{WalkCorpus, WalkEngineConfig};
 
 use crate::config::{ModelSpec, UniNetConfig};
 use crate::error::UniNetError;
+use crate::metrics::EngineMetrics;
 use crate::pipeline::{self, PipelineResult};
 use crate::streaming::{run_streaming_session, StreamingConfig, StreamingReport};
 use crate::timing::PhaseTiming;
@@ -409,6 +414,11 @@ impl EngineBuilder {
             }
         }
 
+        // One registry spans all three telemetry planes: the store registers
+        // its publish/epoch/query instruments, the ingest pipeline its
+        // queue/apply/maintenance ones, and the engine its training rounds.
+        let registry = MetricsRegistry::new();
+
         // The serving store; with ANN enabled, every published snapshot gets
         // an HNSW index whose level RNG derives from the engine seed.
         let store = if streaming.ann_index {
@@ -421,6 +431,7 @@ impl EngineBuilder {
         } else {
             EmbeddingStore::new()
         };
+        let store = store.instrumented(StoreTelemetry::registered(&registry));
 
         let num_nodes = graph.num_nodes();
         Ok(Engine {
@@ -430,6 +441,9 @@ impl EngineBuilder {
                 spec,
                 num_nodes,
                 store: Arc::new(store),
+                ingest_metrics: IngestMetrics::registered(&registry),
+                engine_metrics: EngineMetrics::registered(&registry),
+                registry,
                 core: Mutex::new(CoreState::Idle(EngineCore { graph })),
             }),
         })
@@ -457,6 +471,13 @@ struct EngineInner {
     spec: ModelSpec,
     num_nodes: usize,
     store: Arc<EmbeddingStore>,
+    /// Ingest-plane instrument handles, shared with streaming sessions.
+    ingest_metrics: IngestMetrics,
+    /// Training-round instrument handles.
+    engine_metrics: EngineMetrics,
+    /// The registry all three planes register into; snapshotted by
+    /// [`Engine::metrics`].
+    registry: MetricsRegistry,
     core: Mutex<CoreState>,
 }
 
@@ -626,6 +647,21 @@ impl Engine {
         Arc::clone(&self.inner.store)
     }
 
+    /// The registry every engine instrument is registered in. Useful for
+    /// registering additional application-level instruments next to the
+    /// engine's own, so one [`Engine::metrics`] snapshot covers both.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.inner.registry.clone()
+    }
+
+    /// A point-in-time snapshot of every instrument across the three planes
+    /// (`ingest.*`, `engine.*`, `query.*`). Derived gauges (epoch age) are
+    /// refreshed first; the snapshot itself never blocks recording threads.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.store.telemetry().refresh_epoch_age();
+        self.inner.registry.snapshot()
+    }
+
     /// The current embedding snapshot (epoch 0 and empty until the first
     /// train or stream completes a training pass).
     pub fn snapshot(&self) -> Arc<EmbeddingSnapshot> {
@@ -706,6 +742,7 @@ impl Engine {
             .instantiate(&core.graph)
             .expect("spec validated at build time");
         let result = pipeline::run_batch(&self.inner.config, &core.graph, model.as_ref());
+        self.inner.engine_metrics.record_round(&result.timing);
         // Publish before releasing the core, so a stream() racing in right
         // after us cannot have its fresher snapshots overwritten by these.
         let epoch = self.inner.store.publish(result.embeddings);
@@ -748,6 +785,8 @@ impl Engine {
                     core.graph,
                     &mutations,
                     Some(&inner.store),
+                    &inner.ingest_metrics,
+                    &inner.engine_metrics,
                 )
             }));
             let mut state = inner.core.lock().expect("engine core lock poisoned");

@@ -51,6 +51,7 @@ pub mod baselines;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod pipeline;
 pub mod report;
 pub mod streaming;
@@ -60,6 +61,7 @@ pub use baselines::{baseline_sampler_for, BaselineKind};
 pub use config::{ModelSpec, UniNetConfig};
 pub use engine::{Engine, EngineBuilder, StreamHandle, StreamOutcome, TrainReport};
 pub use error::UniNetError;
+pub use metrics::EngineMetrics;
 pub use pipeline::PipelineResult;
 pub use report::{format_duration, format_speedup, Table};
 pub use streaming::{StreamingConfig, StreamingReport};
@@ -69,9 +71,13 @@ pub use uninet_dyngraph::{
     DynamicGraph, GraphMutation, IncrementalMaintainer, ParseIssue, StreamError, UpdateBatch,
 };
 pub use uninet_embedding::{
-    AnnConfig, EmbeddingSnapshot, EmbeddingStore, Embeddings, HnswIndex, QueryMode,
+    AnnConfig, EmbeddingSnapshot, EmbeddingStore, Embeddings, HnswIndex, QueryMode, StoreTelemetry,
 };
 pub use uninet_graph::{Graph, GraphError};
-pub use uninet_ingest::{IngestConfig, QueueStats, ShardPlan, ShardedMaintainer};
+pub use uninet_ingest::{IngestConfig, IngestMetrics, QueueStats, ShardPlan, ShardedMaintainer};
+pub use uninet_metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+    PhaseRecorder, StageTimer, Stopwatch,
+};
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};
 pub use uninet_walker::{WalkCorpus, WalkEngineConfig};

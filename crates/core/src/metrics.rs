@@ -1,0 +1,90 @@
+//! The engine plane's training telemetry.
+//!
+//! [`EngineMetrics`] carries the training-side instruments that are not owned
+//! by the serving store (`uninet_embedding::StoreTelemetry` covers publishes,
+//! epochs and query latency): the per-round `Ti`/`Tw`/`Tl` phase breakdown
+//! and the incremental-SGD pass latency during streaming. Same
+//! detached/registered pattern as the other planes — handles always exist,
+//! registration only decides whether snapshots can see them.
+
+use std::sync::Arc;
+
+use uninet_metrics::{Histogram, MetricsRegistry, PhaseTiming};
+
+/// Pre-resolved instrument handles for training rounds.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Sampler initialization per round, `Ti` (`engine.train.init_ns`).
+    pub train_init_ns: Arc<Histogram>,
+    /// Walk generation per round, `Tw` (`engine.train.walk_ns`).
+    pub train_walk_ns: Arc<Histogram>,
+    /// Embedding learning per round, `Tl` (`engine.train.learn_ns`).
+    pub train_learn_ns: Arc<Histogram>,
+    /// Whole-round wall clock, `Tt` (`engine.train.round_ns`).
+    pub train_round_ns: Arc<Histogram>,
+    /// One incremental SGD pass over regenerated walks during streaming
+    /// (`engine.train.incremental_pass_ns`).
+    pub incremental_pass_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Handles not registered anywhere (the no-telemetry default).
+    pub fn detached() -> Self {
+        EngineMetrics {
+            train_init_ns: Arc::new(Histogram::new()),
+            train_walk_ns: Arc::new(Histogram::new()),
+            train_learn_ns: Arc::new(Histogram::new()),
+            train_round_ns: Arc::new(Histogram::new()),
+            incremental_pass_ns: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Handles registered under `engine.train.*` in `registry`.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            train_init_ns: registry.histogram("engine.train.init_ns"),
+            train_walk_ns: registry.histogram("engine.train.walk_ns"),
+            train_learn_ns: registry.histogram("engine.train.learn_ns"),
+            train_round_ns: registry.histogram("engine.train.round_ns"),
+            incremental_pass_ns: registry.histogram("engine.train.incremental_pass_ns"),
+        }
+    }
+
+    /// Records one completed round's Table VI breakdown.
+    pub fn record_round(&self, timing: &PhaseTiming) {
+        self.train_init_ns.record_duration(timing.init);
+        self.train_walk_ns.record_duration(timing.walk);
+        self.train_learn_ns.record_duration(timing.learn);
+        self.train_round_ns.record_duration(timing.total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn record_round_fills_all_phase_histograms() {
+        let registry = MetricsRegistry::new();
+        let m = EngineMetrics::registered(&registry);
+        m.record_round(&PhaseTiming {
+            init: Duration::from_micros(10),
+            walk: Duration::from_micros(20),
+            learn: Duration::from_micros(30),
+        });
+        let snap = registry.snapshot();
+        for name in [
+            "engine.train.init_ns",
+            "engine.train.walk_ns",
+            "engine.train.learn_ns",
+            "engine.train.round_ns",
+        ] {
+            assert_eq!(snap.histogram(name).unwrap().count(), 1, "{name}");
+        }
+        assert_eq!(
+            snap.histogram("engine.train.round_ns").unwrap().min(),
+            60_000
+        );
+    }
+}

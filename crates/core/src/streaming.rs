@@ -22,10 +22,11 @@ use std::time::{Duration, Instant};
 use uninet_dyngraph::{DynamicGraph, GraphMutation, RefreshStats, WalkRefresher};
 use uninet_embedding::{EmbeddingStore, OnlineWord2Vec, TrainStats, Word2VecTrainer};
 use uninet_graph::{Graph, NodeId};
-use uninet_ingest::{run_pipeline, IngestConfig, QueueStats};
+use uninet_ingest::{run_instrumented_pipeline, IngestConfig, IngestMetrics, QueueStats};
 use uninet_walker::{MaintenanceStats, SamplerManager, WalkEngine};
 
 use crate::config::{ModelSpec, UniNetConfig};
+use crate::metrics::EngineMetrics;
 use crate::pipeline::PipelineResult;
 use crate::timing::PhaseTiming;
 
@@ -166,6 +167,12 @@ fn merge_train_stats(total: &mut TrainStats, pass: &TrainStats) {
 /// end-of-stream state. The returned epoch is that of this session's last
 /// publish (0 when `store` is `None`). The spec must already have passed
 /// [`ModelSpec::validate`] — the engine builder guarantees this.
+///
+/// Queue/apply/maintenance/refresh telemetry records into `ingest_metrics`
+/// and incremental-pass latency into `engine_metrics` — live, from the
+/// session thread, so readers can watch back-pressure while it happens. Pass
+/// detached handles when nothing observes them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_streaming_session(
     cfg: &UniNetConfig,
     streaming: &StreamingConfig,
@@ -173,6 +180,8 @@ pub(crate) fn run_streaming_session(
     graph: Graph,
     mutations: &[GraphMutation],
     store: Option<&EmbeddingStore>,
+    ingest_metrics: &IngestMetrics,
+    engine_metrics: &EngineMetrics,
 ) -> (PipelineResult, StreamingReport, Graph, u64) {
     let model = spec
         .instantiate(&graph)
@@ -250,8 +259,9 @@ pub(crate) fn run_streaming_session(
         let online = &mut online;
         let learn = &mut learn;
         let train_stats = &mut train_stats;
-        let ingest_report = run_pipeline(
+        let ingest_report = run_instrumented_pipeline(
             &ingest_cfg,
+            ingest_metrics,
             &mut dyn_graph,
             &mut manager,
             model,
@@ -271,6 +281,12 @@ pub(crate) fn run_streaming_session(
                 }
                 let outcome =
                     refresher.refresh_parallel(corpus, dg.base(), model, mgr, &touched, threads);
+                ingest_metrics
+                    .refresh_round_ns
+                    .record_duration(outcome.elapsed);
+                ingest_metrics
+                    .refresh_dirty_walks
+                    .add(outcome.refreshed_ids.len() as u64);
                 report.refresh.merge(&outcome.stats);
                 report.refresh_time += outcome.elapsed;
 
@@ -283,7 +299,9 @@ pub(crate) fn run_streaming_session(
                             .collect();
                         let t = Instant::now();
                         let stats = trainer.train_incremental(session, &regenerated);
-                        *learn += t.elapsed();
+                        let pass = t.elapsed();
+                        engine_metrics.incremental_pass_ns.record_duration(pass);
+                        *learn += pass;
                         merge_train_stats(train_stats, &stats);
                         report.incremental_walks_trained += regenerated.len();
                         report.incremental_passes += 1;
@@ -353,6 +371,10 @@ pub(crate) fn run_streaming_session(
         walk: walk_timing.walk,
         learn,
     };
+    // A streaming session is one training round for the engine plane: the
+    // same Ti/Tw/Tl split batch training records, with learn covering every
+    // online/incremental/retrain pass of the session.
+    engine_metrics.record_round(&timing);
     (
         PipelineResult {
             embeddings,
@@ -419,8 +441,16 @@ mod tests {
         graph: Graph,
         mutations: &[GraphMutation],
     ) -> (PipelineResult, StreamingReport) {
-        let (result, report, _, _) =
-            run_streaming_session(cfg, streaming, spec, graph, mutations, None);
+        let (result, report, _, _) = run_streaming_session(
+            cfg,
+            streaming,
+            spec,
+            graph,
+            mutations,
+            None,
+            &IngestMetrics::detached(),
+            &EngineMetrics::detached(),
+        );
         (result, report)
     }
 
@@ -571,6 +601,8 @@ mod tests {
             graph,
             &mutations,
             Some(&store),
+            &IngestMetrics::detached(),
+            &EngineMetrics::detached(),
         );
         assert_eq!(last_epoch, store.epoch());
         // Initial online model + one per incremental pass; the end-of-stream

@@ -1,96 +1,8 @@
 //! Phase timing of the end-to-end pipeline, matching the `Ti`/`Tw`/`Tl`/`Tt`
 //! columns of Table VI in the paper.
+//!
+//! The types now live in `uninet-metrics` (the workspace telemetry core) so
+//! every crate can share the same stage-timer primitives; this module keeps
+//! the historical `uninet_core::timing` path working.
 
-use std::time::Duration;
-
-/// Wall-clock breakdown of one pipeline run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTiming {
-    /// Sampler initialization cost (`Ti`).
-    pub init: Duration,
-    /// Random-walk generation cost (`Tw`).
-    pub walk: Duration,
-    /// Embedding learning cost (`Tl`).
-    pub learn: Duration,
-}
-
-impl PhaseTiming {
-    /// Total cost (`Tt = Ti + Tw + Tl`).
-    pub fn total(&self) -> Duration {
-        self.init + self.walk + self.learn
-    }
-
-    /// Speed-up of this run's total time relative to `other` (e.g. how much
-    /// faster UniNet (M-H) is than UniNet (Orig)).
-    pub fn speedup_over(&self, other: &PhaseTiming) -> f64 {
-        let own = self.total().as_secs_f64();
-        if own <= 0.0 {
-            return f64::INFINITY;
-        }
-        other.total().as_secs_f64() / own
-    }
-
-    /// Fraction of the total time spent in initialization (the quantity the
-    /// paper uses to argue against burn-in initialization in Figure 6).
-    pub fn init_fraction(&self) -> f64 {
-        let total = self.total().as_secs_f64();
-        if total <= 0.0 {
-            0.0
-        } else {
-            self.init.as_secs_f64() / total
-        }
-    }
-}
-
-impl std::fmt::Display for PhaseTiming {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Ti={:.3}s Tw={:.3}s Tl={:.3}s Tt={:.3}s",
-            self.init.as_secs_f64(),
-            self.walk.as_secs_f64(),
-            self.learn.as_secs_f64(),
-            self.total().as_secs_f64()
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn t(init_ms: u64, walk_ms: u64, learn_ms: u64) -> PhaseTiming {
-        PhaseTiming {
-            init: Duration::from_millis(init_ms),
-            walk: Duration::from_millis(walk_ms),
-            learn: Duration::from_millis(learn_ms),
-        }
-    }
-
-    #[test]
-    fn total_sums_phases() {
-        assert_eq!(t(10, 20, 30).total(), Duration::from_millis(60));
-    }
-
-    #[test]
-    fn speedup_is_ratio_of_totals() {
-        let fast = t(5, 10, 15);
-        let slow = t(20, 40, 60);
-        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
-        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
-        assert_eq!(t(0, 0, 0).speedup_over(&slow), f64::INFINITY);
-    }
-
-    #[test]
-    fn init_fraction() {
-        assert!((t(25, 50, 25).init_fraction() - 0.25).abs() < 1e-9);
-        assert_eq!(t(0, 0, 0).init_fraction(), 0.0);
-    }
-
-    #[test]
-    fn display_contains_all_phases() {
-        let s = format!("{}", t(1000, 2000, 3000));
-        assert!(s.contains("Ti=1.000s"));
-        assert!(s.contains("Tt=6.000s"));
-    }
-}
+pub use uninet_metrics::{PhaseRecorder, PhaseTiming};

@@ -47,6 +47,7 @@ pub mod online;
 pub mod sigmoid;
 pub mod skipgram;
 pub mod store;
+pub mod telemetry;
 pub mod trainer;
 pub mod vocab;
 
@@ -56,6 +57,7 @@ pub use negative::UnigramTable;
 pub use online::OnlineWord2Vec;
 pub use sigmoid::SigmoidTable;
 pub use store::{EmbeddingSnapshot, EmbeddingStore};
+pub use telemetry::StoreTelemetry;
 pub use trainer::{TrainStats, TrainingMode, Word2VecConfig, Word2VecTrainer};
 pub use vocab::Vocabulary;
 

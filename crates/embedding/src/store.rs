@@ -47,8 +47,10 @@
 //! ```
 
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use crate::ann::{AnnConfig, HnswIndex, QueryMode};
+use crate::telemetry::StoreTelemetry;
 use crate::Embeddings;
 
 /// One immutable published version of the embeddings.
@@ -64,6 +66,17 @@ pub struct EmbeddingSnapshot {
 
 impl EmbeddingSnapshot {
     fn new(epoch: u64, embeddings: Embeddings, ann_config: Option<&AnnConfig>) -> Self {
+        Self::new_timed(epoch, embeddings, ann_config).0
+    }
+
+    /// Builds a snapshot and reports how long its two expensive stages took:
+    /// the `O(n·d)` norms pass and the (optional) HNSW construction.
+    fn new_timed(
+        epoch: u64,
+        embeddings: Embeddings,
+        ann_config: Option<&AnnConfig>,
+    ) -> (Self, Duration, Duration) {
+        let t_norms = Instant::now();
         let norms = (0..embeddings.num_nodes() as u32)
             .map(|v| {
                 embeddings
@@ -74,15 +87,22 @@ impl EmbeddingSnapshot {
                     .sqrt()
             })
             .collect();
+        let norms_time = t_norms.elapsed();
+        let t_ann = Instant::now();
         let ann = ann_config
             .filter(|_| embeddings.num_nodes() > 0)
             .map(|cfg| HnswIndex::build(&embeddings, cfg));
-        EmbeddingSnapshot {
-            epoch,
-            embeddings,
-            norms,
-            ann,
-        }
+        let ann_time = t_ann.elapsed();
+        (
+            EmbeddingSnapshot {
+                epoch,
+                embeddings,
+                norms,
+                ann,
+            },
+            norms_time,
+            ann_time,
+        )
     }
 
     /// The snapshot's publication epoch (0 = the initial empty snapshot).
@@ -179,16 +199,24 @@ impl EmbeddingSnapshot {
     /// falls back to the exact scan when the snapshot carries no index or the
     /// graph search comes back short (possible on degenerate inputs).
     pub fn top_k_mode(&self, node: u32, k: usize, mode: QueryMode) -> Vec<(u32, f32)> {
+        self.top_k_mode_traced(node, k, mode).0
+    }
+
+    /// [`top_k_mode`](Self::top_k_mode), also reporting whether an ANN query
+    /// had to fall back to the exact scan (no index, or a short graph
+    /// search). Exact queries never count as fallbacks.
+    fn top_k_mode_traced(&self, node: u32, k: usize, mode: QueryMode) -> (Vec<(u32, f32)>, bool) {
         match (mode, &self.ann) {
             (QueryMode::Ann, Some(index)) if self.contains(node) && k > 0 => {
                 let hits = index.search_node(node, k);
                 if hits.len() < k.min(self.num_nodes().saturating_sub(1)) {
-                    self.top_k(node, k)
+                    (self.top_k(node, k), true)
                 } else {
-                    hits
+                    (hits, false)
                 }
             }
-            _ => self.top_k(node, k),
+            (QueryMode::Ann, _) => (self.top_k(node, k), self.contains(node) && k > 0),
+            _ => (self.top_k(node, k), false),
         }
     }
 
@@ -220,6 +248,10 @@ pub struct EmbeddingStore {
     slot: RwLock<Arc<EmbeddingSnapshot>>,
     /// When set, every published snapshot gets an HNSW index built into it.
     ann: Option<AnnConfig>,
+    /// Instrument handles; detached by default, shared with a registry via
+    /// [`EmbeddingStore::instrumented`]. Recording is always on and always
+    /// lock-free, so queries pay the same cost either way.
+    telemetry: StoreTelemetry,
 }
 
 impl Default for EmbeddingStore {
@@ -250,7 +282,21 @@ impl EmbeddingStore {
                 None,
             ))),
             ann,
+            telemetry: StoreTelemetry::detached(),
         }
+    }
+
+    /// Replaces the store's telemetry handles — typically with
+    /// [`StoreTelemetry::registered`] so publishes and queries show up in a
+    /// registry snapshot under `engine.*` / `query.*`.
+    pub fn instrumented(mut self, telemetry: StoreTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The store's telemetry handles.
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telemetry
     }
 
     /// The ANN configuration snapshots are indexed with, if any.
@@ -268,12 +314,25 @@ impl EmbeddingStore {
     /// wins regardless of install order.
     pub fn publish(&self, embeddings: Embeddings) -> u64 {
         use std::sync::atomic::Ordering;
+        let t_total = Instant::now();
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings, self.ann.as_ref()));
-        let mut slot = self.slot.write().expect("embedding store lock poisoned");
-        if snapshot.epoch() > slot.epoch() {
-            *slot = snapshot;
+        let (snapshot, norms_time, ann_time) =
+            EmbeddingSnapshot::new_timed(epoch, embeddings, self.ann.as_ref());
+        let snapshot = Arc::new(snapshot);
+        {
+            let mut slot = self.slot.write().expect("embedding store lock poisoned");
+            if snapshot.epoch() > slot.epoch() {
+                *slot = snapshot;
+            }
         }
+        self.telemetry.publish_norms_ns.record_duration(norms_time);
+        self.telemetry
+            .publish_ann_build_ns
+            .record_duration(ann_time);
+        self.telemetry
+            .publish_total_ns
+            .record_duration(t_total.elapsed());
+        self.telemetry.note_publish(epoch);
         epoch
     }
 
@@ -315,19 +374,47 @@ impl EmbeddingStore {
     /// The `k` nodes most similar to `node` in the current snapshot
     /// (exact scan; see [`top_k_mode`](EmbeddingStore::top_k_mode)).
     pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
-        self.snapshot().top_k(node, k)
+        self.top_k_mode(node, k, QueryMode::Exact)
     }
 
-    /// The `k` nodes most similar to `node`, selected via `mode`.
+    /// The `k` nodes most similar to `node`, selected via `mode`. Latency is
+    /// recorded into the per-mode query histograms; an ANN query that had to
+    /// fall back to the exact scan bumps `query.ann_fallbacks`.
     pub fn top_k_mode(&self, node: u32, k: usize, mode: QueryMode) -> Vec<(u32, f32)> {
-        self.snapshot().top_k_mode(node, k, mode)
+        let t = Instant::now();
+        let (hits, fell_back) = self.snapshot().top_k_mode_traced(node, k, mode);
+        match mode {
+            QueryMode::Exact => &self.telemetry.query_exact_ns,
+            QueryMode::Ann => &self.telemetry.query_ann_ns,
+        }
+        .record_duration(t.elapsed());
+        if fell_back {
+            self.telemetry.ann_fallbacks.inc();
+        }
+        hits
     }
 
     /// Answers a slab of top-k queries with one snapshot acquisition, so the
     /// per-query read-lock cost is amortized across the batch and every row
     /// is answered from the same epoch.
     pub fn top_k_batch(&self, nodes: &[u32], k: usize, mode: QueryMode) -> Vec<Vec<(u32, f32)>> {
-        self.snapshot().top_k_batch(nodes, k, mode)
+        let t = Instant::now();
+        let snap = self.snapshot();
+        let mut fallbacks = 0u64;
+        let rows = nodes
+            .iter()
+            .map(|&node| {
+                let (row, fell_back) = snap.top_k_mode_traced(node, k, mode);
+                fallbacks += fell_back as u64;
+                row
+            })
+            .collect();
+        self.telemetry.batch_size.record(nodes.len() as u64);
+        self.telemetry.batch_total_ns.record_duration(t.elapsed());
+        if fallbacks > 0 {
+            self.telemetry.ann_fallbacks.add(fallbacks);
+        }
+        rows
     }
 
     /// Answers a slab of cosine queries with one snapshot acquisition (one

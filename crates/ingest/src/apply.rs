@@ -22,21 +22,31 @@ use uninet_dyngraph::{
 };
 use uninet_walker::{RandomWalkModel, SamplerManager};
 
+use crate::metrics::IngestMetrics;
 use crate::shard::ShardPlan;
 
 /// Applies update batches with vertex-range parallelism.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedMaintainer {
     config: MaintainerConfig,
     threads: usize,
+    metrics: IngestMetrics,
 }
 
 impl ShardedMaintainer {
-    /// Creates a maintainer applying batches with up to `threads` workers.
+    /// Creates a maintainer applying batches with up to `threads` workers and
+    /// detached (unobserved) telemetry.
     pub fn new(config: MaintainerConfig, threads: usize) -> Self {
+        Self::instrumented(config, threads, IngestMetrics::detached())
+    }
+
+    /// Creates a maintainer recording apply/maintenance/compaction timings
+    /// into `metrics`.
+    pub fn instrumented(config: MaintainerConfig, threads: usize, metrics: IngestMetrics) -> Self {
         ShardedMaintainer {
             config,
             threads: threads.max(1),
+            metrics,
         }
     }
 
@@ -62,8 +72,16 @@ impl ShardedMaintainer {
         plan: &ShardPlan,
     ) -> BatchReport {
         if self.threads <= 1 || plan.num_shards() <= 1 {
-            return IncrementalMaintainer::new(self.config)
-                .apply_batch(graph, manager, model, batch);
+            let r =
+                IncrementalMaintainer::new(self.config).apply_batch(graph, manager, model, batch);
+            self.metrics.apply_batch_ns.record_duration(r.apply_time);
+            self.metrics
+                .maintain_sampler_ns
+                .record_duration(r.maintain_time);
+            if r.compacted {
+                self.metrics.compactions.inc();
+            }
+            return r;
         }
 
         let mut report = BatchReport::default();
@@ -81,14 +99,18 @@ impl ShardedMaintainer {
                     .zip(parts.local.iter())
                     .filter(|(_, ops)| !ops.is_empty())
                     .map(|(view, ops)| {
+                        let shard_ns = std::sync::Arc::clone(&self.metrics.apply_shard_ns);
                         scope.spawn(move |_| {
+                            let t = Instant::now();
                             let mut view = view;
                             let mut tallies = BatchReport::default();
                             for &m in ops {
                                 let effects = view.apply_with_effects(m);
                                 tallies.record_effects(m, effects);
                             }
-                            (tallies, view.finish())
+                            let out = (tallies, view.finish());
+                            shard_ns.record_duration(t.elapsed());
+                            out
                         })
                     })
                     .collect();
@@ -118,6 +140,9 @@ impl ShardedMaintainer {
         report.weight_touched.sort_unstable();
         report.weight_touched.dedup();
         report.apply_time = t0.elapsed();
+        self.metrics
+            .apply_batch_ns
+            .record_duration(report.apply_time);
 
         let t1 = Instant::now();
         if !report.weight_touched.is_empty() {
@@ -130,12 +155,20 @@ impl ShardedMaintainer {
             ));
             report.weight_touched = touched;
         }
+        self.metrics
+            .maintain_sampler_ns
+            .record_duration(t1.elapsed());
 
         if report.topology_mutations > 0 && graph.pending() >= self.config.compaction_threshold {
+            let tc = Instant::now();
             let flush = IncrementalMaintainer::new(self.config).flush(graph, manager, model);
             report.compacted = flush.compacted;
             report.topology_touched = flush.topology_touched;
             report.maintenance.merge(&flush.maintenance);
+            if flush.compacted {
+                self.metrics.compaction_ns.record_duration(tc.elapsed());
+                self.metrics.compactions.inc();
+            }
         }
         report.maintain_time = t1.elapsed();
         report
@@ -149,7 +182,13 @@ impl ShardedMaintainer {
         manager: &mut SamplerManager,
         model: &M,
     ) -> BatchReport {
-        IncrementalMaintainer::new(self.config).flush(graph, manager, model)
+        let t = Instant::now();
+        let r = IncrementalMaintainer::new(self.config).flush(graph, manager, model);
+        if r.compacted {
+            self.metrics.compaction_ns.record_duration(t.elapsed());
+            self.metrics.compactions.inc();
+        }
+        r
     }
 }
 

@@ -37,11 +37,13 @@
 //! ```
 
 pub mod apply;
+pub mod metrics;
 pub mod pipeline;
 pub mod queue;
 pub mod shard;
 
 pub use apply::ShardedMaintainer;
-pub use pipeline::{run_pipeline, IngestConfig, IngestReport};
-pub use queue::{batch_queue, BatchReceiver, BatchSender, QueueStats};
+pub use metrics::IngestMetrics;
+pub use pipeline::{run_instrumented_pipeline, run_pipeline, IngestConfig, IngestReport};
+pub use queue::{batch_queue, instrumented_batch_queue, BatchReceiver, BatchSender, QueueStats};
 pub use shard::{PartitionedBatch, ShardPlan};

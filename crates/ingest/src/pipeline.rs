@@ -22,7 +22,8 @@ use uninet_dyngraph::{BatchReport, DynamicGraph, GraphMutation, MaintainerConfig
 use uninet_walker::{MaintenanceStats, RandomWalkModel, SamplerManager};
 
 use crate::apply::ShardedMaintainer;
-use crate::queue::{batch_queue, QueueStats};
+use crate::metrics::IngestMetrics;
+use crate::queue::{instrumented_batch_queue, QueueStats};
 use crate::shard::ShardPlan;
 
 /// Configuration of the ingestion pipeline.
@@ -73,29 +74,54 @@ pub struct IngestReport {
 }
 
 /// Runs the concurrent ingestion pipeline over a pre-collected mutation
-/// stream. `on_batch` fires after every applied batch on the caller's thread
-/// — it may freely borrow the graph and manager state it closed over. The
-/// final `bool` argument is `true` only for the end-of-stream flush (which
-/// fires only when the flush actually compacted leftover overlay entries).
+/// stream with detached (unobserved) telemetry. `on_batch` fires after every
+/// applied batch on the caller's thread — it may freely borrow the graph and
+/// manager state it closed over. The final `bool` argument is `true` only for
+/// the end-of-stream flush (which fires only when the flush actually
+/// compacted leftover overlay entries).
 pub fn run_pipeline<M: RandomWalkModel + ?Sized>(
     config: &IngestConfig,
     graph: &mut DynamicGraph,
     manager: &mut SamplerManager,
     model: &M,
     mutations: &[GraphMutation],
+    on_batch: impl FnMut(&DynamicGraph, &SamplerManager, &BatchReport, bool),
+) -> IngestReport {
+    run_instrumented_pipeline(
+        config,
+        &IngestMetrics::detached(),
+        graph,
+        manager,
+        model,
+        mutations,
+        on_batch,
+    )
+}
+
+/// [`run_pipeline`], recording queue/apply/maintenance/compaction telemetry
+/// into `metrics` live while the pipeline runs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instrumented_pipeline<M: RandomWalkModel + ?Sized>(
+    config: &IngestConfig,
+    metrics: &IngestMetrics,
+    graph: &mut DynamicGraph,
+    manager: &mut SamplerManager,
+    model: &M,
+    mutations: &[GraphMutation],
     mut on_batch: impl FnMut(&DynamicGraph, &SamplerManager, &BatchReport, bool),
 ) -> IngestReport {
-    let maintainer = ShardedMaintainer::new(
+    let maintainer = ShardedMaintainer::instrumented(
         MaintainerConfig {
             compaction_threshold: config.compaction_threshold,
         },
         config.num_threads,
+        metrics.clone(),
     );
     let plan = ShardPlan::new(graph.num_nodes(), config.num_threads);
     let mut report = IngestReport::default();
 
     let queue_stats = crossbeam::thread::scope(|scope| {
-        let (tx, rx) = batch_queue(config.queue_capacity);
+        let (tx, rx) = instrumented_batch_queue(config.queue_capacity, metrics);
         let batch_size = config.batch_size.max(1);
         let reader = scope.spawn(move |_| {
             let mut tx = tx;

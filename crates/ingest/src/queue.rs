@@ -1,8 +1,10 @@
 //! The bounded intake queue decoupling mutation intake from maintenance.
 //!
 //! A thin wrapper over `std::sync::mpsc::sync_channel` that adds the
-//! accounting the pipeline reports: batches enqueued, time the producer spent
-//! blocked on a full queue (back-pressure), and the peak queue depth.
+//! accounting the pipeline reports: batches enqueued, back-pressure stalls
+//! and the time the producer spent blocked in them, and queue depth — both
+//! the final [`QueueStats`] summary and, via [`IngestMetrics`], live gauges
+//! that can be observed from other threads while the pipeline runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -11,11 +13,15 @@ use std::time::{Duration, Instant};
 
 use uninet_dyngraph::UpdateBatch;
 
+use crate::metrics::IngestMetrics;
+
 /// Accounting of one queue's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Batches pushed through the queue.
     pub batches_enqueued: usize,
+    /// Sends that found the queue full and had to block.
+    pub stalls: usize,
     /// Total time the producer spent blocked on a full queue.
     pub producer_wait: Duration,
     /// Highest observed number of batches in flight.
@@ -26,13 +32,25 @@ impl QueueStats {
     /// Accumulates another queue's accounting into this one.
     pub fn merge(&mut self, other: &QueueStats) {
         self.batches_enqueued += other.batches_enqueued;
+        self.stalls += other.stalls;
         self.producer_wait += other.producer_wait;
         self.peak_depth = self.peak_depth.max(other.peak_depth);
     }
 }
 
-/// Creates a bounded batch queue of the given capacity (clamped to ≥ 1).
+/// Creates a bounded batch queue of the given capacity (clamped to ≥ 1) with
+/// detached (unobserved) telemetry.
 pub fn batch_queue(capacity: usize) -> (BatchSender, BatchReceiver) {
+    instrumented_batch_queue(capacity, &IngestMetrics::detached())
+}
+
+/// Creates a bounded batch queue whose depth gauge, enqueue/stall counters
+/// and stall-latency histogram record into `metrics` — live, not just in the
+/// final [`QueueStats`].
+pub fn instrumented_batch_queue(
+    capacity: usize,
+    metrics: &IngestMetrics,
+) -> (BatchSender, BatchReceiver) {
     let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
     let depth = Arc::new(AtomicUsize::new(0));
     (
@@ -40,8 +58,13 @@ pub fn batch_queue(capacity: usize) -> (BatchSender, BatchReceiver) {
             tx,
             depth: Arc::clone(&depth),
             stats: QueueStats::default(),
+            metrics: metrics.clone(),
         },
-        BatchReceiver { rx, depth },
+        BatchReceiver {
+            rx,
+            depth,
+            metrics: metrics.clone(),
+        },
     )
 }
 
@@ -50,6 +73,7 @@ pub struct BatchSender {
     tx: SyncSender<UpdateBatch>,
     depth: Arc<AtomicUsize>,
     stats: QueueStats,
+    metrics: IngestMetrics,
 }
 
 impl BatchSender {
@@ -59,6 +83,7 @@ impl BatchSender {
         // Count the batch in flight *before* handing it over: once `send`
         // returns, the consumer may already have received (and un-counted) it.
         let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.queue_depth.set(depth as i64);
         // Only time the blocking fallback, so `producer_wait` measures actual
         // back-pressure rather than per-send channel overhead.
         let ok = match self.tx.try_send(batch) {
@@ -66,7 +91,11 @@ impl BatchSender {
             Err(std::sync::mpsc::TrySendError::Full(batch)) => {
                 let t = Instant::now();
                 let ok = self.tx.send(batch).is_ok();
-                self.stats.producer_wait += t.elapsed();
+                let stall = t.elapsed();
+                self.stats.stalls += 1;
+                self.stats.producer_wait += stall;
+                self.metrics.queue_stalls.inc();
+                self.metrics.queue_stall_ns.record_duration(stall);
                 ok
             }
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
@@ -74,10 +103,23 @@ impl BatchSender {
         if ok {
             self.stats.batches_enqueued += 1;
             self.stats.peak_depth = self.stats.peak_depth.max(depth);
+            self.metrics.queue_enqueued.inc();
         } else {
-            self.depth.fetch_sub(1, Ordering::Relaxed);
+            let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            self.metrics.queue_depth.set(d as i64);
         }
         ok
+    }
+
+    /// Batches currently in flight (queued, mid-send, or received but not yet
+    /// un-counted by the consumer).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Accounting so far, without consuming the sender.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Consumes the sender, closing the queue and returning its accounting.
@@ -90,14 +132,21 @@ impl BatchSender {
 pub struct BatchReceiver {
     rx: Receiver<UpdateBatch>,
     depth: Arc<AtomicUsize>,
+    metrics: IngestMetrics,
 }
 
 impl BatchReceiver {
     /// Blocks for the next batch; `None` once the producer is done.
     pub fn recv(&self) -> Option<UpdateBatch> {
         let batch = self.rx.recv().ok()?;
-        self.depth.fetch_sub(1, Ordering::Relaxed);
+        let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.metrics.queue_depth.set(d as i64);
         Some(batch)
+    }
+
+    /// Batches currently in flight.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
@@ -135,6 +184,7 @@ mod tests {
         assert_eq!(sizes, vec![1, 2, 3, 4, 5, 6]);
         assert_eq!(stats.batches_enqueued, 6);
         assert!(stats.peak_depth >= 1);
+        assert_eq!(rx.depth(), 0, "fully drained");
     }
 
     #[test]
@@ -154,6 +204,7 @@ mod tests {
         }
         let stats = producer.join().unwrap();
         assert_eq!(got, 3);
+        assert!(stats.stalls >= 1, "no stall recorded");
         assert!(
             stats.producer_wait >= Duration::from_millis(10),
             "producer never blocked: {:?}",
@@ -169,7 +220,24 @@ mod tests {
         let (mut tx, rx) = batch_queue(1);
         drop(rx);
         assert!(!tx.send(batch(1)));
+        assert_eq!(tx.depth(), 0);
         let stats = tx.finish();
         assert_eq!(stats.batches_enqueued, 0);
+    }
+
+    #[test]
+    fn instrumented_queue_updates_live_metrics() {
+        let metrics = IngestMetrics::detached();
+        let (mut tx, rx) = instrumented_batch_queue(2, &metrics);
+        assert!(tx.send(batch(1)));
+        assert!(tx.send(batch(1)));
+        assert_eq!(metrics.queue_depth.get(), 2);
+        assert_eq!(metrics.queue_enqueued.get(), 2);
+        assert!(rx.recv().is_some());
+        assert_eq!(metrics.queue_depth.get(), 1);
+        drop(tx);
+        assert!(rx.recv().is_some());
+        assert!(rx.recv().is_none());
+        assert_eq!(metrics.queue_depth.get(), 0);
     }
 }

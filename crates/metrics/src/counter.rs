@@ -1,0 +1,119 @@
+//! Lock-free scalar instruments: monotone counters and up/down gauges.
+//!
+//! Both are thin wrappers over relaxed atomics — a single `fetch_add` per
+//! update, no locks, no allocation — so they are safe to hit from any hot
+//! path. Relaxed ordering is deliberate: metrics never synchronize program
+//! state, they only need each individual update to land exactly once.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed instantaneous value (queue depth, epoch age, …) that can
+/// move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` and returns the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.value.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Subtracts `delta` and returns the new value.
+    #[inline]
+    pub fn sub(&self, delta: i64) -> i64 {
+        self.add(-delta)
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        assert_eq!(g.add(5), 5);
+        assert_eq!(g.sub(7), -2);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

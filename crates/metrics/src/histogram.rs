@@ -1,0 +1,376 @@
+//! Log-bucketed latency/value histograms: constant memory, lock-free
+//! recording, mergeable snapshots, bounded-error quantiles.
+//!
+//! # Bucket layout
+//!
+//! Values are `u64` (nanoseconds for latencies, plain counts for sizes).
+//! Each power-of-two octave is split into [`SUB_BUCKETS`] linear sub-buckets,
+//! so the relative width of any bucket is at most `1 / SUB_BUCKETS` = 12.5% —
+//! the bound every quantile estimate inherits. Values below [`SUB_BUCKETS`]
+//! get exact single-value buckets. The whole table is [`NUM_BUCKETS`] (= 496)
+//! buckets covering all of `u64`, ~4 KiB of atomics per histogram, allocated
+//! once.
+//!
+//! # Concurrency
+//!
+//! [`Histogram::record`] is a handful of relaxed `fetch_add`/`fetch_max`
+//! operations — no locks, no allocation — so any number of threads can hammer
+//! one histogram concurrently and the total count is exact (see the crate's
+//! tests). A [`HistogramSnapshot`] taken while writers are active may observe
+//! a value's bucket increment without its `count` increment (or vice versa);
+//! each individual update still lands exactly once, so settled snapshots are
+//! exact and in-flight ones are off by at most the number of races in flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the number of linear sub-buckets per power-of-two octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave; also the bound of the exact low range.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover every `u64` value.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index of a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // v in [2^octave, 2^{octave+1})
+    let shift = octave - SUB_BITS;
+    let sub = (v >> shift) & (SUB_BUCKETS - 1);
+    ((octave - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Inclusive `[low, high]` value range of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS as usize {
+        return (index as u64, index as u64);
+    }
+    let group = (index as u64) >> SUB_BITS; // ≥ 1
+    let shift = (group - 1) as u32;
+    let low = (SUB_BUCKETS + (index as u64 & (SUB_BUCKETS - 1))) << shift;
+    let high = low + ((1u64 << shift) - 1); // grouping avoids u64 overflow at the top octave
+    (low, high)
+}
+
+/// A lock-free, constant-memory, log-bucketed histogram of `u64` values.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (one ~4 KiB allocation, ever).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("NUM_BUCKETS-sized allocation");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free: five relaxed atomic RMWs.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A frozen copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, mergeable copy of a [`Histogram`]'s state.
+///
+/// Merging is element-wise addition, so it is associative and commutative:
+/// per-thread or per-shard histograms can be folded together in any order and
+/// produce the same aggregate (property-tested in this crate's test-suite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity element of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Builds a snapshot from raw values (test/offline convenience).
+    pub fn from_values(values: &[u64]) -> Self {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    /// Accumulates `other` into `self` (element-wise bucket addition). Sums
+    /// wrap on overflow, matching the atomic accumulation in [`Histogram`],
+    /// so merging stays associative and commutative even for adversarial
+    /// totals.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value — exact, not bucketed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The inclusive bucket range `[low, high]` containing the `q`-quantile
+    /// (`q` clamped to `[0, 1]`), or `None` when empty. The true quantile
+    /// value is guaranteed to lie inside the returned range, whose relative
+    /// width is at most `1 / SUB_BUCKETS` (12.5%).
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target order statistic, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(bucket_bounds(i));
+            }
+        }
+        // Unreachable when count equals the bucket totals; be safe anyway.
+        Some((self.min(), self.max))
+    }
+
+    /// Point estimate of the `q`-quantile: the containing bucket's upper
+    /// bound, clamped to the exact observed `[min, max]`. The estimate is
+    /// within one bucket width of the true order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        match self.quantile_bounds(q) {
+            None => 0,
+            Some((low, high)) => high.clamp(low, self.max).max(self.min()),
+        }
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        // Every value maps into a bucket whose bounds contain it, indices are
+        // monotone, and bucket relative width respects the 1/8 bound.
+        let probes = [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = None;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} for {v}");
+            let (low, high) = bucket_bounds(i);
+            assert!(low <= v && v <= high, "{v} not in [{low}, {high}]");
+            if v >= SUB_BUCKETS {
+                let width = high - low + 1;
+                assert!(width <= low / SUB_BUCKETS + 1, "width {width} at {low}");
+            }
+            if let Some((pv, pi)) = last {
+                if v > pv {
+                    assert!(i >= pi, "index not monotone at {v}");
+                }
+            }
+            last = Some((v, i));
+        }
+        // The full range of indices round-trips through bounds.
+        for i in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(bucket_index(low), i);
+            assert_eq!(bucket_index(high), i);
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 110);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 22.0).abs() < 1e-9);
+        // Small values land in exact buckets.
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.p50(), 3);
+        // The top quantile is clamped to the exact max.
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn empty_snapshot_answers_safely() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_bounds(0.5), None);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = HistogramSnapshot::from_values(&[1, 10, 100]);
+        let b = HistogramSnapshot::from_values(&[5, 1_000_000]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 1_000_116);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+        // Merging the identity changes nothing.
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::empty());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        let (low, high) = s.quantile_bounds(0.5).unwrap();
+        assert!(low <= 3_000 && 3_000 <= high);
+    }
+}

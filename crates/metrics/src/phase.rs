@@ -1,0 +1,179 @@
+//! Phase timing of the end-to-end pipeline, matching the `Ti`/`Tw`/`Tl`/`Tt`
+//! columns of Table VI in the paper.
+//!
+//! [`PhaseTiming`] keeps its original semantics and public fields (it moved
+//! here from `uninet-core`, which still re-exports it); [`PhaseRecorder`]
+//! is the measurement side, a thin [`Stopwatch`]-based builder that yields a
+//! `PhaseTiming` from the three sequential pipeline stages.
+
+use std::time::Duration;
+
+use crate::timer::Stopwatch;
+
+/// Wall-clock breakdown of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Sampler initialization cost (`Ti`).
+    pub init: Duration,
+    /// Random-walk generation cost (`Tw`).
+    pub walk: Duration,
+    /// Embedding learning cost (`Tl`).
+    pub learn: Duration,
+}
+
+impl PhaseTiming {
+    /// Total cost (`Tt = Ti + Tw + Tl`).
+    pub fn total(&self) -> Duration {
+        self.init + self.walk + self.learn
+    }
+
+    /// Speed-up of this run's total time relative to `other` (e.g. how much
+    /// faster UniNet (M-H) is than UniNet (Orig)).
+    pub fn speedup_over(&self, other: &PhaseTiming) -> f64 {
+        let own = self.total().as_secs_f64();
+        if own <= 0.0 {
+            return f64::INFINITY;
+        }
+        other.total().as_secs_f64() / own
+    }
+
+    /// Fraction of the total time spent in initialization (the quantity the
+    /// paper uses to argue against burn-in initialization in Figure 6).
+    pub fn init_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.init.as_secs_f64() / total
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Ti={:.3}s Tw={:.3}s Tl={:.3}s Tt={:.3}s",
+            self.init.as_secs_f64(),
+            self.walk.as_secs_f64(),
+            self.learn.as_secs_f64(),
+            self.total().as_secs_f64()
+        )
+    }
+}
+
+/// Measures the `Ti`/`Tw`/`Tl` stages in order and produces a
+/// [`PhaseTiming`]. Stages not reached stay at zero duration.
+///
+/// ```
+/// use uninet_metrics::PhaseRecorder;
+///
+/// let mut rec = PhaseRecorder::begin();
+/// // ... sampler initialization ...
+/// rec.init_done();
+/// // ... walk generation ...
+/// rec.walk_done();
+/// // ... embedding learning ...
+/// rec.learn_done();
+/// let timing = rec.finish();
+/// assert_eq!(timing.total(), timing.init + timing.walk + timing.learn);
+/// ```
+#[derive(Debug)]
+pub struct PhaseRecorder {
+    watch: Stopwatch,
+    timing: PhaseTiming,
+}
+
+impl PhaseRecorder {
+    /// Starts the clock at the beginning of the `Ti` stage.
+    pub fn begin() -> Self {
+        PhaseRecorder {
+            watch: Stopwatch::start(),
+            timing: PhaseTiming::default(),
+        }
+    }
+
+    /// Marks the end of sampler initialization (`Ti`).
+    pub fn init_done(&mut self) {
+        self.timing.init += self.watch.lap();
+    }
+
+    /// Marks the end of walk generation (`Tw`).
+    pub fn walk_done(&mut self) {
+        self.timing.walk += self.watch.lap();
+    }
+
+    /// Marks the end of embedding learning (`Tl`).
+    pub fn learn_done(&mut self) {
+        self.timing.learn += self.watch.lap();
+    }
+
+    /// The breakdown accumulated so far.
+    pub fn finish(self) -> PhaseTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(init_ms: u64, walk_ms: u64, learn_ms: u64) -> PhaseTiming {
+        PhaseTiming {
+            init: Duration::from_millis(init_ms),
+            walk: Duration::from_millis(walk_ms),
+            learn: Duration::from_millis(learn_ms),
+        }
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        assert_eq!(t(10, 20, 30).total(), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_totals() {
+        let fast = t(5, 10, 15);
+        let slow = t(20, 40, 60);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
+        assert_eq!(t(0, 0, 0).speedup_over(&slow), f64::INFINITY);
+    }
+
+    #[test]
+    fn init_fraction() {
+        assert!((t(25, 50, 25).init_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(t(0, 0, 0).init_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_phases() {
+        let s = format!("{}", t(1000, 2000, 3000));
+        assert!(s.contains("Ti=1.000s"));
+        assert!(s.contains("Tt=6.000s"));
+    }
+
+    #[test]
+    fn recorder_fills_stages_in_order() {
+        let mut rec = PhaseRecorder::begin();
+        std::thread::sleep(Duration::from_millis(2));
+        rec.init_done();
+        rec.walk_done();
+        std::thread::sleep(Duration::from_millis(2));
+        rec.learn_done();
+        let timing = rec.finish();
+        assert!(timing.init >= Duration::from_millis(1));
+        assert!(timing.learn >= Duration::from_millis(1));
+        assert!(timing.walk <= timing.init);
+        assert_eq!(timing.total(), timing.init + timing.walk + timing.learn);
+    }
+
+    #[test]
+    fn unreached_stages_stay_zero() {
+        let mut rec = PhaseRecorder::begin();
+        rec.init_done();
+        let timing = rec.finish();
+        assert_eq!(timing.walk, Duration::ZERO);
+        assert_eq!(timing.learn, Duration::ZERO);
+    }
+}

@@ -1,0 +1,164 @@
+//! Stage timers: a resettable stopwatch for sequential phase breakdowns and
+//! an RAII guard that records elapsed time into a [`Histogram`] on drop.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+
+/// A stopwatch that measures sequential stages: each [`lap`](Self::lap)
+/// returns the time since the previous lap (or since construction).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+    last_lap: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Stopwatch {
+            started: now,
+            last_lap: now,
+        }
+    }
+
+    /// Time since the previous lap (or since start); resets the lap marker.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last_lap;
+        self.last_lap = now;
+        d
+    }
+
+    /// Total time since the stopwatch started (laps do not reset this).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// An RAII stage timer: created via [`StageTimer::new`] (or the
+/// [`time_into`](crate::time_into) closure helper), it records the elapsed
+/// wall-clock time (in nanoseconds) into its histogram when dropped.
+///
+/// ```
+/// use uninet_metrics::{Histogram, StageTimer};
+/// use std::sync::Arc;
+///
+/// let hist = Arc::new(Histogram::new());
+/// {
+///     let _t = StageTimer::new(Arc::clone(&hist));
+///     // ... timed work ...
+/// } // records here
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StageTimer {
+    target: Arc<Histogram>,
+    started: Instant,
+    armed: bool,
+}
+
+impl StageTimer {
+    /// Starts timing; the elapsed time is recorded into `target` on drop.
+    pub fn new(target: Arc<Histogram>) -> Self {
+        StageTimer {
+            target,
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed time so far, without stopping the timer.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops and records now, returning the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let d = self.started.elapsed();
+        self.target.record_duration(d);
+        self.armed = false;
+        d
+    }
+
+    /// Abandons the measurement: nothing is recorded on drop.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.target.record_duration(self.started.elapsed());
+        }
+    }
+}
+
+/// Times a closure and records its wall-clock duration into `hist`,
+/// returning the closure's result. The non-RAII convenience for straight-line
+/// code.
+#[inline]
+pub fn time_into<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    hist.record_duration(t.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_are_sequential() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = sw.lap();
+        let b = sw.lap();
+        assert!(a >= Duration::from_millis(1));
+        assert!(b <= a, "second lap starts after the first ends");
+        assert!(sw.elapsed() >= a);
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = StageTimer::new(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stage_timer_stop_records_once() {
+        let h = Arc::new(Histogram::new());
+        let t = StageTimer::new(Arc::clone(&h));
+        let d = t.stop();
+        assert_eq!(h.count(), 1);
+        assert!(h.snapshot().max() <= d.as_nanos() as u64);
+    }
+
+    #[test]
+    fn stage_timer_cancel_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        StageTimer::new(Arc::clone(&h)).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn time_into_returns_and_records() {
+        let h = Histogram::new();
+        let out = time_into(&h, || 7 * 6);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+}
