@@ -24,6 +24,9 @@
 //!    side by side: median/p95 latency, recall@10 against the exact result,
 //!    the per-epoch index build cost, and the batch-API amortization of
 //!    snapshot acquisition.
+//! 5. **Durability** — the same stream without a WAL, with an unsynced WAL
+//!    and with fsync-per-append, plus a timed crash recovery; the streaming
+//!    overhead of each fsync policy and the cold-restart latency.
 //!
 //! Emits `results/BENCH_streaming.json` so the perf trajectory is tracked
 //! across PRs.
@@ -34,8 +37,8 @@ use std::time::Instant;
 
 use uninet_bench::{emit, emit_json, HarnessConfig, Json};
 use uninet_core::{
-    EdgeSamplerKind, Engine, InitStrategy, ModelSpec, QueryMode, StreamingConfig, StreamingReport,
-    Table, UniNetConfig,
+    EdgeSamplerKind, Engine, FsyncPolicy, InitStrategy, ModelSpec, QueryMode, StreamingConfig,
+    StreamingReport, Table, UniNetConfig,
 };
 use uninet_dyngraph::GraphMutation;
 use uninet_eval::{link_prediction_auc, LinkPredictionConfig};
@@ -634,6 +637,135 @@ fn main() {
     ann_json_fields.push(("batch_total_ms", Json::Num(batch_s * 1e3)));
     ann_json_fields.push(("per_call_total_ms", Json::Num(per_call_s * 1e3)));
     let json_ann = Json::Obj(ann_json_fields);
+    println!();
+
+    // Part 5: durability — the WAL-append tax on streaming throughput, and
+    // how long a cold restart takes. Three identical sharded incremental
+    // sessions: no WAL (baseline), WAL without fsync (pure encode+write
+    // cost), WAL with fsync-per-append (the full durable configuration);
+    // then a timed `Engine::builder().recover(..)` from the durable dir.
+    let dur_root = std::env::temp_dir().join(format!("uninet-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dur_root);
+    let mut table = Table::new(
+        "Durability — WAL-append overhead and crash recovery (sharded incremental)",
+        &[
+            "configuration",
+            "stream wall s",
+            "updates/s",
+            "overhead %",
+            "wal bytes",
+            "snapshots",
+        ],
+    );
+    let mut dur_json_fields: Vec<(&'static str, Json)> = Vec::new();
+    let mut dur_walls = Vec::new();
+    for (label, key, policy) in [
+        ("no-wal", "no_wal", None),
+        (
+            "wal fsync=never",
+            "wal_fsync_never",
+            Some(FsyncPolicy::Never),
+        ),
+        (
+            "wal fsync=always",
+            "wal_fsync_always",
+            Some(FsyncPolicy::Always),
+        ),
+    ] {
+        let streaming = StreamingConfig {
+            batch_size: 1024,
+            compaction_threshold: 2048,
+            ingest_threads: threads,
+            incremental_train: true,
+            ..Default::default()
+        };
+        let mut builder = Engine::builder()
+            .graph(graph.clone())
+            .model(ModelSpec::DeepWalk)
+            .config(pipeline_config(
+                &cfg,
+                threads,
+                EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            ))
+            .streaming(streaming);
+        if let Some(policy) = policy {
+            builder = builder
+                .wal(dur_root.join(key))
+                .snapshot_every(8)
+                .wal_fsync(policy);
+        }
+        let engine = builder.build().expect("durable benchmark configuration");
+        let t = Instant::now();
+        let outcome = engine
+            .stream_blocking(stream.clone())
+            .expect("engine is idle");
+        let wall = t.elapsed().as_secs_f64();
+        dur_walls.push(wall);
+        let overhead_pct = (wall / dur_walls[0].max(1e-9) - 1.0) * 100.0;
+        let (wal_bytes, snapshots) = outcome
+            .report
+            .durability
+            .as_ref()
+            .map(|d| {
+                assert!(d.wal_error.is_none(), "WAL degraded: {:?}", d.wal_error);
+                (d.wal_bytes, d.snapshots_written)
+            })
+            .unwrap_or((0, 0));
+        table.add_row(&[
+            label.to_string(),
+            format!("{wall:.2}"),
+            format!("{:.0}", outcome.report.update_throughput),
+            if policy.is_none() {
+                "-".to_string()
+            } else {
+                format!("{overhead_pct:+.1}")
+            },
+            format!("{wal_bytes}"),
+            format!("{snapshots}"),
+        ]);
+        dur_json_fields.push((
+            key,
+            Json::Obj(vec![
+                ("wall_s", Json::Num(wall)),
+                (
+                    "updates_per_sec",
+                    Json::Num(outcome.report.update_throughput),
+                ),
+                ("overhead_pct", Json::Num(overhead_pct)),
+                ("wal_bytes", Json::Int(wal_bytes)),
+                ("snapshots_written", Json::Int(snapshots as u64)),
+            ]),
+        ));
+    }
+    // Timed cold restart from the fully durable directory.
+    let t = Instant::now();
+    let recovered = Engine::builder()
+        .recover(dur_root.join("wal_fsync_always"))
+        .build()
+        .expect("recovery from the benchmark WAL");
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    let summary = recovered.recovery().expect("recovery summary").clone();
+    println!(
+        "durability: fsync=never {:+.1}% / fsync=always {:+.1}% streaming overhead; \
+         recovery to epoch {} in {recovery_ms:.1} ms ({} batches replayed)",
+        (dur_walls[1] / dur_walls[0].max(1e-9) - 1.0) * 100.0,
+        (dur_walls[2] / dur_walls[0].max(1e-9) - 1.0) * 100.0,
+        summary.epoch,
+        summary.replayed_batches,
+    );
+    dur_json_fields.push(("recovery_ms", Json::Num(recovery_ms)));
+    dur_json_fields.push(("recovered_epoch", Json::Int(summary.epoch)));
+    dur_json_fields.push((
+        "replayed_batches",
+        Json::Int(summary.replayed_batches as u64),
+    ));
+    dur_json_fields.push((
+        "restored_embeddings",
+        Json::Bool(summary.restored_embeddings),
+    ));
+    emit(&table, "exp_ingest_durability");
+    let json_durability = Json::Obj(dur_json_fields);
+    let _ = std::fs::remove_dir_all(&dur_root);
 
     emit_json(
         "BENCH_streaming",
@@ -668,6 +800,7 @@ fn main() {
             ("training", Json::Arr(json_training)),
             ("query_service", json_queries),
             ("ann_query_service", json_ann),
+            ("durability", json_durability),
             // The part-3 engine's full telemetry snapshot: per-stage ingest
             // timings, publish/epoch gauges and per-mode query latency
             // quantiles, straight from `Engine::metrics()`.

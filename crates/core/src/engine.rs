@@ -41,6 +41,7 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use uninet_dyngraph::GraphMutation;
 use uninet_embedding::{
@@ -50,10 +51,12 @@ use uninet_graph::io::{read_edge_list_file, EdgeListOptions};
 use uninet_graph::Graph;
 use uninet_ingest::IngestMetrics;
 use uninet_metrics::{MetricsRegistry, MetricsSnapshot};
+use uninet_persist::{FsyncPolicy, SamplerState};
 use uninet_sampler::EdgeSamplerKind;
 use uninet_walker::{WalkCorpus, WalkEngineConfig};
 
 use crate::config::{ModelSpec, UniNetConfig};
+use crate::durability::{PersistOptions, RecoverySummary, SessionPersist};
 use crate::error::UniNetError;
 use crate::metrics::EngineMetrics;
 use crate::pipeline::{self, PipelineResult};
@@ -91,6 +94,10 @@ pub struct EngineBuilder {
     spec: ModelSpec,
     config: UniNetConfig,
     streaming: StreamingConfig,
+    wal_dir: Option<PathBuf>,
+    snapshot_every: Option<usize>,
+    wal_fsync: Option<FsyncPolicy>,
+    recover_dir: Option<PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -107,6 +114,10 @@ impl EngineBuilder {
             spec: ModelSpec::DeepWalk,
             config: UniNetConfig::default(),
             streaming: StreamingConfig::default(),
+            wal_dir: None,
+            snapshot_every: None,
+            wal_fsync: None,
+            recover_dir: None,
         }
     }
 
@@ -290,7 +301,44 @@ impl EngineBuilder {
         self
     }
 
-    /// Validates the configuration, loads the graph if necessary, and
+    /// Enables the durability plane rooted at `dir`: every streaming batch
+    /// is WAL-logged before it is applied, and snapshots of the full state
+    /// (graph + embeddings + sampler config) are cut at session boundaries
+    /// (plus every [`EngineBuilder::snapshot_every`] batches). The directory
+    /// is created and probed for writability at build time.
+    pub fn wal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Cut a durability snapshot every `batches` WAL-logged batches during
+    /// streaming (0 = only at session boundaries). Requires
+    /// [`EngineBuilder::wal`] or [`EngineBuilder::recover`].
+    pub fn snapshot_every(mut self, batches: usize) -> Self {
+        self.snapshot_every = Some(batches);
+        self
+    }
+
+    /// When WAL appends reach the disk (default: [`FsyncPolicy::Always`]).
+    /// Requires [`EngineBuilder::wal`] or [`EngineBuilder::recover`].
+    pub fn wal_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.wal_fsync = Some(policy);
+        self
+    }
+
+    /// Uses crash recovery from `dir` as the graph source: the newest valid
+    /// snapshot is loaded, any torn WAL tail is truncated, and the WAL
+    /// suffix is replayed to reconstruct the pre-crash graph; a snapshotted
+    /// embedding matrix is restored into the serving store at its original
+    /// epoch. The directory stays the engine's WAL directory, so subsequent
+    /// streams keep appending where the crashed process stopped. Conflicts
+    /// with [`EngineBuilder::graph`] / edge-list sources.
+    pub fn recover(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.recover_dir = Some(dir.into());
+        self
+    }
+
+    /// Validates the configuration, loads (or recovers) the graph, and
     /// constructs the engine.
     pub fn build(self) -> Result<Engine, UniNetError> {
         let EngineBuilder {
@@ -298,16 +346,81 @@ impl EngineBuilder {
             spec,
             mut config,
             streaming,
+            wal_dir,
+            snapshot_every,
+            wal_fsync,
+            recover_dir,
         } = self;
 
-        let graph = match source.ok_or_else(|| {
-            UniNetError::invalid_config(
-                "graph",
-                "no graph source: call .graph(..) or .graph_from_edge_list(..)",
-            )
-        })? {
-            GraphSource::InMemory(g) => g,
-            GraphSource::EdgeList(path, options) => read_edge_list_file(&path, options)?,
+        // Durability options resolve first: a WAL directory that cannot be
+        // written is a build-time error, not a degraded session later.
+        let persist = match wal_dir.clone().or_else(|| recover_dir.clone()) {
+            Some(dir) => {
+                std::fs::create_dir_all(&dir).map_err(|e| {
+                    UniNetError::invalid_config(
+                        "persist.wal_dir",
+                        format!("cannot create {}: {e}", dir.display()),
+                    )
+                })?;
+                let probe = dir.join(".uninet-write-probe");
+                std::fs::write(&probe, b"probe").map_err(|e| {
+                    UniNetError::invalid_config(
+                        "persist.wal_dir",
+                        format!("{} is not writable: {e}", dir.display()),
+                    )
+                })?;
+                let _ = std::fs::remove_file(&probe);
+                Some(PersistOptions {
+                    wal_dir: dir,
+                    snapshot_every: snapshot_every.unwrap_or(0),
+                    fsync: wal_fsync.unwrap_or(FsyncPolicy::Always),
+                })
+            }
+            None => {
+                if snapshot_every.is_some() {
+                    return Err(UniNetError::invalid_config(
+                        "persist.snapshot_every",
+                        "requires a WAL directory: call .wal(dir) or .recover(dir)",
+                    ));
+                }
+                if wal_fsync.is_some() {
+                    return Err(UniNetError::invalid_config(
+                        "persist.wal_fsync",
+                        "requires a WAL directory: call .wal(dir) or .recover(dir)",
+                    ));
+                }
+                None
+            }
+        };
+
+        // Crash recovery is a graph *source*; mixing it with an explicit one
+        // would silently discard whichever lost the race.
+        let mut recovery: Option<RecoverySummary> = None;
+        let mut restored_embeddings: Option<(uninet_embedding::Embeddings, u64)> = None;
+        let graph = if let Some(dir) = &recover_dir {
+            if source.is_some() {
+                return Err(UniNetError::invalid_config(
+                    "graph",
+                    ".recover(..) conflicts with an explicit graph source: \
+                     pass one or the other",
+                ));
+            }
+            let t = Instant::now();
+            let state = uninet_persist::recover(dir)?;
+            recovery = Some(RecoverySummary::from_state(&state, t.elapsed()));
+            restored_embeddings = state.embeddings.map(|e| (e, state.epoch));
+            state.graph
+        } else {
+            match source.ok_or_else(|| {
+                UniNetError::invalid_config(
+                    "graph",
+                    "no graph source: call .graph(..), .graph_from_edge_list(..) \
+                     or .recover(..)",
+                )
+            })? {
+                GraphSource::InMemory(g) => g,
+                GraphSource::EdgeList(path, options) => read_edge_list_file(&path, options)?,
+            }
         };
 
         if graph.num_nodes() == 0 {
@@ -432,6 +545,12 @@ impl EngineBuilder {
             EmbeddingStore::new()
         };
         let store = store.instrumented(StoreTelemetry::registered(&registry));
+        // A recovered embedding matrix is served immediately, at the epoch
+        // the snapshot recorded — readers observe the same epoch sequence
+        // they would have seen had the process never died.
+        if let Some((embeddings, epoch)) = restored_embeddings {
+            store.restore(embeddings, epoch);
+        }
 
         let num_nodes = graph.num_nodes();
         Ok(Engine {
@@ -444,6 +563,8 @@ impl EngineBuilder {
                 ingest_metrics: IngestMetrics::registered(&registry),
                 engine_metrics: EngineMetrics::registered(&registry),
                 registry,
+                persist,
+                recovery,
                 core: Mutex::new(CoreState::Idle(EngineCore { graph })),
             }),
         })
@@ -478,6 +599,11 @@ struct EngineInner {
     /// The registry all three planes register into; snapshotted by
     /// [`Engine::metrics`].
     registry: MetricsRegistry,
+    /// Durability options; `Some` makes every streaming session durable.
+    persist: Option<PersistOptions>,
+    /// What [`EngineBuilder::recover`] rebuilt, when the engine was born
+    /// from a crash recovery.
+    recovery: Option<RecoverySummary>,
     core: Mutex<CoreState>,
 }
 
@@ -635,6 +761,27 @@ impl Engine {
         &self.inner.spec
     }
 
+    /// The durability options the engine was built with (`None` when the
+    /// engine runs without a WAL).
+    pub fn persist_options(&self) -> Option<&PersistOptions> {
+        self.inner.persist.as_ref()
+    }
+
+    /// What [`EngineBuilder::recover`] rebuilt, when this engine was born
+    /// from a crash recovery.
+    pub fn recovery(&self) -> Option<&RecoverySummary> {
+        self.inner.recovery.as_ref()
+    }
+
+    /// The persisted sampler identity (strategy + seed) snapshots record so
+    /// recovery can rebuild chains deterministically.
+    fn sampler_state(&self) -> SamplerState {
+        SamplerState {
+            kind: self.inner.config.walk.sampler,
+            seed: self.inner.config.walk.seed,
+        }
+    }
+
     /// Number of nodes in the engine's graph.
     pub fn num_nodes(&self) -> usize {
         self.inner.num_nodes
@@ -745,7 +892,22 @@ impl Engine {
         self.inner.engine_metrics.record_round(&result.timing);
         // Publish before releasing the core, so a stream() racing in right
         // after us cannot have its fresher snapshots overwritten by these.
+        let durable_copy = self
+            .inner
+            .persist
+            .as_ref()
+            .map(|_| result.embeddings.clone());
         let epoch = self.inner.store.publish(result.embeddings);
+        // Batch training replaces the whole matrix, so a durable engine cuts
+        // a snapshot right after publishing — a crash between trainings then
+        // recovers to exactly what readers were being served.
+        if let (Some(opts), Some(embeddings)) = (self.inner.persist.as_ref(), durable_copy) {
+            match SessionPersist::begin(opts, self.inner.streaming.symmetric, self.sampler_state())
+            {
+                Ok(mut p) => p.write_state(core.graph.clone(), Some(embeddings), epoch),
+                Err(e) => eprintln!("warning: post-train durability snapshot failed: {e}"),
+            }
+        }
         drop(guard);
         Ok(TrainReport {
             timing: result.timing,
@@ -765,6 +927,15 @@ impl Engine {
     /// published at end-of-stream). A second `stream` or a `train` during the
     /// session fails with [`UniNetError::EngineBusy`].
     pub fn stream(&self, mutations: Vec<GraphMutation>) -> Result<StreamHandle, UniNetError> {
+        // Open the WAL before taking the core: a durable session that cannot
+        // log must fail synchronously, with the engine still idle.
+        let persist = match self.inner.persist.as_ref() {
+            Some(opts) => Some(
+                SessionPersist::begin(opts, self.inner.streaming.symmetric, self.sampler_state())
+                    .map_err(UniNetError::Persist)?,
+            ),
+            None => None,
+        };
         let mut guard = self.inner.lock_core("stream")?;
         let CoreState::Idle(core) = std::mem::replace(&mut *guard, CoreState::Streaming) else {
             unreachable!("lock_core only returns idle guards");
@@ -785,6 +956,7 @@ impl Engine {
                     core.graph,
                     &mutations,
                     Some(&inner.store),
+                    persist,
                     &inner.ingest_metrics,
                     &inner.engine_metrics,
                 )

@@ -9,6 +9,7 @@
 use uninet_dyngraph::StreamError;
 use uninet_embedding::io::EmbeddingIoError;
 use uninet_graph::GraphError;
+use uninet_persist::PersistError;
 
 /// Everything that can go wrong when building or driving an
 /// [`Engine`](crate::Engine).
@@ -49,6 +50,8 @@ pub enum UniNetError {
     EmbeddingIo(EmbeddingIoError),
     /// Update-stream reading or parsing failed.
     Stream(StreamError),
+    /// The durability plane failed: WAL, snapshot or recovery.
+    Persist(PersistError),
     /// A bare I/O error outside the structured loaders.
     Io(std::io::Error),
 }
@@ -98,6 +101,7 @@ impl std::fmt::Display for UniNetError {
             UniNetError::Graph(e) => write!(f, "{e}"),
             UniNetError::EmbeddingIo(e) => write!(f, "{e}"),
             UniNetError::Stream(e) => write!(f, "{e}"),
+            UniNetError::Persist(e) => write!(f, "{e}"),
             UniNetError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -109,6 +113,7 @@ impl std::error::Error for UniNetError {
             UniNetError::Graph(e) => Some(e),
             UniNetError::EmbeddingIo(e) => Some(e),
             UniNetError::Stream(e) => Some(e),
+            UniNetError::Persist(e) => Some(e),
             UniNetError::Io(e) => Some(e),
             _ => None,
         }
@@ -130,6 +135,12 @@ impl From<EmbeddingIoError> for UniNetError {
 impl From<StreamError> for UniNetError {
     fn from(e: StreamError) -> Self {
         UniNetError::Stream(e)
+    }
+}
+
+impl From<PersistError> for UniNetError {
+    fn from(e: PersistError) -> Self {
+        UniNetError::Persist(e)
     }
 }
 

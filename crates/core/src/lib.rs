@@ -49,6 +49,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod timing;
 
 pub use baselines::{baseline_sampler_for, BaselineKind};
 pub use config::{ModelSpec, UniNetConfig};
+pub use durability::{DurabilityReport, PersistOptions, RecoverySummary};
 pub use engine::{Engine, EngineBuilder, StreamHandle, StreamOutcome, TrainReport};
 pub use error::UniNetError;
 pub use metrics::EngineMetrics;
@@ -79,5 +81,6 @@ pub use uninet_metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
     PhaseRecorder, StageTimer, Stopwatch,
 };
+pub use uninet_persist::{FsyncPolicy, PersistError, RecoveredState, SamplerState};
 pub use uninet_sampler::{EdgeSamplerKind, InitStrategy};
 pub use uninet_walker::{WalkCorpus, WalkEngineConfig};

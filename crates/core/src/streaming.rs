@@ -17,15 +17,17 @@
 //! readers serve `top_k`/`cosine` queries from a consistent epoch while
 //! ingestion continues.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
-use uninet_dyngraph::{DynamicGraph, GraphMutation, RefreshStats, WalkRefresher};
+use uninet_dyngraph::{DynamicGraph, GraphMutation, RefreshStats, UpdateBatch, WalkRefresher};
 use uninet_embedding::{EmbeddingStore, OnlineWord2Vec, TrainStats, Word2VecTrainer};
 use uninet_graph::{Graph, NodeId};
-use uninet_ingest::{run_instrumented_pipeline, IngestConfig, IngestMetrics, QueueStats};
+use uninet_ingest::{run_durable_pipeline, IngestConfig, IngestMetrics, QueueStats};
 use uninet_walker::{MaintenanceStats, SamplerManager, WalkEngine};
 
 use crate::config::{ModelSpec, UniNetConfig};
+use crate::durability::{DurabilityReport, SessionPersist};
 use crate::metrics::EngineMetrics;
 use crate::pipeline::PipelineResult;
 use crate::timing::PhaseTiming;
@@ -126,6 +128,9 @@ pub struct StreamingReport {
     pub incremental_passes: usize,
     /// Embedding snapshots published to the serving store during the stream.
     pub snapshots_published: usize,
+    /// Durability accounting when the session ran with a WAL (`None` for
+    /// non-durable sessions).
+    pub durability: Option<DurabilityReport>,
 }
 
 impl StreamingReport {
@@ -172,6 +177,13 @@ fn merge_train_stats(total: &mut TrainStats, pass: &TrainStats) {
 /// and incremental-pass latency into `engine_metrics` — live, from the
 /// session thread, so readers can watch back-pressure while it happens. Pass
 /// detached handles when nothing observes them.
+///
+/// With `persist` set, the session is durable: a snapshot of the pre-stream
+/// state is cut at session start, every applied batch is WAL-logged before
+/// its effects become observable, periodic snapshots follow the configured
+/// batch cadence, and the final compacted graph + embeddings are snapshotted
+/// at end-of-stream. Persistence errors degrade (reported in
+/// [`StreamingReport::durability`]) — they never abort the session.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_streaming_session(
     cfg: &UniNetConfig,
@@ -180,6 +192,7 @@ pub(crate) fn run_streaming_session(
     graph: Graph,
     mutations: &[GraphMutation],
     store: Option<&EmbeddingStore>,
+    persist: Option<SessionPersist>,
     ingest_metrics: &IngestMetrics,
     engine_metrics: &EngineMetrics,
 ) -> (PipelineResult, StreamingReport, Graph, u64) {
@@ -238,6 +251,17 @@ pub(crate) fn run_streaming_session(
         None
     };
 
+    // Durable sessions snapshot the pre-stream state first, so a crash at
+    // any later point always has a base to replay the WAL onto. Shared
+    // between the WAL hook and the on_batch callback below — both run on the
+    // pipeline's consumer thread, never nested, so the RefCell cannot panic.
+    let mut persist = persist;
+    if let Some(p) = persist.as_mut() {
+        let initial = online.as_ref().map(|s| s.embeddings());
+        p.write_state(graph.clone(), initial, last_epoch);
+    }
+    let persist = RefCell::new(persist);
+
     let mut dyn_graph = DynamicGraph::new(graph, streaming.symmetric);
     let mut refresher = WalkRefresher::new(&corpus, num_nodes, cfg.walk.walk_length, cfg.walk.seed);
 
@@ -259,14 +283,38 @@ pub(crate) fn run_streaming_session(
         let online = &mut online;
         let learn = &mut learn;
         let train_stats = &mut train_stats;
-        let ingest_report = run_instrumented_pipeline(
+        let persist = &persist;
+        let mut wal_hook = |batch: &UpdateBatch| {
+            if let Some(p) = persist.borrow_mut().as_mut() {
+                p.log_batch(batch);
+            }
+        };
+        let wal: Option<&mut dyn FnMut(&UpdateBatch)> = if persist.borrow().is_some() {
+            Some(&mut wal_hook)
+        } else {
+            None
+        };
+        let ingest_report = run_durable_pipeline(
             &ingest_cfg,
             ingest_metrics,
             &mut dyn_graph,
             &mut manager,
             model,
             mutations,
+            wal,
             |dg, mgr, r, is_final| {
+                // Periodic snapshot cadence, counted in WAL-logged batches.
+                // Runs before the refresh early-outs: durability must not
+                // depend on whether a batch touched any walks.
+                {
+                    let mut p = persist.borrow_mut();
+                    if let Some(p) = p.as_mut() {
+                        if p.snapshot_due() {
+                            let emb = online.as_ref().map(|s| s.embeddings());
+                            p.write_state(dg.materialize(), emb, *last_epoch);
+                        }
+                    }
+                }
                 // Per-batch refresh is optional; the end-of-stream flush
                 // always refreshes so the corpus matches the final graph.
                 if !refresh_each_batch && !is_final {
@@ -366,6 +414,9 @@ pub(crate) fn run_streaming_session(
     };
 
     let final_graph = dyn_graph.into_base();
+    if let Some(p) = persist.into_inner() {
+        report.durability = Some(p.finish(&final_graph, &embeddings, last_epoch));
+    }
     let timing = PhaseTiming {
         init,
         walk: walk_timing.walk,
@@ -447,6 +498,7 @@ mod tests {
             spec,
             graph,
             mutations,
+            None,
             None,
             &IngestMetrics::detached(),
             &EngineMetrics::detached(),
@@ -601,6 +653,7 @@ mod tests {
             graph,
             &mutations,
             Some(&store),
+            None,
             &IngestMetrics::detached(),
             &EngineMetrics::detached(),
         );

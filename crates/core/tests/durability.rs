@@ -1,0 +1,255 @@
+//! Engine-level durability: a durable engine's state survives process death.
+//!
+//! The persist crate's property tests pin down `restart == no-restart` at
+//! the WAL/snapshot layer; these tests pin it down at the `Engine` facade —
+//! stream with a WAL, throw the engine away (the moral equivalent of
+//! `kill -9`), rebuild via [`EngineBuilder::recover`] and demand the same
+//! serving state — plus the builder-validation surface around it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use uninet_core::{Engine, FsyncPolicy, GraphMutation, ModelSpec, UniNetError};
+use uninet_graph::generators::{rmat, RmatConfig};
+use uninet_graph::Graph;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uninet-engine-dur-{}-{}-{tag}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_graph() -> Graph {
+    rmat(&RmatConfig {
+        num_nodes: 120,
+        num_edges: 900,
+        weighted: true,
+        seed: 19,
+        ..Default::default()
+    })
+}
+
+fn mutation_stream(graph: &Graph, count: usize) -> Vec<GraphMutation> {
+    let n = graph.num_nodes() as u32;
+    (0..count as u32)
+        .map(|i| match i % 3 {
+            0 => GraphMutation::AddEdge {
+                src: i % n,
+                dst: (i * 7 + 1) % n,
+                weight: 1.0 + (i % 5) as f32 * 0.5,
+            },
+            1 => GraphMutation::UpdateWeight {
+                src: i % n,
+                dst: (i * 7 + 1) % n,
+                weight: 2.0,
+            },
+            _ => GraphMutation::RemoveEdge {
+                src: (i * 3) % n,
+                dst: (i * 11 + 2) % n,
+            },
+        })
+        .collect()
+}
+
+fn durable_engine(dir: &PathBuf) -> Engine {
+    Engine::builder()
+        .graph(test_graph())
+        .model(ModelSpec::DeepWalk)
+        .num_walks(1)
+        .walk_length(8)
+        .dim(16)
+        .threads(2)
+        .seed(11)
+        .incremental_train(true)
+        .update_batch_size(16)
+        .wal(dir)
+        .snapshot_every(4)
+        .wal_fsync(FsyncPolicy::Never)
+        .build()
+        .expect("valid durable configuration")
+}
+
+#[test]
+fn recovered_engine_serves_the_pre_crash_state() {
+    let dir = wal_dir("restart");
+    let engine = durable_engine(&dir);
+    let outcome = engine
+        .stream_blocking(mutation_stream(&test_graph(), 120))
+        .expect("stream");
+    let durability = outcome
+        .report
+        .durability
+        .as_ref()
+        .expect("durable session must report durability accounting");
+    assert!(durability.wal_error.is_none(), "{:?}", durability.wal_error);
+    assert_eq!(durability.batches_logged, outcome.report.batches);
+    assert!(
+        durability.snapshots_written >= 2,
+        "initial + final at minimum, got {}",
+        durability.snapshots_written
+    );
+    assert!(durability.wal_bytes > 0);
+
+    let epoch = outcome.epoch;
+    let reference: Vec<Option<Vec<f32>>> = (0..engine.num_nodes() as u32)
+        .map(|v| engine.vector(v))
+        .collect();
+    drop(engine); // the crash: nothing survives but the WAL directory
+
+    let recovered = Engine::builder()
+        .model(ModelSpec::DeepWalk)
+        .dim(16)
+        .seed(11)
+        .recover(&dir)
+        .build()
+        .expect("recovery");
+    let summary = recovered.recovery().expect("recovery summary");
+    assert_eq!(summary.epoch, epoch);
+    assert!(summary.restored_embeddings);
+    assert_eq!(
+        summary.replayed_batches, 0,
+        "a clean shutdown ends on a snapshot, nothing to replay"
+    );
+    assert_eq!(recovered.snapshot().epoch(), epoch);
+    for (v, expected) in reference.iter().enumerate() {
+        assert_eq!(
+            &recovered.vector(v as u32),
+            expected,
+            "vector of node {v} must survive the restart bit-for-bit"
+        );
+    }
+
+    // The recovered engine is a full engine: it can keep streaming onto the
+    // same WAL, and a second recovery then reflects the newer state.
+    let outcome2 = recovered
+        .stream_blocking(mutation_stream(&test_graph(), 40))
+        .expect("stream after recovery");
+    assert!(outcome2.report.durability.is_some());
+    let epoch2 = outcome2.epoch;
+    drop(recovered);
+    let recovered2 = Engine::builder()
+        .recover(&dir)
+        .build()
+        .expect("second recovery");
+    assert_eq!(recovered2.snapshot().epoch(), epoch2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_the_durable_prefix() {
+    let dir = wal_dir("torn");
+    let engine = durable_engine(&dir);
+    engine
+        .stream_blocking(mutation_stream(&test_graph(), 120))
+        .expect("stream");
+    drop(engine);
+
+    // Simulate a mid-append crash: chop the WAL mid-record.
+    let wal = uninet_persist::wal_path(&dir);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+
+    let recovered = Engine::builder().recover(&dir).build().expect("recovery");
+    let summary = recovered.recovery().expect("summary");
+    assert!(
+        summary.truncated_tail_bytes > 0,
+        "the torn record must be truncated, not treated as corruption"
+    );
+    assert!(recovered.num_nodes() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_flags_without_a_wal_dir_are_rejected() {
+    let err = Engine::builder()
+        .graph(test_graph())
+        .snapshot_every(8)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            UniNetError::InvalidConfig {
+                field: "persist.snapshot_every",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let err = Engine::builder()
+        .graph(test_graph())
+        .wal_fsync(FsyncPolicy::Never)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            UniNetError::InvalidConfig {
+                field: "persist.wal_fsync",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn recover_conflicts_with_an_explicit_graph_source() {
+    let dir = wal_dir("conflict");
+    let err = Engine::builder()
+        .graph(test_graph())
+        .recover(&dir)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, UniNetError::InvalidConfig { field: "graph", .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn unwritable_wal_dir_is_a_build_error() {
+    // A regular file where the directory should be: create_dir_all fails.
+    let blocker =
+        std::env::temp_dir().join(format!("uninet-engine-dur-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let err = Engine::builder()
+        .graph(test_graph())
+        .wal(blocker.join("wal"))
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            UniNetError::InvalidConfig {
+                field: "persist.wal_dir",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn recovering_an_empty_dir_reports_no_state() {
+    let dir = wal_dir("empty");
+    let err = Engine::builder().recover(&dir).build().unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            UniNetError::Persist(uninet_persist::PersistError::NoState { .. })
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -336,6 +336,29 @@ impl EmbeddingStore {
         epoch
     }
 
+    /// Restores a recovered embedding state at an exact epoch.
+    ///
+    /// Unlike [`publish`](EmbeddingStore::publish), which allocates the next
+    /// epoch, `restore` installs the snapshot at precisely `epoch` and moves
+    /// the allocator to `max(current, epoch)` — so a process that recovers
+    /// from disk resumes the epoch sequence where the crashed process left
+    /// off instead of restarting from 1. Intended for crash recovery on an
+    /// otherwise idle store; a concurrent publisher with a higher epoch wins,
+    /// preserving monotonicity.
+    pub fn restore(&self, embeddings: Embeddings, epoch: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.next_epoch.fetch_max(epoch, Ordering::Relaxed);
+        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings, self.ann.as_ref()));
+        {
+            let mut slot = self.slot.write().expect("embedding store lock poisoned");
+            if snapshot.epoch() > slot.epoch() {
+                *slot = snapshot;
+            }
+        }
+        self.telemetry.note_publish(epoch);
+        epoch
+    }
+
     /// The current snapshot; queries against it are lock-free and see one
     /// consistent version even while new epochs are published.
     pub fn snapshot(&self) -> Arc<EmbeddingSnapshot> {
@@ -561,6 +584,20 @@ mod tests {
             assert_eq!(got, store.cosine(a, b));
         }
         assert_eq!(cosines[2], None);
+    }
+
+    #[test]
+    fn restore_resumes_epoch_sequence() {
+        let store = EmbeddingStore::new();
+        assert_eq!(store.restore(sample(), 7), 7);
+        assert_eq!(store.epoch(), 7);
+        assert_eq!(store.num_nodes(), 5);
+        // The next publish continues after the restored epoch.
+        assert_eq!(store.publish(sample()), 8);
+        // Restoring an older epoch never rolls the store back.
+        store.restore(Embeddings::from_flat(2, vec![1.0, 1.0]), 3);
+        assert_eq!(store.epoch(), 8);
+        assert_eq!(store.num_nodes(), 5);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub mod shard;
 
 pub use apply::ShardedMaintainer;
 pub use metrics::IngestMetrics;
-pub use pipeline::{run_instrumented_pipeline, run_pipeline, IngestConfig, IngestReport};
-pub use queue::{batch_queue, instrumented_batch_queue, BatchReceiver, BatchSender, QueueStats};
+pub use pipeline::{
+    run_durable_pipeline, run_instrumented_pipeline, run_pipeline, IngestConfig, IngestReport,
+};
+pub use queue::{
+    batch_queue, instrumented_batch_queue, BatchReceiver, BatchSender, QueueStats, RateLimiter,
+};
 pub use shard::{PartitionedBatch, ShardPlan};

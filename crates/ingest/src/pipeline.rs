@@ -108,6 +108,30 @@ pub fn run_instrumented_pipeline<M: RandomWalkModel + ?Sized>(
     manager: &mut SamplerManager,
     model: &M,
     mutations: &[GraphMutation],
+    on_batch: impl FnMut(&DynamicGraph, &SamplerManager, &BatchReport, bool),
+) -> IngestReport {
+    run_durable_pipeline(
+        config, metrics, graph, manager, model, mutations, None, on_batch,
+    )
+}
+
+/// [`run_instrumented_pipeline`] with an apply-path write-ahead-log hook.
+///
+/// When `wal` is given, it fires on the consumer thread for every dequeued
+/// batch *before* the batch is applied to the graph — so by the time a
+/// batch's effects are observable, the durability plane has already had its
+/// chance to log it. The hook must not panic; WAL errors are expected to be
+/// absorbed (and reported) by the closure itself so a degraded disk never
+/// takes down ingestion.
+#[allow(clippy::too_many_arguments)]
+pub fn run_durable_pipeline<M: RandomWalkModel + ?Sized>(
+    config: &IngestConfig,
+    metrics: &IngestMetrics,
+    graph: &mut DynamicGraph,
+    manager: &mut SamplerManager,
+    model: &M,
+    mutations: &[GraphMutation],
+    mut wal: Option<&mut dyn FnMut(&UpdateBatch)>,
     mut on_batch: impl FnMut(&DynamicGraph, &SamplerManager, &BatchReport, bool),
 ) -> IngestReport {
     let maintainer = ShardedMaintainer::instrumented(
@@ -134,6 +158,9 @@ pub fn run_instrumented_pipeline<M: RandomWalkModel + ?Sized>(
         });
 
         while let Some(batch) = rx.recv() {
+            if let Some(hook) = wal.as_deref_mut() {
+                hook(&batch);
+            }
             let r = maintainer.apply_batch(graph, manager, model, &batch, &plan);
             report.batches += 1;
             report.weight_mutations += r.weight_mutations;

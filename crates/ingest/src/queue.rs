@@ -38,6 +38,51 @@ impl QueueStats {
     }
 }
 
+/// Allows at most one event per interval; the rest are counted, not emitted.
+///
+/// Used to keep the live stall warning to at most one stderr line per second
+/// no matter how saturated the stream is — a stalled producer can otherwise
+/// emit thousands of identical lines in a burst.
+#[derive(Debug)]
+pub struct RateLimiter {
+    interval: Duration,
+    last: Option<Instant>,
+    suppressed: u64,
+}
+
+impl RateLimiter {
+    /// A limiter that lets one event through per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        RateLimiter {
+            interval,
+            last: None,
+            suppressed: 0,
+        }
+    }
+
+    /// True when an event may be emitted now. The first call always passes;
+    /// later calls pass once `interval` has elapsed since the last pass.
+    pub fn allow(&mut self) -> bool {
+        let now = Instant::now();
+        match self.last {
+            Some(t) if now.duration_since(t) < self.interval => {
+                self.suppressed += 1;
+                false
+            }
+            _ => {
+                self.last = Some(now);
+                self.suppressed = 0;
+                true
+            }
+        }
+    }
+
+    /// Events denied since the last allowed one.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
 /// Creates a bounded batch queue of the given capacity (clamped to ≥ 1) with
 /// detached (unobserved) telemetry.
 pub fn batch_queue(capacity: usize) -> (BatchSender, BatchReceiver) {
@@ -59,6 +104,7 @@ pub fn instrumented_batch_queue(
             depth: Arc::clone(&depth),
             stats: QueueStats::default(),
             metrics: metrics.clone(),
+            stall_warn: RateLimiter::new(Duration::from_secs(1)),
         },
         BatchReceiver {
             rx,
@@ -74,6 +120,7 @@ pub struct BatchSender {
     depth: Arc<AtomicUsize>,
     stats: QueueStats,
     metrics: IngestMetrics,
+    stall_warn: RateLimiter,
 }
 
 impl BatchSender {
@@ -96,6 +143,19 @@ impl BatchSender {
                 self.stats.producer_wait += stall;
                 self.metrics.queue_stalls.inc();
                 self.metrics.queue_stall_ns.record_duration(stall);
+                let suppressed = self.stall_warn.suppressed();
+                if self.stall_warn.allow() {
+                    eprintln!(
+                        "warning: ingest queue full — producer stalled {:.1} ms ({} stalls so far{})",
+                        stall.as_secs_f64() * 1e3,
+                        self.stats.stalls,
+                        if suppressed > 0 {
+                            format!(", {suppressed} warnings suppressed")
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
                 ok
             }
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
@@ -165,6 +225,18 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    #[test]
+    fn rate_limiter_allows_once_per_interval() {
+        let mut rl = RateLimiter::new(Duration::from_millis(40));
+        assert!(rl.allow(), "first event always passes");
+        assert!(!rl.allow());
+        assert!(!rl.allow());
+        assert_eq!(rl.suppressed(), 2);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(rl.allow(), "a new interval opens the gate again");
+        assert_eq!(rl.suppressed(), 0);
     }
 
     #[test]

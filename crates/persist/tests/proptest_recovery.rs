@@ -1,0 +1,217 @@
+//! The durability plane's headline property: **restart == no-restart**.
+//!
+//! A "durable process" applies an arbitrary mutation sequence in batches,
+//! WAL-logging every batch and snapshotting on an arbitrary cadence. We then
+//! crash it at an arbitrary byte offset into the log (optionally also
+//! corrupting the newest snapshot to exercise fallback), recover, and demand
+//! that the recovered graph/embeddings/epoch equal those of a process that
+//! ran uninterrupted over the same durable prefix. Restarting the process
+//! and feeding it the rest of the stream must then converge on exactly the
+//! state of a process that never crashed at all.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use uninet_dyngraph::{DynamicGraph, GraphMutation, UpdateBatch};
+use uninet_embedding::Embeddings;
+use uninet_graph::{Graph, GraphBuilder};
+use uninet_persist::{
+    list_snapshots, read_wal, recover, wal_path, write_snapshot, FsyncPolicy, PersistError,
+    SamplerState, Snapshot, WalWriter,
+};
+
+const N: u32 = 8;
+const WAL_HEADER: u64 = 8;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uninet-prop-rec-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(N as usize);
+    b.symmetric(true);
+    for v in 0..N {
+        b.add_edge(v, (v + 1) % N, 1.0 + v as f32 * 0.25);
+    }
+    b.build()
+}
+
+/// Deterministic stand-in for "the embedding matrix after `count` batches".
+fn fake_embeddings(count: u64) -> Embeddings {
+    let dim = 2usize;
+    let flat: Vec<f32> = (0..N as usize * dim)
+        .map(|i| count as f32 * 0.5 + i as f32 * 0.125)
+        .collect();
+    Embeddings::from_flat(dim, flat)
+}
+
+fn mutation_strategy() -> impl Strategy<Value = GraphMutation> {
+    (0u8..3, 0u32..N, 0u32..N, 1u32..64).prop_map(|(op, src, dst, w)| match op {
+        0 => GraphMutation::AddEdge {
+            src,
+            dst,
+            weight: w as f32 * 0.25,
+        },
+        1 => GraphMutation::RemoveEdge { src, dst },
+        _ => GraphMutation::UpdateWeight {
+            src,
+            dst,
+            weight: w as f32 * 0.5,
+        },
+    })
+}
+
+/// Uninterrupted reference: the first `k` batches applied in order.
+fn reference_graph(batches: &[UpdateBatch], k: usize) -> Graph {
+    let mut dg = DynamicGraph::new(base_graph(), true);
+    for b in &batches[..k] {
+        for m in b.mutations() {
+            dg.apply(*m);
+        }
+    }
+    dg.into_base()
+}
+
+/// Bit-exact per-node adjacency fingerprint.
+fn fingerprint(g: &Graph) -> Vec<Vec<(u32, u32)>> {
+    (0..g.num_nodes() as u32)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .zip(g.weights(v))
+                .map(|(&n, &w)| (n, w.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+fn snap_at(dg: &DynamicGraph, count: u64, wal_seq: u64) -> Snapshot {
+    Snapshot {
+        wal_seq,
+        epoch: count,
+        symmetric: true,
+        sampler: SamplerState::default(),
+        graph: dg.materialize(),
+        embeddings: Some(fake_embeddings(count)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn restart_equals_no_restart(
+        muts in prop::collection::vec(mutation_strategy(), 1..72),
+        batch_size in 1usize..6,
+        cadence in 1usize..5,
+        crash_frac in 0u32..=1000,
+        corrupt_newest in any::<bool>(),
+    ) {
+        let dir = case_dir();
+        let batches: Vec<UpdateBatch> = muts
+            .chunks(batch_size)
+            .map(|c| UpdateBatch::from_mutations(c.to_vec()))
+            .collect();
+        let total = batches.len();
+
+        // ---- durable run until the crash ----------------------------------
+        let mut dg = DynamicGraph::new(base_graph(), true);
+        write_snapshot(&dir, &snap_at(&dg, 0, 0)).unwrap();
+        let mut wal = WalWriter::open(&dir, FsyncPolicy::Never).unwrap();
+        let mut snapshot_seqs = vec![0u64];
+        for (i, b) in batches.iter().enumerate() {
+            let seq = wal.append(b).unwrap();
+            prop_assert_eq!(seq, i as u64 + 1);
+            for m in b.mutations() {
+                dg.apply(*m);
+            }
+            if (i + 1) % cadence == 0 {
+                wal.sync().unwrap();
+                write_snapshot(&dir, &snap_at(&dg, seq, seq)).unwrap();
+                snapshot_seqs.push(seq);
+            }
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // ---- crash: tear the log at an arbitrary byte offset --------------
+        let path = wal_path(&dir);
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let crash_off = WAL_HEADER
+            + ((full_len - WAL_HEADER) as f64 * crash_frac as f64 / 1000.0) as u64;
+        {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(crash_off).unwrap();
+        }
+        if corrupt_newest && snapshot_seqs.len() > 1 {
+            // Damage the newest snapshot so recovery must fall back.
+            let newest = list_snapshots(&dir).unwrap().remove(0);
+            let mut bytes = std::fs::read(&newest).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x08;
+            std::fs::write(&newest, &bytes).unwrap();
+            snapshot_seqs.pop();
+        }
+        let chosen_snap = *snapshot_seqs.last().unwrap();
+
+        // ---- recover and compare against the uninterrupted reference ------
+        let rec = recover(&dir).unwrap();
+        let surviving = read_wal(&path).unwrap().last_seq;
+        let durable = chosen_snap.max(surviving) as usize;
+        prop_assert_eq!(rec.last_wal_seq, durable as u64);
+        prop_assert_eq!(rec.epoch, chosen_snap, "epoch comes from the chosen snapshot");
+        prop_assert_eq!(
+            fingerprint(&rec.graph),
+            fingerprint(&reference_graph(&batches, durable)),
+            "recovered graph must equal an uninterrupted run over the durable prefix"
+        );
+        let expected_emb = fake_embeddings(chosen_snap);
+        prop_assert_eq!(
+            rec.embeddings.as_ref().unwrap().as_flat(),
+            expected_emb.as_flat()
+        );
+
+        // ---- restart: reopen, feed the rest of the stream, recover again --
+        let mut wal = WalWriter::open(&dir, FsyncPolicy::Never).unwrap();
+        prop_assert_eq!(wal.last_seq(), surviving, "reopen resumes after the torn tail");
+        for b in &batches[surviving as usize..] {
+            wal.append(b).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let rec2 = recover(&dir).unwrap();
+        prop_assert_eq!(rec2.last_wal_seq, total as u64);
+        prop_assert_eq!(
+            fingerprint(&rec2.graph),
+            fingerprint(&reference_graph(&batches, total)),
+            "after restart + full replay the state equals a run that never crashed"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A WAL alone (no snapshot) is unrecoverable by construction — the durable
+/// write path always seeds the directory with an initial snapshot.
+#[test]
+fn bare_wal_is_no_state() {
+    let dir = case_dir();
+    let mut wal = WalWriter::open(&dir, FsyncPolicy::Always).unwrap();
+    let mut b = UpdateBatch::new();
+    b.add_edge(0, 1, 1.0);
+    wal.append(&b).unwrap();
+    drop(wal);
+    assert!(matches!(recover(&dir), Err(PersistError::NoState { .. })));
+    let _ = std::fs::remove_dir_all(&dir);
+}

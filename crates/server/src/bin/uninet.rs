@@ -1,10 +1,14 @@
 //! `uninet` — command-line front end of the engine: read an edge list (or
 //! generate a synthetic graph), run one of the five NRL models, and write the
-//! embeddings in word2vec text format.
+//! embeddings in word2vec text format. With `--wal-dir` the run is durable
+//! (write-ahead logged and snapshotted); with `--recover` it restarts from
+//! that state; with `--serve` it answers the wire protocol until stdin
+//! closes.
 //!
 //! ```text
 //! uninet --model node2vec --p 0.25 --q 4.0 --input graph.edges --output emb.txt
-//! uninet --model deepwalk --synthetic rmat --nodes 10000 --output emb.txt
+//! uninet --model deepwalk --updates stream.txt --wal-dir ./wal --output emb.txt
+//! uninet --recover --wal-dir ./wal --serve 127.0.0.1:7878
 //! ```
 //!
 //! Run `uninet --help` for the full flag list. The flag parser is hand-rolled
@@ -12,27 +16,33 @@
 //! path surfaces a typed [`UniNetError`] with the offending flag or the
 //! file/line of a malformed input.
 
+use std::io::Read;
 use std::process::ExitCode;
 
 use uninet_core::{
-    EdgeSamplerKind, Engine, EngineBuilder, InitStrategy, ModelSpec, StreamingConfig, UniNetError,
+    EdgeSamplerKind, Engine, EngineBuilder, FsyncPolicy, InitStrategy, ModelSpec, StreamingConfig,
+    UniNetError,
 };
 use uninet_dyngraph::read_update_stream_file;
 use uninet_embedding::io::save_embeddings;
 use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
 use uninet_graph::Graph;
+use uninet_server::{serve, ServeAddr, ServerConfig};
 
 const HELP: &str = "\
 uninet — unified random-walk network representation learning
 
 USAGE:
   uninet [OPTIONS] --output <FILE>
+  uninet [OPTIONS] --serve <ADDR>
 
 INPUT (choose one):
   --input <FILE>          edge list: `src dst [weight] [edge_type]` per line
   --synthetic <rmat|ba>   generate a synthetic graph instead (default rmat)
   --nodes <N>             synthetic graph size                 [default: 10000]
   --mean-degree <D>       synthetic mean degree                [default: 10]
+  --recover               rebuild graph + embeddings from --wal-dir instead of
+                          any other input source
 
 MODEL:
   --model <NAME>          deepwalk | node2vec | metapath2vec | edge2vec | fairwalk
@@ -68,6 +78,18 @@ STREAMING UPDATES (dynamic-graph mode):
   --incremental-train     update embeddings online on regenerated walks
                           instead of a full retrain at end-of-stream
 
+DURABILITY (write-ahead log + snapshots):
+  --wal-dir <DIR>         append every applied update batch to a WAL in DIR
+                          and cut binary snapshots of graph + embeddings +
+                          sampler state; survives kill -9
+  --snapshot-every <N>    also cut a snapshot every N logged batches (initial
+                          and final snapshots are always written)
+  --wal-fsync <POLICY>    always | never | <N> (fsync every N appends)
+                                                              [default: always]
+  --recover               load the newest valid snapshot in --wal-dir, replay
+                          the WAL suffix, truncate any torn tail, and continue
+                          from that state
+
 QUERY SERVICE (ANN):
   --ann                   build an HNSW index into every published embedding
                           snapshot, so top-k queries run in ~O(log n * d)
@@ -78,11 +100,21 @@ QUERY SERVICE (ANN):
                           HNSW construction beam width        [default: 100]
   --ann-ef-search <N>     HNSW query beam width (recall knob) [default: 64]
 
+SERVING (wire protocol):
+  --serve <ADDR>          after training/recovery, serve vector / cosine /
+                          top_k / top_k_batch / metrics / epoch over a
+                          length-prefixed binary protocol until stdin closes.
+                          ADDR is host:port, or unix:<path> for a Unix socket
+  --serve-max-inflight <N>
+                          data-plane admission bound; excess requests get a
+                          typed Overloaded reply              [default: 64]
+
 OUTPUT:
-  --output <FILE>         embeddings in word2vec text format (required)
+  --output <FILE>         embeddings in word2vec text format (required unless
+                          --serve is given)
   --metrics-json <FILE>   dump the engine telemetry snapshot (counters, gauges
-                          and latency quantiles for the ingest, engine and
-                          query planes) as JSON after the run
+                          and latency quantiles for the ingest, engine, query
+                          and serving planes) as JSON after the run
   --help                  print this help
 ";
 
@@ -99,16 +131,11 @@ impl Args {
                 map.insert("help".to_string(), "1".to_string());
                 continue;
             }
-            if arg == "--directed-updates" {
-                map.insert("directed-updates".to_string(), "1".to_string());
-                continue;
-            }
-            if arg == "--incremental-train" {
-                map.insert("incremental-train".to_string(), "1".to_string());
-                continue;
-            }
-            if arg == "--ann" {
-                map.insert("ann".to_string(), "1".to_string());
+            if let Some(flag) = ["directed-updates", "incremental-train", "ann", "recover"]
+                .iter()
+                .find(|f| arg == format!("--{f}"))
+            {
+                map.insert(flag.to_string(), "1".to_string());
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -230,6 +257,61 @@ fn build_sampler(args: &Args) -> Result<EdgeSamplerKind, UniNetError> {
     })
 }
 
+fn parse_fsync(args: &Args) -> Result<Option<FsyncPolicy>, UniNetError> {
+    match args.get("wal-fsync") {
+        None => Ok(None),
+        Some("always") => Ok(Some(FsyncPolicy::Always)),
+        Some("never") => Ok(Some(FsyncPolicy::Never)),
+        Some(n) => match n.parse::<u32>() {
+            Ok(every) if every > 0 => Ok(Some(FsyncPolicy::EveryN(every))),
+            _ => Err(UniNetError::invalid_argument(
+                "wal-fsync",
+                format!("expected always, never or a positive integer, got {n:?}"),
+            )),
+        },
+    }
+}
+
+/// Validates the CLI-level flag combinations around durability and serving:
+/// typed errors, no panics.
+fn validate(args: &Args) -> Result<(), UniNetError> {
+    if args.get("recover").is_some() {
+        if args.get("wal-dir").is_none() {
+            return Err(UniNetError::invalid_argument(
+                "recover",
+                "requires --wal-dir <DIR> pointing at the log to recover from",
+            ));
+        }
+        if args.get("input").is_some() {
+            return Err(UniNetError::invalid_argument(
+                "recover",
+                "conflicts with --input; the graph is rebuilt from the WAL directory",
+            ));
+        }
+    }
+    if let Some(dir) = args.get("wal-dir") {
+        // Surface an unusable directory as a CLI error before any training
+        // work starts; the engine builder re-probes as a backstop.
+        let path = std::path::Path::new(dir);
+        std::fs::create_dir_all(path).map_err(|e| {
+            UniNetError::invalid_argument("wal-dir", format!("cannot create {dir:?}: {e}"))
+        })?;
+        let probe = path.join(".uninet-write-probe");
+        std::fs::write(&probe, b"probe")
+            .and_then(|()| std::fs::remove_file(&probe))
+            .map_err(|e| {
+                UniNetError::invalid_argument("wal-dir", format!("{dir:?} is not writable: {e}"))
+            })?;
+    }
+    if args.get("output").is_none() && args.get("serve").is_none() {
+        return Err(UniNetError::invalid_argument(
+            "output",
+            "the flag is required unless --serve is given (see --help)",
+        ));
+    }
+    Ok(())
+}
+
 fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
     let mut builder: EngineBuilder = Engine::builder()
         .model(build_spec(args)?)
@@ -252,10 +334,30 @@ fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
         .ann_m(args.parse_or("ann-m", 16usize)?)
         .ann_ef_construction(args.parse_or("ann-ef-construction", 100usize)?)
         .ann_ef_search(args.parse_or("ann-ef-search", 64usize)?);
-    builder = match args.get("input") {
-        Some(path) => builder.graph_from_edge_list(path),
-        None => builder.graph(build_graph(args)?),
-    };
+    if let Some(dir) = args.get("wal-dir") {
+        if args.get("recover").is_some() {
+            builder = builder.recover(dir);
+        } else {
+            builder = builder.wal(dir);
+        }
+        if args.get("snapshot-every").is_some() {
+            builder = builder.snapshot_every(args.parse_or("snapshot-every", 0usize)?);
+        }
+        if let Some(policy) = parse_fsync(args)? {
+            builder = builder.wal_fsync(policy);
+        }
+    } else if args.get("snapshot-every").is_some() || args.get("wal-fsync").is_some() {
+        return Err(UniNetError::invalid_argument(
+            "snapshot-every",
+            "durability flags require --wal-dir <DIR>",
+        ));
+    }
+    if args.get("recover").is_none() {
+        builder = match args.get("input") {
+            Some(path) => builder.graph_from_edge_list(path),
+            None => builder.graph(build_graph(args)?),
+        };
+    }
     builder.build()
 }
 
@@ -265,12 +367,7 @@ fn run() -> Result<(), UniNetError> {
         print!("{HELP}");
         return Ok(());
     }
-    let output = args
-        .get("output")
-        .ok_or_else(|| {
-            UniNetError::invalid_argument("output", "the flag is required (see --help)")
-        })?
-        .to_string();
+    validate(&args)?;
 
     let engine = build_engine(&args)?;
     eprintln!(
@@ -286,8 +383,28 @@ fn run() -> Result<(), UniNetError> {
             s.ann_m, s.ann_ef_construction, s.ann_ef_search,
         );
     }
+    let mut recovered_ready = false;
+    if let Some(summary) = engine.recovery() {
+        recovered_ready = summary.restored_embeddings;
+        eprintln!(
+            "recovery: epoch {} restored in {:.1} ms (wal seq {}, {} batches / {} mutations \
+             replayed, {} torn bytes truncated, {} corrupt snapshots skipped, embeddings {})",
+            summary.epoch,
+            summary.recovery_time.as_secs_f64() * 1e3,
+            summary.last_wal_seq,
+            summary.replayed_batches,
+            summary.replayed_mutations,
+            summary.truncated_tail_bytes,
+            summary.snapshots_skipped,
+            if summary.restored_embeddings {
+                "restored"
+            } else {
+                "absent (will retrain)"
+            },
+        );
+    }
 
-    let (corpus_walks, corpus_tokens, timing) = if let Some(updates_path) = args.get("updates") {
+    if let Some(updates_path) = args.get("updates") {
         let mutations = read_update_stream_file(updates_path)?;
         let streaming: &StreamingConfig = engine.streaming_config();
         eprintln!(
@@ -347,22 +464,74 @@ fn run() -> Result<(), UniNetError> {
                 report.snapshots_published,
             );
         }
-        (
+        if let Some(durability) = &report.durability {
+            eprintln!(
+                "durability: {} batches logged ({} WAL bytes, last seq {}), {} snapshots{}",
+                durability.batches_logged,
+                durability.wal_bytes,
+                durability.last_wal_seq,
+                durability.snapshots_written,
+                match &durability.wal_error {
+                    Some(e) => format!("; DEGRADED: {e}"),
+                    None => String::new(),
+                },
+            );
+        }
+        eprintln!(
+            "walks: {} sequences, {} tokens; timing: {}",
             outcome.result.corpus.num_walks(),
             outcome.result.corpus.total_tokens(),
             outcome.result.timing,
-        )
+        );
+    } else if recovered_ready {
+        eprintln!(
+            "serving the recovered state as-is (epoch {}); pass --updates to keep streaming",
+            engine.snapshot().epoch(),
+        );
     } else {
         let report = engine.train()?;
-        (
+        eprintln!(
+            "walks: {} sequences, {} tokens; timing: {}",
             report.corpus.num_walks(),
             report.corpus.total_tokens(),
             report.timing,
-        )
-    };
-    eprintln!("walks: {corpus_walks} sequences, {corpus_tokens} tokens; timing: {timing}");
-    save_embeddings(engine.snapshot().embeddings(), &output)?;
-    eprintln!("embeddings written to {output}");
+        );
+    }
+
+    if let Some(output) = args.get("output") {
+        save_embeddings(engine.snapshot().embeddings(), output)?;
+        eprintln!("embeddings written to {output}");
+    }
+
+    if let Some(spec) = args.get("serve") {
+        if engine.store().epoch() == 0 {
+            return Err(UniNetError::invalid_argument(
+                "serve",
+                "the engine has no published embeddings to serve; train, stream or \
+                 recover a state that includes embeddings first",
+            ));
+        }
+        let addr = ServeAddr::parse(spec);
+        let config = ServerConfig {
+            max_inflight: args.parse_or("serve-max-inflight", 64usize)?,
+        };
+        let server = serve(&engine, &addr, config).map_err(|e| {
+            UniNetError::invalid_argument("serve", format!("cannot bind {addr}: {e}"))
+        })?;
+        eprintln!(
+            "serving on {} (epoch {}); close stdin or send EOF to stop",
+            server.addr(),
+            engine.store().epoch(),
+        );
+        // Block until the operator closes stdin (or the process is killed —
+        // the WAL makes that survivable).
+        let mut drain = [0u8; 4096];
+        let mut stdin = std::io::stdin().lock();
+        while matches!(stdin.read(&mut drain), Ok(n) if n > 0) {}
+        eprintln!("stdin closed; shutting down the server");
+        server.shutdown();
+    }
+
     if let Some(path) = args.get("metrics-json") {
         std::fs::write(path, engine.metrics().to_json())?;
         eprintln!("telemetry snapshot written to {path}");

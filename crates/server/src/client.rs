@@ -1,0 +1,191 @@
+//! A small blocking client for the wire protocol — used by the integration
+//! tests and the CI kill-and-recover smoke, and usable as a library for
+//! anything that wants to talk to a running `uninet --serve` instance.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use uninet_embedding::QueryMode;
+
+use crate::proto::{read_frame, write_frame, ErrorCode, ProtoError, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something this client cannot parse, closed the
+    /// connection mid-exchange, or answered with the wrong response type.
+    Protocol(String),
+    /// The server refused the request.
+    Rejected {
+        /// The typed refusal.
+        code: ErrorCode,
+        /// Server-provided context.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e.reason)
+    }
+}
+
+impl ClientError {
+    /// True when the server answered with a typed `Overloaded` rejection.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+/// A blocking connection to a serving instance. One request in flight at a
+/// time per client; open several clients for concurrency.
+pub struct Client<S> {
+    stream: S,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+}
+
+impl Client<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: S) -> Self {
+        Client { stream }
+    }
+
+    /// Mutable access to the underlying stream, for callers that need to
+    /// speak raw frames (tests, protocol probes).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
+        match Response::decode(&payload)? {
+            Response::Error { code, message } => Err(ClientError::Rejected { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// The embedding vector of `node` (`None` if unknown), with the epoch
+    /// it was read from.
+    pub fn vector(&mut self, node: u32) -> Result<(u64, Option<Vec<f32>>), ClientError> {
+        match self.call(&Request::Vector { node })? {
+            Response::Vector { epoch, vector } => Ok((epoch, vector)),
+            other => Err(unexpected("vector", &other)),
+        }
+    }
+
+    /// Cosine similarity of `a` and `b`, with the serving epoch.
+    pub fn cosine(&mut self, a: u32, b: u32) -> Result<(u64, Option<f32>), ClientError> {
+        match self.call(&Request::Cosine { a, b })? {
+            Response::Cosine { epoch, value } => Ok((epoch, value)),
+            other => Err(unexpected("cosine", &other)),
+        }
+    }
+
+    /// The `k` nearest neighbors of `node`, with the serving epoch.
+    pub fn top_k(
+        &mut self,
+        node: u32,
+        k: u32,
+        mode: QueryMode,
+    ) -> Result<(u64, Vec<(u32, f32)>), ClientError> {
+        match self.call(&Request::TopK { node, k, mode })? {
+            Response::TopK { epoch, neighbors } => Ok((epoch, neighbors)),
+            other => Err(unexpected("top_k", &other)),
+        }
+    }
+
+    /// Top-k for a whole slab of nodes, answered from one snapshot.
+    #[allow(clippy::type_complexity)]
+    pub fn top_k_batch(
+        &mut self,
+        nodes: &[u32],
+        k: u32,
+        mode: QueryMode,
+    ) -> Result<(u64, Vec<Vec<(u32, f32)>>), ClientError> {
+        match self.call(&Request::TopKBatch {
+            nodes: nodes.to_vec(),
+            k,
+            mode,
+        })? {
+            Response::TopKBatch { epoch, rows } => Ok((epoch, rows)),
+            other => Err(unexpected("top_k_batch", &other)),
+        }
+    }
+
+    /// The server's full telemetry snapshot as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// The current serving epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch { epoch } => Ok(epoch),
+            other => Err(unexpected("epoch", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} response, got {got:?}"))
+}
