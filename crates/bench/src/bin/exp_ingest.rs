@@ -27,6 +27,10 @@
 //! 5. **Durability** — the same stream without a WAL, with an unsynced WAL
 //!    and with fsync-per-append, plus a timed crash recovery; the streaming
 //!    overhead of each fsync policy and the cold-restart latency.
+//! 6. **Query-plane raw speed** — the unified SIMD distance kernels against
+//!    their scalar reference at d=128, the int8-quantized store's recall@10
+//!    and latency against the f32 exact scan, and the incremental HNSW
+//!    republish cost against a full rebuild across drifted epochs.
 //!
 //! Emits `results/BENCH_streaming.json` so the perf trajectory is tracked
 //! across PRs.
@@ -36,6 +40,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use uninet_bench::{emit, emit_json, HarnessConfig, Json};
+use uninet_core::kernels;
 use uninet_core::{
     EdgeSamplerKind, Engine, FsyncPolicy, InitStrategy, ModelSpec, QueryMode, StreamingConfig,
     StreamingReport, Table, UniNetConfig,
@@ -767,6 +772,232 @@ fn main() {
     let json_durability = Json::Obj(dur_json_fields);
     let _ = std::fs::remove_dir_all(&dur_root);
 
+    // Part 6a: the unified SIMD kernels vs their scalar reference at d=128.
+    // `kernels::reference` accumulates sequentially in f32 (the compiler
+    // cannot legally reorder that), so it is an honest scalar baseline even
+    // in a release build; the dispatched kernels pick avx2/sse2 at runtime.
+    let kdim = 128usize;
+    let reps = if cfg.quick { 50_000usize } else { 400_000 };
+    let mut rng = SmallRng::seed_from_u64(99);
+    let pool: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..kdim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    // One untimed pass warms the cache and forces backend detection.
+    let _ = std::hint::black_box(kernels::dot(&pool[0], &pool[1]));
+    let bench_ns = |f: &mut dyn FnMut(&[f32], &[f32]) -> f32| -> f64 {
+        let mut acc = 0.0f32;
+        let t = Instant::now();
+        for i in 0..reps {
+            let a = &pool[i & 63];
+            let b = &pool[(i * 7 + 3) & 63];
+            acc += f(a, b);
+        }
+        std::hint::black_box(acc);
+        t.elapsed().as_secs_f64() * 1e9 / reps as f64
+    };
+    let dot_simd_ns = bench_ns(&mut |a, b| kernels::dot(a, b));
+    let dot_scalar_ns = bench_ns(&mut |a, b| kernels::reference::dot(a, b));
+    let cos_simd_ns = bench_ns(&mut |a, b| kernels::cosine(a, b));
+    let cos_scalar_ns = bench_ns(&mut |a, b| {
+        let denom =
+            (kernels::reference::squared_norm(a) * kernels::reference::squared_norm(b)).sqrt();
+        kernels::reference::dot(a, b) / denom.max(1e-12)
+    });
+    let dot_speedup = dot_scalar_ns / dot_simd_ns.max(1e-9);
+    let cos_speedup = cos_scalar_ns / cos_simd_ns.max(1e-9);
+    let mut table = Table::new(
+        "Query plane — dispatched SIMD kernels vs scalar reference (d=128)",
+        &["kernel", "backend", "simd ns/op", "scalar ns/op", "speedup"],
+    );
+    table.add_row(&[
+        "dot".to_string(),
+        kernels::backend_name().to_string(),
+        format!("{dot_simd_ns:.1}"),
+        format!("{dot_scalar_ns:.1}"),
+        format!("{dot_speedup:.2}x"),
+    ]);
+    table.add_row(&[
+        "cosine".to_string(),
+        kernels::backend_name().to_string(),
+        format!("{cos_simd_ns:.1}"),
+        format!("{cos_scalar_ns:.1}"),
+        format!("{cos_speedup:.2}x"),
+    ]);
+    emit(&table, "exp_ingest_kernels");
+    println!(
+        "kernels[{}]: dot {dot_simd_ns:.1} ns vs scalar {dot_scalar_ns:.1} ns ({dot_speedup:.2}x), \
+         cosine {cos_simd_ns:.1} ns vs scalar {cos_scalar_ns:.1} ns ({cos_speedup:.2}x)",
+        kernels::backend_name(),
+    );
+    let json_kernels = Json::Obj(vec![
+        ("backend", Json::Str(kernels::backend_name().to_string())),
+        ("dim", Json::Int(kdim as u64)),
+        ("reps", Json::Int(reps as u64)),
+        ("dot_simd_ns", Json::Num(dot_simd_ns)),
+        ("dot_scalar_ns", Json::Num(dot_scalar_ns)),
+        ("dot_speedup", Json::Num(dot_speedup)),
+        ("cosine_simd_ns", Json::Num(cos_simd_ns)),
+        ("cosine_scalar_ns", Json::Num(cos_scalar_ns)),
+        ("cosine_speedup", Json::Num(cos_speedup)),
+    ]);
+
+    // Part 6b: int8 quantized serving over the same trained embeddings.
+    // The quantized store ranks candidates on the int8 codes and re-scores
+    // its top k·rerank in exact f32, so recall against the part-4 f32 exact
+    // scan is the quality axis and the int8 scan latency is the speed axis.
+    let quant_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig {
+        quantize: true,
+        ..Default::default()
+    });
+    quant_store.publish(engine.snapshot().embeddings().clone());
+    let quant_snapshot = quant_store.snapshot();
+    assert!(quant_snapshot.is_quantized());
+    let mut table = Table::new(
+        "Query plane — int8 quantized scan/ANN vs the f32 exact baseline",
+        &["mode", "median us", "p95 us", "recall@10 vs f32"],
+    );
+    let mut quant_json_fields: Vec<(&'static str, Json)> = Vec::new();
+    for (mode, label, median_key, p95_key, recall_key) in [
+        (
+            QueryMode::Exact,
+            "int8-scan",
+            "exact_median_us",
+            "exact_p95_us",
+            "exact_recall_at_10",
+        ),
+        (
+            QueryMode::Ann,
+            "int8-hnsw",
+            "ann_median_us",
+            "ann_p95_us",
+            "ann_recall_at_10",
+        ),
+    ] {
+        let mut latencies = Vec::with_capacity(query_nodes.len());
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (&node, exact) in query_nodes.iter().zip(&exact_results) {
+            let t = Instant::now();
+            let found = quant_snapshot.top_k_mode(node, k, mode);
+            latencies.push(t.elapsed().as_secs_f64() * 1e6);
+            hits += found
+                .iter()
+                .filter(|&&(u, _)| exact.iter().any(|&(e, _)| e == u))
+                .count();
+            total += exact.len();
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = percentile(&latencies, 0.5);
+        let p95 = percentile(&latencies, 0.95);
+        let recall = hits as f64 / total.max(1) as f64;
+        table.add_row(&[
+            label.to_string(),
+            format!("{median:.1}"),
+            format!("{p95:.1}"),
+            format!("{recall:.4}"),
+        ]);
+        println!("quantized {label}: median {median:.1} us, recall@10 {recall:.4}");
+        quant_json_fields.push((median_key, Json::Num(median)));
+        quant_json_fields.push((p95_key, Json::Num(p95)));
+        quant_json_fields.push((recall_key, Json::Num(recall)));
+    }
+    emit(&table, "exp_ingest_quantized");
+    let json_quantized = Json::Obj(quant_json_fields);
+
+    // Part 6c: incremental HNSW republish vs full rebuild. Both stores get
+    // the same base epoch (untimed — the incremental store has nothing to
+    // reuse yet), then the same drifted epochs: each jitters ~12% of rows,
+    // the incremental store grafts the unchanged graph and re-inserts only
+    // the drifted nodes while the full store rebuilds from scratch.
+    let base = engine.snapshot().embeddings().clone();
+    let (edim, n) = (base.dim(), base.num_nodes());
+    let inc_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig::default());
+    let full_store = uninet_core::EmbeddingStore::with_ann(uninet_core::AnnConfig {
+        incremental: false,
+        ..Default::default()
+    });
+    inc_store.publish(base.clone());
+    full_store.publish(base.clone());
+    let drift_epochs = 5usize;
+    let drift_rows = (n as f64 * 0.12) as usize;
+    let mut flat = base.as_flat().to_vec();
+    let (mut inc_build_ms, mut full_build_ms) = (0.0f64, 0.0f64);
+    let (mut reused_total, mut reinserted_total) = (0u64, 0u64);
+    let mut rng = SmallRng::seed_from_u64(4321);
+    for _ in 0..drift_epochs {
+        for _ in 0..drift_rows {
+            let row = rng.gen_range(0..n);
+            for x in &mut flat[row * edim..(row + 1) * edim] {
+                *x += rng.gen_range(-0.1f32..0.1);
+            }
+        }
+        let drifted = uninet_core::Embeddings::from_flat(edim, flat.clone());
+        inc_store.publish(drifted.clone());
+        full_store.publish(drifted);
+        let inc_snap = inc_store.snapshot();
+        let inc_index = inc_snap.ann().expect("incremental store builds an index");
+        inc_build_ms += inc_index.build_time().as_secs_f64() * 1e3;
+        let stats = inc_index
+            .incremental_stats()
+            .expect("publish over a previous epoch grafts incrementally");
+        reused_total += stats.reused as u64;
+        reinserted_total += (stats.reinserted + stats.added) as u64;
+        let full_snap = full_store.snapshot();
+        full_build_ms += full_snap
+            .ann()
+            .expect("full store builds an index")
+            .build_time()
+            .as_secs_f64()
+            * 1e3;
+    }
+    let build_ratio = inc_build_ms / full_build_ms.max(1e-9);
+    let mut table = Table::new(
+        "Query plane — incremental HNSW republish vs full rebuild (5 drifted epochs)",
+        &[
+            "strategy",
+            "total build ms",
+            "vs full rebuild",
+            "nodes reused",
+            "nodes re-inserted",
+        ],
+    );
+    table.add_row(&[
+        "full-rebuild".to_string(),
+        format!("{full_build_ms:.1}"),
+        "1.00x".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.add_row(&[
+        "incremental".to_string(),
+        format!("{inc_build_ms:.1}"),
+        format!("{build_ratio:.2}x"),
+        format!("{reused_total}"),
+        format!("{reinserted_total}"),
+    ]);
+    emit(&table, "exp_ingest_incremental_hnsw");
+    println!(
+        "incremental hnsw: {inc_build_ms:.1} ms over {drift_epochs} epochs vs \
+         {full_build_ms:.1} ms full rebuild ({:.0}% of full; {reused_total} reused, \
+         {reinserted_total} re-inserted)",
+        build_ratio * 100.0,
+    );
+    let json_incremental = Json::Obj(vec![
+        ("drift_epochs", Json::Int(drift_epochs as u64)),
+        ("drift_rows_per_epoch", Json::Int(drift_rows as u64)),
+        ("incremental_build_ms", Json::Num(inc_build_ms)),
+        ("full_build_ms", Json::Num(full_build_ms)),
+        ("build_ratio", Json::Num(build_ratio)),
+        ("nodes_reused", Json::Int(reused_total)),
+        ("nodes_reinserted", Json::Int(reinserted_total)),
+    ]);
+    let json_query_plane = Json::Obj(vec![
+        ("kernels", json_kernels),
+        ("quantized", json_quantized),
+        ("incremental_hnsw", json_incremental),
+    ]);
+    println!();
+
     emit_json(
         "BENCH_streaming",
         &Json::Obj(vec![
@@ -801,6 +1032,7 @@ fn main() {
             ("query_service", json_queries),
             ("ann_query_service", json_ann),
             ("durability", json_durability),
+            ("query_plane", json_query_plane),
             // The part-3 engine's full telemetry snapshot: per-stage ingest
             // timings, publish/epoch gauges and per-mode query latency
             // quantiles, straight from `Engine::metrics()`.

@@ -301,6 +301,37 @@ impl EngineBuilder {
         self
     }
 
+    /// Score top-k candidates through int8 codes (4x less scan bandwidth for
+    /// both the exact scan and the HNSW traversal), re-scoring the best
+    /// `k · rerank` candidates in f32 so reported similarities stay exact.
+    /// Requires [`ann_index`](EngineBuilder::ann_index).
+    pub fn ann_quantize(mut self, on: bool) -> Self {
+        self.streaming.ann_quantize = on;
+        self
+    }
+
+    /// f32 re-rank budget multiplier for quantized queries: per requested
+    /// result, how many int8-ranked candidates are re-scored in f32.
+    pub fn ann_rerank(mut self, rerank: usize) -> Self {
+        self.streaming.ann_rerank = rerank;
+        self
+    }
+
+    /// Whether streaming publishes graft the previous epoch's HNSW graph
+    /// (re-inserting only drifted/new nodes) instead of rebuilding from
+    /// scratch. On by default when ANN is enabled.
+    pub fn ann_incremental(mut self, on: bool) -> Self {
+        self.streaming.ann_incremental = on;
+        self
+    }
+
+    /// Drift threshold for incremental publishes: the L2 distance between a
+    /// node's old and new normalized vectors above which it is re-inserted.
+    pub fn ann_drift_threshold(mut self, threshold: f32) -> Self {
+        self.streaming.ann_drift_threshold = threshold;
+        self
+    }
+
     /// Enables the durability plane rooted at `dir`: every streaming batch
     /// is WAL-logged before it is applied, and snapshots of the full state
     /// (graph + embeddings + sampler config) are cut at session boundaries
@@ -525,6 +556,26 @@ impl EngineBuilder {
                     "the query beam must be positive (got 0)".to_string(),
                 ));
             }
+            if streaming.ann_rerank == 0 {
+                return Err(UniNetError::invalid_config(
+                    "streaming.ann_rerank",
+                    "the f32 re-rank budget must be at least 1 per result (got 0)".to_string(),
+                ));
+            }
+            if !streaming.ann_drift_threshold.is_finite() || streaming.ann_drift_threshold < 0.0 {
+                return Err(UniNetError::invalid_config(
+                    "streaming.ann_drift_threshold",
+                    format!(
+                        "the drift threshold must be finite and non-negative (got {})",
+                        streaming.ann_drift_threshold
+                    ),
+                ));
+            }
+        } else if streaming.ann_quantize {
+            return Err(UniNetError::invalid_config(
+                "streaming.ann_quantize",
+                "int8 quantized serving requires ann_index".to_string(),
+            ));
         }
 
         // One registry spans all three telemetry planes: the store registers
@@ -540,6 +591,10 @@ impl EngineBuilder {
                 ef_construction: streaming.ann_ef_construction,
                 ef_search: streaming.ann_ef_search,
                 seed: config.walk.seed,
+                quantize: streaming.ann_quantize,
+                rerank: streaming.ann_rerank,
+                incremental: streaming.ann_incremental,
+                drift_threshold: streaming.ann_drift_threshold,
             })
         } else {
             EmbeddingStore::new()

@@ -72,8 +72,10 @@ pub use timing::PhaseTiming;
 pub use uninet_dyngraph::{
     DynamicGraph, GraphMutation, IncrementalMaintainer, ParseIssue, StreamError, UpdateBatch,
 };
+pub use uninet_embedding::kernels;
 pub use uninet_embedding::{
-    AnnConfig, EmbeddingSnapshot, EmbeddingStore, Embeddings, HnswIndex, QueryMode, StoreTelemetry,
+    AnnConfig, EmbeddingSnapshot, EmbeddingStore, Embeddings, HnswIndex, IncrementalStats,
+    KernelBackend, QuantizedMatrix, QueryMode, StoreTelemetry,
 };
 pub use uninet_graph::{Graph, GraphError};
 pub use uninet_ingest::{IngestConfig, IngestMetrics, QueueStats, ShardPlan, ShardedMaintainer};

@@ -73,6 +73,18 @@ pub struct StreamingConfig {
     pub ann_ef_construction: usize,
     /// HNSW query beam width (`ef_search`) — the recall/latency knob.
     pub ann_ef_search: usize,
+    /// Score top-k candidates through int8 codes (4x less scan bandwidth),
+    /// re-scoring the best `k · ann_rerank` in f32. Requires `ann_index`.
+    pub ann_quantize: bool,
+    /// f32 re-rank budget multiplier for quantized scans (candidates
+    /// re-scored per requested result; must be ≥ 1).
+    pub ann_rerank: usize,
+    /// Graft the previous epoch's HNSW graph on publish, re-inserting only
+    /// drifted/new nodes, instead of rebuilding from scratch each epoch.
+    pub ann_incremental: bool,
+    /// L2 distance between a node's old and new normalized vectors above
+    /// which an incremental publish re-inserts it (must be finite and ≥ 0).
+    pub ann_drift_threshold: f32,
 }
 
 impl Default for StreamingConfig {
@@ -91,6 +103,10 @@ impl Default for StreamingConfig {
             ann_m: ann.m,
             ann_ef_construction: ann.ef_construction,
             ann_ef_search: ann.ef_search,
+            ann_quantize: ann.quantize,
+            ann_rerank: ann.rerank,
+            ann_incremental: ann.incremental,
+            ann_drift_threshold: ann.drift_threshold,
         }
     }
 }

@@ -171,6 +171,34 @@ fn builder_rejects_bad_configs() {
             .unwrap_err(),
         "streaming.ann_ef_search",
     );
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_index(true)
+            .ann_rerank(0)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_rerank",
+    );
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_index(true)
+            .ann_drift_threshold(f32::NAN)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_drift_threshold",
+    );
+    // Quantized serving without an ANN config to carry it is rejected even
+    // though the index itself is off.
+    assert_invalid(
+        Engine::builder()
+            .graph(g())
+            .ann_quantize(true)
+            .build()
+            .unwrap_err(),
+        "streaming.ann_quantize",
+    );
     assert!(Engine::builder()
         .graph(g())
         .ann_m(0) // nonsense, but ignored while the index is off
@@ -294,6 +322,41 @@ fn ann_engine_routes_top_k_through_the_index() {
         hits += ann.iter().filter(|&&(u, _)| exact_ids.contains(&u)).count();
     }
     assert!(hits >= 36, "recall@10 over 4 probes too low: {hits}/40");
+}
+
+#[test]
+fn quantized_ann_engine_serves_exact_scores() {
+    let engine = Engine::builder()
+        .graph(test_graph())
+        .model(ModelSpec::DeepWalk)
+        .num_walks(2)
+        .walk_length(10)
+        .dim(24)
+        .epochs(1)
+        .threads(2)
+        .seed(17)
+        .sampler(EdgeSamplerKind::MetropolisHastings(InitStrategy::Random))
+        .ann_index(true)
+        .ann_quantize(true)
+        .ann_rerank(4)
+        .build()
+        .unwrap();
+    engine.train().unwrap();
+    let snapshot = engine.snapshot();
+    assert!(snapshot.is_quantized(), "snapshot should carry int8 codes");
+    assert!(snapshot.ann().is_some_and(|i| i.is_quantized()));
+    for node in [0u32, 7, 42] {
+        for mode in [QueryMode::Exact, QueryMode::Ann] {
+            let hits = engine.top_k_mode(node, 10, mode);
+            assert_eq!(hits.len(), 10);
+            for &(u, s) in &hits {
+                // Quantization ranks candidates, but every reported score
+                // must be the exact f32 cosine.
+                let want = snapshot.embeddings().cosine_similarity(node, u);
+                assert!((s - want).abs() < 1e-5, "{mode:?} node {node} hit {u}");
+            }
+        }
+    }
 }
 
 #[test]

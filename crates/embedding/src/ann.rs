@@ -13,12 +13,18 @@
 //! * **Immutable after build.** The index is constructed alongside a
 //!   snapshot's norms (outside the store's write lock) and never mutated
 //!   afterwards, so concurrent readers share it without synchronization.
-//! * **Deterministic.** Layer assignment draws from a [`SmallRng`] seeded by
-//!   [`AnnConfig::seed`] (the engine seed), and insertion order is node
-//!   order — two builds over the same vectors produce the same graph.
+//! * **Deterministic.** A node's layer is a pure hash of
+//!   `(AnnConfig::seed, node id)` — not a draw from a sequential RNG — so a
+//!   node keeps its layer across rebuilds and [`HnswIndex::build_incremental`]
+//!   can graft an old graph onto a new epoch without reshuffling levels. Two
+//!   builds over the same vectors produce the same graph.
 //! * **Cosine via normalization.** Vectors are L2-normalized at build time,
-//!   so similarity is a plain dot product and results carry the same cosine
-//!   scores the exact scan reports.
+//!   so similarity is one [`kernels::dot`] — the same SIMD-dispatched kernel
+//!   the exact scan uses — and results carry the same cosine scores.
+//! * **Optional int8 traversal.** With [`AnnConfig::quantize`] the index also
+//!   carries a [`QuantizedMatrix`] of the normalized vectors; queries walk the
+//!   graph scoring candidates in int8 and re-score only the top
+//!   `k · rerank` candidates in f32, so reported similarities stay exact.
 //!
 //! ```
 //! use uninet_embedding::{AnnConfig, Embeddings, HnswIndex};
@@ -33,9 +39,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use crate::kernels;
+use crate::quant::QuantizedMatrix;
 use crate::Embeddings;
 
 /// Hard cap on HNSW layer count; with `m >= 2` the level sampler reaches
@@ -65,8 +70,22 @@ pub struct AnnConfig {
     /// Default beam width during queries (raised to `k` when `k` is larger);
     /// the recall/latency knob.
     pub ef_search: usize,
-    /// Seed of the deterministic layer-assignment RNG.
+    /// Seed of the deterministic per-node layer hash.
     pub seed: u64,
+    /// Score candidates in int8 during traversal and exact scans, re-scoring
+    /// only the top slice in f32. Cuts scan bandwidth 4x; reported scores
+    /// stay exact f32.
+    pub quantize: bool,
+    /// With [`quantize`](Self::quantize): how many candidates per requested
+    /// result are re-scored in f32 (`k · rerank`, clamped to the beam).
+    pub rerank: usize,
+    /// Reuse the previous epoch's graph on publish, re-inserting only nodes
+    /// whose vectors drifted (plus new/retired nodes), instead of rebuilding
+    /// from scratch.
+    pub incremental: bool,
+    /// L2 distance between a node's old and new *normalized* vectors above
+    /// which an incremental build re-inserts it. 0 re-inserts on any change.
+    pub drift_threshold: f32,
 }
 
 impl Default for AnnConfig {
@@ -76,8 +95,27 @@ impl Default for AnnConfig {
             ef_construction: 100,
             ef_search: 64,
             seed: 42,
+            quantize: false,
+            rerank: 4,
+            incremental: true,
+            drift_threshold: 0.05,
         }
     }
+}
+
+/// What one [`HnswIndex::build_incremental`] reused versus rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Nodes whose graph links were carried over unchanged.
+    pub reused: usize,
+    /// Existing nodes re-inserted because their vector drifted past the
+    /// threshold.
+    pub reinserted: usize,
+    /// Nodes beyond the previous epoch's range, inserted fresh.
+    pub added: usize,
+    /// Previous-epoch nodes no longer present; their ids were filtered out of
+    /// every surviving adjacency list.
+    pub retired: usize,
 }
 
 /// An `(f32 score, node id)` pair ordered as "bigger score is better" with
@@ -142,23 +180,72 @@ impl Visited {
     }
 }
 
+/// A query the beam search can score nodes against: the f32 normalized vector
+/// (construction, unquantized search) or its int8 codes (quantized search).
+enum QueryRef<'a> {
+    F32(&'a [f32]),
+    I8 { codes: &'a [i8], scale: f32 },
+}
+
+/// The layer of `node` under `seed`: a splitmix64 hash mapped through the
+/// standard HNSW exponential (`P(level >= l) = m^-l` via `ml = 1/ln m`).
+/// Being a pure per-node function — not a sequential RNG draw — is what lets
+/// incremental builds keep every surviving node on its original layer.
+fn level_for(seed: u64, node: u32, ml: f64) -> usize {
+    let mut x = seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // 53 uniform mantissa bits -> u in [0, 1).
+    let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    ((-(1.0 - u).ln() * ml) as usize).min(MAX_LEVEL)
+}
+
+/// L2-normalizes every row of `embeddings` into one flat buffer (zero rows
+/// stay zero), using the kernel layer for the norm pass.
+fn normalize_rows(embeddings: &Embeddings) -> Vec<f32> {
+    let dim = embeddings.dim();
+    let n = embeddings.num_nodes();
+    let mut normalized = Vec::with_capacity(n * dim);
+    for v in 0..n as u32 {
+        let row = embeddings.vector(v);
+        let norm = kernels::l2_norm(row);
+        if norm == 0.0 {
+            normalized.extend_from_slice(row);
+        } else {
+            normalized.extend(row.iter().map(|x| x / norm));
+        }
+    }
+    normalized
+}
+
 /// A Hierarchical Navigable Small World index over one embedding version.
 ///
-/// Built by [`HnswIndex::build`]; queried concurrently by any number of
+/// Built by [`HnswIndex::build`] (or grafted from a previous epoch by
+/// [`HnswIndex::build_incremental`]); queried concurrently by any number of
 /// readers through [`HnswIndex::search`] / [`HnswIndex::search_node`].
 #[derive(Debug)]
 pub struct HnswIndex {
     dim: usize,
     num_nodes: usize,
     ef_search: usize,
+    /// f32 re-rank budget multiplier for the quantized path.
+    rerank: usize,
     /// L2-normalized copies of the indexed vectors (zero vectors stay zero),
     /// so similarity is one dot product.
     normalized: Vec<f32>,
+    /// Int8 codes of `normalized` when the config enables quantized traversal.
+    quant: Option<QuantizedMatrix>,
     /// `neighbors[node][level]` — adjacency per layer, `0..=node_level`.
     neighbors: Vec<Vec<Vec<u32>>>,
     entry: u32,
     top_level: usize,
+    /// Whether any node has been inserted yet (the first one seeds `entry`).
+    seeded: bool,
     build_time: Duration,
+    incremental: Option<IncrementalStats>,
 }
 
 impl HnswIndex {
@@ -166,43 +253,145 @@ impl HnswIndex {
     ///
     /// Deterministic for a given `(embeddings, config)` pair. Cost is
     /// `O(n · ef_construction · d)`-ish — this is the per-epoch rebuild the
-    /// serving layer pays so queries get out of the full-scan regime.
+    /// serving layer pays so queries get out of the full-scan regime (see
+    /// [`build_incremental`](Self::build_incremental) for the streaming-epoch
+    /// shortcut).
     pub fn build(embeddings: &Embeddings, config: &AnnConfig) -> Self {
         assert!(config.m >= 2, "HNSW needs m >= 2");
         let start = Instant::now();
-        let dim = embeddings.dim();
         let n = embeddings.num_nodes();
-        let mut normalized = Vec::with_capacity(n * dim);
+        let mut index = Self::empty_shell(embeddings, config);
+        let ml = 1.0 / (config.m as f64).ln();
+        let mut visited = Visited::new(n);
         for v in 0..n as u32 {
-            let row = embeddings.vector(v);
-            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
-            if norm == 0.0 {
-                normalized.extend_from_slice(row);
+            let level = level_for(config.seed, v, ml);
+            index.insert(v, level, config, &mut visited);
+        }
+        index.finish_build(config, start);
+        index
+    }
+
+    /// Builds the index for a new epoch by reusing `prev`'s graph structure.
+    ///
+    /// Nodes whose normalized vector moved no further than
+    /// [`AnnConfig::drift_threshold`] (L2) keep their adjacency lists
+    /// verbatim; drifted nodes and nodes beyond `prev`'s range are re-inserted
+    /// with the standard insertion algorithm, and retired ids (past the new
+    /// node count) are filtered out of every surviving list. Because layer
+    /// assignment is a pure per-node hash, surviving nodes keep their layers,
+    /// so the grafted graph obeys the same invariants as a full build.
+    ///
+    /// Stale links are tolerated by construction: a kept node may still point
+    /// at a drifted neighbour, but scores are always computed from the *new*
+    /// vectors, so such links only ever add candidates to the beam. Falls
+    /// back to a full [`build`](Self::build) when dimensions changed or
+    /// `prev` is empty. Per-build reuse counts are reported via
+    /// [`incremental_stats`](Self::incremental_stats).
+    pub fn build_incremental(embeddings: &Embeddings, config: &AnnConfig, prev: &Self) -> Self {
+        assert!(config.m >= 2, "HNSW needs m >= 2");
+        if prev.dim != embeddings.dim() || prev.num_nodes == 0 {
+            return Self::build(embeddings, config);
+        }
+        let start = Instant::now();
+        let n = embeddings.num_nodes();
+        let n_old = prev.num_nodes;
+        let mut index = Self::empty_shell(embeddings, config);
+        let dim = index.dim;
+
+        // Classify every node: kept (graph links survive) or fresh
+        // (re-inserted). Drift is measured between old and new *normalized*
+        // vectors via ||a - b||^2 = ||a||^2 + ||b||^2 - 2·a·b (the norms are
+        // 1 for regular rows and 0 for zero rows, so stable zero vectors
+        // correctly count as undrifted).
+        let threshold_sq = (config.drift_threshold.max(0.0) as f64).powi(2);
+        let mut fresh = vec![false; n];
+        let mut stats = IncrementalStats {
+            retired: n_old.saturating_sub(n),
+            ..Default::default()
+        };
+        for (v, is_fresh) in fresh.iter_mut().enumerate() {
+            if v >= n_old {
+                *is_fresh = true;
+                stats.added += 1;
+                continue;
+            }
+            let new_row = &index.normalized[v * dim..(v + 1) * dim];
+            let old_row = prev.vec_of(v as u32);
+            let dot = kernels::dot(new_row, old_row) as f64;
+            let norms_sq = (kernels::squared_norm(new_row) + kernels::squared_norm(old_row)) as f64;
+            if (norms_sq - 2.0 * dot).max(0.0) > threshold_sq {
+                *is_fresh = true;
+                stats.reinserted += 1;
             } else {
-                normalized.extend(row.iter().map(|x| x / norm));
+                stats.reused += 1;
             }
         }
-        let mut index = HnswIndex {
-            dim,
+
+        // Graft the surviving structure, dropping links to retired ids and
+        // tracking the highest surviving layer as the new entry point.
+        for (v, _) in fresh
+            .iter()
+            .enumerate()
+            .take(n.min(n_old))
+            .filter(|&(_, &f)| !f)
+        {
+            let mut adj = prev.neighbors[v].clone();
+            for level in adj.iter_mut() {
+                level.retain(|&u| (u as usize) < n);
+            }
+            let node_top = adj.len().saturating_sub(1);
+            if !index.seeded || node_top > index.top_level {
+                index.entry = v as u32;
+                index.top_level = node_top;
+            }
+            index.seeded = true;
+            index.neighbors[v] = adj;
+        }
+
+        let ml = 1.0 / (config.m as f64).ln();
+        // Pre-size every fresh node's layer lists before any insertion: kept
+        // nodes may still link to a drifted node, so the beam can reach (and
+        // link back into) a fresh node before its own insertion runs.
+        for (v, _) in fresh.iter().enumerate().filter(|&(_, &f)| f) {
+            let level = level_for(config.seed, v as u32, ml);
+            index.neighbors[v] = vec![Vec::new(); level + 1];
+        }
+        let mut visited = Visited::new(n);
+        for (v, _) in fresh.iter().enumerate().filter(|&(_, &f)| f) {
+            let level = level_for(config.seed, v as u32, ml);
+            index.insert(v as u32, level, config, &mut visited);
+        }
+        index.incremental = Some(stats);
+        index.finish_build(config, start);
+        index
+    }
+
+    /// An index shell with normalized vectors but no graph yet.
+    fn empty_shell(embeddings: &Embeddings, config: &AnnConfig) -> Self {
+        let n = embeddings.num_nodes();
+        HnswIndex {
+            dim: embeddings.dim(),
             num_nodes: n,
             ef_search: config.ef_search.max(1),
-            normalized,
+            rerank: config.rerank.max(1),
+            normalized: normalize_rows(embeddings),
+            quant: None,
             neighbors: vec![Vec::new(); n],
             entry: 0,
             top_level: 0,
+            seeded: false,
             build_time: Duration::ZERO,
-        };
-        let ml = 1.0 / (config.m as f64).ln();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let mut visited = Visited::new(n);
-        for v in 0..n as u32 {
-            // Exponentially distributed layer assignment: P(level >= l) = m^-l.
-            let u: f64 = rng.gen();
-            let level = ((-(1.0 - u).ln() * ml) as usize).min(MAX_LEVEL);
-            index.insert(v, level, config, &mut visited);
+            incremental: None,
         }
-        index.build_time = start.elapsed();
-        index
+    }
+
+    /// Post-build pass: quantize the normalized matrix when configured, stamp
+    /// the build time.
+    fn finish_build(&mut self, config: &AnnConfig, start: Instant) {
+        if config.quantize && self.num_nodes > 0 {
+            self.quant = Some(QuantizedMatrix::quantize(self.dim, &self.normalized));
+        }
+        self.build_time = start.elapsed();
     }
 
     /// Number of indexed vectors.
@@ -215,7 +404,19 @@ impl HnswIndex {
         self.top_level
     }
 
-    /// Wall-clock time the build took — the per-epoch rebuild cost a
+    /// Whether queries traverse the graph scoring candidates in int8.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Reuse statistics when this index came from
+    /// [`build_incremental`](Self::build_incremental) (and did not fall back
+    /// to a full build); `None` for full builds.
+    pub fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.incremental
+    }
+
+    /// Wall-clock time the build took — the per-epoch (re)build cost a
     /// publishing writer pays outside the store's write lock.
     pub fn build_time(&self) -> Duration {
         self.build_time
@@ -229,14 +430,28 @@ impl HnswIndex {
 
     #[inline]
     fn dot(&self, query: &[f32], v: u32) -> f32 {
-        query.iter().zip(self.vec_of(v)).map(|(x, y)| x * y).sum()
+        kernels::dot(query, self.vec_of(v))
+    }
+
+    /// Scores one candidate against the query in whichever precision the
+    /// query was prepared in.
+    #[inline]
+    fn score(&self, query: &QueryRef<'_>, v: u32) -> f32 {
+        match *query {
+            QueryRef::F32(q) => self.dot(q, v),
+            QueryRef::I8 { codes, scale } => self
+                .quant
+                .as_ref()
+                .expect("int8 query against unquantized index")
+                .dot_query(codes, scale, v),
+        }
     }
 
     /// Beam search on one layer: expands from `entries` keeping the `ef`
     /// most similar nodes seen; returns them best first.
     fn search_layer(
         &self,
-        query: &[f32],
+        query: &QueryRef<'_>,
         entries: &[Sim],
         ef: usize,
         level: usize,
@@ -269,7 +484,7 @@ impl HnswIndex {
                 if visited.test_and_set(u) {
                     continue;
                 }
-                let s = Sim(self.dot(query, u), u);
+                let s = Sim(self.score(query, u), u);
                 let worst = results.peek().map(|r| r.0 .0).unwrap_or(f32::NEG_INFINITY);
                 if results.len() < ef || s.0 > worst {
                     candidates.push(s);
@@ -298,7 +513,7 @@ impl HnswIndex {
             }
             let cv = self.vec_of(c.1);
             let diverse = selected.iter().all(|s| {
-                let to_selected: f32 = cv.iter().zip(self.vec_of(s.1)).map(|(x, y)| x * y).sum();
+                let to_selected = kernels::dot(cv, self.vec_of(s.1));
                 to_selected < c.0
             });
             if diverse {
@@ -338,22 +553,31 @@ impl HnswIndex {
         self.neighbors[a as usize][level] = kept.into_iter().map(|s| s.1).collect();
     }
 
+    /// Inserts `q` at `level`. Construction always scores in f32: graph
+    /// quality decides recall for every later query, so the build never
+    /// trades it for quantized bandwidth.
     fn insert(&mut self, q: u32, level: usize, config: &AnnConfig, visited: &mut Visited) {
-        self.neighbors[q as usize] = vec![Vec::new(); level + 1];
-        if q == 0 {
+        // Keep a correctly pre-sized shell (incremental builds allocate them
+        // up front, and earlier insertions may already have linked into it).
+        if self.neighbors[q as usize].len() != level + 1 {
+            self.neighbors[q as usize] = vec![Vec::new(); level + 1];
+        }
+        if !self.seeded {
+            self.seeded = true;
             self.entry = q;
             self.top_level = level;
             return;
         }
         let query: Vec<f32> = self.vec_of(q).to_vec();
+        let qref = QueryRef::F32(&query);
         let mut ep = vec![Sim(self.dot(&query, self.entry), self.entry)];
         // Greedy descent through the layers above the new node's level.
         for l in ((level + 1)..=self.top_level).rev() {
-            ep = self.search_layer(&query, &ep, 1, l, visited);
+            ep = self.search_layer(&qref, &ep, 1, l, visited);
         }
         // Beam search and bidirectional linking on the layers the node joins.
         for l in (0..=level.min(self.top_level)).rev() {
-            let found = self.search_layer(&query, &ep, config.ef_construction.max(1), l, visited);
+            let found = self.search_layer(&qref, &ep, config.ef_construction.max(1), l, visited);
             let cap = if l == 0 { config.m * 2 } else { config.m };
             let chosen = self.select_neighbors(&found, config.m);
             for s in &chosen {
@@ -371,13 +595,16 @@ impl HnswIndex {
     /// The `k` indexed vectors most cosine-similar to `query`, best first.
     ///
     /// `query` need not be an indexed vector — external embeddings of the
-    /// right dimensionality work too (it is normalized internally).
+    /// right dimensionality work too (it is normalized internally). On a
+    /// quantized index the graph is walked with int8 scores and the top
+    /// `k · rerank` candidates are re-scored in f32, so the returned scores
+    /// are always exact cosines.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         if self.num_nodes == 0 || k == 0 {
             return Vec::new();
         }
-        let norm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let norm = kernels::l2_norm(query);
         let normalized: Vec<f32> = if norm == 0.0 {
             query.to_vec()
         } else {
@@ -392,15 +619,45 @@ impl HnswIndex {
         SCRATCH.with(|scratch| {
             let mut visited = scratch.borrow_mut();
             visited.ensure(self.num_nodes);
-            let mut ep = vec![Sim(self.dot(&normalized, self.entry), self.entry)];
-            for l in (1..=self.top_level).rev() {
-                ep = self.search_layer(&normalized, &ep, 1, l, &mut visited);
+            match &self.quant {
+                None => {
+                    let qref = QueryRef::F32(&normalized);
+                    let ef = self.ef_search.max(k);
+                    let mut found = self.descend(&qref, ef, &mut visited);
+                    found.truncate(k);
+                    found.into_iter().map(|s| (s.1, s.0)).collect()
+                }
+                Some(_) => {
+                    let (codes, scale) = QuantizedMatrix::quantize_query(&normalized);
+                    let qref = QueryRef::I8 {
+                        codes: &codes,
+                        scale,
+                    };
+                    // Widen the beam to the re-rank budget so the f32 pass
+                    // has k·rerank candidates to choose from.
+                    let budget = k.saturating_mul(self.rerank);
+                    let ef = self.ef_search.max(budget);
+                    let mut found = self.descend(&qref, ef, &mut visited);
+                    found.truncate(budget);
+                    let mut rescored: Vec<Sim> = found
+                        .iter()
+                        .map(|s| Sim(self.dot(&normalized, s.1), s.1))
+                        .collect();
+                    rescored.sort_by(|a, b| b.cmp(a));
+                    rescored.truncate(k);
+                    rescored.into_iter().map(|s| (s.1, s.0)).collect()
+                }
             }
-            let ef = self.ef_search.max(k);
-            let mut found = self.search_layer(&normalized, &ep, ef, 0, &mut visited);
-            found.truncate(k);
-            found.into_iter().map(|s| (s.1, s.0)).collect()
         })
+    }
+
+    /// Greedy upper-layer descent followed by the layer-0 beam search.
+    fn descend(&self, qref: &QueryRef<'_>, ef: usize, visited: &mut Visited) -> Vec<Sim> {
+        let mut ep = vec![Sim(self.score(qref, self.entry), self.entry)];
+        for l in (1..=self.top_level).rev() {
+            ep = self.search_layer(qref, &ep, 1, l, visited);
+        }
+        self.search_layer(qref, &ep, ef, 0, visited)
     }
 
     /// The `k` nodes most similar to the indexed `node` (excluding `node`
@@ -421,6 +678,8 @@ impl HnswIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     fn random_unit_embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -431,6 +690,22 @@ mod tests {
             flat.extend(row.iter().map(|x| x / norm));
         }
         Embeddings::from_flat(dim, flat)
+    }
+
+    fn recall_vs_exact(index: &HnswIndex, emb: &Embeddings, k: usize, step: usize) -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for node in (0..emb.num_nodes() as u32).step_by(step) {
+            let approx = index.search_node(node, k);
+            let exact = emb.most_similar(node, k);
+            let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
+            hits += approx
+                .iter()
+                .filter(|&&(u, _)| exact_ids.contains(&u))
+                .count();
+            total += k;
+        }
+        hits as f64 / total as f64
     }
 
     #[test]
@@ -479,20 +754,7 @@ mod tests {
     fn recall_against_brute_force_is_high() {
         let emb = random_unit_embeddings(500, 16, 21);
         let index = HnswIndex::build(&emb, &AnnConfig::default());
-        let k = 10;
-        let mut hits = 0usize;
-        let mut total = 0usize;
-        for node in (0..500u32).step_by(7) {
-            let approx = index.search_node(node, k);
-            let exact = emb.most_similar(node, k);
-            let exact_ids: Vec<u32> = exact.iter().map(|&(u, _)| u).collect();
-            hits += approx
-                .iter()
-                .filter(|&&(u, _)| exact_ids.contains(&u))
-                .count();
-            total += k;
-        }
-        let recall = hits as f64 / total as f64;
+        let recall = recall_vs_exact(&index, &emb, 10, 7);
         assert!(recall >= 0.9, "recall@10 too low: {recall}");
     }
 
@@ -512,5 +774,107 @@ mod tests {
         let index = HnswIndex::build(&emb, &AnnConfig::default());
         let hits = index.search_node(1, 3);
         assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn quantized_index_keeps_recall_and_exact_scores() {
+        let emb = random_unit_embeddings(400, 24, 11);
+        let cfg = AnnConfig {
+            quantize: true,
+            ..Default::default()
+        };
+        let index = HnswIndex::build(&emb, &cfg);
+        assert!(index.is_quantized());
+        let recall = recall_vs_exact(&index, &emb, 10, 7);
+        assert!(recall >= 0.9, "quantized recall@10 too low: {recall}");
+        // Re-ranked scores are exact f32 cosines, not dequantized estimates.
+        for (u, s) in index.search_node(3, 5) {
+            let want = emb.cosine_similarity(3, u);
+            assert!((s - want).abs() < 1e-5, "node {u}: {s} vs {want}");
+        }
+    }
+
+    #[test]
+    fn incremental_build_without_drift_reuses_everything() {
+        let emb = random_unit_embeddings(300, 16, 13);
+        let cfg = AnnConfig::default();
+        let full = HnswIndex::build(&emb, &cfg);
+        let inc = HnswIndex::build_incremental(&emb, &cfg, &full);
+        let stats = inc.incremental_stats().expect("incremental path taken");
+        assert_eq!(
+            stats,
+            IncrementalStats {
+                reused: 300,
+                reinserted: 0,
+                added: 0,
+                retired: 0,
+            }
+        );
+        // Nothing was re-inserted, so the grafted graph answers identically.
+        for node in (0..300u32).step_by(11) {
+            assert_eq!(full.search_node(node, 5), inc.search_node(node, 5));
+        }
+    }
+
+    #[test]
+    fn incremental_build_tracks_churn_and_stays_searchable() {
+        let cfg = AnnConfig::default();
+        let base = random_unit_embeddings(250, 16, 17);
+        let prev = HnswIndex::build(&base, &cfg);
+
+        // Next epoch: 30 nodes drift hard and the last 20 retire.
+        let dim = base.dim();
+        let mut flat = base.as_flat().to_vec();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for v in 0..30 {
+            for j in 0..dim {
+                flat[v * dim + j] = rng.gen_range(-1.0f32..1.0);
+            }
+        }
+        flat.truncate((250 - 20) * dim);
+        let next = Embeddings::from_flat(dim, flat.clone());
+        let inc = HnswIndex::build_incremental(&next, &cfg, &prev);
+        let stats = inc.incremental_stats().expect("incremental path taken");
+        assert_eq!(stats.added, 0);
+        assert_eq!(stats.retired, 20);
+        assert!(
+            stats.reinserted >= 30,
+            "drifted nodes not detected: {stats:?}"
+        );
+        assert_eq!(
+            stats.reused + stats.reinserted + stats.added,
+            inc.num_nodes()
+        );
+        // No retired id may survive anywhere in the graph.
+        let n = inc.num_nodes() as u32;
+        for adj in &inc.neighbors {
+            for level in adj {
+                assert!(level.iter().all(|&u| u < n));
+            }
+        }
+        let recall = recall_vs_exact(&inc, &next, 10, 7);
+        assert!(recall >= 0.85, "post-churn recall@10 too low: {recall}");
+
+        // The epoch after that grows by 20 brand-new nodes.
+        for _ in 0..20 * dim {
+            flat.push(rng.gen_range(-1.0f32..1.0));
+        }
+        let grown = Embeddings::from_flat(dim, flat);
+        let inc2 = HnswIndex::build_incremental(&grown, &cfg, &inc);
+        let stats2 = inc2.incremental_stats().expect("incremental path taken");
+        assert_eq!(stats2.added, 20);
+        assert_eq!(stats2.retired, 0);
+        let recall2 = recall_vs_exact(&inc2, &grown, 10, 7);
+        assert!(recall2 >= 0.85, "post-growth recall@10 too low: {recall2}");
+    }
+
+    #[test]
+    fn incremental_build_falls_back_on_dim_change() {
+        let a = random_unit_embeddings(50, 8, 1);
+        let b = random_unit_embeddings(50, 16, 1);
+        let prev = HnswIndex::build(&a, &AnnConfig::default());
+        let inc = HnswIndex::build_incremental(&b, &AnnConfig::default(), &prev);
+        assert!(inc.incremental_stats().is_none(), "should be a full build");
+        assert_eq!(inc.search_node(0, 3).len(), 3);
     }
 }

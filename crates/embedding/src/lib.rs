@@ -41,9 +41,11 @@
 pub mod ann;
 pub mod cbow;
 pub mod io;
+pub mod kernels;
 pub mod matrix;
 pub mod negative;
 pub mod online;
+pub mod quant;
 pub mod sigmoid;
 pub mod skipgram;
 pub mod store;
@@ -51,10 +53,12 @@ pub mod telemetry;
 pub mod trainer;
 pub mod vocab;
 
-pub use ann::{AnnConfig, HnswIndex, QueryMode};
+pub use ann::{AnnConfig, HnswIndex, IncrementalStats, QueryMode};
+pub use kernels::KernelBackend;
 pub use matrix::EmbeddingMatrix;
 pub use negative::UnigramTable;
 pub use online::OnlineWord2Vec;
+pub use quant::QuantizedMatrix;
 pub use sigmoid::SigmoidTable;
 pub use store::{EmbeddingSnapshot, EmbeddingStore};
 pub use telemetry::StoreTelemetry;
@@ -102,23 +106,24 @@ impl Embeddings {
 
     /// Cosine similarity between the embeddings of `a` and `b`.
     pub fn cosine_similarity(&self, a: u32, b: u32) -> f32 {
-        let va = self.vector(a);
-        let vb = self.vector(b);
-        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
-        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
-        if na == 0.0 || nb == 0.0 {
-            0.0
-        } else {
-            dot / (na * nb)
-        }
+        kernels::cosine(self.vector(a), self.vector(b))
     }
 
     /// The `k` nodes most similar to `v` by cosine similarity (excluding `v`).
     pub fn most_similar(&self, v: u32, k: usize) -> Vec<(u32, f32)> {
+        // The query vector and its norm are loop-invariant — compute them
+        // once instead of once per candidate.
+        let va = self.vector(v);
+        let na = kernels::l2_norm(va);
         let mut scored: Vec<(u32, f32)> = (0..self.num_nodes() as u32)
             .filter(|&u| u != v)
-            .map(|u| (u, self.cosine_similarity(v, u)))
+            .map(|u| {
+                let vb = self.vector(u);
+                (
+                    u,
+                    kernels::cosine_with_norms(va, vb, na, kernels::l2_norm(vb)),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);

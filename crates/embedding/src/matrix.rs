@@ -97,15 +97,30 @@ impl EmbeddingMatrix {
     }
 
     /// Dot product between row `row` and `other` (length `dim`).
+    ///
+    /// Hogwild rows live in relaxed atomics, so the row is first snapshotted
+    /// lane-by-lane into a per-thread buffer (cheap, cache-resident) and then
+    /// scored through the SIMD-dispatched [`kernels::dot`](crate::kernels::dot)
+    /// — the same kernel every query-plane distance goes through. Racing
+    /// writers can still tear *across* lanes, exactly as the scalar loop
+    /// could; Hogwild tolerates that by design.
     #[inline]
     pub fn dot_row(&self, row: usize, other: &[f32]) -> f32 {
         debug_assert_eq!(other.len(), self.dim);
-        let base = row * self.dim;
-        let mut acc = 0.0f32;
-        for (j, &o) in other.iter().enumerate() {
-            acc += f32::from_bits(self.data[base + j].load(Ordering::Relaxed)) * o;
+        thread_local! {
+            static ROW_BUF: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
         }
-        acc
+        ROW_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            let base = row * self.dim;
+            buf.extend(
+                self.data[base..base + self.dim]
+                    .iter()
+                    .map(|cell| f32::from_bits(cell.load(Ordering::Relaxed))),
+            );
+            crate::kernels::dot(&buf, other)
+        })
     }
 
     /// Extracts the whole matrix as a flat row-major `Vec<f32>`.

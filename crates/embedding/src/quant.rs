@@ -1,0 +1,205 @@
+//! Int8 scalar quantization of embedding matrices for memory-bandwidth-bound
+//! scans.
+//!
+//! An exact `top_k` over `n` vectors of dimension `d` streams `4·n·d` bytes of
+//! f32 through the core; at serving scale the scan is memory-bound, not
+//! compute-bound. Quantizing each row to `i8` with one per-row scale cuts the
+//! streamed bytes by 4x and lets the kernel layer score candidates with
+//! widening integer SIMD ([`crate::kernels::dot_i8`]), at the cost of a small,
+//! bounded rounding error. The serving paths use the quantized scores only to
+//! *rank* candidates; the top slice is always re-scored in f32 before results
+//! leave the query plane, so reported similarities stay exact.
+//!
+//! # Format
+//!
+//! Row `v` of the source matrix is stored as `d` bytes `q[v][j] = round(x[v][j]
+//! / scale[v])` with `scale[v] = max_j |x[v][j]| / 127` (zero rows get scale 0
+//! and all-zero codes). The approximate dot product of rows `a` and `b` is
+//! then `dot_i8(q[a], q[b]) · scale[a] · scale[b]`, exact up to the per-lane
+//! rounding of ±`scale/2`.
+//!
+//! ```
+//! use uninet_embedding::quant::QuantizedMatrix;
+//!
+//! let q = QuantizedMatrix::quantize(2, &[3.0, -1.5, 0.0, 0.5]);
+//! assert_eq!(q.num_rows(), 2);
+//! let approx = q.dot_rows(0, 1);
+//! let exact = 3.0 * 0.0 + (-1.5) * 0.5;
+//! assert!((approx - exact).abs() < 0.05);
+//! ```
+
+use crate::kernels;
+
+/// A row-major `i8` matrix with one dequantization scale per row.
+///
+/// Immutable after construction; built once per published snapshot (and per
+/// HNSW index when quantized traversal is on) and shared by readers.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    dim: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a flat row-major f32 matrix (`flat.len()` must be a multiple
+    /// of `dim`).
+    pub fn quantize(dim: usize, flat: &[f32]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            flat.len() % dim,
+            0,
+            "flat vector length must be a multiple of dim"
+        );
+        let rows = flat.len() / dim;
+        let mut codes = Vec::with_capacity(flat.len());
+        let mut scales = Vec::with_capacity(rows);
+        for row in flat.chunks_exact(dim) {
+            let max_abs = row.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+            if max_abs == 0.0 || !max_abs.is_finite() {
+                // Zero (or degenerate) rows carry no direction; code them as
+                // all-zero so every quantized score against them is 0.
+                codes.resize(codes.len() + dim, 0);
+                scales.push(0.0);
+                continue;
+            }
+            let scale = max_abs / 127.0;
+            let inv = 127.0 / max_abs;
+            codes.extend(row.iter().map(|&x| (x * inv).round() as i8));
+            scales.push(scale);
+        }
+        QuantizedMatrix { dim, codes, scales }
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of quantized rows.
+    pub fn num_rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// The `i8` codes of row `v`.
+    #[inline]
+    pub fn row(&self, v: u32) -> &[i8] {
+        let start = v as usize * self.dim;
+        &self.codes[start..start + self.dim]
+    }
+
+    /// The dequantization scale of row `v` (0 for zero rows).
+    #[inline]
+    pub fn scale(&self, v: u32) -> f32 {
+        self.scales[v as usize]
+    }
+
+    /// Approximate dot product of rows `a` and `b` in the original f32 space.
+    #[inline]
+    pub fn dot_rows(&self, a: u32, b: u32) -> f32 {
+        kernels::dot_i8(self.row(a), self.row(b)) as f32 * self.scale(a) * self.scale(b)
+    }
+
+    /// Approximate dot product of row `v` against an externally quantized
+    /// query (see [`quantize_query`](Self::quantize_query)).
+    #[inline]
+    pub fn dot_query(&self, query: &[i8], query_scale: f32, v: u32) -> f32 {
+        kernels::dot_i8(query, self.row(v)) as f32 * query_scale * self.scale(v)
+    }
+
+    /// Quantizes one query vector with the same per-row scheme, returning its
+    /// codes and scale for use with [`dot_query`](Self::dot_query).
+    pub fn quantize_query(query: &[f32]) -> (Vec<i8>, f32) {
+        let max_abs = query.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        if max_abs == 0.0 || !max_abs.is_finite() {
+            return (vec![0; query.len()], 0.0);
+        }
+        let inv = 127.0 / max_abs;
+        (
+            query.iter().map(|&x| (x * inv).round() as i8).collect(),
+            max_abs / 127.0,
+        )
+    }
+
+    /// Bytes held by the code matrix (the bandwidth the scan actually
+    /// streams), excluding the per-row scale table.
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random value in [-1, 1) — keeps these tests free
+    /// of the RNG crate so they run under miri alongside the kernel suite.
+    fn lcg(state: &mut u64) -> f32 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    }
+
+    #[test]
+    fn round_trips_within_half_scale_per_lane() {
+        let mut s = 7u64;
+        let dim = 17;
+        let flat: Vec<f32> = (0..dim * 5).map(|_| lcg(&mut s) * 3.0).collect();
+        let q = QuantizedMatrix::quantize(dim, &flat);
+        for v in 0..5u32 {
+            let row = &flat[v as usize * dim..(v as usize + 1) * dim];
+            let scale = q.scale(v);
+            for (x, &c) in row.iter().zip(q.row(v)) {
+                let err = (x - c as f32 * scale).abs();
+                assert!(
+                    err <= scale * 0.5 + 1e-6,
+                    "lane error {err} vs scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_rows_tracks_exact_dot() {
+        let mut s = 21u64;
+        let dim = 64;
+        let flat: Vec<f32> = (0..dim * 8).map(|_| lcg(&mut s)).collect();
+        let q = QuantizedMatrix::quantize(dim, &flat);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let exact = kernels::dot(
+                    &flat[a as usize * dim..(a as usize + 1) * dim],
+                    &flat[b as usize * dim..(b as usize + 1) * dim],
+                );
+                let approx = q.dot_rows(a, b);
+                // Worst-case error is O(d · scale_a · scale_b); these unit
+                // vectors give scales ~1/127, so the bound is loose.
+                assert!(
+                    (exact - approx).abs() < 0.05,
+                    "({a},{b}): {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_queries_are_safe() {
+        let q = QuantizedMatrix::quantize(3, &[0.0, 0.0, 0.0, 1.0, -2.0, 0.5]);
+        assert_eq!(q.scale(0), 0.0);
+        assert_eq!(q.row(0), &[0, 0, 0]);
+        assert_eq!(q.dot_rows(0, 1), 0.0);
+        let (codes, scale) = QuantizedMatrix::quantize_query(&[0.0, 0.0, 0.0]);
+        assert_eq!((codes.as_slice(), scale), (&[0i8, 0, 0][..], 0.0));
+        assert_eq!(q.dot_query(&codes, scale, 1), 0.0);
+    }
+
+    #[test]
+    fn query_quantization_matches_row_quantization() {
+        let row = [0.25f32, -1.5, 0.75, 2.0];
+        let q = QuantizedMatrix::quantize(4, &row);
+        let (codes, scale) = QuantizedMatrix::quantize_query(&row);
+        assert_eq!(codes.as_slice(), q.row(0));
+        assert!((scale - q.scale(0)).abs() < 1e-9);
+    }
+}

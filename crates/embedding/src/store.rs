@@ -50,6 +50,8 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::ann::{AnnConfig, HnswIndex, QueryMode};
+use crate::kernels;
+use crate::quant::QuantizedMatrix;
 use crate::telemetry::StoreTelemetry;
 use crate::Embeddings;
 
@@ -60,44 +62,60 @@ pub struct EmbeddingSnapshot {
     embeddings: Embeddings,
     /// Precomputed L2 norm per node, so cosine queries cost one dot product.
     norms: Vec<f32>,
+    /// Int8 codes of the raw vectors when the store's [`AnnConfig`] enables
+    /// quantization: the exact scan ranks candidates through these and
+    /// re-scores only the top slice in f32.
+    quant: Option<QuantizedMatrix>,
+    /// f32 re-rank budget multiplier for the quantized exact scan.
+    rerank: usize,
     /// HNSW index over the vectors, when the publishing store enables ANN.
     ann: Option<HnswIndex>,
 }
 
 impl EmbeddingSnapshot {
     fn new(epoch: u64, embeddings: Embeddings, ann_config: Option<&AnnConfig>) -> Self {
-        Self::new_timed(epoch, embeddings, ann_config).0
+        Self::new_timed(epoch, embeddings, ann_config, None).0
     }
 
     /// Builds a snapshot and reports how long its two expensive stages took:
-    /// the `O(n·d)` norms pass and the (optional) HNSW construction.
+    /// the `O(n·d)` norms pass and the (optional) HNSW construction. When
+    /// `prev` carries an index of the same dimensionality and the config
+    /// allows it, the HNSW build is incremental — it grafts the previous
+    /// epoch's graph and re-inserts only drifted/new nodes.
     fn new_timed(
         epoch: u64,
         embeddings: Embeddings,
         ann_config: Option<&AnnConfig>,
+        prev: Option<&EmbeddingSnapshot>,
     ) -> (Self, Duration, Duration) {
         let t_norms = Instant::now();
         let norms = (0..embeddings.num_nodes() as u32)
-            .map(|v| {
-                embeddings
-                    .vector(v)
-                    .iter()
-                    .map(|x| x * x)
-                    .sum::<f32>()
-                    .sqrt()
-            })
+            .map(|v| kernels::l2_norm(embeddings.vector(v)))
             .collect();
+        let quant = ann_config
+            .filter(|cfg| cfg.quantize && embeddings.num_nodes() > 0)
+            .map(|_| QuantizedMatrix::quantize(embeddings.dim(), embeddings.as_flat()));
         let norms_time = t_norms.elapsed();
         let t_ann = Instant::now();
         let ann = ann_config
             .filter(|_| embeddings.num_nodes() > 0)
-            .map(|cfg| HnswIndex::build(&embeddings, cfg));
+            .map(|cfg| {
+                match prev
+                    .and_then(|p| p.ann.as_ref())
+                    .filter(|_| cfg.incremental)
+                {
+                    Some(prev_index) => HnswIndex::build_incremental(&embeddings, cfg, prev_index),
+                    None => HnswIndex::build(&embeddings, cfg),
+                }
+            });
         let ann_time = t_ann.elapsed();
         (
             EmbeddingSnapshot {
                 epoch,
                 embeddings,
                 norms,
+                quant,
+                rerank: ann_config.map(|cfg| cfg.rerank.max(1)).unwrap_or(1),
                 ann,
             },
             norms_time,
@@ -129,31 +147,35 @@ impl EmbeddingSnapshot {
         if !self.contains(a) || !self.contains(b) {
             return None;
         }
-        let na = self.norms[a as usize];
-        let nb = self.norms[b as usize];
-        if na == 0.0 || nb == 0.0 {
-            return Some(0.0);
-        }
-        let dot: f32 = self
-            .embeddings
-            .vector(a)
-            .iter()
-            .zip(self.embeddings.vector(b))
-            .map(|(x, y)| x * y)
-            .sum();
-        Some(dot / (na * nb))
+        Some(kernels::cosine_with_norms(
+            self.embeddings.vector(a),
+            self.embeddings.vector(b),
+            self.norms[a as usize],
+            self.norms[b as usize],
+        ))
     }
 
     /// The `k` nodes most cosine-similar to `node` (excluding `node` itself),
     /// best first. Empty when `node` is out of range.
+    ///
+    /// On a quantized snapshot the scan ranks candidates through the int8
+    /// codes (4x less bandwidth) and re-scores the best `k · rerank` of them
+    /// in f32, so reported scores are always exact cosines.
     pub fn top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
         if !self.contains(node) || k == 0 {
             return Vec::new();
         }
-        // Bounded selection: keep the k best seen so far in a min-heap, so a
-        // query over n nodes costs O(n · dim + n log k) instead of a full sort.
-        // `Sim` is the same ordered-score type the ANN path uses, so both
-        // paths break score ties identically.
+        match &self.quant {
+            Some(quant) => self.top_k_quantized(node, k, quant),
+            None => self.scan_top_k(node, k),
+        }
+    }
+
+    /// The f32 exact scan: bounded selection keeping the k best seen so far
+    /// in a min-heap, so a query over n nodes costs O(n · dim + n log k)
+    /// instead of a full sort. `Sim` is the same ordered-score type the ANN
+    /// path uses, so both paths break score ties identically.
+    fn scan_top_k(&self, node: u32, k: usize) -> Vec<(u32, f32)> {
         use crate::ann::Sim;
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
@@ -166,17 +188,12 @@ impl EmbeddingSnapshot {
             if u == node {
                 continue;
             }
-            let nb = self.norms[u as usize];
-            let s = if na == 0.0 || nb == 0.0 {
-                0.0
-            } else {
-                let dot: f32 = va
-                    .iter()
-                    .zip(self.embeddings.vector(u))
-                    .map(|(x, y)| x * y)
-                    .sum();
-                dot / (na * nb)
-            };
+            let s = kernels::cosine_with_norms(
+                va,
+                self.embeddings.vector(u),
+                na,
+                self.norms[u as usize],
+            );
             heap.push(Reverse(Sim(s, u)));
             if heap.len() > k {
                 heap.pop();
@@ -187,6 +204,59 @@ impl EmbeddingSnapshot {
             .into_iter()
             .map(|Reverse(Sim(s, u))| (u, s))
             .collect()
+    }
+
+    /// The int8 scan: rank all candidates by dequantized approximate cosine,
+    /// keep the best `k · rerank`, then re-score that slice with exact f32
+    /// cosines and return the top k.
+    fn top_k_quantized(&self, node: u32, k: usize, quant: &QuantizedMatrix) -> Vec<(u32, f32)> {
+        use crate::ann::Sim;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let budget = k.saturating_mul(self.rerank);
+        let qrow = quant.row(node);
+        let qscale = quant.scale(node);
+        let na = self.norms[node as usize];
+        let mut heap: BinaryHeap<Reverse<Sim>> = BinaryHeap::with_capacity(budget + 1);
+        for u in 0..self.embeddings.num_nodes() as u32 {
+            if u == node {
+                continue;
+            }
+            let nb = self.norms[u as usize];
+            let s = if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                quant.dot_query(qrow, qscale, u) / (na * nb)
+            };
+            heap.push(Reverse(Sim(s, u)));
+            if heap.len() > budget {
+                heap.pop();
+            }
+        }
+        let va = self.embeddings.vector(node);
+        let mut rescored: Vec<Sim> = heap
+            .into_iter()
+            .map(|Reverse(Sim(_, u))| {
+                Sim(
+                    kernels::cosine_with_norms(
+                        va,
+                        self.embeddings.vector(u),
+                        na,
+                        self.norms[u as usize],
+                    ),
+                    u,
+                )
+            })
+            .collect();
+        rescored.sort_by(|a, b| b.cmp(a));
+        rescored.truncate(k);
+        rescored.into_iter().map(|Sim(s, u)| (u, s)).collect()
+    }
+
+    /// Whether this snapshot scans through int8 codes.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// The snapshot's ANN index, when the publishing store enabled one.
@@ -316,8 +386,21 @@ impl EmbeddingStore {
         use std::sync::atomic::Ordering;
         let t_total = Instant::now();
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // The previous snapshot seeds the incremental HNSW build (when
+        // enabled); cloning the Arc here keeps it alive without holding the
+        // read lock through the expensive construction.
+        let prev = self.snapshot();
         let (snapshot, norms_time, ann_time) =
-            EmbeddingSnapshot::new_timed(epoch, embeddings, self.ann.as_ref());
+            EmbeddingSnapshot::new_timed(epoch, embeddings, self.ann.as_ref(), Some(&prev));
+        if let Some(stats) = snapshot.ann().and_then(|index| index.incremental_stats()) {
+            self.telemetry.publish_ann_incremental.inc();
+            self.telemetry
+                .publish_ann_reinserted
+                .record((stats.reinserted + stats.added) as u64);
+            self.telemetry
+                .publish_ann_reused
+                .record(stats.reused as u64);
+        }
         let snapshot = Arc::new(snapshot);
         {
             let mut slot = self.slot.write().expect("embedding store lock poisoned");
@@ -584,6 +667,75 @@ mod tests {
             assert_eq!(got, store.cosine(a, b));
         }
         assert_eq!(cosines[2], None);
+    }
+
+    #[test]
+    fn quantized_snapshots_serve_exact_scores() {
+        let store = EmbeddingStore::with_ann(AnnConfig {
+            quantize: true,
+            ..AnnConfig::default()
+        });
+        store.publish(sample());
+        let snap = store.snapshot();
+        assert!(snap.is_quantized());
+        // The re-rank budget (k·rerank) covers all 5 nodes here, so the
+        // quantized scan must agree with the plain f32 scan exactly.
+        let plain = EmbeddingStore::new();
+        plain.publish(sample());
+        for node in 0..5u32 {
+            let quantized = snap.top_k(node, 3);
+            let exact = plain.snapshot().top_k(node, 3);
+            assert_eq!(quantized.len(), exact.len(), "node {node}");
+            for (q, e) in quantized.iter().zip(&exact) {
+                assert!(
+                    (q.1 - e.1).abs() < 1e-6,
+                    "node {node}: {quantized:?} vs {exact:?}"
+                );
+            }
+        }
+        // The ANN path over the quantized index also reports f32 scores.
+        for node in 0..5u32 {
+            for (u, s) in snap.top_k_mode(node, 2, QueryMode::Ann) {
+                let want = snap.cosine(node, u).unwrap();
+                assert!(
+                    (s - want).abs() < 1e-5,
+                    "node {node} hit {u}: {s} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn publishes_reuse_the_previous_index_incrementally() {
+        let store = EmbeddingStore::with_ann(AnnConfig::default());
+        store.publish(sample());
+        // First publish starts from the empty epoch-0 snapshot: full build.
+        assert!(store
+            .snapshot()
+            .ann()
+            .and_then(|i| i.incremental_stats())
+            .is_none());
+        store.publish(sample());
+        let stats = store
+            .snapshot()
+            .ann()
+            .and_then(|i| i.incremental_stats())
+            .expect("second publish should graft the first index");
+        assert_eq!(stats.reused, 5, "identical vectors should all be reused");
+        assert_eq!(store.telemetry().publish_ann_incremental.get(), 1);
+        // Opting out returns every publish to the full-rebuild path.
+        let full = EmbeddingStore::with_ann(AnnConfig {
+            incremental: false,
+            ..AnnConfig::default()
+        });
+        full.publish(sample());
+        full.publish(sample());
+        assert!(full
+            .snapshot()
+            .ann()
+            .and_then(|i| i.incremental_stats())
+            .is_none());
+        assert_eq!(full.telemetry().publish_ann_incremental.get(), 0);
     }
 
     #[test]

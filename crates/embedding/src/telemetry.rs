@@ -24,6 +24,20 @@ pub struct StoreTelemetry {
     /// HNSW index construction, zero-cost when ANN is off
     /// (`engine.publish.ann_build_ns`).
     pub publish_ann_build_ns: Arc<Histogram>,
+    /// Publishes whose HNSW build grafted the previous epoch's graph instead
+    /// of rebuilding from scratch (`engine.publish.ann_incremental`).
+    pub publish_ann_incremental: Arc<Counter>,
+    /// Nodes re-inserted per incremental build — drifted plus newly added
+    /// (`engine.publish.ann_reinserted`).
+    pub publish_ann_reinserted: Arc<Histogram>,
+    /// Nodes whose graph links were reused verbatim per incremental build
+    /// (`engine.publish.ann_reused`).
+    pub publish_ann_reused: Arc<Histogram>,
+    /// Which distance-kernel backend the query plane dispatched to, as
+    /// [`kernels::KernelBackend`](crate::kernels::KernelBackend) `as i64`
+    /// (`query.kernel_backend`). Set once at construction — dispatch is
+    /// process-wide and never changes after first use.
+    pub kernel_backend: Arc<Gauge>,
     /// Epoch of the most recently published snapshot (`engine.epoch`).
     pub epoch: Arc<Gauge>,
     /// Milliseconds since the last publish, refreshed by
@@ -59,10 +73,16 @@ impl StoreTelemetry {
             Some(r) => r.histogram(name),
             None => Arc::new(Histogram::new()),
         };
+        let kernel_backend = gauge("query.kernel_backend");
+        kernel_backend.set(crate::kernels::backend() as i64);
         StoreTelemetry {
             publish_total_ns: histogram("engine.publish.total_ns"),
             publish_norms_ns: histogram("engine.publish.norms_ns"),
             publish_ann_build_ns: histogram("engine.publish.ann_build_ns"),
+            publish_ann_incremental: counter("engine.publish.ann_incremental"),
+            publish_ann_reinserted: histogram("engine.publish.ann_reinserted"),
+            publish_ann_reused: histogram("engine.publish.ann_reused"),
+            kernel_backend,
             epoch: gauge("engine.epoch"),
             epoch_age_ms: gauge("engine.epoch_age_ms"),
             query_exact_ns: histogram("query.top_k.exact_ns"),
@@ -119,9 +139,20 @@ mod tests {
         t.refresh_epoch_age();
         t.query_exact_ns.record(500);
         t.ann_fallbacks.inc();
+        t.publish_ann_incremental.inc();
+        t.publish_ann_reinserted.record(12);
         let snap = registry.snapshot();
         assert_eq!(snap.gauge("engine.epoch"), Some(3));
         assert!(snap.gauge("engine.epoch_age_ms").is_some());
+        assert_eq!(snap.counter("engine.publish.ann_incremental"), Some(1));
+        assert_eq!(
+            snap.histogram("engine.publish.ann_reinserted")
+                .unwrap()
+                .count(),
+            1
+        );
+        // The kernel-backend gauge is stamped at construction.
+        assert!(snap.gauge("query.kernel_backend").is_some());
         assert_eq!(snap.histogram("query.top_k.exact_ns").unwrap().count(), 1);
         assert_eq!(snap.counter("query.ann_fallbacks"), Some(1));
         assert!(!snap.section("engine").is_empty());

@@ -99,6 +99,18 @@ QUERY SERVICE (ANN):
   --ann-ef-construction <N>
                           HNSW construction beam width        [default: 100]
   --ann-ef-search <N>     HNSW query beam width (recall knob) [default: 64]
+  --ann-quantize          rank top-k candidates through int8 codes (4x less
+                          scan bandwidth), re-scoring the best k*rerank in
+                          f32 so reported scores stay exact; requires --ann
+  --ann-rerank <N>        f32 re-rank budget per requested result under
+                          --ann-quantize                      [default: 4]
+  --ann-full-rebuild      rebuild the HNSW index from scratch every publish
+                          instead of grafting the previous epoch's graph and
+                          re-inserting only drifted/new nodes
+  --ann-drift-threshold <X>
+                          L2 drift (between normalized vectors) above which
+                          an incremental publish re-inserts a node
+                                                              [default: 0.05]
 
 SERVING (wire protocol):
   --serve <ADDR>          after training/recovery, serve vector / cosine /
@@ -131,9 +143,16 @@ impl Args {
                 map.insert("help".to_string(), "1".to_string());
                 continue;
             }
-            if let Some(flag) = ["directed-updates", "incremental-train", "ann", "recover"]
-                .iter()
-                .find(|f| arg == format!("--{f}"))
+            if let Some(flag) = [
+                "directed-updates",
+                "incremental-train",
+                "ann",
+                "ann-quantize",
+                "ann-full-rebuild",
+                "recover",
+            ]
+            .iter()
+            .find(|f| arg == format!("--{f}"))
             {
                 map.insert(flag.to_string(), "1".to_string());
                 continue;
@@ -333,7 +352,11 @@ fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
         .ann_index(args.get("ann").is_some())
         .ann_m(args.parse_or("ann-m", 16usize)?)
         .ann_ef_construction(args.parse_or("ann-ef-construction", 100usize)?)
-        .ann_ef_search(args.parse_or("ann-ef-search", 64usize)?);
+        .ann_ef_search(args.parse_or("ann-ef-search", 64usize)?)
+        .ann_quantize(args.get("ann-quantize").is_some())
+        .ann_rerank(args.parse_or("ann-rerank", 4usize)?)
+        .ann_incremental(args.get("ann-full-rebuild").is_none())
+        .ann_drift_threshold(args.parse_or("ann-drift-threshold", 0.05f32)?);
     if let Some(dir) = args.get("wal-dir") {
         if args.get("recover").is_some() {
             builder = builder.recover(dir);
@@ -379,8 +402,22 @@ fn run() -> Result<(), UniNetError> {
     if engine.streaming_config().ann_index {
         let s = engine.streaming_config();
         eprintln!(
-            "query service: HNSW ANN per snapshot (M={}, ef_construction={}, ef_search={})",
-            s.ann_m, s.ann_ef_construction, s.ann_ef_search,
+            "query service: HNSW ANN per snapshot (M={}, ef_construction={}, ef_search={}, \
+             {} publish, {} scoring, kernels={})",
+            s.ann_m,
+            s.ann_ef_construction,
+            s.ann_ef_search,
+            if s.ann_incremental {
+                "incremental"
+            } else {
+                "full-rebuild"
+            },
+            if s.ann_quantize {
+                "int8+f32-rerank"
+            } else {
+                "f32"
+            },
+            uninet_core::kernels::backend_name(),
         );
     }
     let mut recovered_ready = false;

@@ -100,6 +100,60 @@ fn concurrent_clients_observe_monotone_epochs_while_training_publishes() {
 }
 
 #[test]
+fn quantized_serving_is_wire_transparent() {
+    // A quantized+incremental ANN engine must look identical on the wire:
+    // same protocol frames, same f32 score encoding, exact cosine scores.
+    let graph = rmat(&RmatConfig {
+        num_nodes: 150,
+        num_edges: 1000,
+        weighted: true,
+        seed: 7,
+        ..Default::default()
+    });
+    let engine = Engine::builder()
+        .graph(graph)
+        .model(ModelSpec::DeepWalk)
+        .num_walks(1)
+        .walk_length(8)
+        .dim(16)
+        .threads(2)
+        .seed(7)
+        .ann_index(true)
+        .ann_quantize(true)
+        .build()
+        .expect("valid configuration");
+    engine.train().expect("initial training");
+    let snapshot = engine.snapshot();
+    assert!(snapshot.is_quantized());
+
+    let server = serve(
+        &engine,
+        &ServeAddr::parse("127.0.0.1:0"),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr().to_string().as_str()).expect("connect");
+    for mode in [QueryMode::Exact, QueryMode::Ann] {
+        let (epoch, neighbors) = client.top_k(3, 5, mode).expect("top_k");
+        assert_eq!(epoch, snapshot.epoch());
+        assert_eq!(neighbors.len(), 5);
+        for &(u, s) in &neighbors {
+            let want = snapshot.cosine(3, u).expect("in range");
+            assert!(
+                (s - want).abs() < 1e-5,
+                "{mode:?} hit {u}: wire score {s} vs exact {want}"
+            );
+        }
+    }
+    // Cosine frames are untouched by quantization: still exact f32.
+    let (_, cos) = client.cosine(0, 1).expect("cosine");
+    let want = snapshot.cosine(0, 1).unwrap();
+    assert!((cos.unwrap() - want).abs() < 1e-6);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn batched_top_k_answers_from_one_epoch() {
     let engine = test_engine();
     let server = serve(
