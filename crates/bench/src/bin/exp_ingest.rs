@@ -31,6 +31,10 @@
 //!    their scalar reference at d=128, the int8-quantized store's recall@10
 //!    and latency against the f32 exact scan, and the incremental HNSW
 //!    republish cost against a full rebuild across drifted epochs.
+//! 7. **Open-world churn** — node arrivals wired into the live graph plus
+//!    retirements, streamed through the same pipeline: sustained churn
+//!    throughput, cold-start burn-in latency, and cold-start recall@10
+//!    against an established-node baseline.
 //!
 //! Emits `results/BENCH_streaming.json` so the perf trajectory is tracked
 //! across PRs.
@@ -998,6 +1002,215 @@ fn main() {
     ]);
     println!();
 
+    // Part 7: open-world churn — node arrivals and retirements streaming
+    // through the full pipeline (growable universe, cold-start init + boosted
+    // burn-in, retired-id eviction). Reports sustained churn throughput, the
+    // burn-in latency the telemetry plane sees, and cold-start recall@10: how
+    // well a just-arrived node's embedding already ranks its wired graph
+    // neighbours, against the same metric for long-lived nodes.
+    let mut rng = SmallRng::seed_from_u64(777);
+    let n0 = graph.num_nodes() as NodeId;
+    let arrivals_n = (graph.num_nodes() / 20).clamp(8, 200);
+    let retire_n = (graph.num_nodes() / 40).clamp(4, 100);
+    let wired_per_arrival = 6usize;
+    let mut retired: Vec<NodeId> = Vec::with_capacity(retire_n);
+    while retired.len() < retire_n {
+        let v = rng.gen_range(0..n0);
+        if !retired.contains(&v) {
+            retired.push(v);
+        }
+    }
+    let mut churn: Vec<GraphMutation> = Vec::with_capacity(arrivals_n * 16);
+    for &v in &retired {
+        churn.push(GraphMutation::RemoveNode { node: v });
+    }
+    let mut arrival_neighbors: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(arrivals_n);
+    for i in 0..arrivals_n {
+        let v = n0 + i as NodeId;
+        churn.push(GraphMutation::AddNode { node: v });
+        let mut wired = Vec::with_capacity(wired_per_arrival);
+        while wired.len() < wired_per_arrival {
+            let t = rng.gen_range(0..n0);
+            if !retired.contains(&t) && !wired.contains(&t) {
+                wired.push(t);
+                churn.push(GraphMutation::AddEdge {
+                    src: v,
+                    dst: t,
+                    weight: rng.gen_range(0.5f32..2.0),
+                });
+            }
+        }
+        arrival_neighbors.push((v, wired));
+        // Background edge churn over the surviving universe, so throughput
+        // reflects a mixed open-world stream rather than node ops alone.
+        for _ in 0..8 {
+            let src = rng.gen_range(0..n0);
+            let deg = graph.degree(src);
+            if retired.contains(&src) || deg == 0 {
+                continue;
+            }
+            let dst = graph.neighbor_at(src, rng.gen_range(0..deg));
+            if retired.contains(&dst) {
+                continue;
+            }
+            churn.push(GraphMutation::UpdateWeight {
+                src,
+                dst,
+                weight: rng.gen_range(0.5f32..4.0),
+            });
+        }
+    }
+    let engine = engine_for(
+        &graph,
+        pipeline_config(&cfg, threads, EdgeSamplerKind::Alias),
+        StreamingConfig {
+            batch_size: churn.len().div_ceil(8).max(1),
+            compaction_threshold: 2048,
+            ingest_threads: threads,
+            incremental_train: true,
+            allow_churn: true,
+            cold_start_burn_in: 2,
+            cold_start_boost: 2.0,
+            ..Default::default()
+        },
+    );
+    engine.train().expect("engine is idle");
+    let t = Instant::now();
+    let churn_len = churn.len();
+    let outcome = engine.stream_blocking(churn).expect("engine is idle");
+    let churn_wall_s = t.elapsed().as_secs_f64();
+    let churn_report = outcome.report;
+    assert_eq!(churn_report.arrivals, arrivals_n, "every arrival applied");
+    assert_eq!(churn_report.retirements, retire_n, "every retirement applied");
+    let snapshot = engine.snapshot();
+    assert_eq!(
+        snapshot.live_count(),
+        graph.num_nodes() - retire_n + arrivals_n,
+        "the published universe tracks the churn"
+    );
+    for &v in &retired {
+        assert!(
+            snapshot.top_k(v, 5).is_empty(),
+            "retired id {v} still answers top_k"
+        );
+    }
+    // Cold-start recall@10: fraction of a node's wired neighbours present in
+    // its embedding top-10, averaged over the cohort.
+    let recall_at_10 = |pairs: &[(NodeId, Vec<NodeId>)]| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (v, neigh) in pairs {
+            if neigh.is_empty() {
+                continue;
+            }
+            let top: Vec<NodeId> = snapshot.top_k(*v, 10).into_iter().map(|(u, _)| u).collect();
+            let hits = neigh.iter().filter(|u| top.contains(u)).count();
+            total += hits as f64 / neigh.len().min(10) as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    };
+    // Baseline: long-lived nodes scored on (a sample of) their real
+    // neighbours, so the cold-start number has an in-run reference point.
+    let mut established: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(arrivals_n);
+    let mut probes = 0usize;
+    while established.len() < arrivals_n && probes < graph.num_nodes() * 4 {
+        probes += 1;
+        let v = rng.gen_range(0..n0);
+        if retired.contains(&v) || established.iter().any(|(u, _)| *u == v) {
+            continue;
+        }
+        let deg = graph.degree(v);
+        let mut neigh: Vec<NodeId> = (0..deg)
+            .map(|i| graph.neighbor_at(v, i))
+            .filter(|u| !retired.contains(u))
+            .collect();
+        neigh.truncate(wired_per_arrival);
+        if neigh.is_empty() {
+            continue;
+        }
+        established.push((v, neigh));
+    }
+    let cold_recall = recall_at_10(&arrival_neighbors);
+    let established_recall = recall_at_10(&established);
+    let churn_metrics = engine.metrics();
+    let burn_in = churn_metrics.histogram("engine.train.cold_start_burn_in_ns");
+    let burn_in_p50_ms = burn_in.map_or(0.0, |h| h.quantile(0.5) as f64 / 1e6);
+    let burn_in_p95_ms = burn_in.map_or(0.0, |h| h.quantile(0.95) as f64 / 1e6);
+    let mut table = Table::new(
+        "Open-world churn — arrivals, retirements and cold-start quality",
+        &[
+            "metric",
+            "value",
+        ],
+    );
+    table.add_row(&[
+        "churn updates/s".to_string(),
+        format!("{:.0}", churn_report.update_throughput),
+    ]);
+    table.add_row(&["arrivals".to_string(), format!("{arrivals_n}")]);
+    table.add_row(&["retirements".to_string(), format!("{retire_n}")]);
+    table.add_row(&[
+        "cold-started".to_string(),
+        format!("{}", churn_report.cold_starts),
+    ]);
+    table.add_row(&[
+        "burn-in p50 / p95 ms".to_string(),
+        format!("{burn_in_p50_ms:.2} / {burn_in_p95_ms:.2}"),
+    ]);
+    table.add_row(&[
+        "cold-start recall@10".to_string(),
+        format!("{cold_recall:.3}"),
+    ]);
+    table.add_row(&[
+        "established recall@10".to_string(),
+        format!("{established_recall:.3}"),
+    ]);
+    emit(&table, "exp_ingest_open_world");
+    println!(
+        "open world: {churn_len} churn updates in {:.2}s ({:.0}/s); cold-start \
+         recall@10 {cold_recall:.3} vs established {established_recall:.3}",
+        churn_wall_s, churn_report.update_throughput,
+    );
+    let json_open_world = Json::Obj(vec![
+        ("churn_updates", Json::Int(churn_len as u64)),
+        ("arrivals", Json::Int(arrivals_n as u64)),
+        ("retirements", Json::Int(retire_n as u64)),
+        ("cold_starts", Json::Int(churn_report.cold_starts as u64)),
+        (
+            "churn_updates_per_sec",
+            Json::Num(churn_report.update_throughput),
+        ),
+        ("wall_s", Json::Num(churn_wall_s)),
+        ("burn_in_p50_ms", Json::Num(burn_in_p50_ms)),
+        ("burn_in_p95_ms", Json::Num(burn_in_p95_ms)),
+        ("cold_start_recall_at_10", Json::Num(cold_recall)),
+        ("established_recall_at_10", Json::Num(established_recall)),
+        ("universe_rows", Json::Int(snapshot.num_nodes() as u64)),
+        ("live_rows", Json::Int(snapshot.live_count() as u64)),
+        (
+            "live_nodes_gauge",
+            Json::Int(churn_metrics.gauge("engine.live_nodes").unwrap_or(0) as u64),
+        ),
+        (
+            "arrivals_counter",
+            Json::Int(churn_metrics.counter("ingest.churn.arrivals").unwrap_or(0)),
+        ),
+        (
+            "retirements_counter",
+            Json::Int(
+                churn_metrics
+                    .counter("ingest.churn.retirements")
+                    .unwrap_or(0),
+            ),
+        ),
+    ]);
+    println!();
+
     emit_json(
         "BENCH_streaming",
         &Json::Obj(vec![
@@ -1033,6 +1246,7 @@ fn main() {
             ("ann_query_service", json_ann),
             ("durability", json_durability),
             ("query_plane", json_query_plane),
+            ("open_world", json_open_world),
             // The part-3 engine's full telemetry snapshot: per-stage ingest
             // timings, publish/epoch gauges and per-mode query latency
             // quantiles, straight from `Engine::metrics()`.

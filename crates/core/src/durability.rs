@@ -175,8 +175,16 @@ impl SessionPersist {
 
     /// Cuts a snapshot of the given state, consistent with the WAL position
     /// of the last logged batch. The WAL is synced first so a snapshot never
-    /// claims a `wal_seq` the log might lose.
-    pub(crate) fn write_state(&mut self, graph: Graph, embeddings: Option<Embeddings>, epoch: u64) {
+    /// claims a `wal_seq` the log might lose. `live` is the open-world
+    /// universe mask (`None` = fully live), persisted so retired ids stay
+    /// retired across a crash.
+    pub(crate) fn write_state(
+        &mut self,
+        graph: Graph,
+        embeddings: Option<Embeddings>,
+        epoch: u64,
+        live: Option<Vec<bool>>,
+    ) {
         if self.degraded {
             return;
         }
@@ -191,6 +199,7 @@ impl SessionPersist {
             sampler: self.sampler,
             graph,
             embeddings,
+            live,
         };
         match write_snapshot(&self.dir, &snap) {
             Ok(_) => {
@@ -208,8 +217,9 @@ impl SessionPersist {
         graph: &Graph,
         embeddings: &Embeddings,
         epoch: u64,
+        live: Option<Vec<bool>>,
     ) -> DurabilityReport {
-        self.write_state(graph.clone(), Some(embeddings.clone()), epoch);
+        self.write_state(graph.clone(), Some(embeddings.clone()), epoch, live);
         self.report
     }
 }
@@ -242,11 +252,11 @@ mod tests {
         let dir = tmp_dir("final-snap");
         let opts = PersistOptions::new(&dir);
         let mut p = SessionPersist::begin(&opts, true, SamplerState::default()).unwrap();
-        p.write_state(tiny_graph(), None, 0);
+        p.write_state(tiny_graph(), None, 0, None);
         p.log_batch(&one_batch());
         p.log_batch(&one_batch());
         let emb = Embeddings::from_flat(2, vec![0.5; 24]);
-        let report = p.finish(&tiny_graph(), &emb, 3);
+        let report = p.finish(&tiny_graph(), &emb, 3, None);
         assert_eq!(report.batches_logged, 2);
         assert_eq!(report.last_wal_seq, 2);
         assert_eq!(report.snapshots_written, 2, "initial + final");
@@ -275,7 +285,7 @@ mod tests {
         assert!(!p.snapshot_due());
         p.log_batch(&one_batch());
         assert!(p.snapshot_due());
-        p.write_state(tiny_graph(), None, 1);
+        p.write_state(tiny_graph(), None, 1, None);
         assert!(!p.snapshot_due(), "writing a snapshot resets the cadence");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -289,8 +299,8 @@ mod tests {
         // Replace the WAL directory out from under the writer: the open file
         // handle keeps appends working, but snapshot writes must fail.
         std::fs::remove_dir_all(&dir).unwrap();
-        p.write_state(tiny_graph(), None, 1);
-        let report = p.finish(&tiny_graph(), &Embeddings::from_flat(1, vec![0.0; 12]), 1);
+        p.write_state(tiny_graph(), None, 1, None);
+        let report = p.finish(&tiny_graph(), &Embeddings::from_flat(1, vec![0.0; 12]), 1, None);
         assert!(report.wal_error.is_some(), "degradation must be reported");
         assert_eq!(report.snapshots_written, 0);
         let _ = std::fs::remove_dir_all(&dir);

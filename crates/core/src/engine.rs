@@ -332,6 +332,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Accept open-world node arrivals/retirements in streamed mutations.
+    /// Off by default: closed-world engines reject node ops up front.
+    pub fn allow_churn(mut self, on: bool) -> Self {
+        self.streaming.allow_churn = on;
+        self
+    }
+
+    /// Boosted SGD burn-in passes per arrival cohort during incremental
+    /// streaming (0 disables burn-in). See
+    /// [`StreamingConfig::cold_start_burn_in`](crate::StreamingConfig).
+    pub fn cold_start_burn_in(mut self, passes: usize) -> Self {
+        self.streaming.cold_start_burn_in = passes;
+        self
+    }
+
+    /// Learning-rate multiplier for cold-start burn-in passes. See
+    /// [`StreamingConfig::cold_start_boost`](crate::StreamingConfig).
+    pub fn cold_start_boost(mut self, boost: f32) -> Self {
+        self.streaming.cold_start_boost = boost;
+        self
+    }
+
     /// Enables the durability plane rooted at `dir`: every streaming batch
     /// is WAL-logged before it is applied, and snapshots of the full state
     /// (graph + embeddings + sampler config) are cut at session boundaries
@@ -428,6 +450,7 @@ impl EngineBuilder {
         // would silently discard whichever lost the race.
         let mut recovery: Option<RecoverySummary> = None;
         let mut restored_embeddings: Option<(uninet_embedding::Embeddings, u64)> = None;
+        let mut live: Option<Vec<bool>> = None;
         let graph = if let Some(dir) = &recover_dir {
             if source.is_some() {
                 return Err(UniNetError::invalid_config(
@@ -440,6 +463,7 @@ impl EngineBuilder {
             let state = uninet_persist::recover(dir)?;
             recovery = Some(RecoverySummary::from_state(&state, t.elapsed()));
             restored_embeddings = state.embeddings.map(|e| (e, state.epoch));
+            live = state.live;
             state.graph
         } else {
             match source.ok_or_else(|| {
@@ -577,6 +601,15 @@ impl EngineBuilder {
                 "int8 quantized serving requires ann_index".to_string(),
             ));
         }
+        if !streaming.cold_start_boost.is_finite() || streaming.cold_start_boost <= 0.0 {
+            return Err(UniNetError::invalid_config(
+                "streaming.cold_start_boost",
+                format!(
+                    "the cold-start learning-rate boost must be finite and positive (got {})",
+                    streaming.cold_start_boost
+                ),
+            ));
+        }
 
         // One registry spans all three telemetry planes: the store registers
         // its publish/epoch/query instruments, the ingest pipeline its
@@ -602,9 +635,10 @@ impl EngineBuilder {
         let store = store.instrumented(StoreTelemetry::registered(&registry));
         // A recovered embedding matrix is served immediately, at the epoch
         // the snapshot recorded — readers observe the same epoch sequence
-        // they would have seen had the process never died.
+        // (and the same open-world universe) they would have seen had the
+        // process never died.
         if let Some((embeddings, epoch)) = restored_embeddings {
-            store.restore(embeddings, epoch);
+            store.restore_with_universe(embeddings, epoch, live.clone());
         }
 
         let num_nodes = graph.num_nodes();
@@ -620,7 +654,7 @@ impl EngineBuilder {
                 registry,
                 persist,
                 recovery,
-                core: Mutex::new(CoreState::Idle(EngineCore { graph })),
+                core: Mutex::new(CoreState::Idle(EngineCore { graph, live })),
             }),
         })
     }
@@ -629,6 +663,9 @@ impl EngineBuilder {
 /// The engine state a streaming session borrows exclusively.
 struct EngineCore {
     graph: Graph,
+    /// Open-world universe mask over the graph's rows (`None` = fully live),
+    /// carried across sessions so retired ids stay retired.
+    live: Option<Vec<bool>>,
 }
 
 /// Whereabouts of the engine's exclusive state.
@@ -952,14 +989,19 @@ impl Engine {
             .persist
             .as_ref()
             .map(|_| result.embeddings.clone());
-        let epoch = self.inner.store.publish(result.embeddings);
+        let epoch = self
+            .inner
+            .store
+            .publish_with_universe(result.embeddings, core.live.clone());
         // Batch training replaces the whole matrix, so a durable engine cuts
         // a snapshot right after publishing — a crash between trainings then
         // recovers to exactly what readers were being served.
         if let (Some(opts), Some(embeddings)) = (self.inner.persist.as_ref(), durable_copy) {
             match SessionPersist::begin(opts, self.inner.streaming.symmetric, self.sampler_state())
             {
-                Ok(mut p) => p.write_state(core.graph.clone(), Some(embeddings), epoch),
+                Ok(mut p) => {
+                    p.write_state(core.graph.clone(), Some(embeddings), epoch, core.live.clone())
+                }
                 Err(e) => eprintln!("warning: post-train durability snapshot failed: {e}"),
             }
         }
@@ -982,6 +1024,21 @@ impl Engine {
     /// published at end-of-stream). A second `stream` or a `train` during the
     /// session fails with [`UniNetError::EngineBusy`].
     pub fn stream(&self, mutations: Vec<GraphMutation>) -> Result<StreamHandle, UniNetError> {
+        // Closed-world engines reject node ops up front with a typed error,
+        // instead of silently skipping them or mutating the universe behind
+        // the caller's back.
+        if !self.inner.streaming.allow_churn {
+            if let Some(pos) = mutations.iter().position(|m| m.is_node_op()) {
+                return Err(UniNetError::invalid_config(
+                    "streaming.allow_churn",
+                    format!(
+                        "mutation #{pos} ({:?}) is an open-world node op but churn is \
+                         disabled; enable allow_churn to stream arrivals/retirements",
+                        mutations[pos]
+                    ),
+                ));
+            }
+        }
         // Open the WAL before taking the core: a durable session that cannot
         // log must fail synchronously, with the engine still idle.
         let persist = match self.inner.persist.as_ref() {
@@ -1009,6 +1066,7 @@ impl Engine {
                     &inner.streaming,
                     &inner.spec,
                     core.graph,
+                    core.live,
                     &mutations,
                     Some(&inner.store),
                     persist,
@@ -1018,8 +1076,11 @@ impl Engine {
             }));
             let mut state = inner.core.lock().expect("engine core lock poisoned");
             match outcome {
-                Ok((result, report, final_graph, epoch)) => {
-                    *state = CoreState::Idle(EngineCore { graph: final_graph });
+                Ok((result, report, final_graph, final_live, epoch)) => {
+                    *state = CoreState::Idle(EngineCore {
+                        graph: final_graph,
+                        live: final_live,
+                    });
                     drop(state);
                     (result, report, epoch)
                 }

@@ -25,6 +25,9 @@ pub struct EngineMetrics {
     /// One incremental SGD pass over regenerated walks during streaming
     /// (`engine.train.incremental_pass_ns`).
     pub incremental_pass_ns: Arc<Histogram>,
+    /// Cold-start burn-in latency per arrival cohort: neighbour-average
+    /// init plus all boosted SGD passes (`engine.train.cold_start_burn_in_ns`).
+    pub cold_start_burn_in_ns: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -36,6 +39,7 @@ impl EngineMetrics {
             train_learn_ns: Arc::new(Histogram::new()),
             train_round_ns: Arc::new(Histogram::new()),
             incremental_pass_ns: Arc::new(Histogram::new()),
+            cold_start_burn_in_ns: Arc::new(Histogram::new()),
         }
     }
 
@@ -47,6 +51,7 @@ impl EngineMetrics {
             train_learn_ns: registry.histogram("engine.train.learn_ns"),
             train_round_ns: registry.histogram("engine.train.round_ns"),
             incremental_pass_ns: registry.histogram("engine.train.incremental_pass_ns"),
+            cold_start_burn_in_ns: registry.histogram("engine.train.cold_start_burn_in_ns"),
         }
     }
 

@@ -85,6 +85,17 @@ pub struct StreamingConfig {
     /// L2 distance between a node's old and new normalized vectors above
     /// which an incremental publish re-inserts it (must be finite and ≥ 0).
     pub ann_drift_threshold: f32,
+    /// Accept open-world node arrivals/retirements in the update stream.
+    /// When off, [`Engine::stream`](crate::Engine::stream) rejects a stream
+    /// containing node ops up front with a typed error.
+    pub allow_churn: bool,
+    /// Boosted SGD burn-in passes run over each arrival cohort's freshly
+    /// seeded walks, pulling cold-start vectors toward their neighbourhood
+    /// (incremental training only; 0 disables burn-in).
+    pub cold_start_burn_in: usize,
+    /// Learning-rate multiplier for cold-start burn-in passes (must be
+    /// finite and > 0).
+    pub cold_start_boost: f32,
 }
 
 impl Default for StreamingConfig {
@@ -107,6 +118,9 @@ impl Default for StreamingConfig {
             ann_rerank: ann.rerank,
             ann_incremental: ann.incremental,
             ann_drift_threshold: ann.drift_threshold,
+            allow_churn: false,
+            cold_start_burn_in: 2,
+            cold_start_boost: 2.0,
         }
     }
 }
@@ -147,6 +161,13 @@ pub struct StreamingReport {
     /// Durability accounting when the session ran with a WAL (`None` for
     /// non-durable sessions).
     pub durability: Option<DurabilityReport>,
+    /// Node arrivals applied (open-world streams; includes rejoins).
+    pub arrivals: usize,
+    /// Node retirements applied (open-world streams).
+    pub retirements: usize,
+    /// Arrived nodes cold-started: walks seeded (and, with incremental
+    /// training, burn-in passes run) once the node gained connectivity.
+    pub cold_starts: usize,
 }
 
 impl StreamingReport {
@@ -159,6 +180,13 @@ impl StreamingReport {
             0.0
         };
     }
+}
+
+/// The canonical open-world mask of a universe: `None` when every id is live
+/// (closed world, the shape closed-world snapshots keep), the full mask
+/// otherwise.
+fn universe_mask(live: &[bool]) -> Option<Vec<bool>> {
+    live.iter().any(|&l| !l).then(|| live.to_vec())
 }
 
 /// Merges incremental-pass stats into the session-level training stats.
@@ -206,12 +234,13 @@ pub(crate) fn run_streaming_session(
     streaming: &StreamingConfig,
     spec: &ModelSpec,
     graph: Graph,
+    live: Option<Vec<bool>>,
     mutations: &[GraphMutation],
     store: Option<&EmbeddingStore>,
     persist: Option<SessionPersist>,
     ingest_metrics: &IngestMetrics,
     engine_metrics: &EngineMetrics,
-) -> (PipelineResult, StreamingReport, Graph, u64) {
+) -> (PipelineResult, StreamingReport, Graph, Option<Vec<bool>>, u64) {
     let model = spec
         .instantiate(&graph)
         .expect("model spec is validated before a streaming session starts");
@@ -258,7 +287,7 @@ pub(crate) fn run_streaming_session(
         learn += t.elapsed();
         train_stats = stats;
         if let Some(store) = store {
-            last_epoch = store.publish(session.embeddings());
+            last_epoch = store.publish_with_universe(session.embeddings(), live.clone());
             report.snapshots_published += 1;
             last_publish = Instant::now();
         }
@@ -274,12 +303,17 @@ pub(crate) fn run_streaming_session(
     let mut persist = persist;
     if let Some(p) = persist.as_mut() {
         let initial = online.as_ref().map(|s| s.embeddings());
-        p.write_state(graph.clone(), initial, last_epoch);
+        p.write_state(graph.clone(), initial, last_epoch, live.clone());
     }
     let persist = RefCell::new(persist);
 
-    let mut dyn_graph = DynamicGraph::new(graph, streaming.symmetric);
+    let mut dyn_graph = match live {
+        Some(mask) => DynamicGraph::with_universe(graph, streaming.symmetric, mask),
+        None => DynamicGraph::new(graph, streaming.symmetric),
+    };
     let mut refresher = WalkRefresher::new(&corpus, num_nodes, cfg.walk.walk_length, cfg.walk.seed);
+    // Arrivals waiting for connectivity before their walks are seeded.
+    let mut pending_seed: Vec<NodeId> = Vec::new();
 
     let ingest_cfg = IngestConfig {
         batch_size: streaming.batch_size,
@@ -293,6 +327,8 @@ pub(crate) fn run_streaming_session(
         let refresher = &mut refresher;
         let corpus = &mut corpus;
         let report = &mut report;
+        let pending_seed = &mut pending_seed;
+        let trainer = &trainer;
         let last_epoch = &mut last_epoch;
         let last_publish = &mut last_publish;
         let store_current = &mut store_current;
@@ -327,61 +363,182 @@ pub(crate) fn run_streaming_session(
                     if let Some(p) = p.as_mut() {
                         if p.snapshot_due() {
                             let emb = online.as_ref().map(|s| s.embeddings());
-                            p.write_state(dg.materialize(), emb, *last_epoch);
+                            p.write_state(
+                                dg.materialize(),
+                                emb,
+                                *last_epoch,
+                                universe_mask(dg.live_mask()),
+                            );
                         }
                     }
                 }
+                // Open-world churn: grow every per-node plane to the new
+                // capacity, evict retirees from the walk corpus (so no stale
+                // trajectory can resurrect them), and queue arrivals for a
+                // cold start once they gain connectivity.
+                if !r.arrivals.is_empty() || !r.retirements.is_empty() {
+                    let capacity = dg.num_nodes();
+                    report.arrivals += r.arrivals.len();
+                    report.retirements += r.retirements.len();
+                    refresher.grow(capacity);
+                    if !r.retirements.is_empty() {
+                        let evicted = refresher.evict_walks(corpus, &r.retirements);
+                        ingest_metrics
+                            .refresh_dirty_walks
+                            .add(evicted.len() as u64);
+                        pending_seed.retain(|v| !r.retirements.contains(v));
+                    }
+                    if let Some(session) = online.as_mut() {
+                        session.grow(capacity, cfg.walk.seed);
+                    }
+                    pending_seed.extend(r.arrivals.iter().copied());
+                }
+
                 // Per-batch refresh is optional; the end-of-stream flush
                 // always refreshes so the corpus matches the final graph.
-                if !refresh_each_batch && !is_final {
-                    return;
-                }
-                let mut touched = r.weight_touched.clone();
-                touched.extend_from_slice(&r.topology_touched);
-                touched.sort_unstable();
-                touched.dedup();
-                if touched.is_empty() {
-                    return;
-                }
-                let outcome =
-                    refresher.refresh_parallel(corpus, dg.base(), model, mgr, &touched, threads);
-                ingest_metrics
-                    .refresh_round_ns
-                    .record_duration(outcome.elapsed);
-                ingest_metrics
-                    .refresh_dirty_walks
-                    .add(outcome.refreshed_ids.len() as u64);
-                report.refresh.merge(&outcome.stats);
-                report.refresh_time += outcome.elapsed;
+                if refresh_each_batch || is_final {
+                    let mut touched = r.weight_touched.clone();
+                    touched.extend_from_slice(&r.topology_touched);
+                    touched.sort_unstable();
+                    touched.dedup();
+                    if !touched.is_empty() {
+                        let outcome = refresher
+                            .refresh_parallel(corpus, dg.base(), model, mgr, &touched, threads);
+                        ingest_metrics
+                            .refresh_round_ns
+                            .record_duration(outcome.elapsed);
+                        ingest_metrics
+                            .refresh_dirty_walks
+                            .add(outcome.refreshed_ids.len() as u64);
+                        report.refresh.merge(&outcome.stats);
+                        report.refresh_time += outcome.elapsed;
 
-                if let Some(session) = online.as_mut() {
-                    if !outcome.refreshed_ids.is_empty() {
-                        let regenerated: Vec<Vec<NodeId>> = outcome
-                            .refreshed_ids
-                            .iter()
-                            .map(|&id| corpus.walk(id as usize).to_vec())
-                            .collect();
-                        let t = Instant::now();
-                        let stats = trainer.train_incremental(session, &regenerated);
-                        let pass = t.elapsed();
-                        engine_metrics.incremental_pass_ns.record_duration(pass);
-                        *learn += pass;
-                        merge_train_stats(train_stats, &stats);
-                        report.incremental_walks_trained += regenerated.len();
-                        report.incremental_passes += 1;
-                        // Publish the adapted vectors so concurrent readers
-                        // track the stream instead of serving the initial
-                        // model until end-of-stream. Publishing copies the
-                        // matrix and recomputes norms, so it is throttled by
-                        // `snapshot_interval_ms` on the ingestion path.
-                        if let Some(store) = store {
-                            if last_publish.elapsed() >= snapshot_interval {
-                                *last_epoch = store.publish(session.embeddings());
-                                report.snapshots_published += 1;
-                                *last_publish = Instant::now();
-                                *store_current = true;
-                            } else {
-                                *store_current = false;
+                        if let Some(session) = online.as_mut() {
+                            if !outcome.refreshed_ids.is_empty() {
+                                let regenerated: Vec<Vec<NodeId>> = outcome
+                                    .refreshed_ids
+                                    .iter()
+                                    .map(|&id| corpus.walk(id as usize).to_vec())
+                                    .collect();
+                                let t = Instant::now();
+                                let stats = trainer.train_incremental(session, &regenerated);
+                                let pass = t.elapsed();
+                                engine_metrics.incremental_pass_ns.record_duration(pass);
+                                *learn += pass;
+                                merge_train_stats(train_stats, &stats);
+                                report.incremental_walks_trained += regenerated.len();
+                                report.incremental_passes += 1;
+                                // Publish the adapted vectors so concurrent
+                                // readers track the stream instead of serving
+                                // the initial model until end-of-stream.
+                                // Publishing copies the matrix and recomputes
+                                // norms, so it is throttled by
+                                // `snapshot_interval_ms` on the ingestion
+                                // path.
+                                if let Some(store) = store {
+                                    if last_publish.elapsed() >= snapshot_interval {
+                                        *last_epoch = store.publish_with_universe(
+                                            session.embeddings(),
+                                            universe_mask(dg.live_mask()),
+                                        );
+                                        report.snapshots_published += 1;
+                                        *last_publish = Instant::now();
+                                        *store_current = true;
+                                    } else {
+                                        *store_current = false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Cold start: an arrival is seeded once the compacted base
+                // graph shows connectivity for it (a node-op batch forces
+                // compaction, so an arrival wired up in the same batch is
+                // ready immediately; one wired up later waits for the next
+                // compaction to surface its edges in the base).
+                if !pending_seed.is_empty() {
+                    let ready: Vec<NodeId> = pending_seed
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            dg.is_live(v)
+                                && (v as usize) < dg.base().num_nodes()
+                                && dg.base().degree(v) > 0
+                        })
+                        .collect();
+                    if !ready.is_empty() {
+                        pending_seed.retain(|v| !ready.contains(v));
+                        report.cold_starts += ready.len();
+                        if let Some(session) = online.as_mut() {
+                            // Neighbour-average initialization: start an
+                            // arrival at the centroid of its live neighbours
+                            // instead of random noise, so its first served
+                            // vector is already in the right region.
+                            for &v in &ready {
+                                let mut avg = vec![0.0f32; session.dim()];
+                                let mut cnt = 0usize;
+                                for &u in dg.base().neighbors(v) {
+                                    if !dg.is_live(u) || u == v {
+                                        continue;
+                                    }
+                                    for (a, b) in avg.iter_mut().zip(session.input_row(u)) {
+                                        *a += b;
+                                    }
+                                    cnt += 1;
+                                }
+                                if cnt > 0 {
+                                    let inv = 1.0 / cnt as f32;
+                                    for a in avg.iter_mut() {
+                                        *a *= inv;
+                                    }
+                                    session.set_input_row(v, &avg);
+                                }
+                            }
+                        }
+                        let new_ids = refresher.seed_walks(
+                            corpus,
+                            dg.base(),
+                            model,
+                            mgr,
+                            &ready,
+                            cfg.walk.num_walks,
+                        );
+                        if let Some(session) = online.as_mut() {
+                            if !new_ids.is_empty() && streaming.cold_start_burn_in > 0 {
+                                let walks: Vec<Vec<NodeId>> = new_ids
+                                    .iter()
+                                    .map(|&id| corpus.walk(id as usize).to_vec())
+                                    .collect();
+                                let t = Instant::now();
+                                for _ in 0..streaming.cold_start_burn_in {
+                                    let stats = trainer.train_burn_in(
+                                        session,
+                                        &walks,
+                                        streaming.cold_start_boost,
+                                    );
+                                    merge_train_stats(train_stats, &stats);
+                                }
+                                let burn = t.elapsed();
+                                engine_metrics.cold_start_burn_in_ns.record_duration(burn);
+                                *learn += burn;
+                                report.incremental_passes += streaming.cold_start_burn_in;
+                                report.incremental_walks_trained +=
+                                    walks.len() * streaming.cold_start_burn_in;
+                                if let Some(store) = store {
+                                    if last_publish.elapsed() >= snapshot_interval {
+                                        *last_epoch = store.publish_with_universe(
+                                            session.embeddings(),
+                                            universe_mask(dg.live_mask()),
+                                        );
+                                        report.snapshots_published += 1;
+                                        *last_publish = Instant::now();
+                                        *store_current = true;
+                                    } else {
+                                        *store_current = false;
+                                    }
+                                }
                             }
                         }
                     }
@@ -405,12 +562,17 @@ pub(crate) fn run_streaming_session(
     // last unthrottled pass, so they only cut an end-of-stream version when
     // the throttle suppressed the most recent one; the full-retrain path
     // always has a new version to publish.
+    // The universe the final embeddings are served under: churned sessions
+    // carry their mask into every publish and snapshot from here on.
+    let final_live = universe_mask(dyn_graph.live_mask());
+    let final_capacity = dyn_graph.num_nodes();
     let embeddings = match online {
         Some(session) => {
             let embeddings = session.embeddings();
             if let Some(store) = store {
                 if !store_current {
-                    last_epoch = store.publish(embeddings.clone());
+                    last_epoch =
+                        store.publish_with_universe(embeddings.clone(), final_live.clone());
                     report.snapshots_published += 1;
                 }
             }
@@ -418,11 +580,11 @@ pub(crate) fn run_streaming_session(
         }
         None => {
             let t = Instant::now();
-            let (embeddings, stats) = trainer.train(corpus.walks(), num_nodes);
+            let (embeddings, stats) = trainer.train(corpus.walks(), final_capacity);
             learn += t.elapsed();
             train_stats = stats;
             if let Some(store) = store {
-                last_epoch = store.publish(embeddings.clone());
+                last_epoch = store.publish_with_universe(embeddings.clone(), final_live.clone());
                 report.snapshots_published += 1;
             }
             embeddings
@@ -431,7 +593,7 @@ pub(crate) fn run_streaming_session(
 
     let final_graph = dyn_graph.into_base();
     if let Some(p) = persist.into_inner() {
-        report.durability = Some(p.finish(&final_graph, &embeddings, last_epoch));
+        report.durability = Some(p.finish(&final_graph, &embeddings, last_epoch, final_live.clone()));
     }
     let timing = PhaseTiming {
         init,
@@ -451,6 +613,7 @@ pub(crate) fn run_streaming_session(
         },
         report,
         final_graph,
+        final_live,
         last_epoch,
     )
 }
@@ -508,11 +671,12 @@ mod tests {
         graph: Graph,
         mutations: &[GraphMutation],
     ) -> (PipelineResult, StreamingReport) {
-        let (result, report, _, _) = run_streaming_session(
+        let (result, report, _, _, _) = run_streaming_session(
             cfg,
             streaming,
             spec,
             graph,
+            None,
             mutations,
             None,
             None,
@@ -647,6 +811,84 @@ mod tests {
     }
 
     #[test]
+    fn churn_session_grows_universe_and_masks_retirees() {
+        let graph = test_graph();
+        let n = graph.num_nodes() as NodeId;
+        let mut mutations = mixed_stream(&graph, 80, 29);
+        // Two arrivals (one wired up immediately, one later), one retirement.
+        mutations.push(GraphMutation::AddNode { node: n });
+        mutations.push(GraphMutation::AddEdge {
+            src: n,
+            dst: 0,
+            weight: 1.0,
+        });
+        mutations.push(GraphMutation::AddNode { node: n + 1 });
+        mutations.push(GraphMutation::RemoveNode { node: 5 });
+        mutations.extend(mixed_stream(&graph, 40, 31));
+        mutations.push(GraphMutation::AddEdge {
+            src: n + 1,
+            dst: 2,
+            weight: 2.0,
+        });
+        // A second node-op batch forces the compaction that surfaces the
+        // late arrival's edge in the base graph, making it seedable.
+        mutations.push(GraphMutation::AddNode { node: n + 2 });
+        mutations.push(GraphMutation::AddEdge {
+            src: n + 2,
+            dst: 3,
+            weight: 1.0,
+        });
+
+        let mut cfg = UniNetConfig::small();
+        cfg.walk.num_walks = 2;
+        cfg.walk.walk_length = 10;
+        cfg.walk.sampler = EdgeSamplerKind::MetropolisHastings(InitStrategy::Random);
+        cfg.embedding.epochs = 1;
+        let streaming = StreamingConfig {
+            batch_size: 16,
+            compaction_threshold: 64,
+            incremental_train: true,
+            allow_churn: true,
+            ..Default::default()
+        };
+        let store = EmbeddingStore::new();
+        let (result, report, final_graph, final_live, _) = run_streaming_session(
+            &cfg,
+            &streaming,
+            &ModelSpec::DeepWalk,
+            graph,
+            None,
+            &mutations,
+            Some(&store),
+            None,
+            &IngestMetrics::detached(),
+            &EngineMetrics::detached(),
+        );
+        assert_eq!(report.arrivals, 3);
+        assert_eq!(report.retirements, 1);
+        assert_eq!(report.cold_starts, 3, "every wired arrival cold-started");
+        assert_eq!(final_graph.num_nodes(), n as usize + 3);
+        assert_eq!(result.embeddings.num_nodes(), n as usize + 3);
+        let live = final_live.expect("churned session yields a mask");
+        assert!(!live[5] && live[n as usize] && live[n as usize + 2]);
+
+        // The serving plane reflects the final universe: retirees are
+        // unreachable, arrivals are served.
+        let snap = store.snapshot();
+        assert!(store.vector(5).is_none(), "retired id must not be served");
+        assert!(store.vector(n).is_some(), "arrival must be served");
+        assert!(
+            snap.top_k(0, 10).iter().all(|&(v, _)| v != 5),
+            "retired id must never appear in top-k"
+        );
+
+        // No surviving walk trajectory mentions the retiree.
+        for walk in result.corpus.iter() {
+            assert!(walk.iter().all(|&v| v != 5), "stale trajectory survived");
+        }
+    }
+
+    #[test]
     fn session_publishes_snapshots_and_returns_final_graph() {
         let graph = test_graph();
         let n = graph.num_nodes();
@@ -662,11 +904,12 @@ mod tests {
             ..Default::default()
         };
         let store = EmbeddingStore::new();
-        let (_, report, final_graph, last_epoch) = run_streaming_session(
+        let (_, report, final_graph, _, last_epoch) = run_streaming_session(
             &cfg,
             &streaming,
             &ModelSpec::DeepWalk,
             graph,
+            None,
             &mutations,
             Some(&store),
             None,

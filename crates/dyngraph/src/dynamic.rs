@@ -12,9 +12,15 @@
 //!   Once the overlay grows past a threshold (policy owned by the
 //!   [`crate::IncrementalMaintainer`]) the graph is compacted: a fresh CSR is
 //!   built in O(|V| + |E|) and the overlay is cleared.
-//! * **The node universe is fixed.** Mutations referencing out-of-range nodes
-//!   are rejected and counted, mirroring a production ingest pipeline that
-//!   quarantines malformed events instead of crashing.
+//! * **The node universe is open.** [`GraphMutation::AddNode`] grows the id
+//!   space (new rows start empty and *live*), [`GraphMutation::RemoveNode`]
+//!   drops all incident edges and marks the id *retired*. Edge mutations
+//!   referencing out-of-range, retired or never-declared ids are rejected and
+//!   counted, mirroring a production ingest pipeline that quarantines
+//!   malformed events instead of crashing. Retired ids are never recycled for
+//!   a different identity — a retired id may only *rejoin* as the same node
+//!   (via a fresh `AddNode`), so published embedding snapshots can keep
+//!   serving their frozen universe without ids changing meaning under them.
 //! * **Vertex-range sharding.** The overlay is stored as one delta log per
 //!   vertex, so [`DynamicGraph::shard_views`] can hand out disjoint mutable
 //!   [`ShardView`]s over contiguous vertex ranges; shards apply mutations
@@ -35,8 +41,13 @@ pub enum MutationEffect {
     Reweighted,
     /// The neighbor set of at least one endpoint changed.
     TopologyChanged,
+    /// A node arrived: the id is now live (the id space may have grown).
+    NodeArrived,
+    /// A node retired: its incident edges were dropped and the id is dead.
+    NodeRetired,
     /// The mutation was a no-op (e.g. removing an absent edge) or referenced
-    /// an out-of-range node; it was counted and skipped.
+    /// an out-of-range, retired or undeclared node; it was counted and
+    /// skipped.
     Rejected,
 }
 
@@ -101,7 +112,17 @@ impl RowOutcome {
 /// Applies one directed mutation to a single vertex row: the overlay delta of
 /// `src` plus (deferred) writes into the base CSR row of `src`. This is the
 /// single source of truth for mutation semantics; see [`RowOutcome`].
+///
+/// Rows past the base CSR (arrived nodes not yet compacted) have an empty
+/// base adjacency, so base lookups are guarded by range.
 fn apply_directed_row(base: &Graph, delta: &mut VertexDelta, m: GraphMutation) -> RowOutcome {
+    let base_find = |src: NodeId, dst: NodeId| {
+        if (src as usize) < base.num_nodes() {
+            base.find_neighbor(src, dst)
+        } else {
+            None
+        }
+    };
     match m {
         GraphMutation::UpdateWeight { src, dst, weight } => {
             // Overlay insert first: it shadows the base edge.
@@ -112,14 +133,14 @@ fn apply_directed_row(base: &Graph, delta: &mut VertexDelta, m: GraphMutation) -
             if delta.deletes.contains(&dst) {
                 return RowOutcome::rejected();
             }
-            match base.find_neighbor(src, dst) {
+            match base_find(src, dst) {
                 Some(k) => RowOutcome::reweighted(Some((src, k, weight))),
                 None => RowOutcome::rejected(),
             }
         }
         GraphMutation::AddEdge { src, dst, weight } => {
             let exists = delta.inserts.contains_key(&dst)
-                || (!delta.deletes.contains(&dst) && base.find_neighbor(src, dst).is_some());
+                || (!delta.deletes.contains(&dst) && base_find(src, dst).is_some());
             if exists {
                 // Upsert semantics: adding an existing edge reweights it.
                 return apply_directed_row(
@@ -130,7 +151,7 @@ fn apply_directed_row(base: &Graph, delta: &mut VertexDelta, m: GraphMutation) -
             }
             if delta.deletes.remove(&dst) {
                 // Un-delete: the base edge resurfaces with the new weight.
-                let write = base.find_neighbor(src, dst).map(|k| (src, k, weight));
+                let write = base_find(src, dst).map(|k| (src, k, weight));
                 RowOutcome {
                     effect: MutationEffect::TopologyChanged,
                     weight_write: write,
@@ -159,7 +180,7 @@ fn apply_directed_row(base: &Graph, delta: &mut VertexDelta, m: GraphMutation) -
                     touched: true,
                 };
             }
-            if !delta.deletes.contains(&dst) && base.find_neighbor(src, dst).is_some() {
+            if !delta.deletes.contains(&dst) && base_find(src, dst).is_some() {
                 delta.deletes.insert(dst);
                 RowOutcome {
                     effect: MutationEffect::TopologyChanged,
@@ -171,6 +192,9 @@ fn apply_directed_row(base: &Graph, delta: &mut VertexDelta, m: GraphMutation) -
             } else {
                 RowOutcome::rejected()
             }
+        }
+        GraphMutation::AddNode { .. } | GraphMutation::RemoveNode { .. } => {
+            unreachable!("node ops are handled before row application")
         }
     }
 }
@@ -189,6 +213,9 @@ fn mirror_of(m: GraphMutation) -> GraphMutation {
             dst: src,
             weight,
         },
+        GraphMutation::AddNode { .. } | GraphMutation::RemoveNode { .. } => {
+            unreachable!("node ops have no mirror")
+        }
     }
 }
 
@@ -214,6 +241,12 @@ pub struct DynamicGraph {
     /// Mirror every mutation (`(u,v)` also applies to `(v,u)`), matching
     /// graphs built with `GraphBuilder::symmetric(true)`.
     symmetric: bool,
+    /// Liveness per id (same length as `overlay`). Ids start live; `AddNode`
+    /// past the current capacity grows both vectors, leaving skipped ids
+    /// *vacant* (`false`, never declared); `RemoveNode` retires an id in
+    /// place. Rows of the base CSR past `base.num_nodes()` don't exist yet —
+    /// they materialize (empty) at the next compaction.
+    live: Vec<bool>,
     /// Monotone counter bumped by every effective mutation.
     version: u64,
     /// Mutations rejected since construction.
@@ -231,10 +264,26 @@ impl DynamicGraph {
     /// edge, matching how undirected graphs are stored in this workspace.
     pub fn new(base: Graph, symmetric: bool) -> Self {
         let n = base.num_nodes();
+        Self::with_universe(base, symmetric, vec![true; n])
+    }
+
+    /// Wraps a CSR graph with an explicit liveness mask (crash recovery /
+    /// snapshot restore). `live.len()` must be at least `base.num_nodes()`;
+    /// a longer mask declares capacity past the base CSR (arrived nodes not
+    /// yet compacted into a CSR row).
+    pub fn with_universe(base: Graph, symmetric: bool, live: Vec<bool>) -> Self {
+        assert!(
+            live.len() >= base.num_nodes(),
+            "live mask shorter than the base CSR ({} < {})",
+            live.len(),
+            base.num_nodes()
+        );
+        let capacity = live.len();
         DynamicGraph {
             base,
-            overlay: vec![VertexDelta::default(); n],
+            overlay: vec![VertexDelta::default(); capacity],
             symmetric,
+            live,
             version: 0,
             rejected: 0,
             touched_since_compaction: BTreeSet::new(),
@@ -257,9 +306,33 @@ impl DynamicGraph {
         self.symmetric
     }
 
-    /// Number of nodes (fixed for the lifetime of the dynamic graph).
+    /// Capacity of the id space (live + retired + vacant ids). Grows when an
+    /// `AddNode` declares an id past the current end; never shrinks.
     pub fn num_nodes(&self) -> usize {
-        self.base.num_nodes()
+        self.overlay.len()
+    }
+
+    /// Whether id `v` is currently live (in range, declared, not retired).
+    pub fn is_live(&self, v: NodeId) -> bool {
+        self.live.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// The liveness mask over the full id space (`num_nodes()` entries).
+    pub fn live_mask(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Number of live ids.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Extends the id space to at least `capacity` ids; new ids are vacant.
+    fn grow_to(&mut self, capacity: usize) {
+        if capacity > self.overlay.len() {
+            self.overlay.resize_with(capacity, VertexDelta::default);
+            self.live.resize(capacity, false);
+        }
     }
 
     /// Monotone version counter (one tick per effective mutation).
@@ -297,9 +370,23 @@ impl DynamicGraph {
         self.pending_inserts + self.pending_deletes
     }
 
+    /// The base CSR adjacency of `v`, empty for rows past the base (arrived
+    /// nodes not yet compacted).
+    fn base_row(&self, v: NodeId) -> (&[NodeId], &[f32]) {
+        if (v as usize) < self.base.num_nodes() {
+            (self.base.neighbors(v), self.base.weights(v))
+        } else {
+            (&[], &[])
+        }
+    }
+
     /// Merged out-degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        let base = self.base.degree(v);
+        let base = if (v as usize) < self.base.num_nodes() {
+            self.base.degree(v)
+        } else {
+            0
+        };
         let d = &self.overlay[v as usize];
         base - d.deletes.len() + d.inserts.len()
     }
@@ -314,8 +401,7 @@ impl DynamicGraph {
 
     /// Merged, sorted `(neighbor, weight)` list of `v`.
     pub fn neighbor_weights(&self, v: NodeId) -> Vec<(NodeId, f32)> {
-        let base_n = self.base.neighbors(v);
-        let base_w = self.base.weights(v);
+        let (base_n, base_w) = self.base_row(v);
         let d = &self.overlay[v as usize];
         if d.is_empty() {
             return base_n.iter().copied().zip(base_w.iter().copied()).collect();
@@ -352,7 +438,7 @@ impl DynamicGraph {
         if let Some(&w) = d.inserts.get(&dst) {
             return Some(w);
         }
-        if d.deletes.contains(&dst) {
+        if d.deletes.contains(&dst) || (u as usize) >= self.base.num_nodes() {
             return None;
         }
         self.base
@@ -372,6 +458,8 @@ impl DynamicGraph {
     pub fn apply(&mut self, m: GraphMutation) -> MutationEffect {
         let (forward, mirror) = self.apply_with_effects(m);
         match (forward, mirror) {
+            (MutationEffect::NodeArrived, _) => MutationEffect::NodeArrived,
+            (MutationEffect::NodeRetired, _) => MutationEffect::NodeRetired,
             (MutationEffect::TopologyChanged, _) | (_, MutationEffect::TopologyChanged) => {
                 MutationEffect::TopologyChanged
             }
@@ -384,12 +472,25 @@ impl DynamicGraph {
 
     /// Applies one mutation, returning the `(forward, mirror)` effects.
     ///
-    /// `mirror` is `Rejected` when the graph is directed or the forward
-    /// application was rejected.
+    /// `mirror` is `Rejected` when the graph is directed, the mutation is a
+    /// node op (node ops have no mirror), or the forward application was
+    /// rejected.
     pub fn apply_with_effects(&mut self, m: GraphMutation) -> (MutationEffect, MutationEffect) {
+        match m {
+            GraphMutation::AddNode { node } => {
+                let effect = self.apply_add_node(node);
+                return (effect, MutationEffect::Rejected);
+            }
+            GraphMutation::RemoveNode { node } => {
+                let effect = self.apply_remove_node(node);
+                return (effect, MutationEffect::Rejected);
+            }
+            _ => {}
+        }
         let (src, dst) = m.endpoints();
         let n = self.num_nodes() as NodeId;
-        if src >= n || dst >= n || src == dst {
+        if src >= n || dst >= n || src == dst || !self.live[src as usize] || !self.live[dst as usize]
+        {
             self.rejected += 1;
             return (MutationEffect::Rejected, MutationEffect::Rejected);
         }
@@ -404,6 +505,54 @@ impl DynamicGraph {
             self.rejected += 1;
         }
         (forward, mirror)
+    }
+
+    /// Declares id `node` live, growing the id space when needed. A retired
+    /// id rejoins with an empty adjacency; a live id is a duplicate arrival
+    /// and is rejected.
+    fn apply_add_node(&mut self, node: NodeId) -> MutationEffect {
+        let idx = node as usize;
+        if self.live.get(idx).copied().unwrap_or(false) {
+            self.rejected += 1;
+            return MutationEffect::Rejected;
+        }
+        self.grow_to(idx + 1);
+        self.live[idx] = true;
+        self.touched_since_compaction.insert(node);
+        self.version += 1;
+        MutationEffect::NodeArrived
+    }
+
+    /// Retires id `node`: drops every incident edge (both directions) and
+    /// marks the id dead. Rejected when the id is not currently live.
+    fn apply_remove_node(&mut self, node: NodeId) -> MutationEffect {
+        let idx = node as usize;
+        if !self.live.get(idx).copied().unwrap_or(false) {
+            self.rejected += 1;
+            return MutationEffect::Rejected;
+        }
+        // Out-edges, plus their reverse rows when present. On symmetric
+        // graphs this covers every incident edge (in-edge implies out-edge).
+        let out: Vec<NodeId> = self.neighbors(node);
+        for dst in out {
+            self.apply_directed(GraphMutation::RemoveEdge { src: node, dst });
+            self.apply_directed(GraphMutation::RemoveEdge {
+                src: dst,
+                dst: node,
+            });
+        }
+        if !self.symmetric {
+            // Directed graphs can hold in-edges with no reverse: scan rows.
+            for u in 0..self.num_nodes() as NodeId {
+                if u != node && self.weight(u, node).is_some() {
+                    self.apply_directed(GraphMutation::RemoveEdge { src: u, dst: node });
+                }
+            }
+        }
+        self.live[idx] = false;
+        self.touched_since_compaction.insert(node);
+        self.version += 1;
+        MutationEffect::NodeRetired
     }
 
     fn apply_directed(&mut self, m: GraphMutation) -> MutationEffect {
@@ -432,11 +581,14 @@ impl DynamicGraph {
     /// since the previous compaction (the sampler-maintenance work list).
     pub fn compact(&mut self) -> Vec<NodeId> {
         let touched: Vec<NodeId> = self.touched_since_compaction.iter().copied().collect();
-        if self.pending() == 0 {
+        // The early-out also requires an un-grown id space: arrived nodes
+        // must materialize their (empty) CSR rows even with no pending edges.
+        if self.pending() == 0 && self.num_nodes() == self.base.num_nodes() {
             self.touched_since_compaction.clear();
             return touched;
         }
         let n = self.num_nodes();
+        let base_rows = self.base.num_nodes();
         let has_edge_types = !self.base.edge_types().is_empty();
 
         let mut offsets = Vec::with_capacity(n + 1);
@@ -446,7 +598,16 @@ impl DynamicGraph {
         offsets.push(0usize);
         for v in 0..n as NodeId {
             let d = &self.overlay[v as usize];
-            if !d.is_empty() {
+            if (v as usize) >= base_rows {
+                // Grown row: no base adjacency, only overlay inserts.
+                for (&idst, &iw) in &d.inserts {
+                    neighbors.push(idst);
+                    weights.push(iw);
+                    if has_edge_types {
+                        edge_types.push(0);
+                    }
+                }
+            } else if !d.is_empty() {
                 let base_n = self.base.neighbors(v);
                 let mut ins = d.inserts.iter().peekable();
                 for (k, &dst) in base_n.iter().enumerate() {
@@ -488,11 +649,16 @@ impl DynamicGraph {
             offsets.push(neighbors.len());
         }
 
+        // Typed graphs give grown nodes the default type 0.
+        let mut node_types = self.base.node_types().to_vec();
+        if !node_types.is_empty() {
+            node_types.resize(n, 0);
+        }
         self.base = Graph::from_csr_parts(
             offsets,
             neighbors,
             weights,
-            self.base.node_types().to_vec(),
+            node_types,
             edge_types,
             self.base.num_node_types(),
             self.base.num_edge_types(),
@@ -544,6 +710,7 @@ impl DynamicGraph {
         );
         let symmetric = self.symmetric;
         let base = &self.base;
+        let live = &self.live;
         let mut views = Vec::with_capacity(bounds.len() - 1);
         let mut rest: &mut [VertexDelta] = &mut self.overlay;
         for w in bounds.windows(2) {
@@ -556,6 +723,7 @@ impl DynamicGraph {
                 start: w[0],
                 num_nodes: n,
                 symmetric,
+                live,
                 outcome: ShardOutcome::default(),
             });
         }
@@ -591,6 +759,9 @@ pub struct ShardView<'a> {
     start: usize,
     num_nodes: usize,
     symmetric: bool,
+    /// Shared (read-only) liveness mask — node ops never run during a shard
+    /// round, so the mask is frozen while views are alive.
+    live: &'a [bool],
     outcome: ShardOutcome,
 }
 
@@ -625,11 +796,18 @@ impl ShardView<'_> {
     ///
     /// Panics when an in-range endpoint falls outside this shard's vertex
     /// range (the batch partitioner must route such mutations to the serial
-    /// residual path).
+    /// residual path), or when handed a node op — batches containing node
+    /// arrivals/retirements must be applied serially, since a universe change
+    /// invalidates the frozen liveness mask shards read.
     pub fn apply_with_effects(&mut self, m: GraphMutation) -> (MutationEffect, MutationEffect) {
+        assert!(
+            !m.is_node_op(),
+            "node ops must take the serial application path"
+        );
         let (src, dst) = m.endpoints();
         let n = self.num_nodes as NodeId;
-        if src >= n || dst >= n || src == dst {
+        if src >= n || dst >= n || src == dst || !self.live[src as usize] || !self.live[dst as usize]
+        {
             self.outcome.rejected += 1;
             return (MutationEffect::Rejected, MutationEffect::Rejected);
         }
@@ -927,6 +1105,123 @@ mod tests {
         dg.commit_shards([outcome]);
         assert_eq!(dg.rejected(), 1);
         assert_eq!(dg.version(), 0);
+    }
+
+    #[test]
+    fn node_arrival_grows_universe_and_allows_rejoin() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(dg.num_nodes(), 4);
+        assert_eq!(
+            dg.apply(GraphMutation::AddNode { node: 6 }),
+            MutationEffect::NodeArrived
+        );
+        assert_eq!(dg.num_nodes(), 7);
+        assert!(dg.is_live(6));
+        // Ids skipped by the growth stay vacant.
+        assert!(!dg.is_live(4) && !dg.is_live(5));
+        assert_eq!(dg.live_count(), 5);
+        // Duplicate arrival is rejected.
+        assert_eq!(
+            dg.apply(GraphMutation::AddNode { node: 6 }),
+            MutationEffect::Rejected
+        );
+        // The new node can take edges before any compaction.
+        assert_eq!(
+            dg.apply(GraphMutation::AddEdge {
+                src: 6,
+                dst: 0,
+                weight: 2.0
+            }),
+            MutationEffect::TopologyChanged
+        );
+        assert_eq!(dg.degree(6), 1);
+        assert!(dg.has_edge(0, 6));
+        let base = dg.materialize();
+        assert_eq!(base.num_nodes(), 7);
+        assert_eq!(base.neighbors(6), &[0]);
+        assert_eq!(base.degree(4), 0);
+
+        // Retire and rejoin: the id comes back live with empty adjacency.
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveNode { node: 6 }),
+            MutationEffect::NodeRetired
+        );
+        assert!(!dg.is_live(6));
+        assert_eq!(
+            dg.apply(GraphMutation::AddNode { node: 6 }),
+            MutationEffect::NodeArrived
+        );
+        assert!(dg.is_live(6));
+        assert_eq!(dg.degree(6), 0);
+    }
+
+    #[test]
+    fn node_retirement_drops_incident_edges_symmetric() {
+        let mut dg = DynamicGraph::new(square(), true);
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveNode { node: 0 }),
+            MutationEffect::NodeRetired
+        );
+        assert_eq!(dg.degree(0), 0);
+        assert!(!dg.has_edge(1, 0));
+        assert!(!dg.has_edge(3, 0));
+        assert!(!dg.is_live(0));
+        // Removing a dead id again is rejected.
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveNode { node: 0 }),
+            MutationEffect::Rejected
+        );
+        // Edge ops naming the retired endpoint are rejected.
+        assert_eq!(
+            dg.apply(GraphMutation::AddEdge {
+                src: 1,
+                dst: 0,
+                weight: 1.0
+            }),
+            MutationEffect::Rejected
+        );
+        let base = dg.materialize();
+        assert_eq!(base.degree(0), 0);
+        assert_eq!(base.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn node_retirement_drops_in_edges_directed() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.symmetric(false).build();
+        let mut dg = DynamicGraph::new(g, false);
+        assert_eq!(
+            dg.apply(GraphMutation::RemoveNode { node: 2 }),
+            MutationEffect::NodeRetired
+        );
+        assert_eq!(dg.degree(2), 0);
+        assert!(!dg.has_edge(0, 2), "in-edge 0->2 survived retirement");
+        assert!(!dg.has_edge(1, 2), "in-edge 1->2 survived retirement");
+        assert!(!dg.has_edge(2, 3));
+    }
+
+    #[test]
+    fn compact_materializes_grown_rows_even_without_pending_edges() {
+        let mut dg = DynamicGraph::new(square(), true);
+        dg.apply(GraphMutation::AddNode { node: 5 });
+        assert_eq!(dg.pending(), 0);
+        let touched = dg.compact();
+        assert_eq!(touched, vec![5]);
+        assert_eq!(dg.base().num_nodes(), 6);
+        assert_eq!(dg.base().degree(5), 0);
+    }
+
+    #[test]
+    fn with_universe_restores_liveness() {
+        let mut live = vec![true; 4];
+        live[2] = false;
+        let dg = DynamicGraph::with_universe(square(), true, live);
+        assert!(!dg.is_live(2));
+        assert_eq!(dg.live_count(), 3);
+        assert_eq!(dg.live_mask(), &[true, true, false, true]);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct BatchReport {
     pub topology_mutations: usize,
     /// Mutations rejected (missing edge / out-of-range node / self-loop).
     pub rejected_mutations: usize,
+    /// Ids declared live by this batch (in application order, deduped).
+    pub arrivals: Vec<NodeId>,
+    /// Ids retired by this batch (in application order, deduped).
+    pub retirements: Vec<NodeId>,
     /// Nodes whose sampler buckets were maintained on the weight path.
     pub weight_touched: Vec<NodeId>,
     /// Whether this batch triggered a compaction.
@@ -83,6 +87,14 @@ impl BatchReport {
             self.weight_touched.push(dst);
         }
         match (forward, mirror) {
+            (MutationEffect::NodeArrived, _) => {
+                self.arrivals.push(src);
+                self.topology_mutations += 1;
+            }
+            (MutationEffect::NodeRetired, _) => {
+                self.retirements.push(src);
+                self.topology_mutations += 1;
+            }
             (MutationEffect::TopologyChanged, _) | (_, MutationEffect::TopologyChanged) => {
                 self.topology_mutations += 1;
             }
@@ -100,6 +112,8 @@ impl BatchReport {
         self.weight_mutations += other.weight_mutations;
         self.topology_mutations += other.topology_mutations;
         self.rejected_mutations += other.rejected_mutations;
+        self.arrivals.extend_from_slice(&other.arrivals);
+        self.retirements.extend_from_slice(&other.retirements);
         self.compacted |= other.compacted;
         self.maintenance.merge(&other.maintenance);
         self.apply_time += other.apply_time;
@@ -154,13 +168,32 @@ impl IncrementalMaintainer {
         let t1 = Instant::now();
         if !report.weight_touched.is_empty() {
             let touched = std::mem::take(&mut report.weight_touched);
-            report
-                .maintenance
-                .merge(&manager.maintain_weights(graph.base(), model, &touched));
+            // The sampler's bucket layout covers the base CSR. An id that
+            // arrived *in this batch* lives only in the overlay until the
+            // forced compaction below, which rebuilds its bucket from the
+            // merged weights — maintaining it here would index past the
+            // layout. Ids already in the base are maintained immediately.
+            let covered: Vec<NodeId> = touched
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < graph.base().num_nodes())
+                .collect();
+            if !covered.is_empty() {
+                report
+                    .maintenance
+                    .merge(&manager.maintain_weights(graph.base(), model, &covered));
+            }
             report.weight_touched = touched;
         }
 
-        if report.topology_mutations > 0 && graph.pending() >= self.config.compaction_threshold {
+        // Effective node ops force compaction regardless of the threshold:
+        // the base CSR, the sampler's bucket layout and the walk refresher
+        // must all see the new universe at once, or walkers would read rows
+        // that don't exist yet.
+        let universe_changed = !report.arrivals.is_empty() || !report.retirements.is_empty();
+        if universe_changed
+            || (report.topology_mutations > 0 && graph.pending() >= self.config.compaction_threshold)
+        {
             report.merge_compaction(self.compact_now(graph, manager, model));
         }
         report.maintain_time = t1.elapsed();
@@ -177,7 +210,7 @@ impl IncrementalMaintainer {
     ) -> BatchReport {
         let mut report = BatchReport::default();
         let t = Instant::now();
-        if graph.pending() > 0 {
+        if graph.pending() > 0 || graph.num_nodes() != graph.base().num_nodes() {
             report.merge_compaction(self.compact_now(graph, manager, model));
         }
         report.maintain_time = t.elapsed();
@@ -204,7 +237,10 @@ impl IncrementalMaintainer {
                 stale.extend(graph.neighbors(v));
                 // Also the pre-compaction neighbors: nodes that pointed at a
                 // now-deleted edge still hold stale materialized state.
-                stale.extend(graph.base().neighbors(v).iter().copied());
+                // Arrived nodes have no base row yet, hence the range guard.
+                if (v as usize) < graph.base().num_nodes() {
+                    stale.extend(graph.base().neighbors(v).iter().copied());
+                }
             }
             stale.sort_unstable();
             stale.dedup();
@@ -431,6 +467,49 @@ mod tests {
     }
 
     #[test]
+    fn node_ops_force_compaction_and_grow_sampler_state() {
+        let base = test_graph();
+        let n0 = base.num_nodes();
+        let model = DeepWalk::new();
+        // Huge threshold: only the node ops can trigger the compaction.
+        let maintainer = IncrementalMaintainer::new(MaintainerConfig {
+            compaction_threshold: 1_000_000,
+        });
+        let mut dg = DynamicGraph::new(base, true);
+        let mut manager = SamplerManager::new(dg.base(), &model, EdgeSamplerKind::Alias, 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.add_node(n0 as NodeId);
+        batch.add_edge(n0 as NodeId, 3, 2.0);
+        batch.remove_node(7);
+        let r = maintainer.apply_batch(&mut dg, &mut manager, &model, &batch);
+        assert!(r.compacted, "node ops must force compaction");
+        assert_eq!(r.arrivals, vec![n0 as NodeId]);
+        assert_eq!(r.retirements, vec![7]);
+        assert_eq!(dg.base().num_nodes(), n0 + 1);
+        assert_eq!(dg.base().degree(7), 0);
+        assert!(dg.base().has_edge(n0 as NodeId, 3));
+        // DeepWalk: one state per node — the manager grew with the universe.
+        assert_eq!(manager.num_states(), n0 + 1);
+
+        // The arrived node samples, the retired node is stuck.
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(manager
+            .sample(dg.base(), &model, WalkerState::at(n0 as NodeId), &mut rng)
+            .is_some());
+        assert!(manager
+            .sample(dg.base(), &model, WalkerState::at(7), &mut rng)
+            .is_none());
+
+        // Rejected node ops alone must not force a compaction.
+        let mut batch = UpdateBatch::new();
+        batch.add_node(3); // already live
+        let r = maintainer.apply_batch(&mut dg, &mut manager, &model, &batch);
+        assert_eq!(r.rejected_mutations, 1);
+        assert!(!r.compacted);
+    }
+
+    #[test]
     fn flush_compacts_leftovers() {
         let base = test_graph();
         let model = DeepWalk::new();
@@ -454,5 +533,36 @@ mod tests {
         assert_eq!(dg.pending(), 0);
         assert!(dg.base().has_edge(3, 77));
         assert_eq!(manager.num_states(), dg.base().num_nodes());
+    }
+
+    #[test]
+    fn same_batch_arrival_plus_reweight_stays_in_the_bucket_layout() {
+        // Regression: a batch that declares an id past the base CSR, wires
+        // it in and reweights the new edge used to run weight maintenance
+        // against the pre-compaction bucket layout, indexing past its end.
+        // The arrived id's bucket is instead built by the same batch's
+        // forced compaction, from the merged (reweighted) adjacency.
+        let base = test_graph();
+        let n = base.num_nodes() as NodeId;
+        let model = DeepWalk::new();
+        let maintainer = IncrementalMaintainer::default();
+        let mut dg = DynamicGraph::new(base, true);
+        let mut manager = SamplerManager::new(dg.base(), &model, EdgeSamplerKind::Alias, 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.add_node(n);
+        batch.add_edge(n, 3, 1.0);
+        batch.update_weight(n, 3, 4.5);
+        let r = maintainer.apply_batch(&mut dg, &mut manager, &model, &batch);
+
+        assert_eq!(r.arrivals, vec![n]);
+        assert!(r.compacted, "a universe change forces compaction");
+        assert_eq!(manager.num_states(), dg.base().num_nodes());
+        assert_eq!(dg.weight(n, 3), Some(4.5));
+        assert_eq!(dg.weight(3, n), Some(4.5), "mirror reweighted too");
+        // The new bucket is usable immediately.
+        let state = model.initial_state(dg.base(), n);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(manager.sample(dg.base(), &model, state, &mut rng).is_some());
     }
 }

@@ -2,11 +2,12 @@
 
 use uninet_graph::NodeId;
 
-/// One mutation of the graph's edge set.
+/// One mutation of the graph's node or edge set.
 ///
-/// Node ids must lie inside the graph's fixed node universe; the dynamic
-/// graph rejects (and counts) mutations referencing unknown nodes rather than
-/// growing the universe mid-stream.
+/// Edge ops must reference **live** nodes; the dynamic graph rejects (and
+/// counts) mutations naming unknown or retired endpoints. [`GraphMutation::AddNode`]
+/// is the only op that grows the universe: it declares id `node` live,
+/// extending the id space when `node` lies past the current capacity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GraphMutation {
     /// Insert edge `src -> dst` (upserts the weight when the edge exists).
@@ -34,15 +35,30 @@ pub enum GraphMutation {
         /// New edge weight.
         weight: f32,
     },
+    /// Declare node `node` live, growing the id space when needed.
+    /// Rejected when the id is already live; re-adding a retired id is a
+    /// legal *rejoin* (the node comes back with an empty adjacency).
+    AddNode {
+        /// The arriving node's id (also its CSR row, forever).
+        node: NodeId,
+    },
+    /// Retire node `node`: drop all incident edges and mark the id dead.
+    /// Rejected when the id is not currently live.
+    RemoveNode {
+        /// The departing node's id.
+        node: NodeId,
+    },
 }
 
 impl GraphMutation {
-    /// The edge endpoints referenced by this mutation.
+    /// The node ids referenced by this mutation. Node ops reference a single
+    /// id, returned in both slots.
     pub fn endpoints(&self) -> (NodeId, NodeId) {
         match *self {
             GraphMutation::AddEdge { src, dst, .. }
             | GraphMutation::RemoveEdge { src, dst }
             | GraphMutation::UpdateWeight { src, dst, .. } => (src, dst),
+            GraphMutation::AddNode { node } | GraphMutation::RemoveNode { node } => (node, node),
         }
     }
 
@@ -50,6 +66,14 @@ impl GraphMutation {
     /// degrees), only edge weights.
     pub fn is_weight_only(&self) -> bool {
         matches!(self, GraphMutation::UpdateWeight { .. })
+    }
+
+    /// True for node-universe mutations (arrival / retirement).
+    pub fn is_node_op(&self) -> bool {
+        matches!(
+            self,
+            GraphMutation::AddNode { .. } | GraphMutation::RemoveNode { .. }
+        )
     }
 }
 
@@ -94,6 +118,16 @@ impl UpdateBatch {
         self.push(GraphMutation::UpdateWeight { src, dst, weight })
     }
 
+    /// Builder-style node arrival.
+    pub fn add_node(&mut self, node: NodeId) -> &mut Self {
+        self.push(GraphMutation::AddNode { node })
+    }
+
+    /// Builder-style node retirement.
+    pub fn remove_node(&mut self, node: NodeId) -> &mut Self {
+        self.push(GraphMutation::RemoveNode { node })
+    }
+
     /// The mutations in application order.
     pub fn mutations(&self) -> &[GraphMutation] {
         &self.mutations
@@ -112,6 +146,12 @@ impl UpdateBatch {
     /// True when every mutation is weight-only (the cheap maintenance path).
     pub fn is_weight_only(&self) -> bool {
         self.mutations.iter().all(GraphMutation::is_weight_only)
+    }
+
+    /// True when the batch contains any node arrival/retirement (those
+    /// batches take the serial application path and force compaction).
+    pub fn has_node_ops(&self) -> bool {
+        self.mutations.iter().any(GraphMutation::is_node_op)
     }
 }
 
@@ -181,5 +221,29 @@ mod tests {
         }
         .is_weight_only());
         assert!(!GraphMutation::RemoveEdge { src: 0, dst: 0 }.is_weight_only());
+    }
+
+    #[test]
+    fn node_ops_classify_and_report_endpoints() {
+        let add = GraphMutation::AddNode { node: 7 };
+        let del = GraphMutation::RemoveNode { node: 9 };
+        assert!(add.is_node_op() && del.is_node_op());
+        assert!(!add.is_weight_only() && !del.is_weight_only());
+        assert_eq!(add.endpoints(), (7, 7));
+        assert_eq!(del.endpoints(), (9, 9));
+        assert!(!GraphMutation::AddEdge {
+            src: 0,
+            dst: 1,
+            weight: 1.0
+        }
+        .is_node_op());
+
+        let mut b = UpdateBatch::new();
+        b.add_edge(0, 1, 1.0);
+        assert!(!b.has_node_ops());
+        b.add_node(5).remove_node(2);
+        assert!(b.has_node_ops());
+        assert_eq!(b.mutations()[1], GraphMutation::AddNode { node: 5 });
+        assert_eq!(b.mutations()[2], GraphMutation::RemoveNode { node: 2 });
     }
 }

@@ -103,9 +103,69 @@ impl WalkRefresher {
         self.index = index;
     }
 
-    /// Walk ids currently indexed under `v`.
+    /// Walk ids currently indexed under `v` (empty for ids past the index,
+    /// e.g. nodes that arrived after the last [`WalkRefresher::grow`]).
     pub fn walks_through(&self, v: NodeId) -> &[u32] {
-        &self.index[v as usize]
+        self.index
+            .get(v as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Extends the node → walks index to cover `num_nodes` ids (open-world
+    /// arrivals). Existing postings are untouched; shrinking is a no-op.
+    pub fn grow(&mut self, num_nodes: usize) {
+        if num_nodes > self.index.len() {
+            self.index.resize_with(num_nodes, Vec::new);
+        }
+    }
+
+    /// Evicts retired nodes from the corpus: every walk whose trajectory
+    /// visits any id in `retired` is emptied (and fully de-indexed), so no
+    /// future training pass or refresh can resurrect a retired id from a
+    /// stale trajectory. Returns the evicted walk ids, ascending.
+    pub fn evict_walks(&mut self, corpus: &mut WalkCorpus, retired: &[NodeId]) -> Vec<u32> {
+        let ids = self.affected_ids(retired);
+        for &id in &ids {
+            let old = corpus.walk(id as usize).to_vec();
+            self.reindex_walk(id, &old, &[]);
+            corpus.set_walk(id as usize, Vec::new());
+        }
+        self.live_tokens = corpus.total_tokens();
+        ids
+    }
+
+    /// Seeds `walks_per_node` fresh walks for each arrived node in `starts`,
+    /// appending them to the corpus and the index. Starts with no out-edges
+    /// are skipped (cold nodes are seeded once they gain an edge). Returns
+    /// the new walk ids.
+    pub fn seed_walks<M: RandomWalkModel + ?Sized>(
+        &mut self,
+        corpus: &mut WalkCorpus,
+        graph: &Graph,
+        model: &M,
+        manager: &SamplerManager,
+        starts: &[NodeId],
+        walks_per_node: usize,
+    ) -> Vec<u32> {
+        self.grow(graph.num_nodes());
+        let mut new_ids = Vec::new();
+        for &start in starts {
+            if (start as usize) >= graph.num_nodes() || graph.degree(start) == 0 {
+                continue;
+            }
+            for _ in 0..walks_per_node.max(1) {
+                let id = corpus.num_walks() as u32;
+                let mut rng = self.walk_rng(id);
+                let walk = walk_once(graph, model, manager, start, self.walk_length, &mut rng);
+                corpus.push(Vec::new());
+                self.reindex_walk(id, &[], &walk);
+                corpus.set_walk(id as usize, walk);
+                new_ids.push(id);
+            }
+        }
+        self.live_tokens = corpus.total_tokens();
+        new_ids
     }
 
     /// Total postings currently stored (exact: stale entries are pruned).
@@ -247,7 +307,9 @@ impl WalkRefresher {
             ..Default::default()
         };
 
-        let ids = self.affected_ids(touched);
+        let mut ids = self.affected_ids(touched);
+        // Evicted walks are empty and have no start to restart from.
+        ids.retain(|&id| !corpus.walk(id as usize).is_empty());
         stats.walks_refreshed = ids.len();
 
         let num_threads = num_threads.max(1).min(ids.len().max(1));
@@ -428,6 +490,53 @@ mod tests {
         // Regenerated trajectories diverge, so some postings must have been
         // pruned; without pruning they would linger as stale index growth.
         assert!(pruned > 0, "no stale postings pruned over 8 rounds");
+    }
+
+    #[test]
+    fn evict_then_seed_maintains_exact_index() {
+        let (g, mut corpus, manager, cfg) = setup();
+        let model = DeepWalk::new();
+        let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 41);
+
+        let retired = [5u32, 9];
+        let evicted = refresher.evict_walks(&mut corpus, &retired);
+        assert!(!evicted.is_empty());
+        for &id in &evicted {
+            assert!(corpus.walk(id as usize).is_empty(), "walk {id} not evicted");
+        }
+        for &v in &retired {
+            assert!(refresher.walks_through(v).is_empty());
+        }
+        assert_index_exact(&refresher, &corpus, g.num_nodes());
+
+        // A refresh touching the retired ids must not resurrect evicted walks.
+        let (stats, _) = refresher.refresh(&mut corpus, &g, &model, &manager, &retired);
+        assert_eq!(stats.walks_refreshed, 0);
+
+        // Seed walks for "arrived" ids (reuse live nodes as stand-ins).
+        let before = corpus.num_walks();
+        let seeded = refresher.seed_walks(&mut corpus, &g, &model, &manager, &[3, 7], 2);
+        assert_eq!(seeded.len(), 4);
+        assert_eq!(corpus.num_walks(), before + 4);
+        for &id in &seeded {
+            let w = corpus.walk(id as usize);
+            assert!(!w.is_empty());
+            assert!(w[0] == 3 || w[0] == 7, "seeded walk starts at {}", w[0]);
+        }
+        assert_index_exact(&refresher, &corpus, g.num_nodes());
+    }
+
+    #[test]
+    fn grow_extends_index_without_disturbing_postings() {
+        let (g, corpus, _, cfg) = setup();
+        let mut refresher = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 43);
+        let posted = refresher.walks_through(0).to_vec();
+        refresher.grow(g.num_nodes() + 10);
+        assert_eq!(refresher.walks_through(0), posted.as_slice());
+        assert!(refresher.walks_through((g.num_nodes() + 5) as NodeId).is_empty());
+        // Out-of-index lookups are safe even before grow.
+        let fresh = WalkRefresher::new(&corpus, g.num_nodes(), cfg.walk_length, 44);
+        assert!(fresh.walks_through(10_000).is_empty());
     }
 
     #[test]

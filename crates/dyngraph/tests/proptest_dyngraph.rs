@@ -53,6 +53,11 @@ impl EdgeMap {
                 true
             }
             GraphMutation::RemoveEdge { .. } => self.edges.remove(&(src, dst)).is_some(),
+            // This closed-world model never generates node ops; the open-world
+            // lifecycle has its own differential suite (proptest_open_world).
+            GraphMutation::AddNode { .. } | GraphMutation::RemoveNode { .. } => {
+                unreachable!("node ops are not part of the closed-world model")
+            }
         }
     }
 
@@ -76,6 +81,9 @@ impl EdgeMap {
                     dst: src,
                     weight,
                 },
+                GraphMutation::AddNode { .. } | GraphMutation::RemoveNode { .. } => {
+                    unreachable!("node ops are not part of the closed-world model")
+                }
             };
             self.apply_directed(mirrored);
         }

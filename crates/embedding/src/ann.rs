@@ -257,13 +257,37 @@ impl HnswIndex {
     /// [`build_incremental`](Self::build_incremental) for the streaming-epoch
     /// shortcut).
     pub fn build(embeddings: &Embeddings, config: &AnnConfig) -> Self {
+        Self::build_masked(embeddings, config, None)
+    }
+
+    /// [`build`](Self::build) restricted to a live universe: ids with
+    /// `live[v] == false` are never inserted, so they are unreachable from any
+    /// search — the query plane's guarantee that retired nodes cannot appear
+    /// in `top_k` results. `live == None` means every id is live.
+    pub fn build_masked(
+        embeddings: &Embeddings,
+        config: &AnnConfig,
+        live: Option<&[bool]>,
+    ) -> Self {
         assert!(config.m >= 2, "HNSW needs m >= 2");
+        if let Some(mask) = live {
+            assert_eq!(
+                mask.len(),
+                embeddings.num_nodes(),
+                "live mask length must equal the embedding row count"
+            );
+        }
         let start = Instant::now();
         let n = embeddings.num_nodes();
         let mut index = Self::empty_shell(embeddings, config);
         let ml = 1.0 / (config.m as f64).ln();
         let mut visited = Visited::new(n);
         for v in 0..n as u32 {
+            if let Some(mask) = live {
+                if !mask[v as usize] {
+                    continue;
+                }
+            }
             let level = level_for(config.seed, v, ml);
             index.insert(v, level, config, &mut visited);
         }
@@ -288,10 +312,31 @@ impl HnswIndex {
     /// `prev` is empty. Per-build reuse counts are reported via
     /// [`incremental_stats`](Self::incremental_stats).
     pub fn build_incremental(embeddings: &Embeddings, config: &AnnConfig, prev: &Self) -> Self {
+        Self::build_incremental_masked(embeddings, config, prev, None)
+    }
+
+    /// [`build_incremental`](Self::build_incremental) restricted to a live
+    /// universe. Dead ids are dropped from every surviving adjacency list and
+    /// never re-inserted; ids that were absent from `prev` (retired in an
+    /// earlier epoch, or newly arrived) but are live now are inserted fresh.
+    pub fn build_incremental_masked(
+        embeddings: &Embeddings,
+        config: &AnnConfig,
+        prev: &Self,
+        live: Option<&[bool]>,
+    ) -> Self {
         assert!(config.m >= 2, "HNSW needs m >= 2");
         if prev.dim != embeddings.dim() || prev.num_nodes == 0 {
-            return Self::build(embeddings, config);
+            return Self::build_masked(embeddings, config, live);
         }
+        if let Some(mask) = live {
+            assert_eq!(
+                mask.len(),
+                embeddings.num_nodes(),
+                "live mask length must equal the embedding row count"
+            );
+        }
+        let is_live = |v: usize| live.map_or(true, |m| m[v]);
         let start = Instant::now();
         let n = embeddings.num_nodes();
         let n_old = prev.num_nodes;
@@ -310,7 +355,17 @@ impl HnswIndex {
             ..Default::default()
         };
         for (v, is_fresh) in fresh.iter_mut().enumerate() {
-            if v >= n_old {
+            if !is_live(v) {
+                // Dead id: neither kept nor inserted. It only counts as
+                // retired when the previous epoch actually carried it.
+                if v < n_old && !prev.neighbors[v].is_empty() {
+                    stats.retired += 1;
+                }
+                continue;
+            }
+            if v >= n_old || prev.neighbors[v].is_empty() {
+                // Beyond the old range, or absent from the old graph (dead
+                // last epoch, rejoining now): insert fresh.
                 *is_fresh = true;
                 stats.added += 1;
                 continue;
@@ -333,11 +388,11 @@ impl HnswIndex {
             .iter()
             .enumerate()
             .take(n.min(n_old))
-            .filter(|&(_, &f)| !f)
+            .filter(|&(v, &f)| !f && is_live(v) && !prev.neighbors[v].is_empty())
         {
             let mut adj = prev.neighbors[v].clone();
             for level in adj.iter_mut() {
-                level.retain(|&u| (u as usize) < n);
+                level.retain(|&u| (u as usize) < n && is_live(u as usize));
             }
             let node_top = adj.len().saturating_sub(1);
             if !index.seeded || node_top > index.top_level {
@@ -601,7 +656,9 @@ impl HnswIndex {
     /// are always exact cosines.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        if self.num_nodes == 0 || k == 0 {
+        if self.num_nodes == 0 || k == 0 || !self.seeded {
+            // `!seeded` covers a masked build whose universe is entirely
+            // retired: `entry` is a dangling default there, not a real node.
             return Vec::new();
         }
         let norm = kernels::l2_norm(query);
@@ -866,6 +923,59 @@ mod tests {
         assert_eq!(stats2.retired, 0);
         let recall2 = recall_vs_exact(&inc2, &grown, 10, 7);
         assert!(recall2 >= 0.85, "post-growth recall@10 too low: {recall2}");
+    }
+
+    #[test]
+    fn masked_builds_make_retired_ids_unreachable() {
+        let emb = random_unit_embeddings(200, 16, 29);
+        let cfg = AnnConfig::default();
+        let mut live = vec![true; 200];
+        for v in (0..200).step_by(5) {
+            live[v] = false;
+        }
+
+        // Full masked build: no dead id in any result or adjacency list.
+        let masked = HnswIndex::build_masked(&emb, &cfg, Some(&live));
+        for node in (1..200u32).step_by(7) {
+            for (u, _) in masked.search_node(node, 10) {
+                assert!(live[u as usize], "retired id {u} surfaced");
+            }
+        }
+        for adj in &masked.neighbors {
+            for level in adj {
+                assert!(level.iter().all(|&u| live[u as usize]));
+            }
+        }
+
+        // Incremental masked build over a fully-live prev epoch: same
+        // guarantee, and the newly-dead ids are reported as retired.
+        let prev = HnswIndex::build(&emb, &cfg);
+        let inc = HnswIndex::build_incremental_masked(&emb, &cfg, &prev, Some(&live));
+        let stats = inc.incremental_stats().expect("incremental path taken");
+        assert_eq!(stats.retired, 40);
+        assert_eq!(stats.reused + stats.reinserted + stats.added, 160);
+        for adj in &inc.neighbors {
+            for level in adj {
+                assert!(level.iter().all(|&u| live[u as usize]));
+            }
+        }
+        for node in (1..200u32).step_by(7) {
+            for (u, _) in inc.search_node(node, 10) {
+                assert!(live[u as usize], "retired id {u} surfaced incrementally");
+            }
+        }
+
+        // A dead id rejoining next epoch is inserted fresh.
+        let mut rejoin = live.clone();
+        rejoin[0] = true;
+        let re = HnswIndex::build_incremental_masked(&emb, &cfg, &inc, Some(&rejoin));
+        let stats = re.incremental_stats().expect("incremental path taken");
+        assert_eq!(stats.added, 1);
+        assert!(re.search_node(1, 161).iter().any(|&(u, _)| u == 0));
+
+        // An all-dead universe still answers (with nothing).
+        let none = HnswIndex::build_masked(&emb, &cfg, Some(&vec![false; 200]));
+        assert!(none.search(&vec![1.0; 16], 5).is_empty());
     }
 
     #[test]

@@ -123,6 +123,49 @@ impl EmbeddingMatrix {
         })
     }
 
+    /// Grows the matrix to `new_rows`, zero-initializing the added rows.
+    ///
+    /// Shrinking is a no-op: rows are never dropped so retired ids keep their
+    /// (unreachable) parameters until a full rebuild. Requires `&mut self`, so
+    /// growth cannot race concurrent Hogwild writers by construction.
+    pub fn grow_zeros(&mut self, new_rows: usize) {
+        if new_rows <= self.rows {
+            return;
+        }
+        self.data.extend(
+            (self.rows * self.dim..new_rows * self.dim).map(|_| AtomicU32::new(0f32.to_bits())),
+        );
+        self.rows = new_rows;
+    }
+
+    /// Grows the matrix to `new_rows`, initializing the added rows uniformly
+    /// in `(-0.5/dim, 0.5/dim)` — the word2vec input-matrix initialization.
+    ///
+    /// The fill is seeded per call so arrivals are deterministic given the
+    /// stream; shrinking is a no-op as in [`EmbeddingMatrix::grow_zeros`].
+    pub fn grow_uniform(&mut self, new_rows: usize, seed: u64) {
+        if new_rows <= self.rows {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scale = 0.5 / self.dim as f32;
+        self.data.extend(
+            (self.rows * self.dim..new_rows * self.dim)
+                .map(|_| AtomicU32::new(rng.gen_range(-scale..scale).to_bits())),
+        );
+        self.rows = new_rows;
+    }
+
+    /// Overwrites row `row` with `values` (length `dim`).
+    #[inline]
+    pub fn write_row(&self, row: usize, values: &[f32]) {
+        debug_assert_eq!(values.len(), self.dim);
+        let base = row * self.dim;
+        for (j, &v) in values.iter().enumerate() {
+            self.data[base + j].store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
     /// Extracts the whole matrix as a flat row-major `Vec<f32>`.
     pub fn to_flat(&self) -> Vec<f32> {
         self.data
@@ -213,5 +256,36 @@ mod tests {
     #[should_panic]
     fn zero_dim_panics() {
         let _ = EmbeddingMatrix::zeros(2, 0);
+    }
+
+    #[test]
+    fn grow_preserves_existing_rows() {
+        let mut m = EmbeddingMatrix::uniform(3, 4, 11);
+        let before = m.to_flat();
+        m.grow_zeros(5);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(&m.to_flat()[..12], before.as_slice());
+        assert!(m.to_flat()[12..].iter().all(|&x| x == 0.0));
+
+        m.grow_uniform(7, 42);
+        assert_eq!(m.rows(), 7);
+        let flat = m.to_flat();
+        assert_eq!(&flat[..12], before.as_slice());
+        let bound = 0.5 / 4.0;
+        assert!(flat[20..].iter().all(|&x| x.abs() <= bound));
+        assert!(flat[20..].iter().any(|&x| x != 0.0));
+
+        // Shrinking is a no-op.
+        m.grow_zeros(2);
+        assert_eq!(m.rows(), 7);
+    }
+
+    #[test]
+    fn write_row_overwrites() {
+        let m = EmbeddingMatrix::uniform(2, 3, 1);
+        m.write_row(1, &[9.0, 8.0, 7.0]);
+        let mut buf = vec![0.0; 3];
+        m.read_row(1, &mut buf);
+        assert_eq!(buf, vec![9.0, 8.0, 7.0]);
     }
 }

@@ -57,6 +57,51 @@ impl OnlineWord2Vec {
     pub fn embeddings(&self) -> Embeddings {
         Embeddings::from_flat(self.input.dim(), self.input.to_flat())
     }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.input.dim()
+    }
+
+    /// Grows the session to cover `new_num_nodes` ids (open-world arrival).
+    ///
+    /// New input rows get the standard uniform word2vec init (callers
+    /// typically overwrite them with a neighbour-average cold start via
+    /// [`OnlineWord2Vec::set_input_row`]), output rows start at zero, and the
+    /// negative-sampling table is rebuilt with a count floor of 1 for the new
+    /// ids so burn-in gradients can reach their output rows. Shrinking is a
+    /// no-op: retired ids keep their rows, which simply stop being trained or
+    /// served.
+    pub fn grow(&mut self, new_num_nodes: usize, seed: u64) {
+        if new_num_nodes <= self.num_nodes {
+            return;
+        }
+        let old = self.num_nodes;
+        self.vocab.grow(new_num_nodes);
+        for v in old..new_num_nodes {
+            self.vocab.ensure_min_count(v as u32, 1);
+        }
+        self.table = UnigramTable::with_params(
+            &self.vocab,
+            (new_num_nodes * 64).clamp(1 << 12, 1 << 22),
+            0.75,
+        );
+        self.input.grow_uniform(new_num_nodes, seed);
+        self.output.grow_zeros(new_num_nodes);
+        self.num_nodes = new_num_nodes;
+    }
+
+    /// Reads node `v`'s input embedding into a fresh vector.
+    pub fn input_row(&self, v: u32) -> Vec<f32> {
+        let mut buf = vec![0.0; self.input.dim()];
+        self.input.read_row(v as usize, &mut buf);
+        buf
+    }
+
+    /// Overwrites node `v`'s input embedding (cold-start initialization).
+    pub fn set_input_row(&self, v: u32, values: &[f32]) {
+        self.input.write_row(v as usize, values);
+    }
 }
 
 impl Word2VecTrainer {
@@ -116,6 +161,39 @@ impl Word2VecTrainer {
         }
         let cfg = self.config();
         let alpha = cfg.initial_alpha * INCREMENTAL_ALPHA_FACTOR;
+        let stats = run_sgd_pass(
+            cfg,
+            walks,
+            &session.vocab,
+            &session.table,
+            &session.sigmoid,
+            &session.input,
+            &session.output,
+            1,
+            AlphaSchedule::Constant(alpha),
+        );
+        session.incremental_passes += 1;
+        stats
+    }
+
+    /// Runs one boosted constant-alpha SGD pass over `walks` — the cold-start
+    /// burn-in for freshly arrived nodes.
+    ///
+    /// A new node's neighbour-average init places it roughly right, but its
+    /// output row is zero and its context hasn't co-trained; `boost > 1`
+    /// multiplies the incremental learning rate so the first few passes over
+    /// walks touching the arrival converge it quickly without a full retrain.
+    pub fn train_burn_in(
+        &self,
+        session: &mut OnlineWord2Vec,
+        walks: &[Vec<u32>],
+        boost: f32,
+    ) -> TrainStats {
+        if walks.is_empty() {
+            return TrainStats::default();
+        }
+        let cfg = self.config();
+        let alpha = cfg.initial_alpha * INCREMENTAL_ALPHA_FACTOR * boost.max(0.0);
         let stats = run_sgd_pass(
             cfg,
             walks,
@@ -239,6 +317,55 @@ mod tests {
             intact / 6.0 > 0.3,
             "unaffected cluster washed out: {intact}"
         );
+    }
+
+    #[test]
+    fn grow_then_burn_in_integrates_an_arrival() {
+        // Train on 10 nodes, then node 10 arrives attached to cluster {5..9}.
+        let walks = cluster_walks(9, 120);
+        let trainer = Word2VecTrainer::new(test_config());
+        let (mut session, _) = trainer.train_online(&walks, 10);
+        let frozen: Vec<f32> = session.input_row(3);
+
+        session.grow(11, 77);
+        assert_eq!(session.num_nodes(), 11);
+        // Cold start: neighbour average of its cluster.
+        let dim = session.dim();
+        let mut avg = vec![0.0f32; dim];
+        for v in 5..10u32 {
+            for (j, x) in session.input_row(v).into_iter().enumerate() {
+                avg[j] += x / 5.0;
+            }
+        }
+        session.set_input_row(10, &avg);
+
+        let mut rng = SmallRng::seed_from_u64(31);
+        let arrival_walks: Vec<Vec<u32>> = (0..60)
+            .map(|_| {
+                (0..20)
+                    .map(|_| {
+                        if rng.gen_bool(0.4) {
+                            10u32
+                        } else {
+                            5 + rng.gen_range(0u32..5)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let stats = trainer.train_burn_in(&mut session, &arrival_walks, 2.0);
+        assert!(stats.pairs_processed > 0);
+        assert_eq!(session.incremental_passes(), 1);
+
+        let emb = session.embeddings();
+        let toward: f32 = (5..10).map(|v| emb.cosine_similarity(10, v)).sum::<f32>() / 5.0;
+        let away: f32 = (0..5).map(|v| emb.cosine_similarity(10, v)).sum::<f32>() / 5.0;
+        assert!(
+            toward > away + 0.2,
+            "arrival did not join its cluster: toward {toward} vs away {away}"
+        );
+        // A node in the untouched cluster kept its exact parameters.
+        assert_eq!(session.input_row(3), frozen);
     }
 
     #[test]

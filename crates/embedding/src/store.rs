@@ -70,11 +70,20 @@ pub struct EmbeddingSnapshot {
     rerank: usize,
     /// HNSW index over the vectors, when the publishing store enables ANN.
     ann: Option<HnswIndex>,
+    /// Live mask over the rows under open-world churn: retired ids keep their
+    /// rows (id == row forever) but are excluded from every query answer.
+    /// `None` means the whole universe is live.
+    live: Option<Vec<bool>>,
 }
 
 impl EmbeddingSnapshot {
-    fn new(epoch: u64, embeddings: Embeddings, ann_config: Option<&AnnConfig>) -> Self {
-        Self::new_timed(epoch, embeddings, ann_config, None).0
+    fn new(
+        epoch: u64,
+        embeddings: Embeddings,
+        ann_config: Option<&AnnConfig>,
+        live: Option<Vec<bool>>,
+    ) -> Self {
+        Self::new_timed(epoch, embeddings, ann_config, None, live).0
     }
 
     /// Builds a snapshot and reports how long its two expensive stages took:
@@ -87,7 +96,15 @@ impl EmbeddingSnapshot {
         embeddings: Embeddings,
         ann_config: Option<&AnnConfig>,
         prev: Option<&EmbeddingSnapshot>,
+        live: Option<Vec<bool>>,
     ) -> (Self, Duration, Duration) {
+        if let Some(mask) = &live {
+            assert_eq!(
+                mask.len(),
+                embeddings.num_nodes(),
+                "live mask length must equal the embedding row count"
+            );
+        }
         let t_norms = Instant::now();
         let norms = (0..embeddings.num_nodes() as u32)
             .map(|v| kernels::l2_norm(embeddings.vector(v)))
@@ -104,8 +121,13 @@ impl EmbeddingSnapshot {
                     .and_then(|p| p.ann.as_ref())
                     .filter(|_| cfg.incremental)
                 {
-                    Some(prev_index) => HnswIndex::build_incremental(&embeddings, cfg, prev_index),
-                    None => HnswIndex::build(&embeddings, cfg),
+                    Some(prev_index) => HnswIndex::build_incremental_masked(
+                        &embeddings,
+                        cfg,
+                        prev_index,
+                        live.as_deref(),
+                    ),
+                    None => HnswIndex::build_masked(&embeddings, cfg, live.as_deref()),
                 }
             });
         let ann_time = t_ann.elapsed();
@@ -117,6 +139,7 @@ impl EmbeddingSnapshot {
                 quant,
                 rerank: ann_config.map(|cfg| cfg.rerank.max(1)).unwrap_or(1),
                 ann,
+                live,
             },
             norms_time,
             ann_time,
@@ -138,8 +161,38 @@ impl EmbeddingSnapshot {
         self.embeddings.num_nodes()
     }
 
-    fn contains(&self, node: u32) -> bool {
+    /// Whether `node` addresses a row of this snapshot at all (live or
+    /// retired). The query plane uses the in-range/live split to return
+    /// distinct typed errors for unknown versus retired ids.
+    pub fn in_range(&self, node: u32) -> bool {
         (node as usize) < self.embeddings.num_nodes()
+    }
+
+    /// Whether `node` is a live member of the snapshot's universe.
+    pub fn is_live(&self, node: u32) -> bool {
+        self.in_range(node)
+            && self
+                .live
+                .as_ref()
+                .map_or(true, |mask| mask[node as usize])
+    }
+
+    /// Number of live nodes (== [`num_nodes`](Self::num_nodes) when no churn
+    /// has retired anyone).
+    pub fn live_count(&self) -> usize {
+        match &self.live {
+            Some(mask) => mask.iter().filter(|&&l| l).count(),
+            None => self.embeddings.num_nodes(),
+        }
+    }
+
+    /// The live mask, when this snapshot was published with one.
+    pub fn live_mask(&self) -> Option<&[bool]> {
+        self.live.as_deref()
+    }
+
+    fn contains(&self, node: u32) -> bool {
+        self.is_live(node)
     }
 
     /// Cosine similarity against the precomputed norms; `None` out of range.
@@ -185,7 +238,7 @@ impl EmbeddingSnapshot {
         let na = self.norms[node as usize];
         let mut heap: BinaryHeap<Reverse<Sim>> = BinaryHeap::with_capacity(k + 1);
         for u in 0..self.embeddings.num_nodes() as u32 {
-            if u == node {
+            if u == node || !self.is_live(u) {
                 continue;
             }
             let s = kernels::cosine_with_norms(
@@ -220,7 +273,7 @@ impl EmbeddingSnapshot {
         let na = self.norms[node as usize];
         let mut heap: BinaryHeap<Reverse<Sim>> = BinaryHeap::with_capacity(budget + 1);
         for u in 0..self.embeddings.num_nodes() as u32 {
-            if u == node {
+            if u == node || !self.is_live(u) {
                 continue;
             }
             let nb = self.norms[u as usize];
@@ -279,7 +332,7 @@ impl EmbeddingSnapshot {
         match (mode, &self.ann) {
             (QueryMode::Ann, Some(index)) if self.contains(node) && k > 0 => {
                 let hits = index.search_node(node, k);
-                if hits.len() < k.min(self.num_nodes().saturating_sub(1)) {
+                if hits.len() < k.min(self.live_count().saturating_sub(1)) {
                     (self.top_k(node, k), true)
                 } else {
                     (hits, false)
@@ -350,6 +403,7 @@ impl EmbeddingStore {
                 0,
                 Embeddings::from_flat(1, Vec::new()),
                 None,
+                None,
             ))),
             ann,
             telemetry: StoreTelemetry::detached(),
@@ -383,6 +437,14 @@ impl EmbeddingStore {
     /// see the published version. If two publishers race, the higher epoch
     /// wins regardless of install order.
     pub fn publish(&self, embeddings: Embeddings) -> u64 {
+        self.publish_with_universe(embeddings, None)
+    }
+
+    /// [`publish`](EmbeddingStore::publish) with an explicit live universe:
+    /// ids with `live[v] == false` keep their rows but become unreachable
+    /// from every query (`vector`/`cosine`/`top_k`/ANN) as of this epoch.
+    /// `live == None` publishes a fully-live universe.
+    pub fn publish_with_universe(&self, embeddings: Embeddings, live: Option<Vec<bool>>) -> u64 {
         use std::sync::atomic::Ordering;
         let t_total = Instant::now();
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -391,7 +453,8 @@ impl EmbeddingStore {
         // read lock through the expensive construction.
         let prev = self.snapshot();
         let (snapshot, norms_time, ann_time) =
-            EmbeddingSnapshot::new_timed(epoch, embeddings, self.ann.as_ref(), Some(&prev));
+            EmbeddingSnapshot::new_timed(epoch, embeddings, self.ann.as_ref(), Some(&prev), live);
+        self.telemetry.live_nodes.set(snapshot.live_count() as i64);
         if let Some(stats) = snapshot.ann().and_then(|index| index.incremental_stats()) {
             self.telemetry.publish_ann_incremental.inc();
             self.telemetry
@@ -429,9 +492,27 @@ impl EmbeddingStore {
     /// otherwise idle store; a concurrent publisher with a higher epoch wins,
     /// preserving monotonicity.
     pub fn restore(&self, embeddings: Embeddings, epoch: u64) -> u64 {
+        self.restore_with_universe(embeddings, epoch, None)
+    }
+
+    /// [`restore`](EmbeddingStore::restore) with an explicit live universe —
+    /// crash recovery of an open-world session reinstates the retired-id mask
+    /// alongside the vectors.
+    pub fn restore_with_universe(
+        &self,
+        embeddings: Embeddings,
+        epoch: u64,
+        live: Option<Vec<bool>>,
+    ) -> u64 {
         use std::sync::atomic::Ordering;
         self.next_epoch.fetch_max(epoch, Ordering::Relaxed);
-        let snapshot = Arc::new(EmbeddingSnapshot::new(epoch, embeddings, self.ann.as_ref()));
+        let snapshot = Arc::new(EmbeddingSnapshot::new(
+            epoch,
+            embeddings,
+            self.ann.as_ref(),
+            live,
+        ));
+        self.telemetry.live_nodes.set(snapshot.live_count() as i64);
         {
             let mut slot = self.slot.write().expect("embedding store lock poisoned");
             if snapshot.epoch() > slot.epoch() {
@@ -736,6 +817,48 @@ mod tests {
             .and_then(|i| i.incremental_stats())
             .is_none());
         assert_eq!(full.telemetry().publish_ann_incremental.get(), 0);
+    }
+
+    #[test]
+    fn retired_ids_are_unreachable_from_every_query_path() {
+        for ann in [false, true] {
+            let store = if ann {
+                EmbeddingStore::with_ann(AnnConfig::default())
+            } else {
+                EmbeddingStore::new()
+            };
+            // Node 1 (node 0's closest neighbour) retires.
+            let live = vec![true, false, true, true, true];
+            store.publish_with_universe(sample(), Some(live));
+            let snap = store.snapshot();
+            assert_eq!(snap.live_count(), 4);
+            assert!(snap.in_range(1) && !snap.is_live(1));
+            assert!(!snap.in_range(5));
+
+            // Direct lookups: retired behaves like absent.
+            assert_eq!(store.vector(1), None);
+            assert_eq!(store.cosine(0, 1), None);
+            assert!(store.top_k(1, 3).is_empty());
+
+            // Ranked queries never surface the retired id.
+            for mode in [QueryMode::Exact, QueryMode::Ann] {
+                let hits = store.top_k_mode(0, 4, mode);
+                assert!(!hits.is_empty());
+                assert!(
+                    hits.iter().all(|&(u, _)| u != 1),
+                    "retired id served (ann={ann}, {mode:?}): {hits:?}"
+                );
+                for row in store.top_k_batch(&[0, 2, 1], 4, mode) {
+                    assert!(row.iter().all(|&(u, _)| u != 1));
+                }
+            }
+            assert_eq!(store.telemetry().live_nodes.get(), 4);
+
+            // A later fully-live publish serves node 1 again (rejoin).
+            store.publish(sample());
+            assert!(store.top_k(0, 1).iter().any(|&(u, _)| u == 1));
+            assert_eq!(store.telemetry().live_nodes.get(), 5);
+        }
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct StoreTelemetry {
     pub kernel_backend: Arc<Gauge>,
     /// Epoch of the most recently published snapshot (`engine.epoch`).
     pub epoch: Arc<Gauge>,
+    /// Live (non-retired) nodes in the current snapshot's universe
+    /// (`engine.live_nodes`) — diverges from the row count under open-world
+    /// churn, where retired ids keep their rows but stop being served.
+    pub live_nodes: Arc<Gauge>,
     /// Milliseconds since the last publish, refreshed by
     /// [`refresh_epoch_age`](Self::refresh_epoch_age) (`engine.epoch_age_ms`).
     pub epoch_age_ms: Arc<Gauge>,
@@ -84,6 +88,7 @@ impl StoreTelemetry {
             publish_ann_reused: histogram("engine.publish.ann_reused"),
             kernel_backend,
             epoch: gauge("engine.epoch"),
+            live_nodes: gauge("engine.live_nodes"),
             epoch_age_ms: gauge("engine.epoch_age_ms"),
             query_exact_ns: histogram("query.top_k.exact_ns"),
             query_ann_ns: histogram("query.top_k.ann_ns"),

@@ -82,6 +82,27 @@ impl Vocabulary {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Grows the vocabulary to cover `num_nodes` ids, new ids with count 0.
+    /// Shrinking is a no-op (retired ids keep their historical counts).
+    pub fn grow(&mut self, num_nodes: usize) {
+        if num_nodes > self.counts.len() {
+            self.counts.resize(num_nodes, 0);
+        }
+    }
+
+    /// Raises node `v`'s count to at least `min`.
+    ///
+    /// Streaming arrivals enter the vocabulary with no corpus history; giving
+    /// them a count floor ensures the rebuilt negative-sampling table can draw
+    /// them, so their output rows receive gradient signal during burn-in.
+    pub fn ensure_min_count(&mut self, v: u32, min: u64) {
+        let c = &mut self.counts[v as usize];
+        if *c < min {
+            self.total += min - *c;
+            *c = min;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +142,25 @@ mod tests {
         // Unseen tokens and degenerate thresholds keep probability 1.
         assert_eq!(v.keep_probability(4, 1e-3), 1.0);
         assert_eq!(v.keep_probability(1, 0.0), 1.0);
+    }
+
+    #[test]
+    fn grow_and_count_floor() {
+        let mut v = sample_vocab();
+        v.grow(8);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.count(7), 0);
+        assert_eq!(v.total_tokens(), 6);
+        v.ensure_min_count(7, 1);
+        assert_eq!(v.count(7), 1);
+        assert_eq!(v.total_tokens(), 7);
+        // Already above the floor: untouched.
+        v.ensure_min_count(1, 1);
+        assert_eq!(v.count(1), 3);
+        assert_eq!(v.total_tokens(), 7);
+        // Shrinking is a no-op.
+        v.grow(2);
+        assert_eq!(v.len(), 8);
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl ShardedMaintainer {
         batch: &UpdateBatch,
         plan: &ShardPlan,
     ) -> BatchReport {
-        if self.threads <= 1 || plan.num_shards() <= 1 {
+        // Node arrivals/retirements change the universe the shard plan was
+        // computed over and must interleave in stream order with the edge ops
+        // around them, so churn batches take the serial path wholesale.
+        if self.threads <= 1 || plan.num_shards() <= 1 || batch.has_node_ops() {
             let r =
                 IncrementalMaintainer::new(self.config).apply_batch(graph, manager, model, batch);
             self.metrics.apply_batch_ns.record_duration(r.apply_time);
@@ -81,6 +84,10 @@ impl ShardedMaintainer {
             if r.compacted {
                 self.metrics.compactions.inc();
             }
+            self.metrics.node_arrivals.add(r.arrivals.len() as u64);
+            self.metrics
+                .node_retirements
+                .add(r.retirements.len() as u64);
             return r;
         }
 
@@ -275,6 +282,64 @@ mod tests {
                 assert_eq!(a.weights(v), b.weights(v), "{kind:?} node {v}");
             }
         }
+    }
+
+    #[test]
+    fn churn_batches_take_the_serial_path_and_match_it() {
+        let g = test_graph();
+        let n = g.num_nodes() as NodeId;
+        let model = DeepWalk::new();
+        // Arrival, edge naming the arrival, retirement, edge naming the
+        // retiree — stream order between node and edge ops must hold.
+        let mut batch = mixed_batch(&g, 40, 11);
+        batch.add_node(n);
+        batch.add_edge(n, 3, 1.5);
+        batch.remove_node(7);
+        batch.add_edge(7, 8, 1.0); // must be rejected: endpoint retired
+        let plan = ShardPlan::new(g.num_nodes(), 4);
+
+        let mut dg_serial = DynamicGraph::new(g.clone(), true);
+        let mut m_serial = SamplerManager::new(
+            dg_serial.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        let serial = IncrementalMaintainer::new(MaintainerConfig::default()).apply_batch(
+            &mut dg_serial,
+            &mut m_serial,
+            &model,
+            &batch,
+        );
+
+        let mut dg_sharded = DynamicGraph::new(g.clone(), true);
+        let mut m_sharded = SamplerManager::new(
+            dg_sharded.base(),
+            &model,
+            EdgeSamplerKind::MetropolisHastings(InitStrategy::Random),
+            0,
+        );
+        let metrics = IngestMetrics::detached();
+        let sharded = ShardedMaintainer::instrumented(MaintainerConfig::default(), 4, metrics.clone())
+            .apply_batch(&mut dg_sharded, &mut m_sharded, &model, &batch, &plan);
+
+        assert_eq!(serial.arrivals, sharded.arrivals);
+        assert_eq!(serial.retirements, sharded.retirements);
+        assert_eq!(serial.rejected_mutations, sharded.rejected_mutations);
+        assert_eq!(metrics.node_arrivals.get(), serial.arrivals.len() as u64);
+        assert_eq!(
+            metrics.node_retirements.get(),
+            serial.retirements.len() as u64
+        );
+        assert_eq!(dg_serial.live_mask(), dg_sharded.live_mask());
+        let a = dg_serial.materialize();
+        let b = dg_sharded.materialize();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for v in 0..a.num_nodes() as NodeId {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "node {v}");
+        }
+        assert!(a.has_edge(n, 3), "arrival's edge applied");
+        assert!(!a.has_edge(7, 8), "retired endpoint's edge rejected");
     }
 
     #[test]

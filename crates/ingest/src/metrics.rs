@@ -39,6 +39,10 @@ pub struct IngestMetrics {
     pub compaction_ns: Arc<Histogram>,
     /// Compactions performed (`ingest.compaction.count`).
     pub compactions: Arc<Counter>,
+    /// Nodes that arrived (incl. rejoins) via churn (`ingest.churn.arrivals`).
+    pub node_arrivals: Arc<Counter>,
+    /// Nodes retired from the universe (`ingest.churn.retirements`).
+    pub node_retirements: Arc<Counter>,
 }
 
 impl IngestMetrics {
@@ -57,6 +61,8 @@ impl IngestMetrics {
             refresh_dirty_walks: Arc::new(Counter::new()),
             compaction_ns: Arc::new(Histogram::new()),
             compactions: Arc::new(Counter::new()),
+            node_arrivals: Arc::new(Counter::new()),
+            node_retirements: Arc::new(Counter::new()),
         }
     }
 
@@ -75,6 +81,8 @@ impl IngestMetrics {
             refresh_dirty_walks: registry.counter("ingest.refresh.dirty_walks"),
             compaction_ns: registry.histogram("ingest.compaction.duration_ns"),
             compactions: registry.counter("ingest.compaction.count"),
+            node_arrivals: registry.counter("ingest.churn.arrivals"),
+            node_retirements: registry.counter("ingest.churn.retirements"),
         }
     }
 }

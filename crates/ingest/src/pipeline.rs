@@ -141,7 +141,7 @@ pub fn run_durable_pipeline<M: RandomWalkModel + ?Sized>(
         config.num_threads,
         metrics.clone(),
     );
-    let plan = ShardPlan::new(graph.num_nodes(), config.num_threads);
+    let mut plan = ShardPlan::new(graph.num_nodes(), config.num_threads);
     let mut report = IngestReport::default();
 
     let queue_stats = crossbeam::thread::scope(|scope| {
@@ -160,6 +160,11 @@ pub fn run_durable_pipeline<M: RandomWalkModel + ?Sized>(
         while let Some(batch) = rx.recv() {
             if let Some(hook) = wal.as_deref_mut() {
                 hook(&batch);
+            }
+            // Open-world arrivals grow the id space; the vertex-range plan
+            // must cover the current universe before the next sharded apply.
+            if plan.num_nodes() != graph.num_nodes() {
+                plan = ShardPlan::new(graph.num_nodes(), config.num_threads);
             }
             let r = maintainer.apply_batch(graph, manager, model, &batch, &plan);
             report.batches += 1;

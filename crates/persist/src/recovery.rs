@@ -27,6 +27,10 @@ pub struct RecoveredState {
     pub graph: Graph,
     /// The last published embedding matrix, when the snapshot carried one.
     pub embeddings: Option<Embeddings>,
+    /// Open-world live mask over the recovered graph's rows (`None` = fully
+    /// live). Reflects the snapshot's mask plus every node op replayed from
+    /// the WAL suffix, so retired ids stay unreachable across a restart.
+    pub live: Option<Vec<bool>>,
     /// Embedding-store epoch at the time of the recovered snapshot.
     pub epoch: u64,
     /// Sampler strategy + seed to rebuild chains deterministically.
@@ -78,7 +82,10 @@ pub fn recover(dir: &Path) -> Result<RecoveredState, PersistError> {
         let _ = f.sync_all();
     }
 
-    let mut dg = DynamicGraph::new(snap.graph, snap.symmetric);
+    let mut dg = match snap.live {
+        Some(live) => DynamicGraph::with_universe(snap.graph, snap.symmetric, live),
+        None => DynamicGraph::new(snap.graph, snap.symmetric),
+    };
     let mut replayed_batches = 0;
     let mut replayed_mutations = 0;
     let mut last_wal_seq = snap.wal_seq;
@@ -113,9 +120,15 @@ pub fn recover(dir: &Path) -> Result<RecoveredState, PersistError> {
         });
     }
 
+    // An all-live mask is canonicalized to `None` so closed-world recoveries
+    // keep their original shape.
+    let live_mask = dg.live_mask().to_vec();
+    let live = live_mask.iter().any(|&l| !l).then_some(live_mask);
+
     Ok(RecoveredState {
         graph: dg.into_base(),
         embeddings: snap.embeddings,
+        live,
         epoch: snap.epoch,
         sampler: snap.sampler,
         symmetric: snap.symmetric,
@@ -172,6 +185,7 @@ mod tests {
                 sampler: SamplerState::default(),
                 graph: graph.clone(),
                 embeddings: None,
+                live: None,
             },
         )
         .unwrap();
@@ -219,6 +233,7 @@ mod tests {
                 sampler: SamplerState::default(),
                 graph: dg.into_base(),
                 embeddings: None,
+                live: None,
             },
         )
         .unwrap();
@@ -226,5 +241,56 @@ mod tests {
         assert_eq!(rec.replayed_batches, 0);
         assert_eq!(rec.last_wal_seq, 1);
         assert!(rec.graph.has_edge(0, 4));
+    }
+
+    #[test]
+    fn node_ops_replay_into_the_live_mask() {
+        let dir = tmp_dir("churn");
+        write_snapshot(
+            &dir,
+            &Snapshot {
+                wal_seq: 0,
+                epoch: 1,
+                symmetric: true,
+                sampler: SamplerState::default(),
+                graph: base_graph(),
+                embeddings: None,
+                live: None,
+            },
+        )
+        .unwrap();
+        let mut w = WalWriter::open(&dir, FsyncPolicy::Always).unwrap();
+        // Node 5 arrives and connects; node 1 retires.
+        let mut b = UpdateBatch::new();
+        b.add_node(5);
+        b.add_edge(5, 0, 2.0);
+        b.remove_node(1);
+        w.append(&b).unwrap();
+        drop(w);
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.graph.num_nodes(), 6, "universe grew to include 5");
+        assert!(rec.graph.has_edge(5, 0) && rec.graph.has_edge(0, 5));
+        assert_eq!(rec.graph.degree(1), 0, "retired node lost its edges");
+        let live = rec.live.expect("churn produces a live mask");
+        assert_eq!(live, vec![true, false, true, true, true, true]);
+
+        // Recovering a dir whose snapshot carries the mask round-trips it.
+        write_snapshot(
+            &dir,
+            &Snapshot {
+                wal_seq: 1,
+                epoch: 2,
+                symmetric: true,
+                sampler: SamplerState::default(),
+                graph: rec.graph.clone(),
+                embeddings: None,
+                live: Some(live.clone()),
+            },
+        )
+        .unwrap();
+        let rec2 = recover(&dir).unwrap();
+        assert_eq!(rec2.live, Some(live));
+        assert_eq!(rec2.replayed_batches, 0);
     }
 }

@@ -4,15 +4,21 @@
 //!
 //! ```text
 //! snapshot := "UNSP" u32:version u64:body_len u32:crc32(body) body
-//! body     := u64:wal_seq u64:epoch u8:flags sampler graph [embeddings]
-//! flags    := bit0 = graph is symmetric, bit1 = embeddings present
+//! body     := u64:wal_seq u64:epoch u8:flags sampler graph [embeddings] [live]
+//! flags    := bit0 = graph is symmetric, bit1 = embeddings present,
+//!             bit2 = live mask present
 //! sampler  := u8:kind [u8:init u64:param] u64:seed
 //! graph    := u64:n  (n+1)×u64:offsets  e×u32:neighbors  e×f32:weights
 //!             u64:nt_len nt_len×u16:node_types  u64:et_len et_len×u16:edge_types
 //!             u16:num_node_types u16:num_edge_types
 //!             u16:#node_names names*  u16:#edge_names names*
 //! embeddings := u64:dim u64:nodes dim·nodes×f32
+//! live     := u64:n n×u8(0=retired 1=live)
 //! ```
+//!
+//! Version history: v1 had no live-mask section (flags bit2 was never set);
+//! v2 added it for open-world sessions. Readers accept both — a v1 snapshot
+//! decodes with `live = None`, meaning the whole universe is live.
 //!
 //! Snapshot files are named `snap-<wal_seq, 20 digits>.snap` so a plain
 //! lexicographic sort orders them by WAL position, and are written to a
@@ -36,7 +42,9 @@ use crate::codec::{crc32, Dec, DecodeError, Enc};
 use crate::PersistError;
 
 const SNAP_MAGIC: [u8; 4] = *b"UNSP";
-const SNAP_VERSION: u32 = 1;
+const SNAP_VERSION: u32 = 2;
+/// Oldest on-disk version [`read_snapshot`] still decodes.
+const SNAP_MIN_VERSION: u32 = 1;
 /// Sanity caps applied before allocating from length prefixes.
 const MAX_NODES: usize = 1 << 31;
 const MAX_EDGES: usize = 1 << 33;
@@ -76,6 +84,11 @@ pub struct Snapshot {
     pub graph: Graph,
     /// The embedding matrix, when one had been published.
     pub embeddings: Option<Embeddings>,
+    /// Open-world live mask over the graph's rows (`None` = fully live, the
+    /// only state closed-world sessions and v1 snapshots produce). Retired
+    /// ids keep their rows; the mask is what excludes them from serving
+    /// after recovery.
+    pub live: Option<Vec<bool>>,
 }
 
 /// A snapshot successfully loaded from disk.
@@ -307,6 +320,9 @@ fn encode_body(snap: &Snapshot) -> Vec<u8> {
     if snap.embeddings.is_some() {
         flags |= 2;
     }
+    if snap.live.is_some() {
+        flags |= 4;
+    }
     e.u8(flags);
     encode_sampler(&mut e, &snap.sampler);
     encode_graph(&mut e, &snap.graph);
@@ -315,6 +331,17 @@ fn encode_body(snap: &Snapshot) -> Vec<u8> {
         e.usize(emb.num_nodes());
         for &x in emb.as_flat() {
             e.f32(x);
+        }
+    }
+    if let Some(live) = &snap.live {
+        assert_eq!(
+            live.len(),
+            snap.graph.num_nodes(),
+            "live mask length must equal the graph's node count"
+        );
+        e.usize(live.len());
+        for &l in live {
+            e.u8(l as u8);
         }
     }
     e.into_bytes()
@@ -348,6 +375,25 @@ fn decode_body(body: &[u8]) -> Result<Snapshot, DecodeError> {
     } else {
         None
     };
+    let live = if flags & 4 != 0 {
+        let n = d.bounded_len(MAX_NODES, "live mask")?;
+        if n != graph.num_nodes() {
+            return Err(DecodeError {
+                offset: d.offset(),
+                reason: format!(
+                    "live mask length {n} does not match node count {}",
+                    graph.num_nodes()
+                ),
+            });
+        }
+        let mut mask = Vec::with_capacity(n);
+        for _ in 0..n {
+            mask.push(d.u8()? != 0);
+        }
+        Some(mask)
+    } else {
+        None
+    };
     d.finish()?;
     Ok(Snapshot {
         wal_seq,
@@ -356,6 +402,7 @@ fn decode_body(body: &[u8]) -> Result<Snapshot, DecodeError> {
         sampler,
         graph,
         embeddings,
+        live,
     })
 }
 
@@ -396,7 +443,7 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
         return Err(corrupt(path, 0, "bad magic (not a UniNet snapshot)"));
     }
     let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-    if version != SNAP_VERSION {
+    if !(SNAP_MIN_VERSION..=SNAP_VERSION).contains(&version) {
         return Err(corrupt(
             path,
             4,
@@ -505,6 +552,7 @@ mod tests {
                 2,
                 vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
             )),
+            live: None,
         }
     }
 
@@ -573,6 +621,7 @@ mod tests {
             sampler: SamplerState::default(),
             graph,
             embeddings: None,
+            live: None,
         };
         let path = write_snapshot(&dir, &snap).unwrap();
         let back = read_snapshot(&path).unwrap();
@@ -586,6 +635,61 @@ mod tests {
             reg.edge_type_name(0),
             snap.graph.type_registry().edge_type_name(0)
         );
+    }
+
+    #[test]
+    fn live_mask_round_trips() {
+        let dir = tmp_dir("live");
+        let mut snap = sample_snapshot(9);
+        snap.live = Some(vec![true, false, true, true]);
+        let path = write_snapshot(&dir, &snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.live, snap.live);
+        assert_eq!(back.wal_seq, 9);
+        assert!(back.embeddings.is_some());
+
+        // A mask whose length disagrees with the graph is rejected on read.
+        let mut bad = sample_snapshot(10);
+        bad.live = Some(vec![true; 4]);
+        let path = write_snapshot(&dir, &bad).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Shrink the mask to 3 entries (last 12 bytes are u64:len + 4 mask
+        // bytes): drop the final mask byte, rewrite len, re-checksum.
+        bytes.pop();
+        let len_pos = bytes.len() - 11;
+        bytes[len_pos..len_pos + 8].copy_from_slice(&3u64.to_le_bytes());
+        let body_len = bytes.len() - 20;
+        bytes[8..16].copy_from_slice(&(body_len as u64).to_le_bytes());
+        let crc = crc32(&bytes[20..]);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_snapshots_still_decode() {
+        // A v1 file is byte-identical to a v2 file without the live section;
+        // only the header version differs. Old builds never set flag bit2.
+        let dir = tmp_dir("v1-compat");
+        let snap = sample_snapshot(5);
+        let path = write_snapshot(&dir, &snap).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.live, None, "v1 snapshots are fully live");
+        assert_graph_eq(&back.graph, &snap.graph);
+
+        // A version from the future is still rejected.
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
     }
 
     #[test]

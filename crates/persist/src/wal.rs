@@ -7,7 +7,13 @@
 //! record   := u32:payload_len  u64:seq  u32:crc32(seq_le ++ payload)  payload
 //! payload  := u32:count  mutation*
 //! mutation := u8:op(0=add 1=remove 2=reweight)  u32:src  u32:dst  [f32:weight]
+//!           | u8:op(3=addnode 4=rmnode)  u32:node
 //! ```
+//!
+//! Version history: v1 carried edge ops only (opcodes 0–2); v2 added the
+//! open-world node ops (opcodes 3–4). Readers accept both versions — a v1 log
+//! written by an older build replays unchanged — while fresh logs are always
+//! written at the current version.
 //!
 //! Sequence numbers start at 1 and are contiguous; a gap means the file was
 //! tampered with. Two failure modes are deliberately distinguished:
@@ -33,7 +39,9 @@ use crate::PersistError;
 pub const WAL_FILE: &str = "wal.log";
 
 const WAL_MAGIC: [u8; 4] = *b"UNWL";
-const WAL_VERSION: u32 = 1;
+const WAL_VERSION: u32 = 2;
+/// Oldest on-disk version [`read_wal`] still decodes.
+const WAL_MIN_VERSION: u32 = 1;
 const HEADER_LEN: u64 = 8;
 /// Frame header: u32 len + u64 seq + u32 crc.
 const FRAME_HEADER_LEN: usize = 16;
@@ -96,6 +104,14 @@ pub fn encode_batch(batch: &UpdateBatch) -> Vec<u8> {
                 e.u32(dst);
                 e.f32(weight);
             }
+            GraphMutation::AddNode { node } => {
+                e.u8(3);
+                e.u32(node);
+            }
+            GraphMutation::RemoveNode { node } => {
+                e.u8(4);
+                e.u32(node);
+            }
         }
     }
     e.into_bytes()
@@ -108,20 +124,31 @@ pub fn decode_batch(payload: &[u8]) -> Result<UpdateBatch, DecodeError> {
     let mut mutations = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let op = d.u8()?;
-        let src = d.u32()?;
-        let dst = d.u32()?;
         let m = match op {
-            0 => GraphMutation::AddEdge {
-                src,
-                dst,
-                weight: d.f32()?,
+            0 => {
+                let src = d.u32()?;
+                let dst = d.u32()?;
+                GraphMutation::AddEdge {
+                    src,
+                    dst,
+                    weight: d.f32()?,
+                }
+            }
+            1 => GraphMutation::RemoveEdge {
+                src: d.u32()?,
+                dst: d.u32()?,
             },
-            1 => GraphMutation::RemoveEdge { src, dst },
-            2 => GraphMutation::UpdateWeight {
-                src,
-                dst,
-                weight: d.f32()?,
-            },
+            2 => {
+                let src = d.u32()?;
+                let dst = d.u32()?;
+                GraphMutation::UpdateWeight {
+                    src,
+                    dst,
+                    weight: d.f32()?,
+                }
+            }
+            3 => GraphMutation::AddNode { node: d.u32()? },
+            4 => GraphMutation::RemoveNode { node: d.u32()? },
             other => {
                 return Err(DecodeError {
                     offset: d.offset(),
@@ -166,7 +193,7 @@ pub fn read_wal(path: &Path) -> Result<WalScan, PersistError> {
         return Err(corrupt(path, 0, "bad magic (not a UniNet WAL)"));
     }
     let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-    if version != WAL_VERSION {
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
         return Err(corrupt(
             path,
             4,
@@ -392,6 +419,61 @@ mod tests {
         let payload = encode_batch(&b);
         let back = decode_batch(&payload).unwrap();
         assert_eq!(back.mutations(), b.mutations());
+    }
+
+    #[test]
+    fn node_ops_round_trip_through_the_log() {
+        let mut b = UpdateBatch::new();
+        b.add_node(12);
+        b.add_edge(12, 3, 1.5);
+        b.remove_node(7);
+        let back = decode_batch(&encode_batch(&b)).unwrap();
+        assert_eq!(back.mutations(), b.mutations());
+
+        let dir = tmp_dir("node-ops");
+        let mut w = WalWriter::open(&dir, FsyncPolicy::Always).unwrap();
+        w.append(&b).unwrap();
+        drop(w);
+        let scan = read_wal(&wal_path(&dir)).unwrap();
+        assert_eq!(scan.last_seq, 1);
+        assert_eq!(scan.records[0].1.mutations(), b.mutations());
+    }
+
+    #[test]
+    fn v1_logs_still_decode() {
+        // Hand-assemble a version-1 log (edge opcodes only, as an old build
+        // would have written) and check the current reader replays it.
+        let dir = tmp_dir("v1-compat");
+        let path = wal_path(&dir);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        for (seq, tag) in [(1u64, 0u32), (2, 10)] {
+            let payload = encode_batch(&batch(tag));
+            let mut checked = Vec::with_capacity(8 + payload.len());
+            checked.extend_from_slice(&seq.to_le_bytes());
+            checked.extend_from_slice(&payload);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&seq.to_le_bytes());
+            bytes.extend_from_slice(&crc32(&checked).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.last_seq, 2);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.records[1].1.mutations(), batch(10).mutations());
+        // And the writer continues appending to it in place.
+        let mut w = WalWriter::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(w.append(&batch(20)).unwrap(), 3);
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().last_seq, 3);
+
+        // A version from the future is still rejected.
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(read_wal(&path), Err(PersistError::Corrupt { .. })));
     }
 
     #[test]

@@ -57,31 +57,39 @@ fn fake_embeddings(count: u64) -> Embeddings {
     Embeddings::from_flat(dim, flat)
 }
 
+/// Edge ops over a slightly-too-large id range (exercising rejects) plus the
+/// open-world node ops: arrivals can grow the universe past `N`, retirements
+/// drop ids mid-stream, and a later arrival may resurrect a retired id.
 fn mutation_strategy() -> impl Strategy<Value = GraphMutation> {
-    (0u8..3, 0u32..N, 0u32..N, 1u32..64).prop_map(|(op, src, dst, w)| match op {
+    (0u8..5, 0u32..N + 4, 0u32..N + 4, 1u32..64).prop_map(|(op, src, dst, w)| match op {
         0 => GraphMutation::AddEdge {
             src,
             dst,
             weight: w as f32 * 0.25,
         },
         1 => GraphMutation::RemoveEdge { src, dst },
-        _ => GraphMutation::UpdateWeight {
+        2 => GraphMutation::UpdateWeight {
             src,
             dst,
             weight: w as f32 * 0.5,
         },
+        3 => GraphMutation::AddNode { node: src },
+        _ => GraphMutation::RemoveNode { node: src },
     })
 }
 
-/// Uninterrupted reference: the first `k` batches applied in order.
-fn reference_graph(batches: &[UpdateBatch], k: usize) -> Graph {
+/// Uninterrupted reference: the first `k` batches applied in order, yielding
+/// the compacted graph and the canonical live mask (`None` = fully live).
+fn reference_state(batches: &[UpdateBatch], k: usize) -> (Graph, Option<Vec<bool>>) {
     let mut dg = DynamicGraph::new(base_graph(), true);
     for b in &batches[..k] {
         for m in b.mutations() {
             dg.apply(*m);
         }
     }
-    dg.into_base()
+    let mask = dg.live_mask().to_vec();
+    let live = mask.iter().any(|&l| !l).then_some(mask);
+    (dg.into_base(), live)
 }
 
 /// Bit-exact per-node adjacency fingerprint.
@@ -98,6 +106,7 @@ fn fingerprint(g: &Graph) -> Vec<Vec<(u32, u32)>> {
 }
 
 fn snap_at(dg: &DynamicGraph, count: u64, wal_seq: u64) -> Snapshot {
+    let mask = dg.live_mask().to_vec();
     Snapshot {
         wal_seq,
         epoch: count,
@@ -105,6 +114,7 @@ fn snap_at(dg: &DynamicGraph, count: u64, wal_seq: u64) -> Snapshot {
         sampler: SamplerState::default(),
         graph: dg.materialize(),
         embeddings: Some(fake_embeddings(count)),
+        live: mask.iter().any(|&l| !l).then_some(mask),
     }
 }
 
@@ -171,10 +181,15 @@ proptest! {
         let durable = chosen_snap.max(surviving) as usize;
         prop_assert_eq!(rec.last_wal_seq, durable as u64);
         prop_assert_eq!(rec.epoch, chosen_snap, "epoch comes from the chosen snapshot");
+        let (ref_graph, ref_live) = reference_state(&batches, durable);
         prop_assert_eq!(
             fingerprint(&rec.graph),
-            fingerprint(&reference_graph(&batches, durable)),
+            fingerprint(&ref_graph),
             "recovered graph must equal an uninterrupted run over the durable prefix"
+        );
+        prop_assert_eq!(
+            rec.live, ref_live,
+            "recovered live mask must equal an uninterrupted run's universe"
         );
         let expected_emb = fake_embeddings(chosen_snap);
         prop_assert_eq!(
@@ -192,11 +207,13 @@ proptest! {
         drop(wal);
         let rec2 = recover(&dir).unwrap();
         prop_assert_eq!(rec2.last_wal_seq, total as u64);
+        let (ref_graph2, ref_live2) = reference_state(&batches, total);
         prop_assert_eq!(
             fingerprint(&rec2.graph),
-            fingerprint(&reference_graph(&batches, total)),
+            fingerprint(&ref_graph2),
             "after restart + full replay the state equals a run that never crashed"
         );
+        prop_assert_eq!(rec2.live, ref_live2, "restarted universe matches the no-crash run");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

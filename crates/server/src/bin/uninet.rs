@@ -23,7 +23,7 @@ use uninet_core::{
     EdgeSamplerKind, Engine, EngineBuilder, FsyncPolicy, InitStrategy, ModelSpec, StreamingConfig,
     UniNetError,
 };
-use uninet_dyngraph::read_update_stream_file;
+use uninet_dyngraph::{read_update_stream_file, read_update_stream_validated_file};
 use uninet_embedding::io::save_embeddings;
 use uninet_graph::generators::{barabasi_albert, rmat, RmatConfig};
 use uninet_graph::Graph;
@@ -77,6 +77,22 @@ STREAMING UPDATES (dynamic-graph mode):
                           back-pressure blocks the reader      [default: 8]
   --incremental-train     update embeddings online on regenerated walks
                           instead of a full retrain at end-of-stream
+
+OPEN-WORLD CHURN (node arrival & departure):
+  --allow-churn           accept `addnode <v>` / `rmnode <v>` events in the
+                          update stream: the universe grows (new embedding
+                          rows, cold-start initialised from neighbours) and
+                          retired ids become unqueryable everywhere (walks,
+                          snapshots, ANN index, wire protocol) but are never
+                          recycled for a different identity. The stream is
+                          validated up front: duplicate arrivals, retirements
+                          of unknown ids and edge ops naming retired
+                          endpoints are typed errors with line context
+  --cold-start-burn-in <N>
+                          boosted online-SGD passes over the seeded walks of
+                          each arrival cohort                  [default: 2]
+  --cold-start-boost <F>  learning-rate multiplier during burn-in
+                                                              [default: 2.0]
 
 DURABILITY (write-ahead log + snapshots):
   --wal-dir <DIR>         append every applied update batch to a WAL in DIR
@@ -146,6 +162,7 @@ impl Args {
             if let Some(flag) = [
                 "directed-updates",
                 "incremental-train",
+                "allow-churn",
                 "ann",
                 "ann-quantize",
                 "ann-full-rebuild",
@@ -328,6 +345,17 @@ fn validate(args: &Args) -> Result<(), UniNetError> {
             "the flag is required unless --serve is given (see --help)",
         ));
     }
+    if args.get("allow-churn").is_none() {
+        for flag in ["cold-start-burn-in", "cold-start-boost"] {
+            if args.get(flag).is_some() {
+                return Err(UniNetError::invalid_argument(
+                    flag.to_string(),
+                    "cold-start knobs require --allow-churn (the closed-world \
+                     stream has no arrivals to burn in)",
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -349,6 +377,9 @@ fn build_engine(args: &Args) -> Result<Engine, UniNetError> {
         .ingest_threads(args.parse_or("ingest-threads", 0usize)?)
         .queue_capacity(args.parse_or("queue-capacity", 8usize)?)
         .incremental_train(args.get("incremental-train").is_some())
+        .allow_churn(args.get("allow-churn").is_some())
+        .cold_start_burn_in(args.parse_or("cold-start-burn-in", 2usize)?)
+        .cold_start_boost(args.parse_or("cold-start-boost", 2.0f32)?)
         .ann_index(args.get("ann").is_some())
         .ann_m(args.parse_or("ann-m", 16usize)?)
         .ann_ef_construction(args.parse_or("ann-ef-construction", 100usize)?)
@@ -442,7 +473,16 @@ fn run() -> Result<(), UniNetError> {
     }
 
     if let Some(updates_path) = args.get("updates") {
-        let mutations = read_update_stream_file(updates_path)?;
+        // Under --allow-churn the stream is validated against the id
+        // lifecycle up front (duplicate arrivals, retirements of unknown
+        // ids, edge ops naming retired endpoints are typed errors with
+        // line context); the closed-world reader stays lenient and lets
+        // the engine reject any node op it encounters.
+        let mutations = if args.get("allow-churn").is_some() {
+            read_update_stream_validated_file(updates_path, engine.num_nodes())?
+        } else {
+            read_update_stream_file(updates_path)?
+        };
         let streaming: &StreamingConfig = engine.streaming_config();
         eprintln!(
             "streaming mode: {} mutations in batches of {} (compaction threshold {}, \
@@ -490,6 +530,16 @@ fn run() -> Result<(), UniNetError> {
                 "back-pressure: producer stalled {} times waiting for queue slots \
                  (raise --queue-capacity or --ingest-threads to absorb bursts)",
                 report.queue.stalls,
+            );
+        }
+        if report.arrivals > 0 || report.retirements > 0 {
+            eprintln!(
+                "open world: {} arrivals ({} cold-started), {} retirements; \
+                 universe now {} rows",
+                report.arrivals,
+                report.cold_starts,
+                report.retirements,
+                engine.snapshot().num_nodes(),
             );
         }
         if report.incremental_passes > 0 {

@@ -73,6 +73,30 @@ impl ClientError {
             }
         )
     }
+
+    /// True when the server refused because the id was never part of the
+    /// served universe.
+    pub fn is_unknown_node(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::UnknownNode,
+                ..
+            }
+        )
+    }
+
+    /// True when the server refused because the id was retired from the
+    /// universe (the row exists but must not be served).
+    pub fn is_retired_node(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::RetiredNode,
+                ..
+            }
+        )
+    }
 }
 
 /// A blocking connection to a serving instance. One request in flight at a
@@ -121,8 +145,10 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
-    /// The embedding vector of `node` (`None` if unknown), with the epoch
-    /// it was read from.
+    /// The embedding vector of `node`, with the epoch it was read from.
+    /// Unknown or retired ids are refused with a typed
+    /// [`ClientError::Rejected`]; `None` survives in the signature only for
+    /// older servers that answered out-of-range lookups with an empty body.
     pub fn vector(&mut self, node: u32) -> Result<(u64, Option<Vec<f32>>), ClientError> {
         match self.call(&Request::Vector { node })? {
             Response::Vector { epoch, vector } => Ok((epoch, vector)),

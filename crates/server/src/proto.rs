@@ -80,6 +80,11 @@ pub enum ErrorCode {
     BadRequest,
     /// The server failed internally while answering.
     Internal,
+    /// The requested node id has never been part of the served universe.
+    UnknownNode,
+    /// The requested node id was retired from the universe; the server
+    /// refuses to answer from its (stale) row.
+    RetiredNode,
 }
 
 impl ErrorCode {
@@ -88,6 +93,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => 1,
             ErrorCode::BadRequest => 2,
             ErrorCode::Internal => 3,
+            ErrorCode::UnknownNode => 4,
+            ErrorCode::RetiredNode => 5,
         }
     }
 
@@ -96,6 +103,8 @@ impl ErrorCode {
             1 => Ok(ErrorCode::Overloaded),
             2 => Ok(ErrorCode::BadRequest),
             3 => Ok(ErrorCode::Internal),
+            4 => Ok(ErrorCode::UnknownNode),
+            5 => Ok(ErrorCode::RetiredNode),
             other => Err(proto_err(format!("unknown error code {other}"))),
         }
     }
@@ -515,6 +524,14 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "try later".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::UnknownNode,
+                message: "node 999 is outside the universe".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::RetiredNode,
+                message: "node 5 was retired".to_string(),
             },
         ];
         for resp in cases {

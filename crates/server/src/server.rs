@@ -201,6 +201,30 @@ struct Shared {
     stop: Arc<AtomicBool>,
 }
 
+/// Refuses queries that name an id outside the snapshot's live universe.
+/// The in-range/live split yields distinct typed errors: an id the universe
+/// never contained is [`ErrorCode::UnknownNode`]; an id that arrived and was
+/// later retired is [`ErrorCode::RetiredNode`]. Either way the server never
+/// answers from the (stale) embedding row.
+fn check_universe(snapshot: &uninet_core::EmbeddingSnapshot, node: u32) -> Option<Response> {
+    if !snapshot.in_range(node) {
+        Some(Response::Error {
+            code: ErrorCode::UnknownNode,
+            message: format!(
+                "node {node} is outside the {}-row universe",
+                snapshot.num_nodes()
+            ),
+        })
+    } else if !snapshot.is_live(node) {
+        Some(Response::Error {
+            code: ErrorCode::RetiredNode,
+            message: format!("node {node} was retired from the universe"),
+        })
+    } else {
+        None
+    }
+}
+
 fn answer(shared: &Shared, request: &Request) -> Response {
     let store = shared.engine.store();
     match request {
@@ -226,21 +250,30 @@ fn answer(shared: &Shared, request: &Request) -> Response {
             match data_plane {
                 Request::Vector { node } => {
                     let snapshot = store.snapshot();
-                    let vector = (usize::try_from(*node).unwrap() < snapshot.num_nodes())
-                        .then(|| snapshot.embeddings().vector(*node).to_vec());
+                    if let Some(err) = check_universe(&snapshot, *node) {
+                        return err;
+                    }
                     Response::Vector {
                         epoch: snapshot.epoch(),
-                        vector,
+                        vector: Some(snapshot.embeddings().vector(*node).to_vec()),
                     }
                 }
                 Request::Cosine { a, b } => {
                     let snapshot = store.snapshot();
+                    for node in [*a, *b] {
+                        if let Some(err) = check_universe(&snapshot, node) {
+                            return err;
+                        }
+                    }
                     Response::Cosine {
                         epoch: snapshot.epoch(),
                         value: snapshot.cosine(*a, *b),
                     }
                 }
                 Request::TopK { node, k, mode } => {
+                    if let Some(err) = check_universe(&store.snapshot(), *node) {
+                        return err;
+                    }
                     let (tx, rx) = mpsc::channel();
                     shared.coalescer.submit(PendingTopK {
                         node: *node,
@@ -258,6 +291,11 @@ fn answer(shared: &Shared, request: &Request) -> Response {
                 }
                 Request::TopKBatch { nodes, k, mode } => {
                     let snapshot = store.snapshot();
+                    for node in nodes {
+                        if let Some(err) = check_universe(&snapshot, *node) {
+                            return err;
+                        }
+                    }
                     Response::TopKBatch {
                         epoch: snapshot.epoch(),
                         rows: snapshot.top_k_batch(nodes, *k as usize, *mode),

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use uninet_core::{Engine, ModelSpec, QueryMode};
+use uninet_core::{Engine, GraphMutation, ModelSpec, QueryMode};
 use uninet_graph::generators::{rmat, RmatConfig};
 use uninet_server::{serve, Client, ClientError, ErrorCode, ServeAddr, ServerConfig};
 
@@ -232,10 +232,23 @@ fn unknown_nodes_and_malformed_frames_degrade_gracefully() {
     let addr = server.addr().to_string();
 
     let mut client = Client::connect(addr.as_str()).expect("connect");
-    let (_, vector) = client.vector(9_999_999).expect("out-of-range node");
-    assert!(vector.is_none());
-    let (_, value) = client.cosine(0, 9_999_999).expect("out-of-range pair");
-    assert!(value.is_none());
+    // Ids the universe never contained earn a typed UnknownNode refusal —
+    // never a silent empty body, never a panic.
+    let err = client.vector(9_999_999).expect_err("out-of-range node");
+    assert!(err.is_unknown_node(), "{err}");
+    let err = client.cosine(0, 9_999_999).expect_err("out-of-range pair");
+    assert!(err.is_unknown_node(), "{err}");
+    let err = client
+        .top_k(9_999_999, 3, QueryMode::Exact)
+        .expect_err("out-of-range top_k");
+    assert!(err.is_unknown_node(), "{err}");
+    let err = client
+        .top_k_batch(&[0, 9_999_999], 3, QueryMode::Exact)
+        .expect_err("out-of-range batch member");
+    assert!(err.is_unknown_node(), "{err}");
+    // The refusal is not fatal: the same connection keeps working.
+    let (_, vector) = client.vector(0).expect("known node");
+    assert_eq!(vector.expect("live row").len(), 16);
 
     // A garbage opcode earns a typed BadRequest reply, then the server
     // closes that connection — and only that connection.
@@ -257,6 +270,155 @@ fn unknown_nodes_and_malformed_frames_degrade_gracefully() {
 
     server.shutdown();
     assert!(engine.metrics().counter("server.bad_requests").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn retired_ids_never_surface_to_concurrent_clients_across_epoch_flips() {
+    // Satellite: open-world serving. One node is retired (and one arrives)
+    // before serving starts; while concurrent clients hammer top_k and
+    // top_k_batch, further churn flips epochs underneath them. The retired
+    // id must never appear in any result row at any epoch, queries naming
+    // it must earn a typed RetiredNode refusal, and ids beyond the grown
+    // universe a typed UnknownNode refusal — never a stale vector.
+    const N: u32 = 150;
+    const RETIRED: u32 = 5;
+    const ARRIVED: u32 = N; // first grown row
+    let graph = rmat(&RmatConfig {
+        num_nodes: N as usize,
+        num_edges: 1000,
+        weighted: true,
+        seed: 7,
+        ..Default::default()
+    });
+    let engine = Engine::builder()
+        .graph(graph)
+        .model(ModelSpec::DeepWalk)
+        .num_walks(1)
+        .walk_length(8)
+        .dim(16)
+        .threads(2)
+        .seed(7)
+        .allow_churn(true)
+        .cold_start_burn_in(1)
+        .build()
+        .expect("valid configuration");
+    engine.train().expect("initial training");
+
+    // Phase 1 (before serving): retire RETIRED, admit ARRIVED and wire it in.
+    let churn = vec![
+        GraphMutation::RemoveNode { node: RETIRED },
+        GraphMutation::AddNode { node: ARRIVED },
+        GraphMutation::AddEdge {
+            src: ARRIVED,
+            dst: 3,
+            weight: 1.0,
+        },
+        GraphMutation::AddEdge {
+            src: ARRIVED,
+            dst: 10,
+            weight: 2.0,
+        },
+    ];
+    let outcome = engine.stream(churn).unwrap().join().expect("churn session");
+    assert_eq!(outcome.report.retirements, 1);
+    assert_eq!(outcome.report.arrivals, 1);
+
+    let server = serve(
+        &engine,
+        &ServeAddr::parse("127.0.0.1:0"),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let clients: Vec<_> = (0..4)
+        .map(|c: u32| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).expect("connect");
+                for i in 0..30u32 {
+                    // Probe a live node: the retired id must be absent from
+                    // every row, whatever epoch the answer comes from.
+                    let node = {
+                        let v = (c * 37 + i) % N;
+                        if v == RETIRED {
+                            RETIRED + 1
+                        } else {
+                            v
+                        }
+                    };
+                    let (_, neighbors) =
+                        client.top_k(node, 10, QueryMode::Exact).expect("top_k");
+                    assert!(
+                        neighbors.iter().all(|&(u, _)| u != RETIRED),
+                        "retired id {RETIRED} leaked into top_k({node})"
+                    );
+                    let (_, rows) = client
+                        .top_k_batch(&[node, ARRIVED], 10, QueryMode::Exact)
+                        .expect("top_k_batch");
+                    for row in &rows {
+                        assert!(
+                            row.iter().all(|&(u, _)| u != RETIRED),
+                            "retired id {RETIRED} leaked into a batch row"
+                        );
+                    }
+                    // Naming the retired id is a typed refusal on every
+                    // endpoint — never a stale vector, never a panic.
+                    assert!(client.vector(RETIRED).expect_err("retired").is_retired_node());
+                    assert!(client
+                        .top_k(RETIRED, 5, QueryMode::Exact)
+                        .expect_err("retired")
+                        .is_retired_node());
+                    assert!(client
+                        .cosine(node, RETIRED)
+                        .expect_err("retired")
+                        .is_retired_node());
+                    assert!(client
+                        .top_k_batch(&[node, RETIRED], 5, QueryMode::Exact)
+                        .expect_err("retired")
+                        .is_retired_node());
+                    // Beyond the grown universe: unknown, not retired.
+                    assert!(client.vector(N + 50).expect_err("unknown").is_unknown_node());
+                }
+            })
+        })
+        .collect();
+
+    // Flip epochs underneath the clients with more churn: edge rewires plus
+    // a second arrival. No additional retirement, so the clients' absence
+    // assertion stays exact at every epoch they can observe.
+    let mut more = vec![
+        GraphMutation::AddNode { node: N + 1 },
+        GraphMutation::AddEdge {
+            src: N + 1,
+            dst: 20,
+            weight: 1.0,
+        },
+    ];
+    for i in 0..60u32 {
+        let (src, dst) = ((i * 13 + 1) % N, (i * 7 + 3) % N);
+        if src != dst && src != RETIRED && dst != RETIRED {
+            more.push(GraphMutation::AddEdge {
+                src,
+                dst,
+                weight: 1.0 + (i % 5) as f32,
+            });
+        }
+    }
+    let outcome = engine.stream(more).unwrap().join().expect("second session");
+    assert_eq!(outcome.report.arrivals, 1);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // After all flips: the arrival serves, the retiree still refuses.
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let (_, vector) = client.vector(ARRIVED).expect("arrived node serves");
+    assert_eq!(vector.expect("live row").len(), 16);
+    assert!(client.vector(RETIRED).expect_err("still retired").is_retired_node());
+    let (_, neighbors) = client.top_k(3, 20, QueryMode::Exact).expect("top_k");
+    assert!(neighbors.iter().all(|&(u, _)| u != RETIRED));
+    server.shutdown();
 }
 
 #[test]

@@ -474,10 +474,15 @@ impl SamplerManager {
     /// as-is. The memory-aware hybrid re-plans from scratch because its
     /// state→table assignment is a global optimization.
     ///
+    /// The node universe may have **grown** since construction (open-world
+    /// streaming): nodes past the old universe get fresh buckets, built from
+    /// scratch whether or not they appear in `touched`. It can never shrink —
+    /// retired nodes keep their (empty-bucket) rows.
+    ///
     /// # Panics
     ///
-    /// Panics if `graph` has a different node count than the graph the
-    /// manager was built over (dynamic graphs have a fixed node universe).
+    /// Panics if `graph` has fewer nodes than the graph the manager was
+    /// built over (the id space never shrinks; retirement empties a row).
     pub fn maintain_topology<M: RandomWalkModel + ?Sized>(
         &mut self,
         graph: &Graph,
@@ -486,14 +491,18 @@ impl SamplerManager {
         stale: &[NodeId],
     ) -> MaintenanceStats {
         let n = graph.num_nodes();
-        assert_eq!(
-            n + 1,
-            self.bucket_offsets.len(),
-            "maintain_topology requires an unchanged node universe"
+        let old_n = self.bucket_offsets.len() - 1;
+        assert!(
+            n >= old_n,
+            "maintain_topology cannot shrink the node universe ({n} < {old_n})"
         );
         let mut is_touched = vec![false; n];
         for &v in touched {
             is_touched[v as usize] = true;
+        }
+        // Grown nodes have no prior sampler state: always (re)built.
+        for t in is_touched.iter_mut().take(n).skip(old_n) {
+            *t = true;
         }
         let mut is_stale = vec![false; n];
         for &v in stale {
@@ -519,7 +528,11 @@ impl SamplerManager {
                 let old = std::mem::take(chains);
                 let mut rebuilt = Vec::with_capacity(num_states);
                 for v in 0..n {
-                    let old_range = self.bucket_offsets[v]..self.bucket_offsets[v + 1];
+                    let old_range = if v < old_n {
+                        self.bucket_offsets[v]..self.bucket_offsets[v + 1]
+                    } else {
+                        0..0
+                    };
                     let new_width = new_offsets[v + 1] - new_offsets[v];
                     // `stale` nodes keep their chains: only structural bucket
                     // changes invalidate a chain's index.
@@ -539,7 +552,11 @@ impl SamplerManager {
                 let mut old = std::mem::take(tables);
                 let mut rebuilt: Vec<Option<AliasTable>> = Vec::with_capacity(num_states);
                 for v in 0..n {
-                    let old_range = self.bucket_offsets[v]..self.bucket_offsets[v + 1];
+                    let old_range = if v < old_n {
+                        self.bucket_offsets[v]..self.bucket_offsets[v + 1]
+                    } else {
+                        0..0
+                    };
                     let new_width = new_offsets[v + 1] - new_offsets[v];
                     if !is_touched[v] && !is_stale[v] && old_range.len() == new_width {
                         for idx in old_range {
@@ -560,12 +577,14 @@ impl SamplerManager {
             }
             Backend::Rejection { proposals, .. } => {
                 // Proposals materialize only the node's own static weights,
-                // so `stale` nodes (unchanged adjacency) keep theirs.
-                for &v in touched {
-                    let table = build_proposal(graph.weights(v));
+                // so `stale` nodes (unchanged adjacency) keep theirs. Grown
+                // nodes get fresh (empty) slots and are rebuilt like touched.
+                proposals.resize_with(n, || None);
+                for (v, _) in is_touched.iter().enumerate().filter(|&(_, &t)| t) {
+                    let table = build_proposal(graph.weights(v as NodeId));
                     stats.states_rebuilt += 1;
                     stats.bytes_rebuilt += table.as_ref().map(|t| t.memory_bytes()).unwrap_or(0);
-                    proposals[v as usize] = table;
+                    proposals[v] = table;
                 }
             }
             Backend::MemoryAware { plan, tables } => {
@@ -913,6 +932,62 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn maintain_topology_accepts_grown_universe() {
+        // 4-node square grows to 5 nodes with edges 4-0 (and a retired-style
+        // empty row never exists here; degree-0 growth is covered below).
+        let old = small_graph();
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &[
+            (0u32, 1u32, 1.0f32),
+            (0, 2, 2.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (4, 0, 1.5),
+        ] {
+            b.add_edge(u, v, w);
+        }
+        let grown = b.symmetric(true).build();
+        let model = Node2Vec::new(0.5, 2.0);
+        for kind in all_kinds() {
+            let mut m = SamplerManager::new(&old, &model, kind, 0);
+            // Node 4 arrived with an edge to 0: 0 is touched, 4 is implicit.
+            m.maintain_topology(&grown, &model, &[0], &[]);
+            assert_eq!(m.num_states(), grown.num_edges(), "{kind:?} state count");
+            let mut rng = SmallRng::seed_from_u64(21);
+            for v in [0u32, 4] {
+                let state = model.initial_state(&grown, v);
+                for _ in 0..30 {
+                    let k = m
+                        .sample(&grown, &model, state, &mut rng)
+                        .unwrap_or_else(|| panic!("{kind:?} stuck at {v}"));
+                    assert!(k < grown.degree(v));
+                }
+            }
+        }
+
+        // Degree-0 growth (arrival with no edges yet) must also be accepted.
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &[
+            (0u32, 1u32, 1.0f32),
+            (0, 2, 2.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+        ] {
+            b.add_edge(u, v, w);
+        }
+        b.set_num_nodes(6);
+        let grown_empty = b.symmetric(true).build();
+        for kind in all_kinds() {
+            let mut m = SamplerManager::new(&old, &model, kind, 0);
+            m.maintain_topology(&grown_empty, &model, &[], &[]);
+            let mut rng = SmallRng::seed_from_u64(3);
+            assert_eq!(m.sample(&grown_empty, &model, WalkerState::at(5), &mut rng), None);
         }
     }
 
